@@ -1,0 +1,149 @@
+//! GRU4Rec (Hidasi et al. / Jannach & Ludewig 2017): a GRU over the clicked
+//! sequence, final hidden state projected to tag logits.
+
+use intellitag_nn::{Embedding, Gru, Linear};
+use intellitag_tensor::{ParamSet, Tape};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::recommender::{SequenceRecommender, TrainConfig};
+
+/// A trained GRU4Rec model.
+pub struct Gru4Rec {
+    emb: Embedding,
+    gru: Gru,
+    out: Linear,
+    num_tags: usize,
+}
+
+impl Gru4Rec {
+    /// Trains on click sessions (`sessions[i]` is a session's ordered tag
+    /// clicks). Every prefix of length >= 1 predicts the following click.
+    pub fn train(
+        sessions: &[Vec<usize>],
+        num_tags: usize,
+        dim: usize,
+        cfg: &TrainConfig,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut params = ParamSet::new(cfg.lr);
+        let emb = Embedding::new("gru4rec.emb", num_tags, dim, &mut params, &mut rng);
+        let gru = Gru::new("gru4rec.gru", dim, dim, &mut params, &mut rng);
+        let out = Linear::new("gru4rec.out", dim, num_tags, true, &mut params, &mut rng);
+
+        let mut examples: Vec<(&[usize], usize)> = Vec::new();
+        for s in sessions {
+            for k in 1..s.len() {
+                examples.push((&s[..k], s[k]));
+            }
+        }
+        let steps = (examples.len() * cfg.epochs).div_ceil(cfg.batch_size.max(1));
+        params.total_steps = Some(steps.max(1));
+
+        let model = Gru4Rec { emb, gru, out, num_tags };
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        for epoch in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f64;
+            let mut in_batch = 0;
+            for (i, &ex) in order.iter().enumerate() {
+                let (ctx, target) = examples[ex];
+                let tape = Tape::training(cfg.seed ^ (epoch as u64) << 32 ^ ex as u64);
+                let x = model.emb.forward(&tape, ctx);
+                let h = model.gru.forward_last(&tape, &x);
+                let logits = model.out.forward(&tape, &h);
+                let loss = logits.cross_entropy_logits(&[target]);
+                epoch_loss += loss.scalar() as f64;
+                loss.backward();
+                in_batch += 1;
+                if in_batch == cfg.batch_size || i + 1 == order.len() {
+                    params.step(1.0 / in_batch as f32);
+                    in_batch = 0;
+                }
+            }
+            if cfg.verbose {
+                println!(
+                    "GRU4Rec epoch {epoch}: loss {:.4}",
+                    epoch_loss / examples.len().max(1) as f64
+                );
+            }
+        }
+        model
+    }
+}
+
+impl SequenceRecommender for Gru4Rec {
+    fn name(&self) -> &str {
+        "GRU4Rec"
+    }
+
+    fn score_all(&self, context: &[usize]) -> Vec<f32> {
+        if context.is_empty() {
+            return vec![0.0; self.num_tags];
+        }
+        let tape = Tape::new();
+        let x = self.emb.forward(&tape, context);
+        let h = self.gru.forward_last(&tape, &x);
+        self.out.forward(&tape, &h).value().into_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic world: tag t is always followed by tag (t+1) % n.
+    fn cyclic_sessions(n: usize, count: usize) -> Vec<Vec<usize>> {
+        (0..count)
+            .map(|i| {
+                let start = i % n;
+                vec![start, (start + 1) % n, (start + 2) % n]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_deterministic_transitions() {
+        let n = 6;
+        let sessions = cyclic_sessions(n, 60);
+        let cfg = TrainConfig {
+            epochs: 30,
+            lr: 0.01,
+            batch_size: 16,
+            seed: 1,
+            ..Default::default()
+        };
+        let m = Gru4Rec::train(&sessions, n, 16, &cfg);
+        let mut correct = 0;
+        for start in 0..n {
+            let scores = m.score_all(&[start]);
+            let pred = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            if pred == (start + 1) % n {
+                correct += 1;
+            }
+        }
+        assert!(correct >= n - 1, "learned {correct}/{n} transitions");
+    }
+
+    #[test]
+    fn empty_context_is_safe() {
+        let sessions = vec![vec![0, 1]];
+        let cfg = TrainConfig { epochs: 1, ..Default::default() };
+        let m = Gru4Rec::train(&sessions, 3, 8, &cfg);
+        assert_eq!(m.score_all(&[]), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn scores_cover_all_tags() {
+        let sessions = cyclic_sessions(4, 8);
+        let cfg = TrainConfig { epochs: 1, ..Default::default() };
+        let m = Gru4Rec::train(&sessions, 4, 8, &cfg);
+        assert_eq!(m.score_all(&[0]).len(), 4);
+        assert_eq!(m.name(), "GRU4Rec");
+    }
+}

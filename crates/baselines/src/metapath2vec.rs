@@ -1,0 +1,248 @@
+//! metapath2vec (Dong et al., KDD 2017): unsupervised tag embeddings from
+//! metapath-guided random walks with skip-gram + negative sampling.
+//!
+//! As deployed in the paper's online comparison, recommendation only depends
+//! on the *last* clicked tag: nearest neighbors in the embedding space are
+//! precomputed offline, making online service a table lookup (Table VI shows
+//! its much lower latency for exactly this reason).
+
+use intellitag_graph::{metapath_walk, HetGraph, Metapath};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::recommender::SequenceRecommender;
+
+/// Training hyperparameters for metapath2vec.
+#[derive(Debug, Clone, Copy)]
+pub struct M2vConfig {
+    /// Embedding width.
+    pub dim: usize,
+    /// Walks started per tag.
+    pub walks_per_tag: usize,
+    /// Walk length in tags.
+    pub walk_len: usize,
+    /// Skip-gram window.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Training epochs over the walk corpus.
+    pub epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for M2vConfig {
+    fn default() -> Self {
+        M2vConfig {
+            dim: 64,
+            walks_per_tag: 20,
+            walk_len: 12,
+            window: 3,
+            negatives: 6,
+            lr: 0.025,
+            epochs: 6,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained metapath2vec model.
+pub struct Metapath2Vec {
+    /// Center embeddings (the representation used downstream).
+    emb: Vec<Vec<f32>>,
+    num_tags: usize,
+}
+
+impl Metapath2Vec {
+    /// Generates metapath-guided walks over the heterogeneous graph and
+    /// trains skip-gram with negative sampling (manual SGD — the classic
+    /// word2vec update, no autograd needed).
+    pub fn train(graph: &HetGraph, cfg: &M2vConfig) -> Self {
+        let num_tags = graph.num_tags();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // The walk scheme cycles through all four paper metapaths so every
+        // relation contributes context pairs.
+        let scheme =
+            [Metapath::TT, Metapath::TQT, Metapath::TQQT, Metapath::TQEQT];
+
+        let mut walks: Vec<Vec<usize>> = Vec::with_capacity(num_tags * cfg.walks_per_tag);
+        for t in 0..num_tags {
+            for _ in 0..cfg.walks_per_tag {
+                let w = metapath_walk(graph, t, &scheme, cfg.walk_len, &mut rng);
+                if w.len() >= 2 {
+                    walks.push(w);
+                }
+            }
+        }
+
+        let limit = (1.0 / cfg.dim as f32).sqrt();
+        let mut emb: Vec<Vec<f32>> = (0..num_tags)
+            .map(|_| (0..cfg.dim).map(|_| rng.gen_range(-limit..=limit)).collect())
+            .collect();
+        let mut ctx: Vec<Vec<f32>> = vec![vec![0.0; cfg.dim]; num_tags];
+
+        for _ in 0..cfg.epochs {
+            walks.shuffle(&mut rng);
+            for walk in &walks {
+                for (i, &center) in walk.iter().enumerate() {
+                    let lo = i.saturating_sub(cfg.window);
+                    let hi = (i + cfg.window + 1).min(walk.len());
+                    for (j, &pos) in walk.iter().enumerate().take(hi).skip(lo) {
+                        if j == i {
+                            continue;
+                        }
+                        sgd_pair(&mut emb, &mut ctx, center, pos, 1.0, cfg.lr);
+                        for _ in 0..cfg.negatives {
+                            let neg = rng.gen_range(0..num_tags);
+                            if neg != pos {
+                                sgd_pair(&mut emb, &mut ctx, center, neg, 0.0, cfg.lr);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        Metapath2Vec { emb, num_tags }
+    }
+
+    /// The embedding of one tag.
+    pub fn embedding(&self, tag: usize) -> &[f32] {
+        &self.emb[tag]
+    }
+
+    /// Cosine similarity between two tags' embeddings.
+    pub fn similarity(&self, a: usize, b: usize) -> f32 {
+        intellitag_text::cosine(&self.emb[a], &self.emb[b])
+    }
+}
+
+/// One skip-gram SGD update on the pair `(center, context)` toward `label`.
+fn sgd_pair(
+    emb: &mut [Vec<f32>],
+    ctx: &mut [Vec<f32>],
+    center: usize,
+    context: usize,
+    label: f32,
+    lr: f32,
+) {
+    let dot: f32 = emb[center].iter().zip(&ctx[context]).map(|(a, b)| a * b).sum();
+    let pred = 1.0 / (1.0 + (-dot).exp());
+    let g = (pred - label) * lr;
+    for k in 0..emb[center].len() {
+        let e = emb[center][k];
+        let c = ctx[context][k];
+        emb[center][k] -= g * c;
+        ctx[context][k] -= g * e;
+    }
+}
+
+impl SequenceRecommender for Metapath2Vec {
+    fn name(&self) -> &str {
+        "metapath2vec"
+    }
+
+    /// Scores by cosine similarity with the **last** clicked tag only — the
+    /// model has no sequential component (paper §VI-F).
+    fn score_all(&self, context: &[usize]) -> Vec<f32> {
+        let Some(&last) = context.last() else {
+            return vec![0.0; self.num_tags];
+        };
+        (0..self.num_tags).map(|t| self.similarity(last, t)).collect()
+    }
+
+    fn score_candidates(&self, context: &[usize], candidates: &[usize]) -> Vec<f32> {
+        let Some(&last) = context.last() else {
+            return vec![0.0; candidates.len()];
+        };
+        candidates.iter().map(|&c| self.similarity(last, c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intellitag_graph::HetGraphBuilder;
+
+    /// Two cliques of tags bridged by nothing: embeddings must separate them.
+    fn two_community_graph() -> HetGraph {
+        let mut b = HetGraphBuilder::new(8, 8, 2);
+        // Community A: tags 0-3 on rqs 0-3, tenant 0, dense co-clicks.
+        for t in 0..4usize {
+            b.add_asc(t, t);
+            b.set_tenant(t, 0);
+        }
+        for i in 0..4usize {
+            for j in i + 1..4 {
+                b.add_clk(i, j);
+            }
+        }
+        b.add_cst(0, 1).add_cst(2, 3);
+        // Community B: tags 4-7 on rqs 4-7, tenant 1.
+        for t in 4..8usize {
+            b.add_asc(t, t);
+            b.set_tenant(t, 1);
+        }
+        for i in 4..8usize {
+            for j in i + 1..8 {
+                b.add_clk(i, j);
+            }
+        }
+        b.add_cst(4, 5).add_cst(6, 7);
+        b.build()
+    }
+
+    #[test]
+    fn communities_separate_in_embedding_space() {
+        let g = two_community_graph();
+        let cfg = M2vConfig { epochs: 6, seed: 1, dim: 16, ..Default::default() };
+        let m = Metapath2Vec::train(&g, &cfg);
+        // Average within-community similarity must beat across-community.
+        let mut within = 0.0;
+        let mut across = 0.0;
+        let mut nw = 0;
+        let mut na = 0;
+        for a in 0..8 {
+            for b in 0..8 {
+                if a == b {
+                    continue;
+                }
+                let s = m.similarity(a, b);
+                if (a < 4) == (b < 4) {
+                    within += s;
+                    nw += 1;
+                } else {
+                    across += s;
+                    na += 1;
+                }
+            }
+        }
+        let within = within / nw as f32;
+        let across = across / na as f32;
+        assert!(
+            within > across + 0.1,
+            "within {within} should exceed across {across}"
+        );
+    }
+
+    #[test]
+    fn scoring_uses_last_click_only() {
+        let g = two_community_graph();
+        let m = Metapath2Vec::train(&g, &M2vConfig { epochs: 2, ..Default::default() });
+        let a = m.score_all(&[7, 0]);
+        let b = m.score_all(&[0]);
+        assert_eq!(a, b, "only the last click matters");
+        assert_eq!(m.score_all(&[]), vec![0.0; 8]);
+    }
+
+    #[test]
+    fn score_candidates_matches_score_all() {
+        let g = two_community_graph();
+        let m = Metapath2Vec::train(&g, &M2vConfig { epochs: 1, ..Default::default() });
+        let all = m.score_all(&[3]);
+        let sub = m.score_candidates(&[3], &[5, 1]);
+        assert_eq!(sub, vec![all[5], all[1]]);
+    }
+}

@@ -1,0 +1,140 @@
+//! The common interface every TagRec-task model implements, plus shared
+//! training configuration.
+
+/// A next-tag recommender: given the tags a user clicked so far, score every
+/// candidate tag for the next click.
+pub trait SequenceRecommender {
+    /// Model name as printed in the paper's tables.
+    fn name(&self) -> &str;
+
+    /// Scores every tag (`len == num_tags`); higher means more likely next.
+    ///
+    /// `context` lists the clicked tags oldest-first and must be non-empty
+    /// unless the model supports cold start.
+    fn score_all(&self, context: &[usize]) -> Vec<f32>;
+
+    /// Scores a candidate subset. The default indexes into
+    /// [`SequenceRecommender::score_all`]; models with cheap pairwise scores
+    /// (metapath2vec) override this to skip the full pass.
+    fn score_candidates(&self, context: &[usize], candidates: &[usize]) -> Vec<f32> {
+        let all = self.score_all(context);
+        candidates.iter().map(|&c| all[c]).collect()
+    }
+
+    /// Top-`k` recommendations, excluding tags already in `context`.
+    fn recommend(&self, context: &[usize], k: usize) -> Vec<usize> {
+        let scores = self.score_all(context);
+        let mut idx: Vec<usize> =
+            (0..scores.len()).filter(|t| !context.contains(t)).collect();
+        idx.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        idx.truncate(k);
+        idx
+    }
+}
+
+/// Shared training hyperparameters (paper §VI-A4: Adam, lr 1e-3, weight
+/// decay 0.01, linear decay, batch 128, mask proportion 0.2).
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Passes over the training sessions.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Gradient-accumulation batch size.
+    pub batch_size: usize,
+    /// RNG seed (initialization, masking, shuffling).
+    pub seed: u64,
+    /// Mask proportion for masked-sequence models.
+    pub mask_prob: f64,
+    /// Print a progress line per epoch.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 3,
+            lr: 1e-3,
+            batch_size: 32,
+            seed: 0,
+            mask_prob: 0.2,
+            verbose: false,
+        }
+    }
+}
+
+/// Frequency-ranked popularity recommender — the cold-start fallback the
+/// deployed system uses before any click happens (§V-B), and a sanity floor
+/// for the learned models.
+pub struct Popularity {
+    scores: Vec<f32>,
+}
+
+impl Popularity {
+    /// Builds from per-tag click counts.
+    pub fn from_counts(counts: &[usize]) -> Self {
+        Popularity { scores: counts.iter().map(|&c| c as f32).collect() }
+    }
+
+    /// Builds by counting clicks in training sessions.
+    pub fn from_sessions(sessions: &[Vec<usize>], num_tags: usize) -> Self {
+        let mut counts = vec![0usize; num_tags];
+        for s in sessions {
+            for &c in s {
+                counts[c] += 1;
+            }
+        }
+        Popularity::from_counts(&counts)
+    }
+}
+
+impl SequenceRecommender for Popularity {
+    fn name(&self) -> &str {
+        "Popularity"
+    }
+
+    fn score_all(&self, _context: &[usize]) -> Vec<f32> {
+        self.scores.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn popularity_ranks_by_count() {
+        let p = Popularity::from_counts(&[1, 5, 3]);
+        assert_eq!(p.recommend(&[], 3), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn recommend_excludes_context() {
+        let p = Popularity::from_counts(&[1, 5, 3]);
+        assert_eq!(p.recommend(&[1], 2), vec![2, 0]);
+    }
+
+    #[test]
+    fn score_candidates_defaults_to_score_all_subset() {
+        let p = Popularity::from_counts(&[1, 5, 3]);
+        assert_eq!(p.score_candidates(&[], &[2, 0]), vec![3.0, 1.0]);
+    }
+
+    #[test]
+    fn from_sessions_counts_clicks() {
+        let sessions = vec![vec![0, 1], vec![1, 2, 1]];
+        let p = Popularity::from_sessions(&sessions, 3);
+        assert_eq!(p.score_all(&[]), vec![1.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let p = Popularity::from_counts(&[2, 2, 2]);
+        assert_eq!(p.recommend(&[], 3), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,230 @@
+//! SR-GNN (Wu et al., AAAI 2019): each session becomes a small directed
+//! graph over its unique tags; a gated GNN propagates along click edges and
+//! an attentive readout forms the session embedding, scored against tag
+//! embeddings.
+
+use intellitag_nn::{Embedding, Linear};
+use intellitag_tensor::{Matrix, ParamSet, Tape, Tensor};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::recommender::{SequenceRecommender, TrainConfig};
+
+/// A trained SR-GNN model.
+pub struct SrGnn {
+    emb: Embedding,
+    w_in: Linear,
+    w_out: Linear,
+    gate_z: Linear,
+    gate_r: Linear,
+    gate_h: Linear,
+    attn_q1: Linear,
+    attn_q2: Linear,
+    attn_v: Linear,
+    fuse: Linear,
+    num_tags: usize,
+    dim: usize,
+    /// Number of gated propagation steps.
+    steps: usize,
+}
+
+impl SrGnn {
+    /// Trains on click sessions with next-click prefix examples.
+    pub fn train(
+        sessions: &[Vec<usize>],
+        num_tags: usize,
+        dim: usize,
+        cfg: &TrainConfig,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut params = ParamSet::new(cfg.lr);
+        let l = |n: &str, i: usize, o: usize, ps: &mut ParamSet, rng: &mut StdRng| {
+            Linear::new(&format!("srgnn.{n}"), i, o, true, ps, rng)
+        };
+        let model = SrGnn {
+            emb: Embedding::new("srgnn.emb", num_tags, dim, &mut params, &mut rng),
+            w_in: l("w_in", dim, dim, &mut params, &mut rng),
+            w_out: l("w_out", dim, dim, &mut params, &mut rng),
+            gate_z: l("gate_z", 3 * dim, dim, &mut params, &mut rng),
+            gate_r: l("gate_r", 3 * dim, dim, &mut params, &mut rng),
+            gate_h: l("gate_h", 3 * dim, dim, &mut params, &mut rng),
+            attn_q1: l("attn_q1", dim, dim, &mut params, &mut rng),
+            attn_q2: l("attn_q2", dim, dim, &mut params, &mut rng),
+            attn_v: l("attn_v", dim, 1, &mut params, &mut rng),
+            fuse: l("fuse", 2 * dim, dim, &mut params, &mut rng),
+            num_tags,
+            dim,
+            steps: 1,
+        };
+
+        let mut examples: Vec<(&[usize], usize)> = Vec::new();
+        for s in sessions {
+            for k in 1..s.len() {
+                examples.push((&s[..k], s[k]));
+            }
+        }
+        let steps = (examples.len() * cfg.epochs).div_ceil(cfg.batch_size.max(1));
+        params.total_steps = Some(steps.max(1));
+
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        for epoch in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f64;
+            let mut in_batch = 0;
+            for (i, &ex) in order.iter().enumerate() {
+                let (ctx, target) = examples[ex];
+                let tape = Tape::training(cfg.seed ^ (epoch as u64) << 32 ^ ex as u64);
+                let logits = model.session_logits(&tape, ctx);
+                let loss = logits.cross_entropy_logits(&[target]);
+                epoch_loss += loss.scalar() as f64;
+                loss.backward();
+                in_batch += 1;
+                if in_batch == cfg.batch_size || i + 1 == order.len() {
+                    params.step(1.0 / in_batch as f32);
+                    in_batch = 0;
+                }
+            }
+            if cfg.verbose {
+                println!(
+                    "SR-GNN epoch {epoch}: loss {:.4}",
+                    epoch_loss / examples.len().max(1) as f64
+                );
+            }
+        }
+        model
+    }
+
+    /// Builds the session graph, propagates, reads out and scores all tags.
+    fn session_logits(&self, tape: &Tape, context: &[usize]) -> Tensor {
+        // Unique nodes in order of first appearance.
+        let mut nodes: Vec<usize> = Vec::new();
+        let mut node_of = std::collections::HashMap::new();
+        for &t in context {
+            node_of.entry(t).or_insert_with(|| {
+                nodes.push(t);
+                nodes.len() - 1
+            });
+        }
+        let n = nodes.len();
+        // Row-normalized in/out adjacency from consecutive clicks.
+        let mut a_in = Matrix::zeros(n, n);
+        let mut a_out = Matrix::zeros(n, n);
+        for w in context.windows(2) {
+            let (u, v) = (node_of[&w[0]], node_of[&w[1]]);
+            if u != v {
+                a_out.set(u, v, a_out.get(u, v) + 1.0);
+                a_in.set(v, u, a_in.get(v, u) + 1.0);
+            }
+        }
+        for m in [&mut a_in, &mut a_out] {
+            for r in 0..n {
+                let s: f32 = m.row_slice(r).iter().sum();
+                if s > 0.0 {
+                    for v in m.row_slice_mut(r) {
+                        *v /= s;
+                    }
+                }
+            }
+        }
+
+        let mut h = self.emb.forward(tape, &nodes);
+        let a_in = tape.constant(a_in);
+        let a_out = tape.constant(a_out);
+        for _ in 0..self.steps {
+            let m_in = self.w_in.forward(tape, &a_in.matmul(&h));
+            let m_out = self.w_out.forward(tape, &a_out.matmul(&h));
+            let a = Tensor::concat_cols(&[m_in, m_out]); // n x 2d
+            let ah = Tensor::concat_cols(&[a.clone(), h.clone()]); // n x 3d
+            let z = self.gate_z.forward(tape, &ah).sigmoid();
+            let r = self.gate_r.forward(tape, &ah).sigmoid();
+            let arh = Tensor::concat_cols(&[a, r.mul(&h)]);
+            let cand = self.gate_h.forward(tape, &arh).tanh();
+            let keep = z.scale(-1.0).add_scalar(1.0);
+            h = keep.mul(&cand).add(&z.mul(&h));
+        }
+
+        // Readout: local = last clicked node; global = attention over nodes.
+        let last = h.row(node_of[context.last().expect("non-empty context")]);
+        let q = self
+            .attn_q1
+            .forward(tape, &h)
+            .add(&self.attn_q2.forward(tape, &last).repeat_rows(n))
+            .sigmoid();
+        let alpha = self.attn_v.forward(tape, &q); // n x 1
+        let global = alpha.transpose().matmul(&h); // 1 x d
+        let session = self
+            .fuse
+            .forward(tape, &Tensor::concat_cols(&[last, global])); // 1 x d
+        debug_assert_eq!(session.shape(), (1, self.dim));
+        // Score against tag embeddings (dot products).
+        session.matmul(&tape.param(self.emb.param()).transpose())
+    }
+}
+
+impl SequenceRecommender for SrGnn {
+    fn name(&self) -> &str {
+        "SR-GNN"
+    }
+
+    fn score_all(&self, context: &[usize]) -> Vec<f32> {
+        if context.is_empty() {
+            return vec![0.0; self.num_tags];
+        }
+        let tape = Tape::new();
+        self.session_logits(&tape, context).value().into_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cyclic_sessions(n: usize, count: usize) -> Vec<Vec<usize>> {
+        (0..count)
+            .map(|i| {
+                let start = i % n;
+                vec![start, (start + 1) % n, (start + 2) % n]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_deterministic_transitions() {
+        let n = 6;
+        let sessions = cyclic_sessions(n, 60);
+        let cfg = TrainConfig { epochs: 8, seed: 3, ..Default::default() };
+        let m = SrGnn::train(&sessions, n, 16, &cfg);
+        let mut correct = 0;
+        for start in 0..n {
+            let scores = m.score_all(&[start, (start + 1) % n]);
+            let pred = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            if pred == (start + 2) % n {
+                correct += 1;
+            }
+        }
+        assert!(correct >= n - 2, "learned {correct}/{n} transitions");
+    }
+
+    #[test]
+    fn repeated_clicks_collapse_to_one_node() {
+        let sessions = vec![vec![0, 1, 0, 1]];
+        let cfg = TrainConfig { epochs: 1, ..Default::default() };
+        let m = SrGnn::train(&sessions, 3, 8, &cfg);
+        // Must not panic and must return full scores.
+        assert_eq!(m.score_all(&[0, 1, 0]).len(), 3);
+    }
+
+    #[test]
+    fn single_click_context_works() {
+        let sessions = cyclic_sessions(4, 8);
+        let cfg = TrainConfig { epochs: 1, ..Default::default() };
+        let m = SrGnn::train(&sessions, 4, 8, &cfg);
+        assert_eq!(m.score_all(&[2]).len(), 4);
+        assert_eq!(m.score_all(&[]), vec![0.0; 4]);
+    }
+}

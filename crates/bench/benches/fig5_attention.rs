@@ -1,0 +1,98 @@
+//! Fig. 5 — attention heat maps: (a) neighbor attention on metapath TT,
+//! (b) metapath attention per tag, (c)(d) contextual attention per
+//! layer/head over a test session.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use intellitag_bench::{intellitag_cfg, Experiment};
+use intellitag_core::IntelliTag;
+use intellitag_datagen::{split_sessions, World, WorldConfig};
+use intellitag_graph::ALL_METAPATHS;
+
+fn shade(v: f32) -> char {
+    const RAMP: [char; 6] = [' ', '░', '▒', '▓', '█', '█'];
+    RAMP[((v.clamp(0.0, 1.0)) * 5.0) as usize]
+}
+
+fn run_fig5() -> IntelliTag {
+    let exp = Experiment::standard(11);
+    let model =
+        IntelliTag::train(&exp.graph, &exp.tag_texts, &exp.train_sessions, intellitag_cfg());
+    let texts = &exp.tag_texts;
+
+    let freq = exp.world.click_frequency();
+    let mut by_freq: Vec<usize> = (0..texts.len()).collect();
+    by_freq.sort_by_key(|&t| std::cmp::Reverse(freq[t]));
+    let probes: Vec<usize> = by_freq.into_iter().take(5).collect();
+
+    println!("\n=== Fig 5a: neighbor attention (metapath TT) ===");
+    for &t in &probes {
+        let attn = model.graph_layers().neighbor_attention(t, 0);
+        if attn.len() < 2 {
+            continue;
+        }
+        print!("{:<20}", texts[t]);
+        for (n, a) in attn.iter().take(6) {
+            print!(" {}{:<13}", shade(*a * attn.len() as f32 / 2.0), texts[*n]);
+        }
+        println!();
+    }
+
+    println!("\n=== Fig 5b: metapath attention ===");
+    print!("{:<20}", "tag \\ metapath");
+    for mp in ALL_METAPATHS {
+        print!(" {:>8}", mp.name());
+    }
+    println!();
+    for &t in &probes {
+        let w = model.graph_layers().metapath_attention(t);
+        print!("{:<20}", texts[t]);
+        for v in w {
+            print!(" {:>6.3} {}", v, shade(v * 2.0));
+        }
+        println!();
+    }
+
+    println!("\n=== Fig 5c/d: contextual attention over a session ===");
+    let world = World::generate(WorldConfig::small(11));
+    let split = split_sessions(&world.sessions, 0);
+    let session = split.test.iter().find(|s| s.clicks.len() >= 3).expect("long session");
+    println!(
+        "session: {:?} + [mask]",
+        session.clicks.iter().map(|&t| texts[t].clone()).collect::<Vec<_>>()
+    );
+    let attn = model.contextual_attention(&session.clicks);
+    for (l, layer) in attn.iter().enumerate() {
+        for (h, head) in layer.iter().enumerate().take(2) {
+            println!("layer {l}, head {h}:");
+            let n = head.rows();
+            for r in 0..n {
+                print!("  ");
+                for c in 0..n {
+                    print!("{}", shade(head.get(r, c)));
+                }
+                println!();
+            }
+        }
+    }
+    model
+}
+
+fn bench(c: &mut Criterion) {
+    let model = run_fig5();
+    c.bench_function("neighbor_attention_introspect", |b| {
+        b.iter(|| model.graph_layers().neighbor_attention(0, 0))
+    });
+    c.bench_function("metapath_attention_introspect", |b| {
+        b.iter(|| model.graph_layers().metapath_attention(0))
+    });
+    c.bench_function("contextual_attention_introspect", |b| {
+        b.iter(|| model.contextual_attention(&[0, 1, 2]))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

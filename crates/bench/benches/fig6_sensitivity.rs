@@ -1,0 +1,61 @@
+//! Fig. 6 — hyperparameter sensitivity of IntelliTag: (a) embedding
+//! dimension sweep, (b) attention-head sweep.
+//!
+//! Expected shape (paper): an interior optimum in the dimension sweep
+//! (too small under-fits the graph, too large over-fits); head count is
+//! comparatively insensitive.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use intellitag_bench::{intellitag_cfg, Experiment, MODEL_DIM};
+use intellitag_core::{evaluate_offline, IntelliTag, ProtocolConfig};
+
+fn run_fig6() {
+    let exp = Experiment::standard(1);
+    let protocol = ProtocolConfig::default();
+    // Shorter training keeps the 9-model sweep affordable; all points share
+    // the same budget so the curve shape is comparable.
+    let mut base = intellitag_cfg();
+    base.train.epochs = 3;
+
+    println!("\n=== Fig 6a: effectiveness vs embedding dimension ===");
+    println!("{:<8} {:>7} {:>8} {:>8}", "dim", "MRR", "NDCG@10", "HR@10");
+    for dim in [16usize, 32, 64, 128] {
+        let mut cfg = base;
+        cfg.dim = dim;
+        let m = IntelliTag::train(&exp.graph, &exp.tag_texts, &exp.train_sessions, cfg);
+        let r = evaluate_offline(&m, &exp.valid_examples, &exp.world, &protocol);
+        println!("{dim:<8} {:>7.3} {:>8.3} {:>8.3}", r.mrr, r.ndcg10, r.hr10);
+    }
+
+    println!("\n=== Fig 6b: effectiveness vs number of attention heads ===");
+    println!("{:<8} {:>7} {:>8} {:>8}", "heads", "MRR", "NDCG@10", "HR@10");
+    for heads in [1usize, 2, 4, 8] {
+        let mut cfg = base;
+        cfg.heads = heads;
+        cfg.dim = MODEL_DIM;
+        let m = IntelliTag::train(&exp.graph, &exp.tag_texts, &exp.train_sessions, cfg);
+        let r = evaluate_offline(&m, &exp.valid_examples, &exp.world, &protocol);
+        println!("{heads:<8} {:>7.3} {:>8.3} {:>8.3}", r.mrr, r.ndcg10, r.hr10);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    run_fig6();
+    // Criterion target: one training step equivalent — embedding a batch of
+    // tags through the graph layers at the reference dimension.
+    let exp = Experiment::standard(1);
+    let mut cfg = intellitag_cfg();
+    cfg.train.epochs = 1;
+    let m = IntelliTag::train(&exp.graph, &exp.tag_texts, &exp.train_sessions, cfg);
+    c.bench_function("intellitag_score_all_dim64", |b| b.iter(|| {
+        use intellitag_baselines::SequenceRecommender;
+        m.score_all(&[0, 1, 2])
+    }));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Fig. 7 — online CTR over simulated days, IntelliTag vs BERT4Rec vs
+//! metapath2vec (A/B buckets over the same intent stream, macro-averaged
+//! CTR per tenant).
+//!
+//! Expected shape (paper): IntelliTag consistently highest; BERT4Rec lands
+//! *below* metapath2vec on the macro average because its quality varies
+//! sharply across (small) tenants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use intellitag_baselines::{Bert4Rec, M2vConfig, Metapath2Vec, SequenceRecommender};
+use intellitag_bench::{
+    baseline_train_cfg, intellitag_cfg, Experiment, MODEL_DIM, MODEL_HEADS, MODEL_LAYERS,
+};
+use intellitag_core::{simulate_online, IntelliTag, ModelServer, SimConfig, SimOutcome};
+use intellitag_datagen::{UserModel, World};
+
+fn bucket<M: SequenceRecommender>(world: &World, model: M, sim: &SimConfig) -> SimOutcome {
+    let server = ModelServer::new(
+        model,
+        world.build_kb(),
+        world.tags.iter().map(|t| t.text()).collect(),
+        world.rqs.iter().map(|r| r.tags.clone()).collect(),
+        (0..world.tenants.len()).map(|e| world.tenant_tag_pool(e)).collect(),
+        world.click_frequency(),
+    );
+    simulate_online(&server, world, &UserModel::default(), sim)
+}
+
+fn run_fig7() {
+    let exp = Experiment::standard(1);
+    let n_tags = exp.world.tags.len();
+    // Same seed for every bucket: proper A/B bucketing over one intent
+    // stream, 10 monitored days as in the paper (2020/3/19 - 2020/3/28).
+    // The question-first path is disabled: Fig. 7 measures the CTR of the
+    // *recommended tags*, so every impression must come from the policy
+    // under test rather than the shared BM25 question path.
+    let sim = SimConfig {
+        days: 10,
+        sessions_per_day: 200,
+        seed: 7,
+        ask_question_first: false,
+        ..Default::default()
+    };
+
+    let m2v =
+        Metapath2Vec::train(&exp.graph, &M2vConfig { dim: MODEL_DIM, ..Default::default() });
+    let bert = Bert4Rec::train(
+        &exp.train_sessions,
+        n_tags,
+        MODEL_DIM,
+        MODEL_LAYERS,
+        MODEL_HEADS,
+        &baseline_train_cfg(),
+    );
+    let it = IntelliTag::train(&exp.graph, &exp.tag_texts, &exp.train_sessions, intellitag_cfg());
+
+    let outcomes = [
+        bucket(&exp.world, m2v, &sim),
+        bucket(&exp.world, bert, &sim),
+        bucket(&exp.world, it, &sim),
+    ];
+
+    println!("\n=== Fig 7: online CTR (macro-averaged over tenants) ===");
+    print!("{:<6}", "day");
+    for o in &outcomes {
+        print!(" {:>14}", o.policy);
+    }
+    println!();
+    for d in 0..sim.days {
+        print!("{:<6}", d + 1);
+        for o in &outcomes {
+            print!(" {:>14.4}", o.daily[d].macro_ctr);
+        }
+        println!();
+    }
+    print!("{:<6}", "mean");
+    for o in &outcomes {
+        print!(" {:>14.4}", o.mean_macro_ctr());
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    run_fig7();
+    // Criterion target: one full simulated day for the cheapest policy.
+    let exp = Experiment::standard(1);
+    let m2v =
+        Metapath2Vec::train(&exp.graph, &M2vConfig { dim: MODEL_DIM, ..Default::default() });
+    let server = ModelServer::new(
+        m2v,
+        exp.world.build_kb(),
+        exp.tag_texts.clone(),
+        exp.world.rqs.iter().map(|r| r.tags.clone()).collect(),
+        (0..exp.world.tenants.len()).map(|e| exp.world.tenant_tag_pool(e)).collect(),
+        exp.world.click_frequency(),
+    );
+    let day = SimConfig { days: 1, sessions_per_day: 50, seed: 1, ..Default::default() };
+    c.bench_function("simulate_one_day_m2v_50_sessions", |b| {
+        b.iter(|| simulate_online(&server, &exp.world, &UserModel::default(), &day))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Table II — dataset statistics.
+//!
+//! Generates the paper-scaled synthetic world and prints its statistics next
+//! to the paper's (the generator is calibrated to the paper's ratios; see
+//! DESIGN.md §2). Criterion then times world generation + graph construction
+//! at the standard experiment scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use intellitag_datagen::{World, WorldConfig};
+
+fn print_table2() {
+    println!("\n=== Table II: dataset statistics (paper vs synthetic) ===");
+    let world = World::generate(WorldConfig::paper_scaled(0));
+    let graph = world.build_graph();
+    let c = graph.relation_counts();
+    let rows = [
+        ("T (tags)", 38_344, world.tags.len()),
+        ("Q (RQs)", 656_720, world.rqs.len()),
+        ("E (tenants)", 446, world.tenants.len()),
+        ("asc relations", 194_116, c.asc),
+        ("clk relations", 25_390, c.clk),
+        ("cst relations", 137_784, c.cst),
+        ("crl relations", 656_720, c.crl),
+        ("sessions", 98_875, world.sessions.len()),
+        ("tag clicks", 286_802, world.total_clicks()),
+    ];
+    println!("{:<16} {:>12} {:>12}", "Statistic", "paper", "synthetic");
+    for (name, paper, ours) in rows {
+        println!("{name:<16} {paper:>12} {ours:>12}");
+    }
+    println!(
+        "{:<16} {:>12} {:>12.1}",
+        "average clicks", 2.9, world.avg_clicks()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table2();
+    c.bench_function("world_generate_small", |b| {
+        b.iter(|| World::generate(WorldConfig::small(1)))
+    });
+    let world = World::generate(WorldConfig::small(1));
+    c.bench_function("graph_build_small", |b| b.iter(|| world.build_graph()));
+    c.bench_function("kb_build_small", |b| b.iter(|| world.build_kb()));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

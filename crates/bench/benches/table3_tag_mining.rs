@@ -1,0 +1,109 @@
+//! Table III — tag mining: single-task vs multi-task, rule post-processing,
+//! and knowledge distillation (quality + inference time).
+//!
+//! Expected shape (paper): MT > ST on F1; rules raise precision and lower
+//! recall with a small F1 gain; the distilled student is far faster at a
+//! small F1 cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use intellitag_datagen::{labeled_sentences, LabeledSentence, World, WorldConfig};
+use intellitag_mining::{
+    evaluate_extractor, inference_time, Extractor, MinerConfig, MiningTask, RuleFilter,
+    TagMiner, TrainConfig,
+};
+
+struct Table3 {
+    teacher: TagMiner,
+    student: TagMiner,
+    rules: RuleFilter,
+    test: Vec<LabeledSentence>,
+}
+
+fn run_table3() -> Table3 {
+    // The hard regime established in examples/tag_mining.rs: limited,
+    // noisily-annotated supervision — the setting where multi-task learning
+    // pays off (the paper trains on 49k noisy human annotations).
+    let mut wc = WorldConfig::small(7);
+    wc.label_noise = 0.15;
+    let world = World::generate(wc);
+    let data = labeled_sentences(&world);
+    let (train, rest) = data.split_at(330);
+    let test = rest[..400].to_vec();
+
+    let base = MinerConfig {
+        train: TrainConfig { epochs: 3, lr: 3e-3, ..Default::default() },
+        ..Default::default()
+    };
+
+    println!("\n=== Table III: tag mining (paper Table III analogue) ===");
+    println!("train sentences: {}  test sentences: {}", train.len(), test.len());
+    println!(
+        "{:<20} {:>7}  {:>7}  {:>7}  {:>14}",
+        "Training Mode", "Prec", "Recall", "F1", "Inference"
+    );
+
+    // ST: two independently trained single-task models.
+    let st_seg =
+        TagMiner::train(train, MinerConfig { task: MiningTask::SegmentationOnly, ..base });
+    let st_w = TagMiner::train(train, MinerConfig { task: MiningTask::WeightingOnly, ..base });
+    let st_ex = Extractor::single_task(&st_seg, &st_w);
+    let r = evaluate_extractor(&st_ex, &test);
+    println!("{}  {:>14}", r.table_row("ST model"), "-");
+
+    // MT: the proposed joint model.
+    let teacher = TagMiner::train(train, base);
+    let mt_ex = Extractor::multi_task(&teacher);
+    let r = evaluate_extractor(&mt_ex, &test);
+    let t_mt = inference_time(&mt_ex, &test);
+    println!("{}  {:>11.0} ms", r.table_row("MT model"), t_mt.as_secs_f64() * 1e3);
+
+    // + rules.
+    let corpus: Vec<&[String]> = train.iter().map(|s| s.tokens.as_slice()).collect();
+    let mut rules = RuleFilter::from_corpus(corpus);
+    rules.min_score = 0.55;
+    let mt_r = Extractor::multi_task(&teacher).with_rules(&rules);
+    let r = evaluate_extractor(&mt_r, &test);
+    let t_mt_r = inference_time(&mt_r, &test);
+    println!("{}  {:>11.0} ms", r.table_row("MT model + r"), t_mt_r.as_secs_f64() * 1e3);
+
+    // + distillation.
+    let student = TagMiner::distill(&teacher, train, base.student());
+    let st_r = Extractor::multi_task(&student).with_rules(&rules);
+    let r = evaluate_extractor(&st_r, &test);
+    let t_student = inference_time(&st_r, &test);
+    println!(
+        "{}  {:>11.0} ms",
+        r.table_row("MT model + d + r"),
+        t_student.as_secs_f64() * 1e3
+    );
+    println!(
+        "distillation speedup: {:.1}x (paper: 14x with a 12->2 layer ratio; here {} -> {})",
+        t_mt_r.as_secs_f64() / t_student.as_secs_f64().max(1e-12),
+        teacher.num_layers(),
+        student.num_layers(),
+    );
+
+    Table3 { teacher, student, rules, test }
+}
+
+fn bench(c: &mut Criterion) {
+    let t = run_table3();
+    let sentence = &t.test[0];
+    c.bench_function("miner_teacher_inference_per_sentence", |b| {
+        b.iter(|| t.teacher.predict_tokens(&sentence.tokens))
+    });
+    c.bench_function("miner_student_inference_per_sentence", |b| {
+        b.iter(|| t.student.predict_tokens(&sentence.tokens))
+    });
+    let ex = Extractor::multi_task(&t.student).with_rules(&t.rules);
+    c.bench_function("student_extraction_with_rules", |b| {
+        b.iter(|| ex.extract(&sentence.tokens))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

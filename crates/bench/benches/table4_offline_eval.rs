@@ -1,0 +1,135 @@
+//! Table IV — offline TagRec evaluation: GRU4Rec, SR-GNN, metapath2vec,
+//! BERT4Rec, IntelliTag_st and IntelliTag under the 49-negative ranking
+//! protocol (MRR, NDCG@{1,5,10}, HR@{5,10}), averaged over three training
+//! seeds.
+//!
+//! Expected shape (paper): IntelliTag > IntelliTag_st > BERT4Rec, with
+//! BERT4Rec the strongest baseline and GRU4Rec the weakest sequence model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use intellitag_baselines::{
+    Bert4Rec, Gru4Rec, M2vConfig, Metapath2Vec, Popularity, SequenceRecommender, SrGnn,
+};
+use intellitag_bench::{
+    average_reports, baseline_train_cfg, intellitag_cfg, print_ranking_header, Experiment,
+    BENCH_SEEDS, MODEL_DIM, MODEL_HEADS, MODEL_LAYERS,
+};
+use intellitag_core::{evaluate_offline, IntelliTag, ProtocolConfig};
+use intellitag_eval::RankingReport;
+
+/// Trains one model per seed with `make` and returns the averaged report.
+fn averaged(
+    exp: &Experiment,
+    make: impl Fn(u64) -> Box<dyn SequenceRecommender>,
+) -> (Box<dyn SequenceRecommender>, RankingReport) {
+    let protocol = ProtocolConfig::default();
+    let mut reports = Vec::new();
+    let mut last = None;
+    for seed in BENCH_SEEDS {
+        let m = make(seed);
+        reports.push(evaluate_offline(m.as_ref(), &exp.test_examples, &exp.world, &protocol));
+        last = Some(m);
+    }
+    (last.expect("at least one seed"), average_reports(&reports))
+}
+
+fn run_table4(exp: &Experiment) -> Vec<Box<dyn SequenceRecommender>> {
+    let n_tags = exp.world.tags.len();
+    println!(
+        "\n=== Table IV: offline evaluation (mean of {} seeds) ===",
+        BENCH_SEEDS.len()
+    );
+    println!(
+        "world: {} tags, {} RQs, {} tenants; {} train sessions, {} test examples",
+        n_tags,
+        exp.world.rqs.len(),
+        exp.world.tenants.len(),
+        exp.train_sessions.len(),
+        exp.test_examples.len()
+    );
+    print_ranking_header();
+
+    let mut models: Vec<Box<dyn SequenceRecommender>> = Vec::new();
+
+    let pop = Popularity::from_sessions(&exp.train_sessions, n_tags);
+    let r = evaluate_offline(&pop, &exp.test_examples, &exp.world, &ProtocolConfig::default());
+    println!("{}   (floor)", r.table_row("Popularity"));
+
+    let (m, r) = averaged(exp, |seed| {
+        let mut cfg = baseline_train_cfg();
+        cfg.seed = seed;
+        Box::new(Gru4Rec::train(&exp.train_sessions, n_tags, MODEL_DIM, &cfg))
+    });
+    println!("{}", r.table_row("GRU4Rec"));
+    models.push(m);
+
+    let (m, r) = averaged(exp, |seed| {
+        let mut cfg = baseline_train_cfg();
+        cfg.seed = seed;
+        Box::new(SrGnn::train(&exp.train_sessions, n_tags, MODEL_DIM, &cfg))
+    });
+    println!("{}", r.table_row("SR-GNN"));
+    models.push(m);
+
+    let (m, r) = averaged(exp, |seed| {
+        Box::new(Metapath2Vec::train(
+            &exp.graph,
+            &M2vConfig { dim: MODEL_DIM, seed, ..Default::default() },
+        ))
+    });
+    println!("{}", r.table_row("metapath2vec"));
+    models.push(m);
+
+    let (m, r) = averaged(exp, |seed| {
+        let mut cfg = baseline_train_cfg();
+        cfg.seed = seed;
+        Box::new(Bert4Rec::train(
+            &exp.train_sessions,
+            n_tags,
+            MODEL_DIM,
+            MODEL_LAYERS,
+            MODEL_HEADS,
+            &cfg,
+        ))
+    });
+    println!("{}", r.table_row("BERT4Rec"));
+    models.push(m);
+
+    let (m, r) = averaged(exp, |seed| {
+        let mut cfg = intellitag_cfg().step_by_step();
+        cfg.train.seed = seed;
+        Box::new(IntelliTag::train(&exp.graph, &exp.tag_texts, &exp.train_sessions, cfg))
+    });
+    println!("{}", r.table_row("IntelliTag_st"));
+    models.push(m);
+
+    let (m, r) = averaged(exp, |seed| {
+        let mut cfg = intellitag_cfg();
+        cfg.train.seed = seed;
+        Box::new(IntelliTag::train(&exp.graph, &exp.tag_texts, &exp.train_sessions, cfg))
+    });
+    println!("{}", r.table_row("IntelliTag"));
+    models.push(m);
+
+    models
+}
+
+fn bench(c: &mut Criterion) {
+    let exp = Experiment::standard(1);
+    let models = run_table4(&exp);
+    // Per-request scoring latency of each model (context of 3 clicks) —
+    // the architectural latency differences behind Table VI.
+    let ctx = vec![0usize, 1, 2];
+    for m in &models {
+        c.bench_function(&format!("score_all_{}", m.name().replace([' ', '/'], "_")), |b| {
+            b.iter(|| m.score_all(&ctx))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

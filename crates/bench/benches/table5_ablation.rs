@@ -1,0 +1,64 @@
+//! Table V — the influence of each attention mechanism: IntelliTag without
+//! neighbor attention (na), metapath attention (ma), or contextual attention
+//! (ca), against the full model. Metrics are averaged over three training
+//! seeds to damp run-to-run noise.
+//!
+//! Expected shape (paper): every ablation hurts; removing contextual
+//! attention hurts by far the most.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use intellitag_baselines::SequenceRecommender;
+use intellitag_bench::{
+    average_reports, intellitag_cfg, print_ranking_header, Experiment, BENCH_SEEDS,
+};
+use intellitag_core::{evaluate_offline, IntelliTag, ProtocolConfig, TagRecConfig};
+
+fn train_and_eval(exp: &Experiment, base: TagRecConfig) -> (String, intellitag_eval::RankingReport) {
+    let protocol = ProtocolConfig::default();
+    let mut reports = Vec::new();
+    let mut name = String::new();
+    // Two seeds keep the 4-variant sweep affordable on one core.
+    for seed in BENCH_SEEDS.iter().take(2).copied() {
+        let mut cfg = base;
+        cfg.train.seed = seed;
+        let m = IntelliTag::train(&exp.graph, &exp.tag_texts, &exp.train_sessions, cfg);
+        name = m.name().to_string();
+        reports.push(evaluate_offline(&m, &exp.test_examples, &exp.world, &protocol));
+    }
+    (name, average_reports(&reports))
+}
+
+fn run_table5(exp: &Experiment) {
+    println!("\n=== Table V: influence of each attention (mean of 2 seeds) ===");
+    print_ranking_header();
+    for cfg in [
+        intellitag_cfg().without_neighbor_attention(),
+        intellitag_cfg().without_metapath_attention(),
+        intellitag_cfg().without_contextual_attention(),
+        intellitag_cfg(),
+    ] {
+        let (name, r) = train_and_eval(exp, cfg);
+        println!("{}", r.table_row(&name));
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let exp = Experiment::standard(1);
+    run_table5(&exp);
+
+    let mut cfg = intellitag_cfg();
+    cfg.train.epochs = 1;
+    let full = IntelliTag::train(&exp.graph, &exp.tag_texts, &exp.train_sessions, cfg);
+    let ctx = vec![0usize, 1, 2];
+    c.bench_function("intellitag_full_score_all", |b| b.iter(|| full.score_all(&ctx)));
+    c.bench_function("intellitag_graph_precompute_z", |b| {
+        b.iter(|| full.graph_layers().precompute_all())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

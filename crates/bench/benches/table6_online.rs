@@ -1,0 +1,98 @@
+//! Table VI — online HIR and response latency for the three A/B bucket
+//! policies: metapath2vec, BERT4Rec and IntelliTag.
+//!
+//! Expected shape (paper): IntelliTag has the lowest HIR; metapath2vec is
+//! much faster to serve (last-click lookup); the Transformer models cost a
+//! comparable, ~order-of-magnitude higher latency that remains acceptable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use intellitag_baselines::{Bert4Rec, M2vConfig, Metapath2Vec, SequenceRecommender};
+use intellitag_bench::{
+    baseline_train_cfg, intellitag_cfg, Experiment, MODEL_DIM, MODEL_HEADS, MODEL_LAYERS,
+};
+use intellitag_core::{simulate_online, IntelliTag, ModelServer, SimConfig, SimOutcome};
+use intellitag_datagen::{UserModel, World};
+
+fn make_server<M: SequenceRecommender>(world: &World, model: M) -> ModelServer<M> {
+    ModelServer::new(
+        model,
+        world.build_kb(),
+        world.tags.iter().map(|t| t.text()).collect(),
+        world.rqs.iter().map(|r| r.tags.clone()).collect(),
+        (0..world.tenants.len()).map(|e| world.tenant_tag_pool(e)).collect(),
+        world.click_frequency(),
+    )
+}
+
+fn run_bucket<M: SequenceRecommender>(
+    world: &World,
+    model: M,
+    sim: &SimConfig,
+) -> (ModelServer<M>, SimOutcome) {
+    let server = make_server(world, model);
+    let outcome = simulate_online(&server, world, &UserModel::default(), sim);
+    (server, outcome)
+}
+
+fn bench(c: &mut Criterion) {
+    let exp = Experiment::standard(1);
+    let n_tags = exp.world.tags.len();
+    let sim = SimConfig { days: 5, sessions_per_day: 200, seed: 3, ..Default::default() };
+
+    println!("\n=== Table VI: online HIR and response latency ===");
+
+    let m2v =
+        Metapath2Vec::train(&exp.graph, &M2vConfig { dim: MODEL_DIM, ..Default::default() });
+    let (m2v_server, m2v_out) = run_bucket(&exp.world, m2v, &sim);
+
+    let bert = Bert4Rec::train(
+        &exp.train_sessions,
+        n_tags,
+        MODEL_DIM,
+        MODEL_LAYERS,
+        MODEL_HEADS,
+        &baseline_train_cfg(),
+    );
+    let (bert_server, bert_out) = run_bucket(&exp.world, bert, &sim);
+
+    let it = IntelliTag::train(&exp.graph, &exp.tag_texts, &exp.train_sessions, intellitag_cfg());
+    let (it_server, it_out) = run_bucket(&exp.world, it, &sim);
+
+    println!(
+        "{:<16} {:>8} {:>16} {:>14} {:>10}",
+        "Policy", "HIR", "latency(mean)", "latency(p99)", "sessions"
+    );
+    for o in [&m2v_out, &bert_out, &it_out] {
+        println!(
+            "{:<16} {:>8.3} {:>13.3} ms {:>11.3} ms {:>10}",
+            o.policy, o.hir, o.mean_latency_ms, o.p99_latency_ms, o.sessions
+        );
+    }
+    println!("(paper: HIR 0.218 / 0.214 / 0.212; latency 50.8 / 106.2 / 109.8 ms on the deployed stack)");
+
+    // Criterion: per-request latency of the tag-click path, per policy —
+    // this is the quantity Table VI's latency column measures.
+    let tenant = (0..exp.world.tenants.len())
+        .max_by_key(|&e| exp.world.rqs_by_tenant[e].len())
+        .unwrap();
+    let clicks = vec![exp.world.tenant_tag_pool(tenant)[0]];
+    c.bench_function("tag_click_metapath2vec", |b| {
+        b.iter(|| m2v_server.handle_tag_click(tenant, &clicks))
+    });
+    c.bench_function("tag_click_bert4rec", |b| {
+        b.iter(|| bert_server.handle_tag_click(tenant, &clicks))
+    });
+    c.bench_function("tag_click_intellitag", |b| {
+        b.iter(|| it_server.handle_tag_click(tenant, &clicks))
+    });
+    c.bench_function("question_path_bm25", |b| {
+        b.iter(|| it_server.handle_question(tenant, "how to change my password please"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! # intellitag-bench
+//!
+//! Shared setup for the benchmark harnesses that regenerate every table and
+//! figure of the IntelliTag paper. Each Criterion bench target under
+//! `benches/` prints the corresponding paper table/series during setup and
+//! registers a timing measurement for its hot path:
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table2_dataset` | Table II (dataset statistics) |
+//! | `table3_tag_mining` | Table III (ST/MT/rules/distillation) |
+//! | `table4_offline_eval` | Table IV (six-model offline ranking) |
+//! | `table5_ablation` | Table V (attention ablations) |
+//! | `table6_online` | Table VI (HIR + response latency) |
+//! | `fig5_attention` | Fig. 5 (attention heat maps) |
+//! | `fig6_sensitivity` | Fig. 6 (dim / head sensitivity) |
+//! | `fig7_online_ctr` | Fig. 7 (daily online CTR) |
+
+use intellitag_baselines::TrainConfig;
+use intellitag_core::TagRecConfig;
+use intellitag_datagen::{
+    sequence_examples, split_sessions, SeqExample, World, WorldConfig,
+};
+use intellitag_graph::HetGraph;
+
+/// A prepared TagRec experiment: world, graph, training sessions and test
+/// examples under the paper's 80/10/10 protocol.
+pub struct Experiment {
+    /// The generated world.
+    pub world: World,
+    /// Its heterogeneous graph.
+    pub graph: HetGraph,
+    /// Training sessions (click lists).
+    pub train_sessions: Vec<Vec<usize>>,
+    /// Validation next-click examples.
+    pub valid_examples: Vec<SeqExample>,
+    /// Test next-click examples.
+    pub test_examples: Vec<SeqExample>,
+    /// Tag surface texts.
+    pub tag_texts: Vec<String>,
+}
+
+impl Experiment {
+    /// Builds the standard experiment world used by all TagRec benches: the
+    /// sparse regime (many long-tail tags, limited click evidence) where
+    /// heterogeneous-graph side information matters — the setting the
+    /// paper's comparison lives in.
+    pub fn standard(seed: u64) -> Self {
+        Experiment::with_config(WorldConfig::sparse_eval(seed))
+    }
+
+    /// Builds an experiment over an arbitrary world configuration.
+    pub fn with_config(cfg: WorldConfig) -> Self {
+        let world = World::generate(cfg);
+        let graph = world.build_graph();
+        let split = split_sessions(&world.sessions, 0);
+        let train_sessions: Vec<Vec<usize>> =
+            split.train.iter().map(|s| s.clicks.clone()).collect();
+        let valid_examples = sequence_examples(&split.valid);
+        let test_examples = sequence_examples(&split.test);
+        let tag_texts = world.tags.iter().map(|t| t.text()).collect();
+        Experiment { world, graph, train_sessions, valid_examples, test_examples, tag_texts }
+    }
+}
+
+/// Training configuration used for the neural baselines in Tables IV-VI
+/// (paper §VI-A4 scaled to the synthetic world: the smaller corpus needs a
+/// few more epochs than the paper's single daily pass).
+pub fn baseline_train_cfg() -> TrainConfig {
+    TrainConfig { epochs: 6, lr: 1e-3, batch_size: 32, seed: 0, mask_prob: 0.2, verbose: false }
+}
+
+/// Training configuration for the IntelliTag variants. The end-to-end model
+/// propagates gradients through the (shared) graph layers, which converge
+/// slower than free embedding tables — a slightly higher learning rate
+/// compensates on the small corpus.
+pub fn intellitag_train_cfg() -> TrainConfig {
+    TrainConfig { epochs: 6, lr: 3e-3, batch_size: 32, seed: 0, mask_prob: 0.2, verbose: false }
+}
+
+/// Model width / heads / layers shared by every sequence model in the
+/// comparison (the paper uses d=100, 4 heads, 2 Transformer layers; d=64
+/// keeps head width a power of two).
+pub const MODEL_DIM: usize = 64;
+/// Attention heads everywhere (paper: 4).
+pub const MODEL_HEADS: usize = 4;
+/// Transformer layers in sequence models (paper: 2).
+pub const MODEL_LAYERS: usize = 2;
+
+/// The standard IntelliTag configuration for the benches.
+pub fn intellitag_cfg() -> TagRecConfig {
+    TagRecConfig {
+        dim: MODEL_DIM,
+        heads: MODEL_HEADS,
+        seq_layers: MODEL_LAYERS,
+        train: intellitag_train_cfg(),
+        ..Default::default()
+    }
+}
+
+/// Averages ranking reports across seeds (benches train each model under a
+/// few seeds and report the mean, damping single-run noise).
+pub fn average_reports(reports: &[intellitag_eval::RankingReport]) -> intellitag_eval::RankingReport {
+    assert!(!reports.is_empty());
+    let n = reports.len() as f64;
+    intellitag_eval::RankingReport {
+        mrr: reports.iter().map(|r| r.mrr).sum::<f64>() / n,
+        ndcg1: reports.iter().map(|r| r.ndcg1).sum::<f64>() / n,
+        ndcg5: reports.iter().map(|r| r.ndcg5).sum::<f64>() / n,
+        ndcg10: reports.iter().map(|r| r.ndcg10).sum::<f64>() / n,
+        hr5: reports.iter().map(|r| r.hr5).sum::<f64>() / n,
+        hr10: reports.iter().map(|r| r.hr10).sum::<f64>() / n,
+        queries: reports[0].queries,
+    }
+}
+
+/// Seeds used when a bench averages over training runs.
+pub const BENCH_SEEDS: [u64; 3] = [0, 1, 2];
+
+/// Prints the Table IV/V header row.
+pub fn print_ranking_header() {
+    println!(
+        "{:<18} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "Model", "MRR", "N@1", "N@5", "N@10", "HR@5", "HR@10"
+    );
+}

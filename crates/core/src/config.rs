@@ -1,0 +1,138 @@
+//! Configuration of the TagRec (IntelliTag) model.
+
+pub use intellitag_baselines::TrainConfig;
+
+/// Hyperparameters and ablation switches for the IntelliTag model.
+///
+/// Defaults follow the paper (§VI-A3) scaled to CPU training: 4 attention
+/// heads for all three attentions, a 2-layer sequential Transformer, and the
+/// same head count everywhere ("the values of head numbers for different
+/// attentions are set same").
+#[derive(Debug, Clone, Copy)]
+pub struct TagRecConfig {
+    /// Embedding width `d` (paper uses 100; bench default 64).
+    pub dim: usize,
+    /// Attention heads `M` (neighbor, metapath and contextual alike).
+    pub heads: usize,
+    /// Stacked Transformer layers `L` in the sequential model.
+    pub seq_layers: usize,
+    /// Maximum sampled neighbors per metapath during aggregation.
+    pub neighbor_cap: usize,
+    /// End-to-end (true, "IntelliTag") vs step-by-step (false,
+    /// "IntelliTag_st") training (§IV-D).
+    pub end_to_end: bool,
+    /// Ablation: neighbor attention (Eq. 4-5); false = uniform averaging.
+    pub use_neighbor_attention: bool,
+    /// Ablation: metapath attention (Eq. 6-7); false = uniform fusion.
+    pub use_metapath_attention: bool,
+    /// Ablation: contextual attention (Eq. 8-11); false = mean pooling.
+    pub use_contextual_attention: bool,
+    /// Optimizer/schedule settings shared with the baselines.
+    pub train: TrainConfig,
+}
+
+impl Default for TagRecConfig {
+    fn default() -> Self {
+        TagRecConfig {
+            dim: 64,
+            heads: 4,
+            seq_layers: 2,
+            neighbor_cap: 10,
+            end_to_end: true,
+            use_neighbor_attention: true,
+            use_metapath_attention: true,
+            use_contextual_attention: true,
+            train: TrainConfig::default(),
+        }
+    }
+}
+
+impl TagRecConfig {
+    /// The step-by-step variant (paper's `IntelliTag_st`).
+    pub fn step_by_step(mut self) -> Self {
+        self.end_to_end = false;
+        self
+    }
+
+    /// Ablation without neighbor attention (`IntelliTag w/o na`).
+    pub fn without_neighbor_attention(mut self) -> Self {
+        self.use_neighbor_attention = false;
+        self
+    }
+
+    /// Ablation without metapath attention (`IntelliTag w/o ma`).
+    pub fn without_metapath_attention(mut self) -> Self {
+        self.use_metapath_attention = false;
+        self
+    }
+
+    /// Ablation without contextual attention (`IntelliTag w/o ca`).
+    pub fn without_contextual_attention(mut self) -> Self {
+        self.use_contextual_attention = false;
+        self
+    }
+
+    /// The display name matching the paper's tables.
+    pub fn model_name(&self) -> &'static str {
+        match (
+            self.end_to_end,
+            self.use_neighbor_attention,
+            self.use_metapath_attention,
+            self.use_contextual_attention,
+        ) {
+            (_, false, true, true) => "IntelliTag w/o na",
+            (_, true, false, true) => "IntelliTag w/o ma",
+            (_, true, true, false) => "IntelliTag w/o ca",
+            (false, true, true, true) => "IntelliTag_st",
+            (true, true, true, true) => "IntelliTag",
+            _ => "IntelliTag (custom)",
+        }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dim == 0 || self.heads == 0 || self.seq_layers == 0 {
+            return Err("dim, heads and seq_layers must be positive".into());
+        }
+        if !self.dim.is_multiple_of(self.heads) {
+            return Err(format!(
+                "dim {} must be divisible by heads {} for the sequential model",
+                self.dim, self.heads
+            ));
+        }
+        if self.neighbor_cap == 0 {
+            return Err("neighbor_cap must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_end_to_end() {
+        let c = TagRecConfig::default();
+        c.validate().unwrap();
+        assert!(c.end_to_end);
+        assert_eq!(c.model_name(), "IntelliTag");
+    }
+
+    #[test]
+    fn variant_names_match_paper() {
+        let base = TagRecConfig::default();
+        assert_eq!(base.step_by_step().model_name(), "IntelliTag_st");
+        assert_eq!(base.without_neighbor_attention().model_name(), "IntelliTag w/o na");
+        assert_eq!(base.without_metapath_attention().model_name(), "IntelliTag w/o ma");
+        assert_eq!(base.without_contextual_attention().model_name(), "IntelliTag w/o ca");
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let c = TagRecConfig { dim: 30, ..Default::default() }; // not divisible by 4 heads
+        assert!(c.validate().is_err());
+        let c = TagRecConfig { neighbor_cap: 0, ..Default::default() };
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! # intellitag-core
+//!
+//! The paper's primary contribution and serving system:
+//!
+//! * [`IntelliTag`] — the hierarchical TagRec model (§IV): shared graph
+//!   layers (neighbor attention, Eq. 4-5; metapath attention, Eq. 6-7)
+//!   feeding sequential Transformer layers with contextual attention
+//!   (Eq. 8-11), trained end-to-end or step-by-step (`IntelliTag_st`).
+//! * [`TagRecConfig`] — hyperparameters plus the Table V ablation switches.
+//! * [`evaluate_offline`] — the 49-negative ranking protocol (§VI-A2)
+//!   behind Tables IV/V and Fig. 6.
+//! * [`ModelServer`] — the online request path of §V: BM25 recall + model
+//!   re-rank, precomputed tag embeddings, cold-start fallbacks.
+//! * [`simulate_online`] — A/B traffic buckets measuring CTR (Fig. 7),
+//!   HIR and latency (Table VI) against the simulated user population.
+
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod experiment;
+mod graph_layers;
+mod model;
+mod qa_matcher;
+mod serving;
+mod simulator;
+
+pub use cache::ResponseCache;
+pub use config::{TagRecConfig, TrainConfig};
+pub use experiment::{evaluate_offline, ProtocolConfig};
+pub use graph_layers::GraphLayers;
+pub use model::IntelliTag;
+pub use qa_matcher::{QaMatcher, QaMatcherConfig};
+pub use serving::{ModelServer, QuestionResponse, TagClickResponse};
+pub use simulator::{simulate_online, DayMetrics, SimConfig, SimOutcome};

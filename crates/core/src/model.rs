@@ -1,0 +1,571 @@
+//! The IntelliTag TagRec model (paper §IV): hierarchical attention over the
+//! heterogeneous graph (inner, shared) feeding Transformer layers over the
+//! click sequence (outer), trained end-to-end or step-by-step.
+
+use intellitag_baselines::SequenceRecommender;
+use intellitag_graph::{HetGraph, ALL_METAPATHS};
+use intellitag_nn::{Linear, PositionEmbedding, TransformerEncoder};
+use intellitag_tensor::{Matrix, Param, ParamSet, Tape, Tensor};
+use intellitag_text::HashedEmbedder;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::config::TagRecConfig;
+use crate::graph_layers::GraphLayers;
+
+/// Maximum clicks kept as context (sessions cap at 12, plus the mask slot).
+const MAX_CTX: usize = 15;
+
+/// The trained IntelliTag model.
+pub struct IntelliTag {
+    cfg: TagRecConfig,
+    graph_layers: GraphLayers,
+    pos: PositionEmbedding,
+    mask_emb: Param,
+    encoder: TransformerEncoder,
+    out: Linear,
+    num_tags: usize,
+    /// Tag embeddings precomputed after training — what the deployed system
+    /// uploads to online model servers instead of running GNN layers
+    /// per request (§V-B).
+    z_table: Matrix,
+    /// Graph-layer parameters (kept for T+1 snapshot upload, §V-B).
+    graph_params: ParamSet,
+    /// Sequence-layer parameters (kept for T+1 snapshot upload, §V-B).
+    seq_params: ParamSet,
+}
+
+impl IntelliTag {
+    /// Builds an untrained model with the architecture implied by `cfg`
+    /// (deterministic in `cfg.train.seed`, including the sampled
+    /// neighborhoods). Used by [`IntelliTag::train`] and
+    /// [`IntelliTag::load`].
+    fn build(graph: &HetGraph, tag_texts: &[String], cfg: TagRecConfig) -> Self {
+        cfg.validate().expect("invalid TagRecConfig");
+        let num_tags = graph.num_tags();
+        assert_eq!(tag_texts.len(), num_tags, "one text per tag");
+        let mut rng = StdRng::seed_from_u64(cfg.train.seed);
+
+        // Text-derived initial features. Hashed embeddings are unit-norm
+        // (entries ~ d^-1/2); the paper's learned text features have
+        // entry-scale variance, so scale up to keep Eq. 5's sigmoid out of
+        // its flat region — otherwise every tag aggregates to ~0.5 and the
+        // embeddings collapse.
+        let embedder = HashedEmbedder::new(cfg.dim);
+        let feature_scale = 4.0;
+        let mut init = Matrix::zeros(num_tags, cfg.dim);
+        for (t, text) in tag_texts.iter().enumerate() {
+            let v = embedder.embed(text);
+            for (dst, src) in init.row_slice_mut(t).iter_mut().zip(&v) {
+                *dst = src * feature_scale;
+            }
+        }
+
+        let mut graph_params = ParamSet::new(cfg.train.lr);
+        let graph_layers = GraphLayers::new(
+            graph,
+            init,
+            cfg.heads,
+            cfg.neighbor_cap,
+            cfg.use_neighbor_attention,
+            cfg.use_metapath_attention,
+            &mut graph_params,
+            &mut rng,
+        );
+
+        let mut seq_params = ParamSet::new(cfg.train.lr);
+        let pos =
+            PositionEmbedding::new("tagrec.pos", MAX_CTX + 1, cfg.dim, &mut seq_params, &mut rng);
+        let mask_emb = seq_params.register(Param::uniform(
+            "tagrec.mask",
+            1,
+            cfg.dim,
+            (1.0 / cfg.dim as f32).sqrt(),
+            &mut rng,
+        ));
+        let encoder = TransformerEncoder::new(
+            "tagrec.enc",
+            cfg.seq_layers,
+            cfg.dim,
+            cfg.heads,
+            &mut seq_params,
+            &mut rng,
+        );
+        let out = Linear::new("tagrec.out", cfg.dim, num_tags, true, &mut seq_params, &mut rng);
+
+        IntelliTag {
+            cfg,
+            graph_layers,
+            pos,
+            mask_emb,
+            encoder,
+            out,
+            num_tags,
+            z_table: Matrix::zeros(num_tags, cfg.dim),
+            graph_params,
+            seq_params,
+        }
+    }
+
+    /// Trains the model.
+    ///
+    /// * `graph` — the TagRec heterogeneous graph.
+    /// * `tag_texts` — surface text per tag (initializes `x_t` with hashed
+    ///   text features, the paper's "tag features from a text perspective").
+    /// * `sessions` — training sessions (ordered clicked-tag lists).
+    pub fn train(
+        graph: &HetGraph,
+        tag_texts: &[String],
+        sessions: &[Vec<usize>],
+        cfg: TagRecConfig,
+    ) -> Self {
+        let mut model = Self::build(graph, tag_texts, cfg);
+        let mut rng = StdRng::seed_from_u64(cfg.train.seed ^ 0x7261_696E); // "rain"
+
+        // Both modes first learn the structural objective over the graph
+        // (metapath neighbors rank above random tags). They differ in what
+        // happens next — §IV-D: the step-by-step variant freezes the
+        // resulting tag embeddings, while the end-to-end mode "further
+        // adjusts the values of tag embeddings and propagates gradient
+        // errors to the sharable graph-based layers" during sequence
+        // training.
+        let mut graph_params = ParamSet::new(cfg.train.lr);
+        graph_params.extend(&model.graph_params);
+        let mut seq_params = ParamSet::new(cfg.train.lr);
+        seq_params.extend(&model.seq_params);
+        model.pretrain_graph(&mut graph_params, &mut rng);
+        if cfg.end_to_end {
+            let mut params = ParamSet::new(cfg.train.lr);
+            params.extend(&graph_params);
+            params.extend(&seq_params);
+            model.train_sequence(sessions, &mut params, true, &mut rng);
+        } else {
+            model.z_table = model.graph_layers.precompute_all();
+            model.train_sequence(sessions, &mut seq_params, false, &mut rng);
+        }
+
+        // Final offline inference pass: freeze tag embeddings for serving.
+        model.z_table = model.graph_layers.precompute_all();
+        model
+    }
+
+    /// Serializes the trained model's parameters and precomputed tag
+    /// embeddings — the artifact the offline T+1 trainer uploads to the
+    /// online model servers (§V-B).
+    pub fn save<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let mut all = ParamSet::new(0.0);
+        all.extend(&self.graph_params);
+        all.extend(&self.seq_params);
+        intellitag_tensor::Snapshot::capture(&all).write_to(w)?;
+        intellitag_tensor::write_matrix(w, &self.z_table)
+    }
+
+    /// Loads a model saved by [`IntelliTag::save`]. The graph, tag texts and
+    /// configuration must match the training-time ones (the architecture is
+    /// rebuilt from them; parameter names and shapes are verified).
+    pub fn load<R: std::io::Read>(
+        graph: &HetGraph,
+        tag_texts: &[String],
+        cfg: TagRecConfig,
+        r: &mut R,
+    ) -> std::io::Result<Self> {
+        let mut model = Self::build(graph, tag_texts, cfg);
+        let snapshot = intellitag_tensor::Snapshot::read_from(r)?;
+        let mut all = ParamSet::new(0.0);
+        all.extend(&model.graph_params);
+        all.extend(&model.seq_params);
+        snapshot.restore(&all)?;
+        model.z_table = intellitag_tensor::read_matrix(r)?;
+        if model.z_table.shape() != (model.num_tags, model.cfg.dim) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "z table shape mismatch",
+            ));
+        }
+        Ok(model)
+    }
+
+    /// Structural pretraining for the step-by-step variant: metapath
+    /// neighbors should score higher than random tags (skip-gram-style
+    /// ranking over the learned `z`).
+    fn pretrain_graph(&self, params: &mut ParamSet, rng: &mut StdRng) {
+        let num_tags = self.num_tags;
+        let epochs = self.cfg.train.epochs.max(1);
+        params.total_steps = Some((num_tags * epochs).div_ceil(self.cfg.train.batch_size).max(1));
+        let negatives = 4;
+        let mut order: Vec<usize> = (0..num_tags).collect();
+        for _ in 0..epochs {
+            order.shuffle(rng);
+            let mut in_batch = 0;
+            for (i, &t) in order.iter().enumerate() {
+                // A positive from any metapath neighborhood (excluding the
+                // self-loop entry, which would make the objective trivial).
+                let mut pos = None;
+                for mp in 0..ALL_METAPATHS.len() {
+                    let list: Vec<usize> = self
+                        .graph_layers
+                        .neighbor_list(t, mp)
+                        .iter()
+                        .copied()
+                        .filter(|&n| n != t)
+                        .collect();
+                    if !list.is_empty() {
+                        pos = list.choose(rng).copied();
+                        break;
+                    }
+                }
+                let Some(pos) = pos else { continue };
+                let mut cands = vec![pos];
+                while cands.len() < 1 + negatives {
+                    let n = rng.gen_range(0..num_tags);
+                    if n != t && n != pos {
+                        cands.push(n);
+                    }
+                }
+                let tape = Tape::training(rng.gen());
+                let z_t = self.graph_layers.embed_tag(&tape, t); // 1 x d
+                let z_c = self.graph_layers.embed_tags(&tape, &cands); // (1+neg) x d
+                let logits = z_t.matmul(&z_c.transpose()); // 1 x (1+neg)
+                let loss = logits.cross_entropy_logits(&[0]);
+                loss.backward();
+                in_batch += 1;
+                if in_batch == self.cfg.train.batch_size || i + 1 == order.len() {
+                    params.step(1.0 / in_batch as f32);
+                    in_batch = 0;
+                }
+            }
+        }
+    }
+
+    /// Cloze training of the sequential layers (Eq. 8-12). When
+    /// `end_to_end`, the context embeddings come from the live graph layers;
+    /// otherwise from the frozen z table.
+    fn train_sequence(
+        &self,
+        sessions: &[Vec<usize>],
+        params: &mut ParamSet,
+        end_to_end: bool,
+        rng: &mut StdRng,
+    ) {
+        let mut examples: Vec<(&[usize], usize)> = Vec::new();
+        for s in sessions {
+            for k in 1..s.len() {
+                let lo = k.saturating_sub(MAX_CTX);
+                examples.push((&s[lo..k], s[k]));
+            }
+        }
+        let cfg = &self.cfg.train;
+        params.total_steps =
+            Some((examples.len() * cfg.epochs).div_ceil(cfg.batch_size.max(1)).max(1));
+
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        for epoch in 0..cfg.epochs {
+            order.shuffle(rng);
+            let mut epoch_loss = 0.0f64;
+            let mut in_batch = 0;
+            for (i, &ex) in order.iter().enumerate() {
+                let (ctx, target) = examples[ex];
+                let tape = Tape::training(cfg.seed ^ (epoch as u64) << 32 ^ ex as u64);
+                let z_seq = if end_to_end {
+                    self.graph_layers.embed_tags(&tape, ctx)
+                } else {
+                    self.gather_frozen(&tape, ctx)
+                };
+                // Cloze regularization (§VI-A4, mask proportion 0.2): replace
+                // random context embeddings with the mask embedding.
+                let z_seq = self.apply_context_masking(&tape, z_seq, cfg.mask_prob, rng);
+                let logits = self.seq_logits(&tape, &z_seq);
+                let loss = logits.cross_entropy_logits(&[target]);
+                epoch_loss += loss.scalar() as f64;
+                loss.backward();
+                in_batch += 1;
+                if in_batch == cfg.batch_size || i + 1 == order.len() {
+                    params.step(1.0 / in_batch as f32);
+                    in_batch = 0;
+                }
+            }
+            if cfg.verbose {
+                println!(
+                    "{} epoch {epoch}: loss {:.4}",
+                    self.cfg.model_name(),
+                    epoch_loss / examples.len().max(1) as f64
+                );
+            }
+        }
+    }
+
+    fn apply_context_masking(
+        &self,
+        tape: &Tape,
+        z_seq: Tensor,
+        mask_prob: f64,
+        rng: &mut StdRng,
+    ) -> Tensor {
+        if mask_prob <= 0.0 || z_seq.rows() <= 1 {
+            return z_seq;
+        }
+        let mut rows: Vec<Tensor> = Vec::with_capacity(z_seq.rows());
+        let mut changed = false;
+        for r in 0..z_seq.rows() {
+            if rng.gen_bool(mask_prob) {
+                rows.push(tape.param(&self.mask_emb));
+                changed = true;
+            } else {
+                rows.push(z_seq.row(r));
+            }
+        }
+        if changed {
+            Tensor::concat_rows(&rows)
+        } else {
+            z_seq
+        }
+    }
+
+    /// Looks up frozen tag embeddings as constants (no gradient to graph).
+    fn gather_frozen(&self, tape: &Tape, tags: &[usize]) -> Tensor {
+        let mut m = Matrix::zeros(tags.len(), self.cfg.dim);
+        for (i, &t) in tags.iter().enumerate() {
+            m.row_slice_mut(i).copy_from_slice(self.z_table.row_slice(t));
+        }
+        tape.constant(m)
+    }
+
+    /// Sequential forward (Eq. 8-11): append the mask embedding, add
+    /// positions, run the Transformer stack, project the mask position.
+    fn seq_logits(&self, tape: &Tape, z_seq: &Tensor) -> Tensor {
+        let n = z_seq.rows();
+        let mask = tape.param(&self.mask_emb);
+        let x = Tensor::concat_rows(&[z_seq.clone(), mask]); // (n+1) x d
+        let x = x.add(&self.pos.forward(tape, n + 1));
+        let last = if self.cfg.use_contextual_attention {
+            let h = self.encoder.forward(tape, &x);
+            h.row(n)
+        } else {
+            // Ablation w/o ca: without attention no information can flow
+            // between positions, so the prediction slot sees only the most
+            // recent click (the degenerate Markov behaviour the paper's
+            // large w/o-ca drop reflects).
+            x.row(n.saturating_sub(1))
+        };
+        self.out.forward(tape, &last) // 1 x |T|
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &TagRecConfig {
+        &self.cfg
+    }
+
+    /// The inner graph layers (attention introspection, Fig. 5a/b).
+    pub fn graph_layers(&self) -> &GraphLayers {
+        &self.graph_layers
+    }
+
+    /// The precomputed tag-embedding table uploaded to serving.
+    pub fn z_table(&self) -> &Matrix {
+        &self.z_table
+    }
+
+    /// Contextual attention matrices (per layer, per head) for a context —
+    /// the data behind Fig. 5c/d. The final row/column is the mask position.
+    pub fn contextual_attention(&self, context: &[usize]) -> Vec<Vec<Matrix>> {
+        assert!(!context.is_empty(), "context must be non-empty");
+        let ctx = clip_context(context);
+        let tape = Tape::new();
+        let z_seq = self.gather_frozen(&tape, ctx);
+        let n = z_seq.rows();
+        let mask = tape.param(&self.mask_emb);
+        let x = Tensor::concat_rows(&[z_seq, mask]);
+        let x = x.add(&self.pos.forward(&tape, n + 1));
+        self.encoder.forward_with_attn(&tape, &x).1
+    }
+}
+
+fn clip_context(context: &[usize]) -> &[usize] {
+    let lo = context.len().saturating_sub(MAX_CTX);
+    &context[lo..]
+}
+
+impl SequenceRecommender for IntelliTag {
+    fn name(&self) -> &str {
+        self.cfg.model_name()
+    }
+
+    fn score_all(&self, context: &[usize]) -> Vec<f32> {
+        if context.is_empty() {
+            return vec![0.0; self.num_tags];
+        }
+        let ctx = clip_context(context);
+        let tape = Tape::new();
+        let z_seq = self.gather_frozen(&tape, ctx);
+        self.seq_logits(&tape, &z_seq).value().into_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intellitag_baselines::TrainConfig;
+    use intellitag_graph::HetGraphBuilder;
+
+    /// A cyclic world: tag t co-clicked with t+1; sessions walk the cycle.
+    fn cyclic_world(n: usize) -> (HetGraph, Vec<String>, Vec<Vec<usize>>) {
+        let mut b = HetGraphBuilder::new(n, n, 1);
+        for t in 0..n {
+            b.add_asc(t, t);
+            b.set_tenant(t, 0);
+            b.add_clk(t, (t + 1) % n);
+            b.add_cst(t, (t + 1) % n);
+        }
+        let g = b.build();
+        let texts: Vec<String> = (0..n).map(|t| format!("tag {t}")).collect();
+        let sessions: Vec<Vec<usize>> = (0..n * 12)
+            .map(|i| {
+                let s = i % n;
+                vec![s, (s + 1) % n, (s + 2) % n]
+            })
+            .collect();
+        (g, texts, sessions)
+    }
+
+    fn quick_cfg() -> TagRecConfig {
+        TagRecConfig {
+            dim: 16,
+            heads: 2,
+            seq_layers: 1,
+            neighbor_cap: 4,
+            train: TrainConfig {
+                epochs: 40,
+                lr: 0.01,
+                batch_size: 16,
+                seed: 7,
+                mask_prob: 0.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_learns_cycle() {
+        let n = 6;
+        let (g, texts, sessions) = cyclic_world(n);
+        let m = IntelliTag::train(&g, &texts, &sessions, quick_cfg());
+        let mut correct = 0;
+        for s in 0..n {
+            let scores = m.score_all(&[s, (s + 1) % n]);
+            let pred = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            if pred == (s + 2) % n {
+                correct += 1;
+            }
+        }
+        assert!(correct >= n - 2, "learned {correct}/{n} transitions");
+    }
+
+    #[test]
+    fn step_by_step_variant_trains_and_scores() {
+        let (g, texts, sessions) = cyclic_world(5);
+        let m = IntelliTag::train(&g, &texts, &sessions, quick_cfg().step_by_step());
+        assert_eq!(m.name(), "IntelliTag_st");
+        let scores = m.score_all(&[0]);
+        assert_eq!(scores.len(), 5);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn ablations_train_and_score() {
+        let (g, texts, sessions) = cyclic_world(5);
+        let mut cfg = quick_cfg();
+        cfg.train.epochs = 2;
+        for variant in [
+            cfg.without_neighbor_attention(),
+            cfg.without_metapath_attention(),
+            cfg.without_contextual_attention(),
+        ] {
+            let m = IntelliTag::train(&g, &texts, &sessions, variant);
+            let scores = m.score_all(&[1, 2]);
+            assert_eq!(scores.len(), 5);
+            assert!(scores.iter().all(|s| s.is_finite()), "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn empty_context_is_safe() {
+        let (g, texts, sessions) = cyclic_world(4);
+        let mut cfg = quick_cfg();
+        cfg.train.epochs = 1;
+        let m = IntelliTag::train(&g, &texts, &sessions, cfg);
+        assert_eq!(m.score_all(&[]), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn z_table_is_finite_and_sized() {
+        let (g, texts, sessions) = cyclic_world(4);
+        let mut cfg = quick_cfg();
+        cfg.train.epochs = 1;
+        let m = IntelliTag::train(&g, &texts, &sessions, cfg);
+        assert_eq!(m.z_table().shape(), (4, 16));
+        assert!(!m.z_table().has_non_finite());
+    }
+
+    #[test]
+    fn contextual_attention_has_mask_row() {
+        let (g, texts, sessions) = cyclic_world(4);
+        let mut cfg = quick_cfg();
+        cfg.train.epochs = 1;
+        let m = IntelliTag::train(&g, &texts, &sessions, cfg);
+        let attn = m.contextual_attention(&[0, 1]);
+        assert_eq!(attn.len(), 1); // layers
+        assert_eq!(attn[0].len(), 2); // heads
+        assert_eq!(attn[0][0].shape(), (3, 3)); // 2 clicks + mask
+        // Rows are distributions.
+        for h in &attn[0] {
+            for r in 0..3 {
+                let s: f32 = h.row_slice(r).iter().sum();
+                assert!((s - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_scores() {
+        let (g, texts, sessions) = cyclic_world(5);
+        let mut cfg = quick_cfg();
+        cfg.train.epochs = 2;
+        let m = IntelliTag::train(&g, &texts, &sessions, cfg);
+        let mut buf = Vec::new();
+        m.save(&mut buf).unwrap();
+        let loaded = IntelliTag::load(&g, &texts, cfg, &mut buf.as_slice()).unwrap();
+        assert_eq!(m.z_table(), loaded.z_table());
+        for ctx in [vec![0usize], vec![1, 2], vec![0, 3, 4]] {
+            assert_eq!(m.score_all(&ctx), loaded.score_all(&ctx));
+        }
+    }
+
+    #[test]
+    fn load_rejects_mismatched_architecture() {
+        let (g, texts, sessions) = cyclic_world(5);
+        let mut cfg = quick_cfg();
+        cfg.train.epochs = 1;
+        let m = IntelliTag::train(&g, &texts, &sessions, cfg);
+        let mut buf = Vec::new();
+        m.save(&mut buf).unwrap();
+        let mut other = cfg;
+        other.dim = 8; // different width -> shape mismatch
+        assert!(IntelliTag::load(&g, &texts, other, &mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn long_context_is_clipped() {
+        let (g, texts, sessions) = cyclic_world(4);
+        let mut cfg = quick_cfg();
+        cfg.train.epochs = 1;
+        let m = IntelliTag::train(&g, &texts, &sessions, cfg);
+        let long: Vec<usize> = (0..50).map(|i| i % 4).collect();
+        assert_eq!(m.score_all(&long).len(), 4);
+    }
+}

@@ -1,0 +1,221 @@
+//! The Q&A matching model (paper §V-A): the deployed system re-ranks the
+//! ElasticSearch recall set with a RoBERTa matcher to find "the best
+//! matching RQ" for a user's question. No pretrained encoder exists
+//! offline, so the substitute is a trainable siamese bag-of-embeddings
+//! scorer: both texts are encoded by mean-pooled word embeddings and scored
+//! with a bilinear form, trained on (paraphrase, RQ) pairs with in-batch
+//! negatives.
+
+use intellitag_nn::Embedding;
+use intellitag_tensor::{Matrix, Param, ParamSet, Tape, Tensor};
+use intellitag_text::Vocab;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+pub use intellitag_baselines::TrainConfig;
+
+/// Configuration of the matcher.
+#[derive(Debug, Clone, Copy)]
+pub struct QaMatcherConfig {
+    /// Embedding width.
+    pub dim: usize,
+    /// Negatives per positive pair during training.
+    pub negatives: usize,
+    /// Optimizer settings.
+    pub train: TrainConfig,
+}
+
+impl Default for QaMatcherConfig {
+    fn default() -> Self {
+        QaMatcherConfig {
+            dim: 48,
+            negatives: 4,
+            train: TrainConfig { epochs: 2, lr: 5e-3, ..Default::default() },
+        }
+    }
+}
+
+/// A trained question↔RQ matcher.
+pub struct QaMatcher {
+    vocab: Vocab,
+    emb: Embedding,
+    /// Bilinear interaction matrix (`dim x dim`).
+    w: Param,
+    dim: usize,
+}
+
+impl QaMatcher {
+    /// Trains on `(user question, matching RQ text)` pairs. Negatives are
+    /// drawn from `corpus` (all RQ texts).
+    pub fn train(pairs: &[(String, String)], corpus: &[String], cfg: QaMatcherConfig) -> Self {
+        assert!(!pairs.is_empty() && !corpus.is_empty(), "matcher needs data");
+        let mut rng = StdRng::seed_from_u64(cfg.train.seed);
+        let mut all_texts: Vec<&str> = corpus.iter().map(String::as_str).collect();
+        all_texts.extend(pairs.iter().map(|(q, _)| q.as_str()));
+        let vocab = Vocab::from_texts(&all_texts, 1);
+
+        let mut params = ParamSet::new(cfg.train.lr);
+        let emb = Embedding::new("qam.emb", vocab.len(), cfg.dim, &mut params, &mut rng);
+        let w = params.register(Param::new("qam.w", Matrix::eye(cfg.dim)));
+        let model = QaMatcher { vocab, emb, w, dim: cfg.dim };
+
+        let tc = &cfg.train;
+        params.total_steps =
+            Some((pairs.len() * tc.epochs).div_ceil(tc.batch_size.max(1)).max(1));
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        for epoch in 0..tc.epochs {
+            order.shuffle(&mut rng);
+            let mut in_batch = 0;
+            let mut epoch_loss = 0.0f64;
+            for (i, &pi) in order.iter().enumerate() {
+                let (query, positive) = &pairs[pi];
+                let tape = Tape::training(tc.seed ^ (epoch as u64) << 32 ^ pi as u64);
+                let Some(q) = model.encode(&tape, query) else { continue };
+                let mut cands: Vec<Tensor> = Vec::with_capacity(1 + cfg.negatives);
+                match model.encode(&tape, positive) {
+                    Some(p) => cands.push(p),
+                    None => continue,
+                }
+                let mut guard = 0;
+                while cands.len() < 1 + cfg.negatives && guard < 64 {
+                    guard += 1;
+                    let neg = corpus.choose(&mut rng).expect("corpus");
+                    if neg == positive {
+                        continue;
+                    }
+                    if let Some(n) = model.encode(&tape, neg) {
+                        cands.push(n);
+                    }
+                }
+                let cand_matrix = Tensor::concat_rows(&cands); // k x d
+                let logits = q
+                    .matmul(&tape.param(&model.w))
+                    .matmul(&cand_matrix.transpose()); // 1 x k
+                let loss = logits.cross_entropy_logits(&[0]);
+                epoch_loss += loss.scalar() as f64;
+                loss.backward();
+                in_batch += 1;
+                if in_batch == tc.batch_size || i + 1 == order.len() {
+                    params.step(1.0 / in_batch as f32);
+                    in_batch = 0;
+                }
+            }
+            if tc.verbose {
+                println!(
+                    "QaMatcher epoch {epoch}: loss {:.4}",
+                    epoch_loss / pairs.len() as f64
+                );
+            }
+        }
+        model
+    }
+
+    /// Mean-pooled embedding of a text (`1 x dim`); `None` for texts with no
+    /// known tokens.
+    fn encode(&self, tape: &Tape, text: &str) -> Option<Tensor> {
+        let ids = self.vocab.encode(text);
+        if ids.is_empty() || ids.iter().all(|&i| i == intellitag_text::UNK_ID) {
+            return None;
+        }
+        Some(self.emb.forward(tape, &ids).mean_rows().tanh())
+    }
+
+    /// Match score between a user question and an RQ text (higher = better).
+    /// Returns `f32::NEG_INFINITY` when either text has no known tokens.
+    pub fn score(&self, question: &str, rq_text: &str) -> f32 {
+        let tape = Tape::new();
+        let (Some(q), Some(r)) = (self.encode(&tape, question), self.encode(&tape, rq_text))
+        else {
+            return f32::NEG_INFINITY;
+        };
+        q.matmul(&tape.param(&self.w)).matmul(&r.transpose()).scalar()
+    }
+
+    /// Re-ranks candidate `(id, text)` pairs by match score, descending.
+    pub fn rerank<'a>(
+        &self,
+        question: &str,
+        candidates: impl IntoIterator<Item = (usize, &'a str)>,
+    ) -> Vec<usize> {
+        let mut scored: Vec<(usize, f32)> = candidates
+            .into_iter()
+            .map(|(id, text)| (id, self.score(question, text)))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored.into_iter().map(|(id, _)| id).collect()
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intellitag_datagen::{World, WorldConfig};
+
+    fn training_setup() -> (World, Vec<(String, String)>, Vec<String>) {
+        let world = World::generate(WorldConfig::tiny(13));
+        let corpus: Vec<String> = world.rqs.iter().map(|r| r.text()).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut pairs = Vec::new();
+        for (rq, rq_text) in corpus.iter().enumerate() {
+            for _ in 0..2 {
+                pairs.push((world.paraphrase_question(rq, &mut rng), rq_text.clone()));
+            }
+        }
+        (world, pairs, corpus)
+    }
+
+    #[test]
+    fn matcher_ranks_true_rq_highly() {
+        let (world, pairs, corpus) = training_setup();
+        let matcher = QaMatcher::train(&pairs, &corpus, QaMatcherConfig::default());
+        // Fresh paraphrases, not seen at training time.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut hits = 0;
+        let total = 40;
+        for i in 0..total {
+            let rq = (i * 5) % world.rqs.len();
+            let q = world.paraphrase_question(rq, &mut rng);
+            let candidates: Vec<(usize, &str)> = (0..world.rqs.len())
+                .step_by(7)
+                .chain(std::iter::once(rq))
+                .map(|j| (j, corpus[j].as_str()))
+                .collect();
+            let ranked = matcher.rerank(&q, candidates);
+            if ranked.iter().take(3).any(|&r| world.rqs[r].tags == world.rqs[rq].tags) {
+                hits += 1;
+            }
+        }
+        assert!(hits * 2 > total, "matcher hit@3 too low: {hits}/{total}");
+    }
+
+    #[test]
+    fn unknown_text_scores_neg_infinity() {
+        let (_, pairs, corpus) = training_setup();
+        let matcher = QaMatcher::train(&pairs[..50], &corpus, QaMatcherConfig::default());
+        assert_eq!(matcher.score("zzzz qqqq", &corpus[0]), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn rerank_is_deterministic_and_complete() {
+        let (_, pairs, corpus) = training_setup();
+        let matcher = QaMatcher::train(&pairs[..50], &corpus, QaMatcherConfig::default());
+        let cands: Vec<(usize, &str)> =
+            corpus.iter().take(10).enumerate().map(|(i, t)| (i, t.as_str())).collect();
+        let a = matcher.rerank("how to change password", cands.clone());
+        let b = matcher.rerank("how to change password", cands);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,373 @@
+//! The online model server (paper §V-A): request handling for Q&A dialogue
+//! and tag recommendation, with the deployment strategy of §V-B — tag
+//! embeddings precomputed offline, only sequence layers run per request,
+//! popularity fallback for cold start, `asc`-relation tags after a question.
+
+use std::time::Instant;
+
+use intellitag_baselines::SequenceRecommender;
+use intellitag_search::KbWarehouse;
+use parking_lot::Mutex;
+
+use crate::cache::ResponseCache;
+use crate::qa_matcher::QaMatcher;
+
+/// Response to a user question (the Q&A dialogue path).
+#[derive(Debug, Clone)]
+pub struct QuestionResponse {
+    /// Best-matching RQ id, if any cleared recall.
+    pub rq: Option<usize>,
+    /// The answer shown to the user.
+    pub answer: Option<String>,
+    /// Tags recommended next (from the matched RQ's `asc` relation, §V-B).
+    pub recommended_tags: Vec<usize>,
+    /// Server-side processing latency in microseconds.
+    pub latency_us: u64,
+}
+
+/// Response to a tag click (the TagRec path).
+#[derive(Debug, Clone)]
+pub struct TagClickResponse {
+    /// Next recommended tags, ranked.
+    pub recommended_tags: Vec<usize>,
+    /// Predicted questions (re-ranked RQ recall for the click query).
+    pub predicted_questions: Vec<usize>,
+    /// Server-side processing latency in microseconds.
+    pub latency_us: u64,
+}
+
+/// The model server: one recommender + the searchable KB + per-tenant
+/// metadata. Thread-safe latency log via `parking_lot`.
+pub struct ModelServer<M: SequenceRecommender> {
+    model: M,
+    kb: KbWarehouse,
+    /// Surface text per tag (builds the ES query from clicked tags).
+    tag_texts: Vec<String>,
+    /// Ground-truth tags per RQ (`asc` relation, drives re-ranking and the
+    /// after-question tag recommendation).
+    rq_tags: Vec<Vec<usize>>,
+    /// Tag inventory per tenant (results never cross tenants).
+    tenant_tags: Vec<Vec<usize>>,
+    /// Global click counts (cold-start popularity, §V-B).
+    click_counts: Vec<usize>,
+    /// Tags shown per response.
+    pub tags_per_response: usize,
+    /// Predicted questions shown per response.
+    pub questions_per_response: usize,
+    latencies_us: Mutex<Vec<u64>>,
+    /// Optional response cache over `(tenant, clicks)` — the paper's §VII
+    /// future-work extension ("cache high-frequency data to decrease system
+    /// latency").
+    cache: Option<ResponseCache<(usize, Vec<usize>), TagClickResponse>>,
+    /// Optional Q&A matching model re-ranking question recall (the deployed
+    /// system's RoBERTa matcher, §V-A).
+    qa_matcher: Option<QaMatcher>,
+}
+
+impl<M: SequenceRecommender> ModelServer<M> {
+    /// Assembles a server.
+    pub fn new(
+        model: M,
+        kb: KbWarehouse,
+        tag_texts: Vec<String>,
+        rq_tags: Vec<Vec<usize>>,
+        tenant_tags: Vec<Vec<usize>>,
+        click_counts: Vec<usize>,
+    ) -> Self {
+        assert_eq!(kb.len(), rq_tags.len(), "one tag list per RQ");
+        assert_eq!(tag_texts.len(), click_counts.len(), "one count per tag");
+        ModelServer {
+            model,
+            kb,
+            tag_texts,
+            rq_tags,
+            tenant_tags,
+            click_counts,
+            tags_per_response: 5,
+            questions_per_response: 3,
+            latencies_us: Mutex::new(Vec::new()),
+            cache: None,
+            qa_matcher: None,
+        }
+    }
+
+    /// Attaches a trained Q&A matcher; question recall is then re-ranked by
+    /// match score instead of raw BM25 order.
+    pub fn with_qa_matcher(mut self, matcher: QaMatcher) -> Self {
+        self.qa_matcher = Some(matcher);
+        self
+    }
+
+    /// Enables the tag-click response cache (§VII future work). Call after
+    /// construction; a model refresh should recreate the server (or the
+    /// cache) since cached responses embed model output.
+    pub fn with_cache(mut self, capacity: usize) -> Self {
+        self.cache = Some(ResponseCache::new(capacity));
+        self
+    }
+
+    /// Cache hit rate so far, if the cache is enabled.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        self.cache.as_ref().map(ResponseCache::hit_rate)
+    }
+
+    /// The wrapped recommender.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Recorded request latencies (µs).
+    pub fn latencies_us(&self) -> Vec<u64> {
+        self.latencies_us.lock().clone()
+    }
+
+    /// Cold-start tags for a tenant: most frequently clicked (§V-B).
+    pub fn cold_start_tags(&self, tenant: usize) -> Vec<usize> {
+        let mut pool = self.tenant_tags[tenant].clone();
+        pool.sort_by(|&a, &b| {
+            self.click_counts[b]
+                .cmp(&self.click_counts[a])
+                .then(a.cmp(&b))
+        });
+        pool.truncate(self.tags_per_response);
+        pool
+    }
+
+    /// Handles a typed question: recall + best match + `asc` tags. With a
+    /// Q&A matcher attached, the BM25 recall set is re-ranked by match score
+    /// (recall-then-rerank, exactly the deployed §V-A pipeline).
+    pub fn handle_question(&self, tenant: usize, question: &str) -> QuestionResponse {
+        let start = Instant::now();
+        let best = match &self.qa_matcher {
+            Some(matcher) => {
+                let recall = self.kb.recall_for_tenant(question, tenant, 10);
+                let reranked = matcher.rerank(
+                    question,
+                    recall.iter().map(|h| (h.doc, self.kb.pair(h.doc).question.as_str())),
+                );
+                reranked.first().map(|&rq| (rq, self.kb.pair(rq)))
+            }
+            None => self.kb.best_match(question, tenant),
+        };
+        let (rq, answer, recommended_tags) = match best {
+            Some((rq, pair)) => {
+                // Recommend the matched question's own tags (asc relation),
+                // backfilled with cold-start popularity.
+                let mut tags = self.rq_tags[rq].clone();
+                for t in self.cold_start_tags(tenant) {
+                    if tags.len() >= self.tags_per_response {
+                        break;
+                    }
+                    if !tags.contains(&t) {
+                        tags.push(t);
+                    }
+                }
+                tags.truncate(self.tags_per_response);
+                (Some(rq), Some(pair.answer.clone()), tags)
+            }
+            None => (None, None, self.cold_start_tags(tenant)),
+        };
+        let latency_us = start.elapsed().as_micros() as u64;
+        self.latencies_us.lock().push(latency_us);
+        QuestionResponse { rq, answer, recommended_tags, latency_us }
+    }
+
+    /// Handles a tag click: the model ranks next tags (restricted to the
+    /// tenant's inventory) and the click history becomes an ES query whose
+    /// recall is re-ranked by tag overlap (§V-A).
+    pub fn handle_tag_click(&self, tenant: usize, clicks: &[usize]) -> TagClickResponse {
+        assert!(!clicks.is_empty(), "a click must have happened");
+        let start = Instant::now();
+
+        if let Some(cache) = &self.cache {
+            let key = (tenant, clicks.to_vec());
+            if let Some(mut resp) = cache.get(&key) {
+                resp.latency_us = start.elapsed().as_micros() as u64;
+                self.latencies_us.lock().push(resp.latency_us);
+                return resp;
+            }
+        }
+
+        // --- next-tag recommendation ------------------------------------
+        let pool = &self.tenant_tags[tenant];
+        let scores = self.model.score_candidates(clicks, pool);
+        let mut ranked: Vec<(usize, f32)> = pool
+            .iter()
+            .copied()
+            .zip(scores)
+            .filter(|(t, _)| !clicks.contains(t))
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        let recommended_tags: Vec<usize> = ranked
+            .into_iter()
+            .take(self.tags_per_response)
+            .map(|(t, _)| t)
+            .collect();
+
+        // --- predicted questions -----------------------------------------
+        // Query = concatenated clicked-tag texts (paper: "the user's
+        // successive clicked tags are composed as a query").
+        let query: String = clicks
+            .iter()
+            .map(|&t| self.tag_texts[t].as_str())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let recall = self.kb.recall_for_tenant(&query, tenant, 20);
+        let max_bm25 = recall.first().map_or(1.0, |h| h.score.max(1e-6));
+        let mut rescored: Vec<(usize, f32)> = recall
+            .into_iter()
+            .map(|h| {
+                let overlap = self.rq_tags[h.doc]
+                    .iter()
+                    .filter(|t| clicks.contains(t))
+                    .count() as f32;
+                (h.doc, h.score / max_bm25 + 2.0 * overlap)
+            })
+            .collect();
+        rescored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        let predicted_questions: Vec<usize> = rescored
+            .into_iter()
+            .take(self.questions_per_response)
+            .map(|(q, _)| q)
+            .collect();
+
+        let latency_us = start.elapsed().as_micros() as u64;
+        self.latencies_us.lock().push(latency_us);
+        let resp = TagClickResponse { recommended_tags, predicted_questions, latency_us };
+        if let Some(cache) = &self.cache {
+            cache.put((tenant, clicks.to_vec()), resp.clone());
+        }
+        resp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intellitag_baselines::Popularity;
+
+    fn server() -> ModelServer<Popularity> {
+        let mut kb = KbWarehouse::new();
+        kb.add_pair("how to change password", "settings > security", 0);
+        kb.add_pair("how to apply for etc card", "apply in the etc menu", 0);
+        kb.add_pair("where to cancel the order", "orders > cancel", 1);
+        // tags: 0 change, 1 password, 2 apply, 3 etc card, 4 cancel, 5 order
+        let tag_texts = vec![
+            "change".into(),
+            "password".into(),
+            "apply".into(),
+            "etc card".into(),
+            "cancel".into(),
+            "order".into(),
+        ];
+        let rq_tags = vec![vec![0, 1], vec![2, 3], vec![4, 5]];
+        let tenant_tags = vec![vec![0, 1, 2, 3], vec![4, 5]];
+        let clicks = vec![5, 9, 3, 7, 2, 4];
+        let model = Popularity::from_counts(&clicks);
+        ModelServer::new(model, kb, tag_texts, rq_tags, tenant_tags, clicks)
+    }
+
+    #[test]
+    fn question_path_returns_answer_and_asc_tags() {
+        let s = server();
+        let r = s.handle_question(0, "i need to change my password");
+        assert_eq!(r.rq, Some(0));
+        assert!(r.answer.unwrap().contains("security"));
+        // asc tags of RQ 0 come first
+        assert_eq!(&r.recommended_tags[..2], &[0, 1]);
+    }
+
+    #[test]
+    fn unknown_question_falls_back_to_cold_start() {
+        let s = server();
+        let r = s.handle_question(0, "zzz qqq completely unknown");
+        assert_eq!(r.rq, None);
+        assert!(r.answer.is_none());
+        assert_eq!(r.recommended_tags, s.cold_start_tags(0));
+    }
+
+    #[test]
+    fn cold_start_ranks_by_click_frequency() {
+        let s = server();
+        // Tenant 0 pool {0,1,2,3} with counts {5,9,3,7} -> 1,3,0,2
+        assert_eq!(s.cold_start_tags(0), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn tag_click_restricts_to_tenant_and_excludes_clicked() {
+        let s = server();
+        let r = s.handle_tag_click(0, &[1]);
+        assert!(!r.recommended_tags.contains(&1), "clicked tag excluded");
+        assert!(r.recommended_tags.iter().all(|t| [0, 2, 3].contains(t)));
+    }
+
+    #[test]
+    fn tag_click_predicts_matching_question() {
+        let s = server();
+        let r = s.handle_tag_click(0, &[0, 1]); // "change password"
+        assert_eq!(r.predicted_questions.first(), Some(&0));
+    }
+
+    #[test]
+    fn cache_serves_repeated_clicks() {
+        let s = server().with_cache(16);
+        let a = s.handle_tag_click(0, &[0, 1]);
+        let b = s.handle_tag_click(0, &[0, 1]);
+        assert_eq!(a.recommended_tags, b.recommended_tags);
+        assert_eq!(a.predicted_questions, b.predicted_questions);
+        assert_eq!(s.cache_hit_rate(), Some(0.5));
+        // Different key misses.
+        let _ = s.handle_tag_click(0, &[1]);
+        assert!(s.cache_hit_rate().unwrap() < 0.5);
+    }
+
+    #[test]
+    fn qa_matcher_reranks_question_recall() {
+        use crate::qa_matcher::{QaMatcher, QaMatcherConfig};
+        // Train a matcher whose pairs bind "passphrase" queries to RQ 0.
+        let corpus = vec![
+            "how to change password".to_string(),
+            "how to apply for etc card".to_string(),
+            "where to cancel the order".to_string(),
+        ];
+        let pairs = vec![
+            ("change my password now".to_string(), corpus[0].clone()),
+            ("password change how".to_string(), corpus[0].clone()),
+            ("apply etc card".to_string(), corpus[1].clone()),
+            ("etc card application".to_string(), corpus[1].clone()),
+            ("cancel order please".to_string(), corpus[2].clone()),
+            ("order cancel where".to_string(), corpus[2].clone()),
+        ];
+        let matcher = QaMatcher::train(&pairs, &corpus, QaMatcherConfig {
+            train: crate::TrainConfig { epochs: 20, lr: 1e-2, ..Default::default() },
+            ..Default::default()
+        });
+        let s = server().with_qa_matcher(matcher);
+        let r = s.handle_question(0, "password change how please");
+        assert_eq!(r.rq, Some(0), "matcher should pick the password RQ");
+        assert!(r.answer.unwrap().contains("security"));
+    }
+
+    #[test]
+    fn cache_disabled_by_default() {
+        let s = server();
+        let _ = s.handle_tag_click(0, &[0]);
+        assert_eq!(s.cache_hit_rate(), None);
+    }
+
+    #[test]
+    fn latency_is_recorded() {
+        let s = server();
+        let _ = s.handle_question(0, "change password");
+        let _ = s.handle_tag_click(0, &[0]);
+        assert_eq!(s.latencies_us().len(), 2);
+    }
+}

@@ -1,0 +1,221 @@
+//! World-generation configuration with presets at several scales.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic customer-service world.
+///
+/// The paper's dataset (Table II) has 38,344 tags / 656,720 RQs / 446 tenants
+/// / 98,875 sessions with 2.9 average clicks; presets keep these *ratios*
+/// while scaling the absolute size to what a CPU-only test or bench run can
+/// train on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Master RNG seed; everything downstream is deterministic given this.
+    pub seed: u64,
+    /// Number of service-domain topics.
+    pub num_topics: usize,
+    /// Number of tenants (SMEs).
+    pub num_tenants: usize,
+    /// Number of representative questions to generate.
+    pub num_rqs: usize,
+    /// Number of user sessions to simulate.
+    pub num_sessions: usize,
+    /// Topics per tenant (tenants are topical; small tenants have 1-2).
+    pub topics_per_tenant: (usize, usize),
+    /// Geometric-stop continuation probability for session clicks; the mean
+    /// session length is `1 + p/(1-p)` plus intent-exhaustion effects. The
+    /// default targets the paper's 2.9 average clicks.
+    pub click_continue_prob: f64,
+    /// Zipf exponent for tenant sizes (larger = heavier head).
+    pub tenant_zipf: f64,
+    /// Zipf exponent for within-topic tag popularity (smaller spreads
+    /// clicks over more of the long tail).
+    pub tag_zipf: f64,
+    /// Target number of tags as a fraction `num_rqs / tags_per_rq_ratio`
+    /// (the paper's corpus has ~17 RQs per tag; sparser evaluation worlds
+    /// use a lower ratio so each tag gets less click evidence).
+    pub rqs_per_tag: usize,
+    /// Probability that a session consults two questions (creating a `cst`
+    /// edge between their RQs).
+    pub second_question_prob: f64,
+    /// Probability that a generated RQ sentence omits one gold span from its
+    /// labels (annotation noise for the mining task).
+    pub label_noise: f64,
+}
+
+impl WorldConfig {
+    /// Minimal world for unit tests (fast, still structurally complete).
+    pub fn tiny(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            num_topics: 4,
+            num_tenants: 8,
+            num_rqs: 200,
+            num_sessions: 300,
+            topics_per_tenant: (1, 2),
+            click_continue_prob: 0.74,
+            tenant_zipf: 1.1,
+            tag_zipf: 1.05,
+            rqs_per_tag: 17,
+            second_question_prob: 0.5,
+            label_noise: 0.05,
+        }
+    }
+
+    /// Small world for integration tests and quick experiments.
+    pub fn small(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            num_topics: 10,
+            num_tenants: 30,
+            num_rqs: 2_000,
+            num_sessions: 3_000,
+            topics_per_tenant: (1, 3),
+            click_continue_prob: 0.74,
+            tenant_zipf: 1.1,
+            tag_zipf: 1.05,
+            rqs_per_tag: 17,
+            second_question_prob: 0.5,
+            label_noise: 0.05,
+        }
+    }
+
+    /// Bench-scale world: large enough for the model ordering of Table IV to
+    /// be stable, small enough to train all six models on a CPU.
+    pub fn bench(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            num_topics: 16,
+            num_tenants: 60,
+            num_rqs: 6_000,
+            num_sessions: 8_000,
+            topics_per_tenant: (1, 3),
+            click_continue_prob: 0.74,
+            tenant_zipf: 1.1,
+            tag_zipf: 1.05,
+            rqs_per_tag: 17,
+            second_question_prob: 0.5,
+            label_noise: 0.05,
+        }
+    }
+
+    /// Sparse evaluation world: the regime the paper's TagRec comparison
+    /// lives in — many long-tail tags, limited session evidence per tag, so
+    /// heterogeneous-graph side information matters. Used by the Table IV/V
+    /// and Fig. 6/7 benches.
+    pub fn sparse_eval(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            num_topics: 12,
+            num_tenants: 40,
+            num_rqs: 2_500,
+            num_sessions: 2_500,
+            topics_per_tenant: (1, 3),
+            click_continue_prob: 0.74,
+            tenant_zipf: 1.1,
+            tag_zipf: 0.8,
+            rqs_per_tag: 7,
+            second_question_prob: 0.5,
+            label_noise: 0.05,
+        }
+    }
+
+    /// Paper-scaled world reproducing Table II's absolute counts
+    /// (~656k RQs, 446 tenants, ~99k sessions). Generation is fast; training
+    /// on it is not — use for the dataset-statistics comparison only.
+    pub fn paper_scaled(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            num_topics: 120,
+            num_tenants: 446,
+            num_rqs: 656_720,
+            num_sessions: 98_875,
+            topics_per_tenant: (1, 4),
+            click_continue_prob: 0.74,
+            tenant_zipf: 1.1,
+            tag_zipf: 1.05,
+            rqs_per_tag: 17,
+            second_question_prob: 0.5,
+            label_noise: 0.05,
+        }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_topics == 0 || self.num_tenants == 0 || self.num_rqs == 0 {
+            return Err("topics, tenants and rqs must be positive".into());
+        }
+        if self.topics_per_tenant.0 == 0 || self.topics_per_tenant.0 > self.topics_per_tenant.1 {
+            return Err("topics_per_tenant must be a nonempty (min, max) range".into());
+        }
+        if self.topics_per_tenant.1 > self.num_topics {
+            return Err("topics_per_tenant.max exceeds num_topics".into());
+        }
+        if self.rqs_per_tag == 0 {
+            return Err("rqs_per_tag must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.click_continue_prob) {
+            return Err("click_continue_prob must be in [0, 1)".into());
+        }
+        if !(0.0..=1.0).contains(&self.second_question_prob)
+            || !(0.0..=1.0).contains(&self.label_noise)
+        {
+            return Err("probabilities must be in [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for cfg in [
+            WorldConfig::tiny(0),
+            WorldConfig::small(0),
+            WorldConfig::bench(0),
+            WorldConfig::sparse_eval(0),
+            WorldConfig::paper_scaled(0),
+        ] {
+            cfg.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = WorldConfig::tiny(0);
+        c.num_topics = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = WorldConfig::tiny(0);
+        c.topics_per_tenant = (3, 2);
+        assert!(c.validate().is_err());
+
+        let mut c = WorldConfig::tiny(0);
+        c.topics_per_tenant = (1, 99);
+        assert!(c.validate().is_err());
+
+        let mut c = WorldConfig::tiny(0);
+        c.click_continue_prob = 1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn paper_scaled_matches_table2_counts() {
+        let c = WorldConfig::paper_scaled(0);
+        assert_eq!(c.num_tenants, 446);
+        assert_eq!(c.num_rqs, 656_720);
+        assert_eq!(c.num_sessions, 98_875);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = WorldConfig::small(7);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: WorldConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.seed, 7);
+        assert_eq!(back.num_rqs, c.num_rqs);
+    }
+}

@@ -1,0 +1,246 @@
+//! Dataset views over the generated world: train/valid/test session splits,
+//! next-click sequence examples (TagRec) and labeled sentences (tag mining).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::world::{Session, World};
+
+/// One next-click prediction example: given `context` (clicked tags so far),
+/// predict `target` (the next click). Built exactly as BERT4Rec-style
+/// evaluation does: every click after the first becomes a target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqExample {
+    /// Tenant of the session (negatives are sampled from this tenant).
+    pub tenant: usize,
+    /// Clicked tags preceding the target, oldest first.
+    pub context: Vec<usize>,
+    /// The tag clicked next (ground truth).
+    pub target: usize,
+}
+
+/// An 80/10/10 split of sessions (paper §VI-A1).
+#[derive(Debug, Clone)]
+pub struct SessionSplit {
+    /// Training sessions.
+    pub train: Vec<Session>,
+    /// Validation sessions.
+    pub valid: Vec<Session>,
+    /// Test sessions.
+    pub test: Vec<Session>,
+}
+
+/// Splits sessions 80/10/10 after a seeded shuffle.
+pub fn split_sessions(sessions: &[Session], seed: u64) -> SessionSplit {
+    let mut idx: Vec<usize> = (0..sessions.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let n = sessions.len();
+    let n_train = n * 8 / 10;
+    let n_valid = n / 10;
+    let take = |range: &[usize]| -> Vec<Session> {
+        range.iter().map(|&i| sessions[i].clone()).collect()
+    };
+    SessionSplit {
+        train: take(&idx[..n_train]),
+        valid: take(&idx[n_train..n_train + n_valid]),
+        test: take(&idx[n_train + n_valid..]),
+    }
+}
+
+/// Expands sessions into next-click examples. Sessions with fewer than two
+/// clicks yield nothing (no target exists).
+pub fn sequence_examples(sessions: &[Session]) -> Vec<SeqExample> {
+    let mut out = Vec::new();
+    for s in sessions {
+        for k in 1..s.clicks.len() {
+            out.push(SeqExample {
+                tenant: s.tenant,
+                context: s.clicks[..k].to_vec(),
+                target: s.clicks[k],
+            });
+        }
+    }
+    out
+}
+
+/// Token-level segmentation label (paper Fig. 2: "B" begins a tag, "M"
+/// continues one, "O" is outside any tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegLabel {
+    /// Outside any tag.
+    O,
+    /// Begins a tag span.
+    B,
+    /// Inside (middle/end of) a tag span.
+    M,
+}
+
+impl SegLabel {
+    /// Class index used by the model head (O=0, B=1, M=2).
+    pub fn class(self) -> usize {
+        match self {
+            SegLabel::O => 0,
+            SegLabel::B => 1,
+            SegLabel::M => 2,
+        }
+    }
+
+    /// Inverse of [`SegLabel::class`].
+    pub fn from_class(c: usize) -> SegLabel {
+        match c {
+            1 => SegLabel::B,
+            2 => SegLabel::M,
+            _ => SegLabel::O,
+        }
+    }
+}
+
+/// One annotated RQ sentence for the multi-task tag miner.
+#[derive(Debug, Clone)]
+pub struct LabeledSentence {
+    /// Tokens of the sentence.
+    pub tokens: Vec<String>,
+    /// Per-token segmentation labels.
+    pub seg: Vec<SegLabel>,
+    /// Per-token word-weight labels (1.0 when the word is part of a tag).
+    pub weight: Vec<f32>,
+    /// Gold spans as `(start, end)` token ranges (for span-level P/R/F1).
+    pub gold_spans: Vec<(usize, usize)>,
+}
+
+/// Builds labeled sentences from every RQ in the world. Segmentation labels
+/// come from the segmentation-pass annotation, word weights from the
+/// (independently noisy) weighting-pass annotation; gold spans for
+/// evaluation are the complete noise-free spans (clean test annotation).
+pub fn labeled_sentences(world: &World) -> Vec<LabeledSentence> {
+    world
+        .rqs
+        .iter()
+        .map(|rq| {
+            let mut seg = vec![SegLabel::O; rq.tokens.len()];
+            let mut weight = vec![0.0f32; rq.tokens.len()];
+            for s in &rq.spans {
+                seg[s.start] = SegLabel::B;
+                for slot in seg.iter_mut().take(s.end).skip(s.start + 1) {
+                    *slot = SegLabel::M;
+                }
+            }
+            let gold_spans: Vec<(usize, usize)> =
+                rq.true_spans.iter().map(|s| (s.start, s.end)).collect();
+            for s in &rq.weight_spans {
+                for slot in weight.iter_mut().take(s.end).skip(s.start) {
+                    *slot = 1.0;
+                }
+            }
+            LabeledSentence { tokens: rq.tokens.clone(), seg, weight, gold_spans }
+        })
+        .collect()
+}
+
+/// Extracts `(start, end)` spans from a predicted segmentation sequence:
+/// a span starts at `B` and extends through consecutive `M`s.
+pub fn spans_from_seg(seg: &[SegLabel]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < seg.len() {
+        if seg[i] == SegLabel::B {
+            let start = i;
+            i += 1;
+            while i < seg.len() && seg[i] == SegLabel::M {
+                i += 1;
+            }
+            out.push((start, i));
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+
+    fn world() -> World {
+        World::generate(WorldConfig::tiny(11))
+    }
+
+    #[test]
+    fn split_proportions_and_disjointness() {
+        let w = world();
+        let s = split_sessions(&w.sessions, 0);
+        let total = s.train.len() + s.valid.len() + s.test.len();
+        assert_eq!(total, w.sessions.len());
+        assert!(s.train.len() >= w.sessions.len() * 7 / 10);
+        assert!(!s.valid.is_empty() && !s.test.is_empty());
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let w = world();
+        let a = split_sessions(&w.sessions, 5);
+        let b = split_sessions(&w.sessions, 5);
+        assert_eq!(a.train.len(), b.train.len());
+        for (x, y) in a.train.iter().zip(&b.train) {
+            assert_eq!(x.clicks, y.clicks);
+        }
+    }
+
+    #[test]
+    fn sequence_examples_cover_all_targets() {
+        let w = world();
+        let ex = sequence_examples(&w.sessions);
+        let expected: usize = w
+            .sessions
+            .iter()
+            .map(|s| s.clicks.len().saturating_sub(1))
+            .sum();
+        assert_eq!(ex.len(), expected);
+        for e in &ex {
+            assert!(!e.context.is_empty());
+        }
+    }
+
+    #[test]
+    fn seg_labels_encode_spans() {
+        let w = world();
+        for ls in labeled_sentences(&w) {
+            assert_eq!(ls.tokens.len(), ls.seg.len());
+            assert_eq!(ls.tokens.len(), ls.weight.len());
+            // Spans decoded from the (noisy) seg annotation are a subset of
+            // the clean gold spans: noise only *drops* annotations.
+            let extracted = spans_from_seg(&ls.seg);
+            for sp in &extracted {
+                assert!(ls.gold_spans.contains(sp), "{sp:?} not in gold");
+            }
+            // Weights and seg labels come from independently-noisy passes,
+            // so weights may disagree with gold spans — but a weight of 1
+            // must always sit inside a *true* tag occurrence, and every
+            // weight is binary.
+            for &wgt in &ls.weight {
+                assert!(wgt == 0.0 || wgt == 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn spans_from_seg_handles_edge_cases() {
+        use SegLabel::{B, M, O};
+        assert_eq!(spans_from_seg(&[]), vec![]);
+        assert_eq!(spans_from_seg(&[O, O]), vec![]);
+        assert_eq!(spans_from_seg(&[B]), vec![(0, 1)]);
+        assert_eq!(spans_from_seg(&[B, M, M]), vec![(0, 3)]);
+        assert_eq!(spans_from_seg(&[B, B]), vec![(0, 1), (1, 2)]);
+        // Orphan M (no preceding B) is ignored, matching the decoder.
+        assert_eq!(spans_from_seg(&[M, B, M, O, B]), vec![(1, 3), (4, 5)]);
+    }
+
+    #[test]
+    fn seg_class_roundtrip() {
+        for l in [SegLabel::O, SegLabel::B, SegLabel::M] {
+            assert_eq!(SegLabel::from_class(l.class()), l);
+        }
+    }
+}

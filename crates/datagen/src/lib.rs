@@ -1,0 +1,33 @@
+//! # intellitag-datagen
+//!
+//! The synthetic cloud customer-service world that substitutes the paper's
+//! proprietary Ant Group dataset (see DESIGN.md §2 for the substitution
+//! argument). One seed deterministically produces:
+//!
+//! * a tenant population with Zipf sizes and small topical footprints,
+//! * a tag pool with head/long-tail popularity per topic,
+//! * RQ sentences with gold tag spans and word weights (tag-mining labels),
+//! * click sessions driven by latent intents (`clk`/`cst` edge sources),
+//! * a [`UserModel`] replaying the same intent population for online
+//!   CTR/HIR simulations.
+//!
+//! Convenience constructors bridge to the other substrates:
+//! [`World::build_graph`] (heterogeneous graph) and [`World::build_kb`]
+//! (searchable KB warehouse).
+
+#![warn(missing_docs)]
+
+mod config;
+mod datasets;
+mod topics;
+mod user;
+mod world;
+
+pub use config::WorldConfig;
+pub use datasets::{
+    labeled_sentences, sequence_examples, spans_from_seg, split_sessions, LabeledSentence,
+    SegLabel, SeqExample, SessionSplit,
+};
+pub use topics::{build_topics, Topic, FILLERS, TEMPLATES};
+pub use user::UserModel;
+pub use world::{GoldSpan, Rq, Session, Tag, TenantInfo, World};

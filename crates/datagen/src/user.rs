@@ -1,0 +1,198 @@
+//! The simulated user for online experiments (Fig. 7 CTR, Table VI HIR).
+//!
+//! The deployed system measured CTR/HIR on live traffic; offline we replay
+//! the same latent-intent population the session generator uses. The click
+//! model is a standard cascade model: the user scans the recommended tag
+//! list top-down and clicks the first tag that passes a relevance-and-
+//! position-biased coin flip.
+
+use rand::Rng;
+
+use crate::world::World;
+
+/// Relevance-driven cascade click model.
+#[derive(Debug, Clone, Copy)]
+pub struct UserModel {
+    /// Click attractiveness of a tag belonging to the intent RQ.
+    pub p_intent: f64,
+    /// Attractiveness of a same-topic (but non-intent) tag.
+    pub p_topic: f64,
+    /// Attractiveness of an unrelated tag.
+    pub p_other: f64,
+    /// Whether position bias (`1/log2(pos+2)`) applies.
+    pub position_bias: bool,
+}
+
+impl Default for UserModel {
+    fn default() -> Self {
+        UserModel { p_intent: 0.70, p_topic: 0.25, p_other: 0.04, position_bias: true }
+    }
+}
+
+impl UserModel {
+    /// Base attractiveness of `tag` for a user whose intent is `intent_rq`.
+    pub fn attractiveness(&self, world: &World, intent_rq: usize, tag: usize) -> f64 {
+        let intent = &world.rqs[intent_rq];
+        if intent.tags.contains(&tag) {
+            self.p_intent
+        } else if world.tags[tag].topic == intent.topic {
+            self.p_topic
+        } else {
+            self.p_other
+        }
+    }
+
+    /// Simulates one scan over `shown` tags. Returns the index of the
+    /// clicked tag, or `None` if the user clicks nothing. Tags in
+    /// `already_clicked` are skipped (users do not re-click).
+    pub fn click<R: Rng>(
+        &self,
+        world: &World,
+        intent_rq: usize,
+        shown: &[usize],
+        already_clicked: &[usize],
+        rng: &mut R,
+    ) -> Option<usize> {
+        for (pos, &tag) in shown.iter().enumerate() {
+            if already_clicked.contains(&tag) {
+                continue;
+            }
+            let mut p = self.attractiveness(world, intent_rq, tag);
+            if self.position_bias {
+                p /= ((pos + 2) as f64).log2();
+            }
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                return Some(pos);
+            }
+        }
+        None
+    }
+
+    /// Whether the user accepts a predicted-question list: true when the
+    /// intent RQ appears in the top `k` of `predicted` (the user clicks it
+    /// and reads the answer — session solved).
+    pub fn accepts(&self, intent_rq: usize, predicted: &[usize], k: usize) -> bool {
+        predicted.iter().take(k).any(|&q| q == intent_rq)
+    }
+
+    /// Like [`UserModel::accepts`], but an RQ that is a same-tenant
+    /// paraphrase of the intent (identical tag set) also solves the session
+    /// — it carries the same answer. The synthetic KB contains many such
+    /// paraphrases, as real per-tenant KBs do.
+    pub fn accepts_equivalent(
+        &self,
+        world: &World,
+        intent_rq: usize,
+        predicted: &[usize],
+        k: usize,
+    ) -> bool {
+        let intent = &world.rqs[intent_rq];
+        predicted.iter().take(k).any(|&q| {
+            q == intent_rq
+                || (world.rqs[q].tenant == intent.tenant && world.rqs[q].tags == intent.tags)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world() -> World {
+        World::generate(WorldConfig::tiny(3))
+    }
+
+    #[test]
+    fn intent_tags_are_most_attractive() {
+        let w = world();
+        let u = UserModel::default();
+        let rq = w
+            .rqs
+            .iter()
+            .position(|r| !r.tags.is_empty())
+            .expect("an RQ with tags");
+        let intent_tag = w.rqs[rq].tags[0];
+        let other_topic_tag = (0..w.tags.len())
+            .find(|&t| w.tags[t].topic != w.rqs[rq].topic)
+            .expect("another topic");
+        assert!(
+            u.attractiveness(&w, rq, intent_tag)
+                > u.attractiveness(&w, rq, other_topic_tag)
+        );
+    }
+
+    #[test]
+    fn click_prefers_relevant_tags_in_aggregate() {
+        let w = world();
+        let u = UserModel::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let rq = w.rqs.iter().position(|r| !r.tags.is_empty()).unwrap();
+        let intent_tag = w.rqs[rq].tags[0];
+        let junk = (0..w.tags.len())
+            .find(|&t| w.tags[t].topic != w.rqs[rq].topic)
+            .unwrap();
+        // Relevant tag at the bottom, junk on top: the user should still
+        // click the relevant one far more often.
+        let shown = vec![junk, junk, intent_tag];
+        let mut relevant_clicks = 0;
+        let mut junk_clicks = 0;
+        for _ in 0..500 {
+            match u.click(&w, rq, &shown, &[], &mut rng) {
+                Some(2) => relevant_clicks += 1,
+                Some(_) => junk_clicks += 1,
+                None => {}
+            }
+        }
+        assert!(relevant_clicks > junk_clicks * 2, "{relevant_clicks} vs {junk_clicks}");
+    }
+
+    #[test]
+    fn already_clicked_tags_are_skipped() {
+        let w = world();
+        let u = UserModel {
+            p_intent: 1.0,
+            p_topic: 1.0,
+            p_other: 1.0,
+            position_bias: false,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let rq = 0;
+        let shown = vec![5, 6];
+        let pos = u.click(&w, rq, &shown, &[5], &mut rng);
+        assert_eq!(pos, Some(1), "first tag already clicked, second must win");
+    }
+
+    #[test]
+    fn accepts_equivalent_matches_paraphrases() {
+        let w = world();
+        let u = UserModel::default();
+        // Find two same-tenant RQs with identical tag sets (the generator
+        // produces many paraphrases).
+        let mut pair = None;
+        'outer: for a in 0..w.rqs.len() {
+            for b in a + 1..w.rqs.len() {
+                if w.rqs[a].tenant == w.rqs[b].tenant
+                    && !w.rqs[a].tags.is_empty()
+                    && w.rqs[a].tags == w.rqs[b].tags
+                {
+                    pair = Some((a, b));
+                    break 'outer;
+                }
+            }
+        }
+        let (a, b) = pair.expect("paraphrase pair exists in the tiny world");
+        assert!(u.accepts_equivalent(&w, a, &[b], 1));
+        assert!(!u.accepts(a, &[b], 1), "exact acceptance must not fire");
+    }
+
+    #[test]
+    fn accepts_checks_topk_membership() {
+        let u = UserModel::default();
+        assert!(u.accepts(7, &[3, 7, 9], 3));
+        assert!(!u.accepts(7, &[3, 9, 7], 2));
+        assert!(!u.accepts(7, &[], 3));
+    }
+}

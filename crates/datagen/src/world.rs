@@ -1,0 +1,687 @@
+//! The synthetic customer-service world.
+//!
+//! Substitutes the paper's proprietary Ant Group dataset. The generator
+//! produces, under one seed:
+//!
+//! * **tenants** with Zipf-distributed sizes and small topical footprints
+//!   (most SMEs are small and specialized — the cold-start population the
+//!   paper cares about),
+//! * **tags** per topic with Zipf popularity (head tags + a long tail of
+//!   rare variants),
+//! * **RQ sentences** from question templates with gold tag spans and word
+//!   weights (the supervision the paper obtained by manual annotation),
+//! * **sessions** of tag clicks driven by a latent intent RQ, plus
+//!   consulted-question pairs (the source of `clk` and `cst` edges).
+
+use rand::distributions::WeightedIndex;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use intellitag_graph::{HetGraph, HetGraphBuilder};
+use intellitag_search::KbWarehouse;
+
+use crate::config::WorldConfig;
+use crate::topics::{build_topics, Topic, FILLERS, TEMPLATES};
+
+/// Extra single-word modifiers used to synthesize long-tail tag variants
+/// when a topic needs more tags than its curated bank provides.
+const MODIFIERS: &[&str] = &[
+    "new", "old", "premium", "basic", "digital", "mobile", "online", "offline", "shared",
+    "family", "business", "personal", "temporary", "annual", "monthly", "expired", "joint",
+    "virtual", "physical", "backup", "primary", "secondary", "regional", "global", "trial",
+    "legacy", "standard", "extended", "partial", "instant", "manual", "automatic", "priority",
+    "internal", "external", "public", "private", "frozen", "active", "archived",
+];
+
+/// A mined/minable tag: an ordered list of words plus its topic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tag {
+    /// The words composing the tag (1..=3).
+    pub words: Vec<String>,
+    /// Topic the tag belongs to.
+    pub topic: usize,
+    /// Whether the tag is *representative* (paper §III: tags must be
+    /// "complete, representative and question-related"). Long-tail variants
+    /// are phrase-shaped but not representative: the word-weighting task is
+    /// what separates them from real tags.
+    pub representative: bool,
+}
+
+impl Tag {
+    /// Space-joined surface form.
+    pub fn text(&self) -> String {
+        self.words.join(" ")
+    }
+}
+
+/// A gold tag span inside an RQ sentence: token range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GoldSpan {
+    /// First token index.
+    pub start: usize,
+    /// One past the last token index.
+    pub end: usize,
+    /// The tag occupying the span.
+    pub tag: usize,
+}
+
+/// A representative question with its gold structure.
+#[derive(Debug, Clone)]
+pub struct Rq {
+    /// Owning tenant.
+    pub tenant: usize,
+    /// Topic the question is about.
+    pub topic: usize,
+    /// Tokenized sentence.
+    pub tokens: Vec<String>,
+    /// Ground-truth tags present (drives the `asc` relation and evaluation).
+    pub tags: Vec<usize>,
+    /// Segmentation annotations. May miss tags relative to [`Rq::tags`]:
+    /// label noise models an annotator skipping a span in the segmentation
+    /// pass. These are also the evaluation gold spans, as in the paper
+    /// (models are scored against the human annotation, noise included).
+    pub spans: Vec<GoldSpan>,
+    /// Word-weight annotations, with *independent* noise — the paper labels
+    /// segmentation and weighting as two separate passes, so their mistakes
+    /// are uncorrelated (this is what multi-task learning exploits).
+    pub weight_spans: Vec<GoldSpan>,
+    /// The complete, noise-free spans (evaluation ground truth; the paper's
+    /// test annotation is assumed clean relative to the training labels).
+    pub true_spans: Vec<GoldSpan>,
+    /// Canonical answer text.
+    pub answer: String,
+}
+
+impl Rq {
+    /// The question's surface text.
+    pub fn text(&self) -> String {
+        self.tokens.join(" ")
+    }
+}
+
+/// One user consultation session.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// Tenant whose interface the user is on.
+    pub tenant: usize,
+    /// Latent intent: the RQ the user ultimately needs.
+    pub intent_rq: usize,
+    /// Clicked tags, in order.
+    pub clicks: Vec<usize>,
+    /// Questions consulted in order (creates `cst` edges between retrieved
+    /// RQs when two or more were asked).
+    pub consulted: Vec<usize>,
+}
+
+/// Per-tenant generation info.
+#[derive(Debug, Clone)]
+pub struct TenantInfo {
+    /// Topics this tenant operates in.
+    pub topics: Vec<usize>,
+    /// Relative traffic/corpus share (Zipf).
+    pub weight: f64,
+}
+
+/// The fully generated world.
+#[derive(Debug)]
+pub struct World {
+    /// Generation parameters.
+    pub config: WorldConfig,
+    /// Topic word banks.
+    pub topics: Vec<Topic>,
+    /// All tags, global ids.
+    pub tags: Vec<Tag>,
+    /// Tag ids per topic, Zipf-ordered (index 0 most popular).
+    pub tags_by_topic: Vec<Vec<usize>>,
+    /// Tenants.
+    pub tenants: Vec<TenantInfo>,
+    /// RQs, global ids.
+    pub rqs: Vec<Rq>,
+    /// Sessions.
+    pub sessions: Vec<Session>,
+    /// RQ ids per tenant.
+    pub rqs_by_tenant: Vec<Vec<usize>>,
+}
+
+impl World {
+    /// Generates a world from a configuration. Deterministic in
+    /// `config.seed`.
+    ///
+    /// # Panics
+    /// Panics when the configuration fails [`WorldConfig::validate`].
+    pub fn generate(config: WorldConfig) -> World {
+        config.validate().expect("invalid WorldConfig");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let topics = build_topics(config.num_topics);
+
+        // --- tags ---------------------------------------------------------
+        let mut tags = Vec::new();
+        let mut tags_by_topic = vec![Vec::new(); topics.len()];
+        // Aim for the configured tag:RQ ratio (paper: ~1:17) with a floor
+        // of the curated bank size.
+        let target_total = (config.num_rqs / config.rqs_per_tag).max(topics.len() * 8);
+        let per_topic = (target_total / topics.len()).max(8);
+        for (ti, topic) in topics.iter().enumerate() {
+            let mut topic_tags: Vec<Tag> = Vec::new();
+            for a in &topic.actions {
+                topic_tags.push(Tag { words: split_words(a), topic: ti, representative: true });
+            }
+            for o in &topic.objects {
+                topic_tags.push(Tag { words: split_words(o), topic: ti, representative: true });
+            }
+            // Long-tail variants: modifier + object, then modifier + action.
+            let mut mi = 0;
+            while topic_tags.len() < per_topic {
+                let modifier = MODIFIERS[mi % MODIFIERS.len()];
+                let round = mi / MODIFIERS.len();
+                let base = if round.is_multiple_of(2) {
+                    &topic.objects[(mi / 2) % topic.objects.len()]
+                } else {
+                    &topic.actions[(mi / 2) % topic.actions.len()]
+                };
+                let mut words = vec![modifier.to_string()];
+                words.extend(split_words(base));
+                if round >= 2 {
+                    // Deep tail: disambiguate with an ordinal word.
+                    words.push(format!("v{round}"));
+                }
+                topic_tags.push(Tag { words, topic: ti, representative: false });
+                mi += 1;
+            }
+            for t in topic_tags {
+                tags_by_topic[ti].push(tags.len());
+                tags.push(t);
+            }
+        }
+
+        // --- tenants ------------------------------------------------------
+        let mut tenants = Vec::with_capacity(config.num_tenants);
+        for i in 0..config.num_tenants {
+            let k = rng.gen_range(config.topics_per_tenant.0..=config.topics_per_tenant.1);
+            let mut ts: Vec<usize> = (0..topics.len()).collect();
+            ts.shuffle(&mut rng);
+            ts.truncate(k);
+            let weight = 1.0 / ((i + 1) as f64).powf(config.tenant_zipf);
+            tenants.push(TenantInfo { topics: ts, weight });
+        }
+        let tenant_dist =
+            WeightedIndex::new(tenants.iter().map(|t| t.weight)).expect("tenant weights");
+
+        // --- RQs ------------------------------------------------------------
+        // Zipf popularity over a topic's tags: head tags appear in many RQs.
+        let tag_zipf: Vec<WeightedIndex<f64>> = tags_by_topic
+            .iter()
+            .map(|ids| {
+                WeightedIndex::new(
+                    (0..ids.len()).map(|r| 1.0 / ((r + 1) as f64).powf(config.tag_zipf)),
+                )
+                .expect("tag weights")
+            })
+            .collect();
+
+        let mut rqs: Vec<Rq> = Vec::with_capacity(config.num_rqs);
+        let mut rqs_by_tenant = vec![Vec::new(); config.num_tenants];
+        while rqs.len() < config.num_rqs {
+            let tenant = tenant_dist.sample(&mut rng);
+            let topic = *tenants[tenant].topics.choose(&mut rng).expect("tenant topics");
+            let rq = generate_rq(
+                tenant,
+                topic,
+                &topics[topic],
+                &tags,
+                &tags_by_topic[topic],
+                &tag_zipf[topic],
+                config.label_noise,
+                &mut rng,
+            );
+            rqs_by_tenant[tenant].push(rqs.len());
+            rqs.push(rq);
+        }
+
+        // --- sessions -------------------------------------------------------
+        let mut sessions = Vec::with_capacity(config.num_sessions);
+        for _ in 0..config.num_sessions {
+            // Re-draw until we land on a tenant that owns at least one RQ.
+            let tenant = loop {
+                let t = tenant_dist.sample(&mut rng);
+                if !rqs_by_tenant[t].is_empty() {
+                    break t;
+                }
+            };
+            let intent_rq = *rqs_by_tenant[tenant].choose(&mut rng).expect("tenant rqs");
+            let session = generate_session(
+                tenant,
+                intent_rq,
+                &rqs,
+                &rqs_by_tenant[tenant],
+                &tags,
+                &tags_by_topic,
+                &tag_zipf,
+                config.click_continue_prob,
+                config.second_question_prob,
+                &mut rng,
+            );
+            sessions.push(session);
+        }
+
+        World { config, topics, tags, tags_by_topic, tenants, rqs, sessions, rqs_by_tenant }
+    }
+
+    /// Mean clicks per session.
+    pub fn avg_clicks(&self) -> f64 {
+        if self.sessions.is_empty() {
+            return 0.0;
+        }
+        self.sessions.iter().map(|s| s.clicks.len()).sum::<usize>() as f64
+            / self.sessions.len() as f64
+    }
+
+    /// Total click events.
+    pub fn total_clicks(&self) -> usize {
+        self.sessions.iter().map(|s| s.clicks.len()).sum()
+    }
+
+    /// Builds the TagRec heterogeneous graph from ground-truth associations
+    /// and the session logs (paper §IV-A).
+    pub fn build_graph(&self) -> HetGraph {
+        let mut b = HetGraphBuilder::new(self.tags.len(), self.rqs.len(), self.tenants.len());
+        for (qid, rq) in self.rqs.iter().enumerate() {
+            b.set_tenant(qid, rq.tenant);
+            for &t in &rq.tags {
+                b.add_asc(t, qid);
+            }
+        }
+        for s in &self.sessions {
+            for w in s.clicks.windows(2) {
+                b.add_clk(w[0], w[1]);
+            }
+            for w in s.consulted.windows(2) {
+                b.add_cst(w[0], w[1]);
+            }
+        }
+        b.build()
+    }
+
+    /// Builds the KB warehouse holding every generated Q&A pair.
+    pub fn build_kb(&self) -> KbWarehouse {
+        let mut kb = KbWarehouse::new();
+        for rq in &self.rqs {
+            kb.add_pair(rq.text(), rq.answer.clone(), rq.tenant);
+        }
+        kb
+    }
+
+    /// Tags mined from a tenant's RQs (ground truth), deduplicated.
+    pub fn tenant_tag_pool(&self, tenant: usize) -> Vec<usize> {
+        let mut v: Vec<usize> = self.rqs_by_tenant[tenant]
+            .iter()
+            .flat_map(|&q| self.rqs[q].tags.iter().copied())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Generates a user-phrased paraphrase of an RQ: the same tags embedded
+    /// in a different template with different fillers. This is the raw
+    /// material for Q&A matching (the deployed system's RoBERTa model
+    /// matches user questions to RQs, §V-A).
+    pub fn paraphrase_question<R: Rng>(&self, rq: usize, rng: &mut R) -> String {
+        let q = &self.rqs[rq];
+        // Templates without the distractor slot keep paraphrases on-topic.
+        let template = TEMPLATES
+            .iter()
+            .filter(|t| !t.contains("{D}"))
+            .choose(rng)
+            .expect("clean templates exist");
+        let a_tag = q.tags.first().copied();
+        let o_tag = q.tags.last().copied();
+        let mut out: Vec<String> = Vec::new();
+        for piece in template.split_whitespace() {
+            match piece {
+                "{A}" => {
+                    if let Some(t) = a_tag {
+                        out.extend(self.tags[t].words.iter().cloned());
+                    }
+                }
+                "{O}" => {
+                    if let Some(t) = o_tag {
+                        out.extend(self.tags[t].words.iter().cloned());
+                    }
+                }
+                "{F}" => out.push(FILLERS.choose(rng).expect("fillers").to_string()),
+                w => out.push(w.to_string()),
+            }
+        }
+        out.join(" ")
+    }
+
+    /// Global tag-click frequency from the session log (cold-start
+    /// recommendations use the most frequently clicked tags, §V-B).
+    pub fn click_frequency(&self) -> Vec<usize> {
+        let mut f = vec![0usize; self.tags.len()];
+        for s in &self.sessions {
+            for &c in &s.clicks {
+                f[c] += 1;
+            }
+        }
+        f
+    }
+}
+
+fn split_words(phrase: &str) -> Vec<String> {
+    phrase.split_whitespace().map(str::to_string).collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn generate_rq<R: Rng>(
+    tenant: usize,
+    topic_id: usize,
+    topic: &Topic,
+    tags: &[Tag],
+    topic_tags: &[usize],
+    tag_dist: &WeightedIndex<f64>,
+    label_noise: f64,
+    rng: &mut R,
+) -> Rq {
+    let template = TEMPLATES.choose(rng).expect("templates");
+    // Draw an action-flavored and an object-flavored tag. Variants are valid
+    // for both slots; we only require distinctness.
+    let a_tag = topic_tags[tag_dist.sample(rng)];
+    let mut o_tag = topic_tags[tag_dist.sample(rng)];
+    let mut guard = 0;
+    while o_tag == a_tag && topic_tags.len() > 1 && guard < 16 {
+        o_tag = topic_tags[tag_dist.sample(rng)];
+        guard += 1;
+    }
+
+    let mut tokens: Vec<String> = Vec::new();
+    let mut used_tags: Vec<usize> = Vec::new();
+    let mut spans: Vec<GoldSpan> = Vec::new();
+    for piece in template.split_whitespace() {
+        match piece {
+            "{A}" | "{O}" => {
+                let tag = if piece == "{A}" { a_tag } else { o_tag };
+                let start = tokens.len();
+                tokens.extend(tags[tag].words.iter().cloned());
+                spans.push(GoldSpan { start, end: tokens.len(), tag });
+                used_tags.push(tag);
+            }
+            "{F}" => tokens.push(FILLERS.choose(rng).expect("fillers").to_string()),
+            "{D}" => {
+                // A distractor: one word borrowed from another tag of the
+                // topic, used as prose. No span, weight 0 — the miner must
+                // use sentence context to tell it apart from real tags.
+                let other = topic_tags[tag_dist.sample(rng)];
+                let word = tags[other].words.choose(rng).expect("tag words");
+                tokens.push(word.clone());
+            }
+            w => tokens.push(w.to_string()),
+        }
+    }
+    used_tags.sort_unstable();
+    used_tags.dedup();
+
+    // The two annotation passes measure different things: segmentation
+    // marks *every* phrase boundary, weighting marks only *representative*
+    // spans (weight 1 iff the span is a real tag, not a long-tail variant).
+    // Noise is independent per pass: each may miss a span. The clean
+    // representative spans are the evaluation ground truth.
+    let true_spans: Vec<GoldSpan> =
+        spans.iter().copied().filter(|s| tags[s.tag].representative).collect();
+    let weight_spans: Vec<GoldSpan> = true_spans
+        .iter()
+        .copied()
+        .filter(|_| !rng.gen_bool(label_noise))
+        .collect();
+    spans.retain(|_| !rng.gen_bool(label_noise));
+
+    let answer = format!(
+        "To resolve this, open the {} section and follow the guided steps.",
+        topic.name
+    );
+    Rq { tenant, topic: topic_id, tokens, tags: used_tags, spans, weight_spans, true_spans, answer }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn generate_session<R: Rng>(
+    tenant: usize,
+    intent_rq: usize,
+    rqs: &[Rq],
+    tenant_rqs: &[usize],
+    tags: &[Tag],
+    tags_by_topic: &[Vec<usize>],
+    tag_zipf: &[WeightedIndex<f64>],
+    continue_prob: f64,
+    second_question_prob: f64,
+    rng: &mut R,
+) -> Session {
+    let intent = &rqs[intent_rq];
+    let topic = intent.topic;
+    let mut clicks: Vec<usize> = Vec::new();
+    let mut remaining_intent: Vec<usize> = intent.tags.clone();
+    remaining_intent.shuffle(rng);
+
+    loop {
+        // Next click: mostly refine toward the intent, sometimes explore.
+        let roll: f64 = rng.gen();
+        let next = if roll < 0.6 {
+            remaining_intent.pop()
+        } else if roll < 0.9 {
+            let tid = tags_by_topic[topic][tag_zipf[topic].sample(rng)];
+            (!clicks.contains(&tid)).then_some(tid)
+        } else {
+            // Off-topic wander within the tenant's corpus.
+            let q = *tenant_rqs.choose(rng).expect("tenant rqs");
+            rqs[q].tags.choose(rng).copied().filter(|t| !clicks.contains(t))
+        };
+        if let Some(t) = next {
+            debug_assert!(t < tags.len());
+            clicks.push(t);
+        }
+        // Stop conditions: geometric continuation with a hard cap.
+        if !clicks.is_empty() && !rng.gen_bool(continue_prob) {
+            break;
+        }
+        if clicks.len() >= 12 {
+            break;
+        }
+    }
+    if clicks.is_empty() {
+        // Guarantee at least one click per session (sessions without clicks
+        // are pure Q&A dialogues and carry no TagRec signal).
+        if let Some(&t) = intent.tags.first() {
+            clicks.push(t);
+        } else {
+            clicks.push(tags_by_topic[topic][0]);
+        }
+    }
+
+    // Consulted questions: the intent RQ, optionally preceded by a related
+    // same-tenant question (their retrieval order creates the cst edge).
+    let mut consulted = Vec::with_capacity(2);
+    if rng.gen_bool(second_question_prob) && tenant_rqs.len() > 1 {
+        // Prefer a same-topic sibling.
+        let sibling = tenant_rqs
+            .iter()
+            .copied()
+            .filter(|&q| q != intent_rq && rqs[q].topic == topic)
+            .choose(rng)
+            .or_else(|| {
+                tenant_rqs.iter().copied().filter(|&q| q != intent_rq).choose(rng)
+            });
+        if let Some(q) = sibling {
+            consulted.push(q);
+        }
+    }
+    consulted.push(intent_rq);
+
+    Session { tenant, intent_rq, clicks, consulted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        World::generate(WorldConfig::tiny(42))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = world();
+        let b = world();
+        assert_eq!(a.tags.len(), b.tags.len());
+        assert_eq!(a.rqs.len(), b.rqs.len());
+        for (x, y) in a.rqs.iter().zip(&b.rqs) {
+            assert_eq!(x.tokens, y.tokens);
+            assert_eq!(x.tags, y.tags);
+        }
+        for (x, y) in a.sessions.iter().zip(&b.sessions) {
+            assert_eq!(x.clicks, y.clicks);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = World::generate(WorldConfig::tiny(1));
+        let b = World::generate(WorldConfig::tiny(2));
+        let same = a
+            .sessions
+            .iter()
+            .zip(&b.sessions)
+            .filter(|(x, y)| x.clicks == y.clicks)
+            .count();
+        assert!(same < a.sessions.len(), "seeds should change the sessions");
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let w = world();
+        assert_eq!(w.rqs.len(), w.config.num_rqs);
+        assert_eq!(w.sessions.len(), w.config.num_sessions);
+        assert_eq!(w.tenants.len(), w.config.num_tenants);
+    }
+
+    #[test]
+    fn avg_clicks_near_paper_target() {
+        let w = World::generate(WorldConfig::small(7));
+        let avg = w.avg_clicks();
+        assert!(
+            (2.2..=3.6).contains(&avg),
+            "avg clicks {avg} should be near the paper's 2.9"
+        );
+    }
+
+    #[test]
+    fn gold_spans_match_tag_words() {
+        let w = world();
+        for rq in &w.rqs {
+            for s in &rq.spans {
+                let span_words: Vec<&str> =
+                    rq.tokens[s.start..s.end].iter().map(String::as_str).collect();
+                let tag_words: Vec<&str> =
+                    w.tags[s.tag].words.iter().map(String::as_str).collect();
+                assert_eq!(span_words, tag_words, "span text must equal the tag");
+            }
+        }
+    }
+
+    #[test]
+    fn rq_tags_are_topic_consistent() {
+        let w = world();
+        for rq in &w.rqs {
+            for &t in &rq.tags {
+                assert_eq!(w.tags[t].topic, rq.topic);
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_have_clicks_and_consult_the_intent() {
+        let w = world();
+        for s in &w.sessions {
+            assert!(!s.clicks.is_empty());
+            assert_eq!(*s.consulted.last().unwrap(), s.intent_rq);
+            assert!(s.clicks.len() <= 12);
+        }
+    }
+
+    #[test]
+    fn graph_counts_are_consistent() {
+        let w = world();
+        let g = w.build_graph();
+        assert_eq!(g.num_tags(), w.tags.len());
+        assert_eq!(g.num_rqs(), w.rqs.len());
+        assert_eq!(g.num_tenants(), w.tenants.len());
+        let c = g.relation_counts();
+        assert_eq!(c.crl, w.rqs.len(), "every RQ has exactly one tenant");
+        assert!(c.asc > 0 && c.clk > 0 && c.cst > 0);
+    }
+
+    #[test]
+    fn kb_holds_every_rq() {
+        let w = world();
+        let kb = w.build_kb();
+        assert_eq!(kb.len(), w.rqs.len());
+        // The warehouse can find an RQ by its own text.
+        let (found, _) = kb.best_match(&w.rqs[0].text(), w.rqs[0].tenant).unwrap();
+        assert_eq!(w.rqs[found].tenant, w.rqs[0].tenant);
+    }
+
+    #[test]
+    fn tenant_sizes_are_skewed() {
+        let w = World::generate(WorldConfig::small(3));
+        let mut sizes: Vec<usize> = w.rqs_by_tenant.iter().map(Vec::len).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        // Head tenant should dwarf the median tenant (Zipf skew).
+        assert!(sizes[0] >= 4 * sizes[w.tenants.len() / 2].max(1));
+    }
+
+    #[test]
+    fn click_frequency_sums_to_total_clicks() {
+        let w = world();
+        let f = w.click_frequency();
+        assert_eq!(f.iter().sum::<usize>(), w.total_clicks());
+    }
+
+    #[test]
+    fn paraphrase_shares_tag_words_with_rq() {
+        let w = world();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        use rand::SeedableRng;
+        for rq in 0..20 {
+            if w.rqs[rq].tags.is_empty() {
+                continue;
+            }
+            let p = w.paraphrase_question(rq, &mut rng);
+            // Some templates carry only the {O} slot, so require any of the
+            // RQ's tags (not a specific one) to surface.
+            let mentions_any = w.rqs[rq].tags.iter().any(|&t| {
+                w.tags[t].words.iter().any(|word| p.contains(word.as_str()))
+            });
+            assert!(mentions_any, "paraphrase {p:?} should mention a tag of RQ {rq}");
+        }
+    }
+
+    #[test]
+    fn paraphrases_vary_across_draws() {
+        let w = world();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let rq = (0..w.rqs.len()).find(|&q| !w.rqs[q].tags.is_empty()).unwrap();
+        let all: Vec<String> = (0..10).map(|_| w.paraphrase_question(rq, &mut rng)).collect();
+        let distinct: std::collections::HashSet<&String> = all.iter().collect();
+        assert!(distinct.len() > 1, "paraphrases should differ");
+    }
+
+    #[test]
+    fn label_noise_drops_some_spans() {
+        let mut cfg = WorldConfig::tiny(5);
+        cfg.label_noise = 0.5;
+        let w = World::generate(cfg);
+        let spans: usize = w.rqs.iter().map(|r| r.spans.len()).sum();
+        let tags: usize = w.rqs.iter().map(|r| r.tags.len()).sum();
+        assert!(spans < tags, "noise must drop some annotations ({spans} vs {tags})");
+    }
+}

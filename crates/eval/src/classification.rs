@@ -1,0 +1,139 @@
+//! Precision / recall / F1 over predicted vs. gold sets, used by the tag
+//! mining evaluation (paper Table III reports span-level P/R/F1).
+
+/// Precision, recall and F1 computed from raw counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrfReport {
+    /// True positives.
+    pub tp: usize,
+    /// False positives (predicted but not gold).
+    pub fp: usize,
+    /// False negatives (gold but not predicted).
+    pub fn_: usize,
+}
+
+impl PrfReport {
+    /// Precision `tp / (tp + fp)`; 0 when nothing was predicted.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 0 when there is no gold.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Formats the row as Table III prints it (percentages).
+    pub fn table_row(&self, label: &str) -> String {
+        format!(
+            "{label:<20} {:>6.2}%  {:>6.2}%  {:>6.2}%",
+            self.precision() * 100.0,
+            self.recall() * 100.0,
+            self.f1() * 100.0
+        )
+    }
+}
+
+/// Accumulates set-matching counts across examples.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrfAccumulator {
+    tp: usize,
+    fp: usize,
+    fn_: usize,
+}
+
+impl PrfAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one example: `predicted` and `gold` are sets of comparable
+    /// items (e.g. `(start, end)` spans). Matching is exact.
+    pub fn push<T: PartialEq>(&mut self, predicted: &[T], gold: &[T]) {
+        let tp = predicted.iter().filter(|p| gold.contains(p)).count();
+        self.tp += tp;
+        self.fp += predicted.len() - tp;
+        self.fn_ += gold.iter().filter(|g| !predicted.contains(g)).count();
+    }
+
+    /// Final counts.
+    pub fn report(&self) -> PrfReport {
+        PrfReport { tp: self.tp, fp: self.fp, fn_: self.fn_ }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let mut acc = PrfAccumulator::new();
+        acc.push(&[(0, 2), (3, 4)], &[(0, 2), (3, 4)]);
+        let r = acc.report();
+        assert_eq!(r.precision(), 1.0);
+        assert_eq!(r.recall(), 1.0);
+        assert_eq!(r.f1(), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let mut acc = PrfAccumulator::new();
+        acc.push(&[(0, 2), (5, 6)], &[(0, 2), (3, 4)]);
+        let r = acc.report();
+        assert_eq!(r.tp, 1);
+        assert_eq!(r.fp, 1);
+        assert_eq!(r.fn_, 1);
+        assert_eq!(r.precision(), 0.5);
+        assert_eq!(r.recall(), 0.5);
+        assert_eq!(r.f1(), 0.5);
+    }
+
+    #[test]
+    fn empty_cases_do_not_divide_by_zero() {
+        let acc = PrfAccumulator::new();
+        let r = acc.report();
+        assert_eq!(r.precision(), 0.0);
+        assert_eq!(r.recall(), 0.0);
+        assert_eq!(r.f1(), 0.0);
+    }
+
+    #[test]
+    fn no_predictions_has_zero_precision_full_fn() {
+        let mut acc = PrfAccumulator::new();
+        acc.push::<(usize, usize)>(&[], &[(0, 1)]);
+        let r = acc.report();
+        assert_eq!(r.precision(), 0.0);
+        assert_eq!(r.recall(), 0.0);
+        assert_eq!(r.fn_, 1);
+    }
+
+    #[test]
+    fn accumulates_across_examples() {
+        let mut acc = PrfAccumulator::new();
+        acc.push(&[1], &[1]);
+        acc.push(&[2], &[3]);
+        let r = acc.report();
+        assert_eq!((r.tp, r.fp, r.fn_), (1, 1, 1));
+    }
+}

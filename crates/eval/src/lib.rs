@@ -1,0 +1,25 @@
+//! # intellitag-eval
+//!
+//! Every metric reported in the IntelliTag paper's evaluation (§VI):
+//!
+//! * [`RankingAccumulator`] — MRR, NDCG@K, HR@K with the 49-same-tenant-
+//!   negative sampled ranking protocol (Tables IV, V; Fig. 6).
+//! * [`PrfAccumulator`] — span-level precision/recall/F1 for tag mining
+//!   (Table III).
+//! * [`CtrAccumulator`] — micro and macro (per-tenant) click-through rate
+//!   (Fig. 7).
+//! * [`HirAccumulator`] / [`LatencyAccumulator`] — human intervention rate
+//!   and response latency (Table VI).
+
+#![warn(missing_docs)]
+
+mod classification;
+mod online;
+mod ranking;
+
+pub use classification::{PrfAccumulator, PrfReport};
+pub use online::{CtrAccumulator, HirAccumulator, LatencyAccumulator};
+pub use ranking::{
+    hit_at, ndcg_at, rank_of_positive, reciprocal_rank, sample_negatives, RankingAccumulator,
+    RankingReport,
+};

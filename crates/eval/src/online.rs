@@ -1,0 +1,239 @@
+//! Online-style metrics: CTR (Fig. 7) and HIR (Table VI).
+//!
+//! The paper macro-averages CTR over tenants because small tenants are the
+//! business focus; the same convention is implemented here.
+
+use std::collections::BTreeMap;
+
+/// Click-through-rate accumulator with per-tenant bookkeeping.
+#[derive(Debug, Default, Clone)]
+pub struct CtrAccumulator {
+    per_tenant: BTreeMap<usize, (u64, u64)>, // (clicks, impressions)
+}
+
+impl CtrAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one tag impression for a tenant and whether it was clicked.
+    pub fn record(&mut self, tenant: usize, clicked: bool) {
+        let e = self.per_tenant.entry(tenant).or_insert((0, 0));
+        e.1 += 1;
+        if clicked {
+            e.0 += 1;
+        }
+    }
+
+    /// Micro-averaged CTR: total clicks / total impressions.
+    pub fn micro_ctr(&self) -> f64 {
+        let (c, i) = self
+            .per_tenant
+            .values()
+            .fold((0u64, 0u64), |acc, &(c, i)| (acc.0 + c, acc.1 + i));
+        if i == 0 {
+            0.0
+        } else {
+            c as f64 / i as f64
+        }
+    }
+
+    /// Macro-averaged CTR: mean of per-tenant CTRs (the paper's convention —
+    /// every SME counts equally regardless of traffic).
+    pub fn macro_ctr(&self) -> f64 {
+        let rates: Vec<f64> = self
+            .per_tenant
+            .values()
+            .filter(|&&(_, i)| i > 0)
+            .map(|&(c, i)| c as f64 / i as f64)
+            .collect();
+        if rates.is_empty() {
+            0.0
+        } else {
+            rates.iter().sum::<f64>() / rates.len() as f64
+        }
+    }
+
+    /// Number of tenants with at least one impression.
+    pub fn num_tenants(&self) -> usize {
+        self.per_tenant.values().filter(|&&(_, i)| i > 0).count()
+    }
+
+    /// Population variance of per-tenant CTRs (the paper attributes
+    /// BERT4Rec's weak online showing to high cross-tenant variance).
+    pub fn tenant_variance(&self) -> f64 {
+        let rates: Vec<f64> = self
+            .per_tenant
+            .values()
+            .filter(|&&(_, i)| i > 0)
+            .map(|&(c, i)| c as f64 / i as f64)
+            .collect();
+        if rates.len() < 2 {
+            return 0.0;
+        }
+        let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+        rates.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / rates.len() as f64
+    }
+}
+
+/// Human-intervention-rate accumulator: the fraction of sessions that end
+/// with a human takeover because the system failed to solve the question.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HirAccumulator {
+    sessions: u64,
+    interventions: u64,
+}
+
+impl HirAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a completed session and whether a human had to intervene.
+    pub fn record(&mut self, intervened: bool) {
+        self.sessions += 1;
+        if intervened {
+            self.interventions += 1;
+        }
+    }
+
+    /// Sessions recorded.
+    pub fn sessions(&self) -> u64 {
+        self.sessions
+    }
+
+    /// Human intervention rate; 0 when nothing was recorded.
+    pub fn hir(&self) -> f64 {
+        if self.sessions == 0 {
+            0.0
+        } else {
+            self.interventions as f64 / self.sessions as f64
+        }
+    }
+}
+
+/// Latency summary over per-request wall-clock samples (Table VI reports a
+/// mean response latency per model).
+#[derive(Debug, Default, Clone)]
+pub struct LatencyAccumulator {
+    samples_us: Vec<u64>,
+}
+
+impl LatencyAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one request latency in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        self.samples_us.push(us);
+    }
+
+    /// Number of recorded requests.
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// Mean latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        self.samples_us.iter().sum::<u64>() as f64 / self.samples_us.len() as f64 / 1000.0
+    }
+
+    /// Latency percentile in milliseconds (`p` in `[0, 100]`).
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_unstable();
+        let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx.min(sorted.len() - 1)] as f64 / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_vs_macro_ctr() {
+        let mut c = CtrAccumulator::new();
+        // tenant 0: 1/2 clicked; tenant 1: 0/8 clicked
+        c.record(0, true);
+        c.record(0, false);
+        for _ in 0..8 {
+            c.record(1, false);
+        }
+        assert!((c.micro_ctr() - 0.1).abs() < 1e-12);
+        assert!((c.macro_ctr() - 0.25).abs() < 1e-12);
+        assert_eq!(c.num_tenants(), 2);
+    }
+
+    #[test]
+    fn macro_ctr_weights_small_tenants() {
+        // A model great on the big tenant but useless on small ones must lose
+        // the macro average — the paper's explanation of BERT4Rec online.
+        let mut big_winner = CtrAccumulator::new();
+        for _ in 0..90 {
+            big_winner.record(0, true);
+        }
+        for t in 1..10 {
+            big_winner.record(t, false);
+        }
+        let mut consistent = CtrAccumulator::new();
+        for _ in 0..90 {
+            consistent.record(0, false);
+        }
+        for t in 0..10 {
+            consistent.record(t, true);
+        }
+        assert!(big_winner.micro_ctr() > consistent.micro_ctr());
+        assert!(big_winner.macro_ctr() < consistent.macro_ctr());
+    }
+
+    #[test]
+    fn variance_zero_for_uniform_rates() {
+        let mut c = CtrAccumulator::new();
+        for t in 0..4 {
+            c.record(t, true);
+            c.record(t, false);
+        }
+        assert!(c.tenant_variance() < 1e-12);
+    }
+
+    #[test]
+    fn hir_counts_interventions() {
+        let mut h = HirAccumulator::new();
+        h.record(false);
+        h.record(true);
+        h.record(false);
+        h.record(false);
+        assert_eq!(h.sessions(), 4);
+        assert!((h.hir() - 0.25).abs() < 1e-12);
+        assert_eq!(HirAccumulator::new().hir(), 0.0);
+    }
+
+    #[test]
+    fn latency_mean_and_percentile() {
+        let mut l = LatencyAccumulator::new();
+        for us in [1000, 2000, 3000, 4000, 100_000] {
+            l.record_us(us);
+        }
+        assert!((l.mean_ms() - 22.0).abs() < 1e-9);
+        assert_eq!(l.percentile_ms(0.0), 1.0);
+        assert_eq!(l.percentile_ms(100.0), 100.0);
+        assert_eq!(l.percentile_ms(50.0), 3.0);
+        assert_eq!(LatencyAccumulator::new().mean_ms(), 0.0);
+    }
+}

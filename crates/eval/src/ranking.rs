@@ -1,0 +1,245 @@
+//! Ranking metrics for the TagRec offline evaluation (paper §VI-A2):
+//! MRR, NDCG@K and HR@K under the 49-negative sampled ranking protocol.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Rank (1-based) of the positive item given its score and the negatives'
+/// scores. Ties count against the positive (pessimistic, deterministic).
+pub fn rank_of_positive(positive_score: f32, negative_scores: &[f32]) -> usize {
+    1 + negative_scores.iter().filter(|&&s| s >= positive_score).count()
+}
+
+/// Reciprocal rank for a 1-based rank.
+pub fn reciprocal_rank(rank: usize) -> f64 {
+    assert!(rank >= 1, "ranks are 1-based");
+    1.0 / rank as f64
+}
+
+/// Hit ratio at `k`: 1 if the positive ranked within the top `k`.
+pub fn hit_at(rank: usize, k: usize) -> f64 {
+    if rank <= k {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// NDCG at `k` with a single relevant item: `1 / log2(rank + 1)` when the
+/// positive is within the top `k`, else 0. (With one positive the ideal DCG
+/// is 1, so DCG is already normalized.)
+pub fn ndcg_at(rank: usize, k: usize) -> f64 {
+    if rank <= k {
+        1.0 / ((rank as f64) + 1.0).log2()
+    } else {
+        0.0
+    }
+}
+
+/// Accumulates per-query ranks and reports the paper's Table IV metric row:
+/// MRR, NDCG@{1,5,10}, HR@{5,10}.
+#[derive(Debug, Default, Clone)]
+pub struct RankingAccumulator {
+    ranks: Vec<usize>,
+}
+
+/// The metric row reported for each model in Tables IV and V.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankingReport {
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+    /// NDCG@1 (equals HR@1 with a single positive).
+    pub ndcg1: f64,
+    /// NDCG@5.
+    pub ndcg5: f64,
+    /// NDCG@10.
+    pub ndcg10: f64,
+    /// Hit ratio@5.
+    pub hr5: f64,
+    /// Hit ratio@10.
+    pub hr10: f64,
+    /// Number of evaluated queries.
+    pub queries: usize,
+}
+
+impl RankingAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one evaluation query by the positive's 1-based rank.
+    pub fn push_rank(&mut self, rank: usize) {
+        assert!(rank >= 1, "ranks are 1-based");
+        self.ranks.push(rank);
+    }
+
+    /// Records one query from raw scores.
+    pub fn push_scores(&mut self, positive_score: f32, negative_scores: &[f32]) {
+        self.push_rank(rank_of_positive(positive_score, negative_scores));
+    }
+
+    /// Number of recorded queries.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// Aggregates into the Table IV metric row.
+    ///
+    /// # Panics
+    /// Panics when no queries were recorded.
+    pub fn report(&self) -> RankingReport {
+        assert!(!self.ranks.is_empty(), "no queries recorded");
+        let n = self.ranks.len() as f64;
+        let mut r = RankingReport {
+            mrr: 0.0,
+            ndcg1: 0.0,
+            ndcg5: 0.0,
+            ndcg10: 0.0,
+            hr5: 0.0,
+            hr10: 0.0,
+            queries: self.ranks.len(),
+        };
+        for &rank in &self.ranks {
+            r.mrr += reciprocal_rank(rank);
+            r.ndcg1 += ndcg_at(rank, 1);
+            r.ndcg5 += ndcg_at(rank, 5);
+            r.ndcg10 += ndcg_at(rank, 10);
+            r.hr5 += hit_at(rank, 5);
+            r.hr10 += hit_at(rank, 10);
+        }
+        r.mrr /= n;
+        r.ndcg1 /= n;
+        r.ndcg5 /= n;
+        r.ndcg10 /= n;
+        r.hr5 /= n;
+        r.hr10 /= n;
+        r
+    }
+}
+
+impl RankingReport {
+    /// Formats the row exactly as Table IV prints it.
+    pub fn table_row(&self, model: &str) -> String {
+        format!(
+            "{model:<16} {:.3}  {:.3}  {:.3}  {:.3}  {:.3}  {:.3}",
+            self.mrr, self.ndcg1, self.ndcg5, self.ndcg10, self.hr5, self.hr10
+        )
+    }
+}
+
+/// Samples `n` negatives for the ranking protocol: candidates from the same
+/// tenant, excluding the positive (paper: "49 tags from the same tenant").
+/// Falls back to the global pool when the tenant has too few tags, keeping
+/// the list exactly `n` long whenever the pools allow.
+pub fn sample_negatives<R: Rng>(
+    positive: usize,
+    tenant_pool: &[usize],
+    global_pool: &[usize],
+    n: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    let mut negs: Vec<usize> = tenant_pool
+        .iter()
+        .copied()
+        .filter(|&t| t != positive)
+        .collect();
+    negs.shuffle(rng);
+    negs.truncate(n);
+    if negs.len() < n {
+        let mut extra: Vec<usize> = global_pool
+            .iter()
+            .copied()
+            .filter(|&t| t != positive && !negs.contains(&t))
+            .collect();
+        extra.shuffle(rng);
+        extra.truncate(n - negs.len());
+        negs.extend(extra);
+    }
+    negs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rank_counts_ties_pessimistically() {
+        assert_eq!(rank_of_positive(1.0, &[0.5, 0.2]), 1);
+        assert_eq!(rank_of_positive(1.0, &[1.0, 0.2]), 2);
+        assert_eq!(rank_of_positive(0.0, &[1.0, 2.0, 3.0]), 4);
+    }
+
+    #[test]
+    fn metric_identities() {
+        // rank 1: perfect on everything
+        assert_eq!(reciprocal_rank(1), 1.0);
+        assert_eq!(ndcg_at(1, 1), 1.0);
+        assert_eq!(hit_at(1, 1), 1.0);
+        // rank 3 misses @1, hits @5
+        assert_eq!(ndcg_at(3, 1), 0.0);
+        assert!((ndcg_at(3, 5) - 0.5).abs() < 1e-12); // 1/log2(4)
+        assert_eq!(hit_at(3, 5), 1.0);
+        assert_eq!(hit_at(11, 10), 0.0);
+    }
+
+    #[test]
+    fn report_aggregates_means() {
+        let mut acc = RankingAccumulator::new();
+        acc.push_rank(1);
+        acc.push_rank(11);
+        let r = acc.report();
+        assert!((r.mrr - (1.0 + 1.0 / 11.0) / 2.0).abs() < 1e-12);
+        assert_eq!(r.hr10, 0.5);
+        assert_eq!(r.ndcg1, 0.5);
+        assert_eq!(r.queries, 2);
+    }
+
+    #[test]
+    fn push_scores_matches_manual_rank() {
+        let mut a = RankingAccumulator::new();
+        a.push_scores(0.7, &[0.9, 0.5, 0.6]);
+        assert_eq!(a.report().mrr, 0.5); // rank 2
+    }
+
+    #[test]
+    fn negatives_exclude_positive_and_prefer_tenant() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let tenant: Vec<usize> = (0..10).collect();
+        let global: Vec<usize> = (0..100).collect();
+        let negs = sample_negatives(3, &tenant, &global, 5, &mut rng);
+        assert_eq!(negs.len(), 5);
+        assert!(!negs.contains(&3));
+        assert!(negs.iter().all(|&t| t < 10), "all fit in the tenant pool");
+    }
+
+    #[test]
+    fn negatives_backfill_from_global_pool() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let tenant = vec![1, 2];
+        let global: Vec<usize> = (0..50).collect();
+        let negs = sample_negatives(1, &tenant, &global, 10, &mut rng);
+        assert_eq!(negs.len(), 10);
+        assert!(!negs.contains(&1));
+        // no duplicates
+        let mut sorted = negs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+    }
+
+    #[test]
+    fn ndcg_decreases_with_rank() {
+        let values: Vec<f64> = (1..=10).map(|r| ndcg_at(r, 10)).collect();
+        for w in values.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the evaluation metrics.
+
+use intellitag_eval::{
+    hit_at, ndcg_at, rank_of_positive, sample_negatives, CtrAccumulator, LatencyAccumulator,
+    RankingAccumulator,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn rank_is_within_bounds(pos in -10.0f32..10.0,
+                             negs in proptest::collection::vec(-10.0f32..10.0, 0..50)) {
+        let r = rank_of_positive(pos, &negs);
+        prop_assert!(r >= 1 && r <= negs.len() + 1);
+    }
+
+    #[test]
+    fn rank_is_monotone_in_score(negs in proptest::collection::vec(-10.0f32..10.0, 1..30),
+                                 lo in -10.0f32..0.0, delta in 0.1f32..10.0) {
+        let hi = lo + delta;
+        prop_assert!(rank_of_positive(hi, &negs) <= rank_of_positive(lo, &negs));
+    }
+
+    #[test]
+    fn report_fields_are_probabilities(ranks in proptest::collection::vec(1usize..100, 1..50)) {
+        let mut acc = RankingAccumulator::new();
+        for r in &ranks {
+            acc.push_rank(*r);
+        }
+        let rep = acc.report();
+        for v in [rep.mrr, rep.ndcg1, rep.ndcg5, rep.ndcg10, rep.hr5, rep.hr10] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        prop_assert_eq!(rep.queries, ranks.len());
+        // NDCG and HR are monotone in K.
+        prop_assert!(rep.ndcg1 <= rep.ndcg5 + 1e-12);
+        prop_assert!(rep.ndcg5 <= rep.ndcg10 + 1e-12);
+        prop_assert!(rep.hr5 <= rep.hr10 + 1e-12);
+        // NDCG@K <= HR@K (each query contributes at most its hit).
+        prop_assert!(rep.ndcg5 <= rep.hr5 + 1e-12);
+        prop_assert!(rep.ndcg10 <= rep.hr10 + 1e-12);
+        // MRR <= HR@anything-large... specifically mrr <= 1.
+        prop_assert!(rep.mrr <= 1.0);
+    }
+
+    #[test]
+    fn ndcg_hit_consistency(rank in 1usize..60, k in 1usize..20) {
+        let h = hit_at(rank, k);
+        let n = ndcg_at(rank, k);
+        prop_assert!(n <= h, "ndcg {n} must not exceed hit {h}");
+        if h == 0.0 {
+            prop_assert_eq!(n, 0.0);
+        } else {
+            prop_assert!(n > 0.0);
+        }
+    }
+
+    #[test]
+    fn negatives_are_valid(
+        positive in 0usize..20,
+        n in 1usize..30,
+        seed in any::<u64>(),
+    ) {
+        let tenant_pool: Vec<usize> = (0..20).collect();
+        let global: Vec<usize> = (0..100).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let negs = sample_negatives(positive, &tenant_pool, &global, n, &mut rng);
+        prop_assert_eq!(negs.len(), n.min(99));
+        prop_assert!(!negs.contains(&positive));
+        let mut s = negs.clone();
+        s.sort_unstable();
+        s.dedup();
+        prop_assert_eq!(s.len(), negs.len(), "duplicates in negatives");
+    }
+
+    #[test]
+    fn ctr_bounds_and_ordering(events in proptest::collection::vec((0usize..5, any::<bool>()), 1..100)) {
+        let mut acc = CtrAccumulator::new();
+        for (t, c) in &events {
+            acc.record(*t, *c);
+        }
+        let micro = acc.micro_ctr();
+        let mac = acc.macro_ctr();
+        prop_assert!((0.0..=1.0).contains(&micro));
+        prop_assert!((0.0..=1.0).contains(&mac));
+        prop_assert!(acc.tenant_variance() >= 0.0);
+        prop_assert!(acc.num_tenants() >= 1);
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered(samples in proptest::collection::vec(1u64..1_000_000, 1..60)) {
+        let mut acc = LatencyAccumulator::new();
+        for s in &samples {
+            acc.record_us(*s);
+        }
+        let p50 = acc.percentile_ms(50.0);
+        let p99 = acc.percentile_ms(99.0);
+        let p0 = acc.percentile_ms(0.0);
+        prop_assert!(p0 <= p50 && p50 <= p99);
+        let mean = acc.mean_ms();
+        prop_assert!(mean >= p0 && mean <= acc.percentile_ms(100.0));
+    }
+}

@@ -1,0 +1,331 @@
+//! The TagRec heterogeneous graph (paper Definition 1).
+//!
+//! Node types `A = {T, Q, E}` (tags, representative questions, tenants) and
+//! relations `R = {asc, crl, clk, cst}`:
+//!
+//! * `asc` — tag ↔ RQ inclusion (from tag mining),
+//! * `crl` — RQ → tenant ownership,
+//! * `clk` — tag ↔ tag co-click within a session,
+//! * `cst` — RQ ↔ RQ co-consult (successive questions in a session).
+
+use std::collections::HashSet;
+
+/// Identifier of a tag node.
+pub type TagId = usize;
+/// Identifier of an RQ (representative question) node.
+pub type RqId = usize;
+/// Identifier of a tenant node.
+pub type TenantId = usize;
+
+/// Node types of the heterogeneous graph (paper's `A = {T, Q, E}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeType {
+    /// A mined tag.
+    Tag,
+    /// A representative question in the KB.
+    Rq,
+    /// A tenant (SME renting the cloud service).
+    Tenant,
+}
+
+/// Edge types of the heterogeneous graph (paper's `R`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// Tag–RQ association (inclusion).
+    Asc,
+    /// RQ–tenant correlation (ownership).
+    Crl,
+    /// Tag–tag co-click.
+    Clk,
+    /// RQ–RQ co-consult.
+    Cst,
+}
+
+/// Per-relation edge counts, printed for the Table II comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelationCounts {
+    /// Tag–RQ association edges.
+    pub asc: usize,
+    /// RQ–tenant edges (one per RQ with an owner).
+    pub crl: usize,
+    /// Undirected tag–tag co-click edges.
+    pub clk: usize,
+    /// Undirected RQ–RQ co-consult edges.
+    pub cst: usize,
+}
+
+impl RelationCounts {
+    /// Total edges across all four relations.
+    pub fn total(&self) -> usize {
+        self.asc + self.crl + self.clk + self.cst
+    }
+}
+
+/// Mutable builder for [`HetGraph`]. Duplicate edges are deduplicated at
+/// [`HetGraphBuilder::build`] time.
+#[derive(Debug, Default)]
+pub struct HetGraphBuilder {
+    num_tags: usize,
+    num_rqs: usize,
+    num_tenants: usize,
+    asc: Vec<(TagId, RqId)>,
+    clk: Vec<(TagId, TagId)>,
+    cst: Vec<(RqId, RqId)>,
+    rq_tenant: Vec<(RqId, TenantId)>,
+}
+
+impl HetGraphBuilder {
+    /// Creates a builder for a graph with fixed node populations.
+    pub fn new(num_tags: usize, num_rqs: usize, num_tenants: usize) -> Self {
+        HetGraphBuilder { num_tags, num_rqs, num_tenants, ..Default::default() }
+    }
+
+    /// Adds an `asc` (tag ∈ RQ) edge.
+    pub fn add_asc(&mut self, tag: TagId, rq: RqId) -> &mut Self {
+        assert!(tag < self.num_tags && rq < self.num_rqs, "asc edge out of range");
+        self.asc.push((tag, rq));
+        self
+    }
+
+    /// Adds an undirected `clk` (co-click) edge between two tags.
+    pub fn add_clk(&mut self, a: TagId, b: TagId) -> &mut Self {
+        assert!(a < self.num_tags && b < self.num_tags, "clk edge out of range");
+        if a != b {
+            self.clk.push((a.min(b), a.max(b)));
+        }
+        self
+    }
+
+    /// Adds an undirected `cst` (co-consult) edge between two RQs.
+    pub fn add_cst(&mut self, a: RqId, b: RqId) -> &mut Self {
+        assert!(a < self.num_rqs && b < self.num_rqs, "cst edge out of range");
+        if a != b {
+            self.cst.push((a.min(b), a.max(b)));
+        }
+        self
+    }
+
+    /// Sets the owning tenant of an RQ (`crl` relation).
+    pub fn set_tenant(&mut self, rq: RqId, tenant: TenantId) -> &mut Self {
+        assert!(rq < self.num_rqs && tenant < self.num_tenants, "crl edge out of range");
+        self.rq_tenant.push((rq, tenant));
+        self
+    }
+
+    /// Freezes the builder into an immutable [`HetGraph`].
+    pub fn build(self) -> HetGraph {
+        let mut tag_rqs = vec![Vec::new(); self.num_tags];
+        let mut rq_tags = vec![Vec::new(); self.num_rqs];
+        let mut seen = HashSet::new();
+        let mut asc_count = 0;
+        for (t, q) in self.asc {
+            if seen.insert((t, q)) {
+                tag_rqs[t].push(q);
+                rq_tags[q].push(t);
+                asc_count += 1;
+            }
+        }
+
+        let mut clk_adj = vec![Vec::new(); self.num_tags];
+        seen.clear();
+        let mut clk_count = 0;
+        for (a, b) in self.clk {
+            if seen.insert((a, b)) {
+                clk_adj[a].push(b);
+                clk_adj[b].push(a);
+                clk_count += 1;
+            }
+        }
+
+        let mut cst_adj = vec![Vec::new(); self.num_rqs];
+        seen.clear();
+        let mut cst_count = 0;
+        for (a, b) in self.cst {
+            if seen.insert((a, b)) {
+                cst_adj[a].push(b);
+                cst_adj[b].push(a);
+                cst_count += 1;
+            }
+        }
+
+        let mut rq_tenant = vec![None; self.num_rqs];
+        let mut tenant_rqs = vec![Vec::new(); self.num_tenants];
+        let mut crl_count = 0;
+        for (q, e) in self.rq_tenant {
+            if rq_tenant[q].is_none() {
+                rq_tenant[q] = Some(e);
+                tenant_rqs[e].push(q);
+                crl_count += 1;
+            }
+        }
+
+        HetGraph {
+            tag_rqs,
+            rq_tags,
+            clk_adj,
+            cst_adj,
+            rq_tenant,
+            tenant_rqs,
+            counts: RelationCounts {
+                asc: asc_count,
+                crl: crl_count,
+                clk: clk_count,
+                cst: cst_count,
+            },
+        }
+    }
+}
+
+/// An immutable heterogeneous graph over tags, RQs and tenants.
+#[derive(Debug, Clone)]
+pub struct HetGraph {
+    tag_rqs: Vec<Vec<RqId>>,
+    rq_tags: Vec<Vec<TagId>>,
+    clk_adj: Vec<Vec<TagId>>,
+    cst_adj: Vec<Vec<RqId>>,
+    rq_tenant: Vec<Option<TenantId>>,
+    tenant_rqs: Vec<Vec<RqId>>,
+    counts: RelationCounts,
+}
+
+impl HetGraph {
+    /// Number of tag nodes.
+    pub fn num_tags(&self) -> usize {
+        self.tag_rqs.len()
+    }
+
+    /// Number of RQ nodes.
+    pub fn num_rqs(&self) -> usize {
+        self.rq_tags.len()
+    }
+
+    /// Number of tenant nodes.
+    pub fn num_tenants(&self) -> usize {
+        self.tenant_rqs.len()
+    }
+
+    /// Per-relation edge counts.
+    pub fn relation_counts(&self) -> RelationCounts {
+        self.counts
+    }
+
+    /// RQs associated with a tag (`asc`, tag side).
+    pub fn rqs_of_tag(&self, t: TagId) -> &[RqId] {
+        &self.tag_rqs[t]
+    }
+
+    /// Tags associated with an RQ (`asc`, RQ side).
+    pub fn tags_of_rq(&self, q: RqId) -> &[TagId] {
+        &self.rq_tags[q]
+    }
+
+    /// Co-clicked tag neighbors (`clk`).
+    pub fn clk_neighbors(&self, t: TagId) -> &[TagId] {
+        &self.clk_adj[t]
+    }
+
+    /// Co-consulted RQ neighbors (`cst`).
+    pub fn cst_neighbors(&self, q: RqId) -> &[RqId] {
+        &self.cst_adj[q]
+    }
+
+    /// Owning tenant of an RQ (`crl`).
+    pub fn tenant_of_rq(&self, q: RqId) -> Option<TenantId> {
+        self.rq_tenant[q]
+    }
+
+    /// RQs owned by a tenant (`crl`, tenant side).
+    pub fn rqs_of_tenant(&self, e: TenantId) -> &[RqId] {
+        &self.tenant_rqs[e]
+    }
+
+    /// All tags mined from a tenant's RQs, deduplicated and sorted.
+    pub fn tags_of_tenant(&self, e: TenantId) -> Vec<TagId> {
+        let mut out: Vec<TagId> = self
+            .tenant_rqs[e]
+            .iter()
+            .flat_map(|&q| self.rq_tags[q].iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> HetGraph {
+        // tags: 0,1,2  rqs: 0,1,2  tenants: 0,1
+        let mut b = HetGraphBuilder::new(3, 3, 2);
+        b.add_asc(0, 0).add_asc(1, 0).add_asc(1, 1).add_asc(2, 2);
+        b.add_clk(0, 1).add_clk(1, 2);
+        b.add_cst(0, 1);
+        b.set_tenant(0, 0).set_tenant(1, 0).set_tenant(2, 1);
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_adjacency() {
+        let g = small();
+        let c = g.relation_counts();
+        assert_eq!(c, RelationCounts { asc: 4, crl: 3, clk: 2, cst: 1 });
+        assert_eq!(c.total(), 10);
+        assert_eq!(g.rqs_of_tag(1), &[0, 1]);
+        assert_eq!(g.tags_of_rq(0), &[0, 1]);
+        assert_eq!(g.clk_neighbors(1), &[0, 2]);
+        assert_eq!(g.cst_neighbors(1), &[0]);
+        assert_eq!(g.tenant_of_rq(2), Some(1));
+        assert_eq!(g.rqs_of_tenant(0), &[0, 1]);
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let mut b = HetGraphBuilder::new(2, 2, 1);
+        b.add_clk(0, 1).add_clk(1, 0).add_asc(0, 0).add_asc(0, 0);
+        let g = b.build();
+        assert_eq!(g.relation_counts().clk, 1);
+        assert_eq!(g.relation_counts().asc, 1);
+    }
+
+    #[test]
+    fn self_click_ignored() {
+        let mut b = HetGraphBuilder::new(1, 1, 1);
+        b.add_clk(0, 0);
+        assert_eq!(b.build().relation_counts().clk, 0);
+    }
+
+    #[test]
+    fn clk_symmetry() {
+        let g = small();
+        for t in 0..g.num_tags() {
+            for &n in g.clk_neighbors(t) {
+                assert!(g.clk_neighbors(n).contains(&t), "clk must be symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn first_tenant_assignment_wins() {
+        let mut b = HetGraphBuilder::new(1, 1, 2);
+        b.set_tenant(0, 1).set_tenant(0, 0);
+        let g = b.build();
+        assert_eq!(g.tenant_of_rq(0), Some(1));
+        assert_eq!(g.relation_counts().crl, 1);
+    }
+
+    #[test]
+    fn tags_of_tenant_deduplicates() {
+        let g = small();
+        assert_eq!(g.tags_of_tenant(0), vec![0, 1]);
+        assert_eq!(g.tags_of_tenant(1), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = HetGraphBuilder::new(1, 1, 1);
+        b.add_asc(5, 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! # intellitag-graph
+//!
+//! The TagRec heterogeneous graph substrate (paper §IV-A):
+//!
+//! * [`HetGraph`] / [`HetGraphBuilder`] — tags, representative questions and
+//!   tenants connected by the four relations `asc`, `crl`, `clk`, `cst`.
+//! * [`Metapath`] — the paper's metapath set `{TT, TQT, TQQT, TQEQT}` with
+//!   exhaustive expansion, uniform sampling, and metapath-guided random walks
+//!   (the latter feed the metapath2vec baseline).
+
+#![warn(missing_docs)]
+
+mod het;
+mod metapath;
+
+pub use het::{
+    HetGraph, HetGraphBuilder, NodeType, Relation, RelationCounts, RqId, TagId, TenantId,
+};
+pub use metapath::{
+    metapath_neighbors, metapath_walk, random_metapath_step, sample_metapath_neighbors,
+    Metapath, ALL_METAPATHS,
+};

@@ -1,0 +1,308 @@
+//! TagRec metapaths (paper Definition 2 and §IV-A).
+//!
+//! Every metapath starts and ends at a tag:
+//!
+//! * `TT`     — co-clicked in a session (`T —clk— T`),
+//! * `TQT`    — share an RQ (`T —asc— Q —asc— T`),
+//! * `TQQT`   — RQs co-consulted (`T —asc— Q —cst— Q —asc— T`),
+//! * `TQEQT`  — same tenant (`T —asc— Q —crl— E —crl— Q —asc— T`).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::het::{HetGraph, TagId};
+
+/// A TagRec metapath (tag-to-tag information transmission path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metapath {
+    /// Co-click: `T -> T`.
+    TT,
+    /// Shared RQ: `T -> Q -> T`.
+    TQT,
+    /// Co-consulted RQs: `T -> Q -> Q -> T`.
+    TQQT,
+    /// Same tenant: `T -> Q -> E -> Q -> T`.
+    TQEQT,
+}
+
+/// The paper's metapath set `P = {TT, TQT, TQQT, TQEQT}`.
+pub const ALL_METAPATHS: [Metapath; 4] =
+    [Metapath::TT, Metapath::TQT, Metapath::TQQT, Metapath::TQEQT];
+
+impl Metapath {
+    /// Short name matching the paper's notation.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metapath::TT => "TT",
+            Metapath::TQT => "TQT",
+            Metapath::TQQT => "TQQT",
+            Metapath::TQEQT => "TQEQT",
+        }
+    }
+
+    /// Index within [`ALL_METAPATHS`].
+    pub fn index(self) -> usize {
+        match self {
+            Metapath::TT => 0,
+            Metapath::TQT => 1,
+            Metapath::TQQT => 2,
+            Metapath::TQEQT => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for Metapath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Exhaustive metapath neighborhood of `t`, excluding `t` itself,
+/// deduplicated, truncated at `cap` entries (in discovery order).
+///
+/// `TQEQT` neighborhoods can span a whole tenant; the cap keeps the
+/// expansion bounded (the model additionally samples, see
+/// [`sample_metapath_neighbors`]).
+pub fn metapath_neighbors(g: &HetGraph, t: TagId, mp: Metapath, cap: usize) -> Vec<TagId> {
+    let mut out: Vec<TagId> = Vec::new();
+    let mut seen = vec![false; g.num_tags()];
+    seen[t] = true;
+    let push = |out: &mut Vec<TagId>, seen: &mut Vec<bool>, x: TagId| -> bool {
+        if !seen[x] {
+            seen[x] = true;
+            out.push(x);
+        }
+        out.len() >= cap
+    };
+    match mp {
+        Metapath::TT => {
+            for &n in g.clk_neighbors(t) {
+                if push(&mut out, &mut seen, n) {
+                    break;
+                }
+            }
+        }
+        Metapath::TQT => {
+            'outer: for &q in g.rqs_of_tag(t) {
+                for &n in g.tags_of_rq(q) {
+                    if push(&mut out, &mut seen, n) {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        Metapath::TQQT => {
+            'outer: for &q in g.rqs_of_tag(t) {
+                for &q2 in g.cst_neighbors(q) {
+                    for &n in g.tags_of_rq(q2) {
+                        if push(&mut out, &mut seen, n) {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        Metapath::TQEQT => {
+            'outer: for &q in g.rqs_of_tag(t) {
+                let Some(e) = g.tenant_of_rq(q) else { continue };
+                for &q2 in g.rqs_of_tenant(e) {
+                    if q2 == q {
+                        continue;
+                    }
+                    for &n in g.tags_of_rq(q2) {
+                        if push(&mut out, &mut seen, n) {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Samples up to `k` metapath neighbors of `t` without replacement.
+///
+/// Exhausts the capped expansion first, then subsamples, which keeps the
+/// distribution uniform over the (capped) neighborhood.
+pub fn sample_metapath_neighbors<R: Rng>(
+    g: &HetGraph,
+    t: TagId,
+    mp: Metapath,
+    k: usize,
+    rng: &mut R,
+) -> Vec<TagId> {
+    // Expand up to 4x the requested amount before sampling so the subsample
+    // is not biased toward the first-discovered neighbors.
+    let mut pool = metapath_neighbors(g, t, mp, k.saturating_mul(4).max(16));
+    if pool.len() <= k {
+        return pool;
+    }
+    pool.shuffle(rng);
+    pool.truncate(k);
+    pool
+}
+
+/// One step of a metapath-guided random walk: a uniformly random tag
+/// reachable from `t` via `mp`, or `None` when the neighborhood is empty.
+pub fn random_metapath_step<R: Rng>(
+    g: &HetGraph,
+    t: TagId,
+    mp: Metapath,
+    rng: &mut R,
+) -> Option<TagId> {
+    match mp {
+        Metapath::TT => g.clk_neighbors(t).choose(rng).copied(),
+        Metapath::TQT => {
+            let q = *g.rqs_of_tag(t).choose(rng)?;
+            g.tags_of_rq(q).choose(rng).copied()
+        }
+        Metapath::TQQT => {
+            let q = *g.rqs_of_tag(t).choose(rng)?;
+            let q2 = *g.cst_neighbors(q).choose(rng)?;
+            g.tags_of_rq(q2).choose(rng).copied()
+        }
+        Metapath::TQEQT => {
+            let q = *g.rqs_of_tag(t).choose(rng)?;
+            let e = g.tenant_of_rq(q)?;
+            let q2 = *g.rqs_of_tenant(e).choose(rng)?;
+            g.tags_of_rq(q2).choose(rng).copied()
+        }
+    }
+}
+
+/// A metapath-guided random walk over tags (used by metapath2vec).
+///
+/// At each step a metapath is drawn from `scheme` round-robin and followed;
+/// steps with empty neighborhoods are skipped (the walk stays in place). The
+/// returned walk includes the start node and has at most `len` nodes.
+pub fn metapath_walk<R: Rng>(
+    g: &HetGraph,
+    start: TagId,
+    scheme: &[Metapath],
+    len: usize,
+    rng: &mut R,
+) -> Vec<TagId> {
+    assert!(!scheme.is_empty(), "empty metapath scheme");
+    let mut walk = Vec::with_capacity(len);
+    walk.push(start);
+    let mut cur = start;
+    let mut stuck = 0;
+    while walk.len() < len && stuck < scheme.len() {
+        let mp = scheme[(walk.len() - 1) % scheme.len()];
+        match random_metapath_step(g, cur, mp, rng) {
+            Some(next) => {
+                stuck = 0;
+                cur = next;
+                walk.push(next);
+            }
+            None => stuck += 1,
+        }
+    }
+    walk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::het::HetGraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// tags 0..4, rqs 0..4, tenants 0..2
+    ///   asc: t0-q0, t1-q0, t1-q1, t2-q2, t3-q3
+    ///   clk: t0-t1
+    ///   cst: q0-q2
+    ///   tenants: q0,q1 -> e0; q2,q3 -> e1
+    fn g() -> HetGraph {
+        let mut b = HetGraphBuilder::new(4, 4, 2);
+        b.add_asc(0, 0).add_asc(1, 0).add_asc(1, 1).add_asc(2, 2).add_asc(3, 3);
+        b.add_clk(0, 1);
+        b.add_cst(0, 2);
+        b.set_tenant(0, 0).set_tenant(1, 0).set_tenant(2, 1).set_tenant(3, 1);
+        b.build()
+    }
+
+    #[test]
+    fn tt_neighbors_are_clk() {
+        let g = g();
+        assert_eq!(metapath_neighbors(&g, 0, Metapath::TT, 10), vec![1]);
+        assert!(metapath_neighbors(&g, 2, Metapath::TT, 10).is_empty());
+    }
+
+    #[test]
+    fn tqt_neighbors_share_an_rq() {
+        let g = g();
+        assert_eq!(metapath_neighbors(&g, 0, Metapath::TQT, 10), vec![1]);
+        // t1 reaches t0 through q0 (q1 has only t1 itself)
+        assert_eq!(metapath_neighbors(&g, 1, Metapath::TQT, 10), vec![0]);
+    }
+
+    #[test]
+    fn tqqt_follows_co_consult() {
+        let g = g();
+        // t0 -asc- q0 -cst- q2 -asc- t2
+        assert_eq!(metapath_neighbors(&g, 0, Metapath::TQQT, 10), vec![2]);
+        // symmetric direction
+        assert_eq!(metapath_neighbors(&g, 2, Metapath::TQQT, 10), vec![0, 1]);
+    }
+
+    #[test]
+    fn tqeqt_spans_the_tenant() {
+        let g = g();
+        // t2 (tenant e1 via q2) reaches t3 via q3
+        assert_eq!(metapath_neighbors(&g, 2, Metapath::TQEQT, 10), vec![3]);
+        // t0's tenant e0 contains q1 with tag t1 only (q0 skipped as source)
+        assert_eq!(metapath_neighbors(&g, 0, Metapath::TQEQT, 10), vec![1]);
+    }
+
+    #[test]
+    fn cap_truncates() {
+        let g = g();
+        let n = metapath_neighbors(&g, 2, Metapath::TQQT, 1);
+        assert_eq!(n.len(), 1);
+    }
+
+    #[test]
+    fn neighbors_never_include_self() {
+        let g = g();
+        for t in 0..g.num_tags() {
+            for mp in ALL_METAPATHS {
+                assert!(
+                    !metapath_neighbors(&g, t, mp, 100).contains(&t),
+                    "tag {t} found itself via {mp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_respects_k_and_membership() {
+        let g = g();
+        let mut rng = StdRng::seed_from_u64(0);
+        let full = metapath_neighbors(&g, 2, Metapath::TQQT, 100);
+        let s = sample_metapath_neighbors(&g, 2, Metapath::TQQT, 1, &mut rng);
+        assert_eq!(s.len(), 1);
+        assert!(full.contains(&s[0]));
+    }
+
+    #[test]
+    fn walks_start_at_start_and_stay_in_range() {
+        let g = g();
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = metapath_walk(&g, 0, &[Metapath::TQT, Metapath::TT], 8, &mut rng);
+        assert_eq!(w[0], 0);
+        assert!(w.len() <= 8);
+        assert!(w.iter().all(|&t| t < g.num_tags()));
+    }
+
+    #[test]
+    fn walk_on_isolated_tag_terminates() {
+        let mut b = HetGraphBuilder::new(2, 1, 1);
+        b.add_asc(0, 0); // tag 1 fully isolated
+        let g = b.build();
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = metapath_walk(&g, 1, &[Metapath::TT], 16, &mut rng);
+        assert_eq!(w, vec![1]);
+    }
+}

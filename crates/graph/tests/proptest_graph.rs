@@ -1,0 +1,139 @@
+//! Property tests for the heterogeneous graph and metapath machinery.
+
+use intellitag_graph::{
+    metapath_neighbors, metapath_walk, HetGraphBuilder, Metapath, ALL_METAPATHS,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const T: usize = 12;
+const Q: usize = 16;
+const E: usize = 3;
+
+#[derive(Debug, Clone)]
+struct RandomGraphSpec {
+    asc: Vec<(usize, usize)>,
+    clk: Vec<(usize, usize)>,
+    cst: Vec<(usize, usize)>,
+    tenants: Vec<usize>,
+}
+
+fn graph_spec() -> impl Strategy<Value = RandomGraphSpec> {
+    (
+        proptest::collection::vec((0..T, 0..Q), 0..40),
+        proptest::collection::vec((0..T, 0..T), 0..30),
+        proptest::collection::vec((0..Q, 0..Q), 0..30),
+        proptest::collection::vec(0..E, Q..=Q),
+    )
+        .prop_map(|(asc, clk, cst, tenants)| RandomGraphSpec { asc, clk, cst, tenants })
+}
+
+fn build(spec: &RandomGraphSpec) -> intellitag_graph::HetGraph {
+    let mut b = HetGraphBuilder::new(T, Q, E);
+    for &(t, q) in &spec.asc {
+        b.add_asc(t, q);
+    }
+    for &(a, x) in &spec.clk {
+        b.add_clk(a, x);
+    }
+    for &(a, x) in &spec.cst {
+        b.add_cst(a, x);
+    }
+    for (q, &e) in spec.tenants.iter().enumerate() {
+        b.set_tenant(q, e);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn clk_and_cst_are_symmetric(spec in graph_spec()) {
+        let g = build(&spec);
+        for t in 0..T {
+            for &n in g.clk_neighbors(t) {
+                prop_assert!(g.clk_neighbors(n).contains(&t));
+            }
+        }
+        for q in 0..Q {
+            for &n in g.cst_neighbors(q) {
+                prop_assert!(g.cst_neighbors(n).contains(&q));
+            }
+        }
+    }
+
+    #[test]
+    fn asc_is_bidirectionally_consistent(spec in graph_spec()) {
+        let g = build(&spec);
+        for t in 0..T {
+            for &q in g.rqs_of_tag(t) {
+                prop_assert!(g.tags_of_rq(q).contains(&t));
+            }
+        }
+        for q in 0..Q {
+            for &t in g.tags_of_rq(q) {
+                prop_assert!(g.rqs_of_tag(t).contains(&q));
+            }
+        }
+    }
+
+    #[test]
+    fn crl_count_equals_assigned_rqs(spec in graph_spec()) {
+        let g = build(&spec);
+        // Every RQ got exactly one tenant assignment in the spec.
+        prop_assert_eq!(g.relation_counts().crl, Q);
+        let total: usize = (0..E).map(|e| g.rqs_of_tenant(e).len()).sum();
+        prop_assert_eq!(total, Q);
+    }
+
+    #[test]
+    fn metapath_neighbors_exclude_self_and_respect_cap(
+        spec in graph_spec(),
+        cap in 1usize..8,
+        t in 0..T,
+    ) {
+        let g = build(&spec);
+        for mp in ALL_METAPATHS {
+            let n = metapath_neighbors(&g, t, mp, cap);
+            prop_assert!(n.len() <= cap);
+            prop_assert!(!n.contains(&t));
+            // deduplicated
+            let mut s = n.clone();
+            s.sort_unstable();
+            s.dedup();
+            prop_assert_eq!(s.len(), n.len());
+            prop_assert!(n.iter().all(|&x| x < T));
+        }
+    }
+
+    #[test]
+    fn tqt_neighborhood_is_symmetric(spec in graph_spec()) {
+        // If b is reachable from a via TQT with a large cap, a is reachable
+        // from b (shared RQ is symmetric).
+        let g = build(&spec);
+        for a in 0..T {
+            for &b in &metapath_neighbors(&g, a, Metapath::TQT, 1000) {
+                let back = metapath_neighbors(&g, b, Metapath::TQT, 1000);
+                prop_assert!(back.contains(&a), "TQT asymmetry {a} -> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn walks_stay_in_range_and_start_correctly(
+        spec in graph_spec(),
+        start in 0..T,
+        len in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let g = build(&spec);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = metapath_walk(&g, start, &ALL_METAPATHS, len, &mut rng);
+        prop_assert!(!w.is_empty());
+        prop_assert_eq!(w[0], start);
+        prop_assert!(w.len() <= len.max(1));
+        prop_assert!(w.iter().all(|&t| t < T));
+    }
+}

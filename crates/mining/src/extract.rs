@@ -1,0 +1,232 @@
+//! The end-to-end tag-extraction pipeline and its Table III evaluation:
+//! segmentation decodes spans, word weights average into tag weights,
+//! thresholds and (optionally) corpus rules filter the candidates.
+
+use std::time::{Duration, Instant};
+
+use intellitag_datagen::{spans_from_seg, LabeledSentence};
+use intellitag_eval::{PrfAccumulator, PrfReport};
+
+use crate::model::TagMiner;
+use crate::rules::RuleFilter;
+
+/// A mined tag candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinedTag {
+    /// The tag's words.
+    pub words: Vec<String>,
+    /// Mean predicted word weight over the span (the paper's tag weight).
+    pub weight: f32,
+}
+
+impl MinedTag {
+    /// Space-joined surface form.
+    pub fn text(&self) -> String {
+        self.words.join(" ")
+    }
+}
+
+/// A configured extraction pipeline.
+///
+/// * MT mode: one multi-task miner provides both heads (`weight_model`
+///   = `None`).
+/// * ST mode: a segmentation-only miner plus a weighting-only miner — the
+///   Table III "ST model" baseline.
+pub struct Extractor<'a> {
+    seg_model: &'a TagMiner,
+    weight_model: Option<&'a TagMiner>,
+    /// Minimum tag weight to keep a span (paper: "tags with a weight greater
+    /// than the preset threshold are retained").
+    pub weight_threshold: f32,
+    /// Optional rule-based post-filter (Table III "+ r").
+    pub rules: Option<&'a RuleFilter>,
+}
+
+impl<'a> Extractor<'a> {
+    /// Pipeline around one multi-task miner.
+    pub fn multi_task(model: &'a TagMiner) -> Self {
+        Extractor { seg_model: model, weight_model: None, weight_threshold: 0.5, rules: None }
+    }
+
+    /// Pipeline around two single-task miners.
+    pub fn single_task(seg: &'a TagMiner, weight: &'a TagMiner) -> Self {
+        Extractor { seg_model: seg, weight_model: Some(weight), weight_threshold: 0.5, rules: None }
+    }
+
+    /// Attaches the rule filter.
+    pub fn with_rules(mut self, rules: &'a RuleFilter) -> Self {
+        self.rules = Some(rules);
+        self
+    }
+
+    /// Extracts tag candidates (with spans) from one tokenized sentence.
+    pub fn extract(&self, tokens: &[String]) -> Vec<(MinedTag, (usize, usize))> {
+        let seg_pred = self.seg_model.predict_tokens(tokens);
+        let weights = match self.weight_model {
+            Some(m) => m.predict_tokens(tokens).weights,
+            None => seg_pred.weights.clone(),
+        };
+        let mut out = Vec::new();
+        for (start, end) in spans_from_seg(&seg_pred.seg) {
+            let w: f32 =
+                weights[start..end].iter().sum::<f32>() / (end - start) as f32;
+            if w < self.weight_threshold {
+                continue;
+            }
+            let words: Vec<String> = tokens[start..end].to_vec();
+            if let Some(rules) = self.rules {
+                if !rules.accepts(&words, w as f64) {
+                    continue;
+                }
+            }
+            out.push((MinedTag { words, weight: w }, (start, end)));
+        }
+        out
+    }
+
+    /// Predicted spans only (for span-level P/R/F1).
+    pub fn predict_spans(&self, tokens: &[String]) -> Vec<(usize, usize)> {
+        self.extract(tokens).into_iter().map(|(_, span)| span).collect()
+    }
+}
+
+/// Span-level precision/recall/F1 over a labeled test set (Table III).
+pub fn evaluate_extractor(ex: &Extractor<'_>, test: &[LabeledSentence]) -> PrfReport {
+    let mut acc = PrfAccumulator::new();
+    for s in test {
+        let predicted = ex.predict_spans(&s.tokens);
+        acc.push(&predicted, &s.gold_spans);
+    }
+    acc.report()
+}
+
+/// Wall-clock inference time over a sentence set (Table III's last column;
+/// the paper compares full-KB daily inference of teacher vs distilled
+/// student).
+pub fn inference_time(ex: &Extractor<'_>, sentences: &[LabeledSentence]) -> Duration {
+    let start = Instant::now();
+    for s in sentences {
+        let _ = ex.predict_spans(&s.tokens);
+    }
+    start.elapsed()
+}
+
+/// Deduplicated corpus-level tag inventory mined from sentences, with each
+/// tag's maximum observed weight (what the paper's tag deposit stores).
+pub fn mine_tag_inventory(
+    ex: &Extractor<'_>,
+    sentences: &[LabeledSentence],
+) -> Vec<MinedTag> {
+    use std::collections::HashMap;
+    let mut best: HashMap<String, MinedTag> = HashMap::new();
+    for s in sentences {
+        for (tag, _) in ex.extract(&s.tokens) {
+            let key = tag.text();
+            best.entry(key)
+                .and_modify(|t| {
+                    if tag.weight > t.weight {
+                        t.weight = tag.weight;
+                    }
+                })
+                .or_insert(tag);
+        }
+    }
+    let mut out: Vec<MinedTag> = best.into_values().collect();
+    out.sort_by(|a, b| {
+        b.weight
+            .partial_cmp(&a.weight)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.words.cmp(&b.words))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{MinerConfig, MiningTask, TagMiner, TrainConfig};
+    use intellitag_datagen::{labeled_sentences, World, WorldConfig};
+
+    fn world_data() -> Vec<LabeledSentence> {
+        labeled_sentences(&World::generate(WorldConfig::tiny(31)))
+    }
+
+    fn trained_miner(data: &[LabeledSentence]) -> TagMiner {
+        TagMiner::train(
+            data,
+            MinerConfig {
+                dim: 24,
+                layers: 1,
+                heads: 2,
+                task: MiningTask::MultiTask,
+                train: TrainConfig { epochs: 4, lr: 5e-3, seed: 9, ..Default::default() },
+            },
+        )
+    }
+
+    #[test]
+    fn extraction_reaches_reasonable_f1() {
+        let data = world_data();
+        let (train, test) = data.split_at(160);
+        let m = trained_miner(train);
+        let ex = Extractor::multi_task(&m);
+        let r = evaluate_extractor(&ex, &test[..40]);
+        assert!(r.f1() > 0.5, "F1 {:.3} too low", r.f1());
+    }
+
+    #[test]
+    fn rules_trade_recall_for_precision() {
+        let data = world_data();
+        let (train, test) = data.split_at(160);
+        let m = trained_miner(train);
+        let base = Extractor::multi_task(&m);
+        let r_base = evaluate_extractor(&base, &test[..40]);
+
+        let corpus: Vec<&[String]> = train.iter().map(|s| s.tokens.as_slice()).collect();
+        let mut rules = RuleFilter::from_corpus(corpus);
+        rules.min_score = 0.55;
+        let filtered = Extractor::multi_task(&m).with_rules(&rules);
+        let r_rules = evaluate_extractor(&filtered, &test[..40]);
+
+        assert!(
+            r_rules.recall() <= r_base.recall() + 1e-9,
+            "rules must not raise recall"
+        );
+    }
+
+    #[test]
+    fn weight_threshold_one_drops_everything_uncertain() {
+        let data = world_data();
+        let m = trained_miner(&data[..100]);
+        let mut ex = Extractor::multi_task(&m);
+        ex.weight_threshold = 1.1; // sigmoid output can never reach this
+        assert!(ex.predict_spans(&data[120].tokens).is_empty());
+    }
+
+    #[test]
+    fn inventory_is_deduplicated_and_sorted() {
+        let data = world_data();
+        let (train, test) = data.split_at(160);
+        let m = trained_miner(train);
+        let ex = Extractor::multi_task(&m);
+        let inv = mine_tag_inventory(&ex, &test[..40]);
+        let mut texts: Vec<String> = inv.iter().map(MinedTag::text).collect();
+        let before = texts.len();
+        texts.sort();
+        texts.dedup();
+        assert_eq!(texts.len(), before, "inventory must be deduplicated");
+        for w in inv.windows(2) {
+            assert!(w[0].weight >= w[1].weight);
+        }
+    }
+
+    #[test]
+    fn inference_time_is_positive_and_scales() {
+        let data = world_data();
+        let m = trained_miner(&data[..80]);
+        let ex = Extractor::multi_task(&m);
+        let t_small = inference_time(&ex, &data[..20]);
+        let t_large = inference_time(&ex, &data[..120]);
+        assert!(t_large > t_small);
+    }
+}

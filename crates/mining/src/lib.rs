@@ -1,0 +1,26 @@
+//! # intellitag-mining
+//!
+//! The tag-mining side of IntelliTag (paper §III):
+//!
+//! * [`TagMiner`] — the BERT-style multi-task model (tag segmentation +
+//!   word weighting, Fig. 2), its single-task "ST" baselines, and knowledge
+//!   distillation into a shallow student for fast daily inference.
+//! * [`RuleFilter`] — the post-processing rules (weight, frequency, IDF,
+//!   averaged PMI) with equal weighting.
+//! * [`Extractor`] — the extraction pipeline with the Table III evaluation
+//!   helpers ([`evaluate_extractor`], [`inference_time`],
+//!   [`mine_tag_inventory`]).
+//! * [`collect_qa_pairs`] — the automatic Q&A collection pipeline
+//!   (DBSCAN clustering + answer selection, §III-A).
+
+#![warn(missing_docs)]
+
+mod extract;
+mod model;
+mod qa_collect;
+mod rules;
+
+pub use extract::{evaluate_extractor, inference_time, mine_tag_inventory, Extractor, MinedTag};
+pub use model::{MinerConfig, MiningTask, TagMiner, TrainConfig, MAX_SENT_LEN};
+pub use qa_collect::{collect_qa_pairs, CollectConfig, CollectedPair, UserQuestion};
+pub use rules::{RuleFilter, RuleScore};

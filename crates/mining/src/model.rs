@@ -1,0 +1,329 @@
+//! The BERT-based tag miner (paper §III-B, Fig. 2): a Transformer encoder
+//! over RQ sentences with two token-level heads — tag segmentation (O/B/M)
+//! and word weighting — trained jointly (multi-task) or separately
+//! (single-task, the Table III "ST model" baseline).
+
+use intellitag_datagen::{LabeledSentence, SegLabel};
+use intellitag_nn::{Embedding, Linear, PositionEmbedding, TransformerEncoder};
+use intellitag_tensor::{Matrix, ParamSet, Tape, Tensor};
+use intellitag_text::Vocab;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+pub use intellitag_baselines::TrainConfig;
+
+/// Maximum sentence length in tokens (the paper truncates at 512 for BERT;
+/// synthetic RQs are short).
+pub const MAX_SENT_LEN: usize = 32;
+
+/// Which heads a miner trains (the MT/ST distinction of Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MiningTask {
+    /// Joint segmentation + weighting (the proposed "MT model").
+    MultiTask,
+    /// Segmentation only.
+    SegmentationOnly,
+    /// Word weighting only.
+    WeightingOnly,
+}
+
+/// Architecture/training configuration for a miner.
+#[derive(Debug, Clone, Copy)]
+pub struct MinerConfig {
+    /// Hidden width (the paper's teacher uses 768; scaled down here).
+    pub dim: usize,
+    /// Transformer layers (teacher 12 → here 4; student 2 → here 1).
+    pub layers: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Which heads to train.
+    pub task: MiningTask,
+    /// Optimizer settings.
+    pub train: TrainConfig,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        MinerConfig {
+            dim: 48,
+            layers: 4,
+            heads: 4,
+            task: MiningTask::MultiTask,
+            train: TrainConfig { epochs: 3, lr: 3e-3, ..Default::default() },
+        }
+    }
+}
+
+impl MinerConfig {
+    /// The distilled-student architecture (paper: 2-layer student BERT).
+    pub fn student(mut self) -> Self {
+        self.layers = 1;
+        self
+    }
+}
+
+/// Per-token predictions for one sentence.
+#[derive(Debug, Clone)]
+pub struct TokenPredictions {
+    /// Predicted segmentation label per token.
+    pub seg: Vec<SegLabel>,
+    /// Segmentation class probabilities per token (`n x 3`, for distillation).
+    pub seg_probs: Matrix,
+    /// Predicted word weight per token (sigmoid output in `(0, 1)`).
+    pub weights: Vec<f32>,
+}
+
+/// A trained tag-mining model.
+pub struct TagMiner {
+    cfg: MinerConfig,
+    vocab: Vocab,
+    emb: Embedding,
+    pos: PositionEmbedding,
+    enc: TransformerEncoder,
+    seg_head: Linear,
+    weight_head: Linear,
+}
+
+impl TagMiner {
+    /// Trains a miner on labeled sentences with hard labels.
+    pub fn train(sentences: &[LabeledSentence], cfg: MinerConfig) -> Self {
+        Self::train_inner(sentences, cfg, None)
+    }
+
+    /// Trains a student against a teacher's soft targets (knowledge
+    /// distillation, §III-B): the loss blends hard labels with the teacher's
+    /// segmentation distribution and weight outputs 50/50.
+    pub fn distill(teacher: &TagMiner, sentences: &[LabeledSentence], cfg: MinerConfig) -> Self {
+        Self::train_inner(sentences, cfg, Some(teacher))
+    }
+
+    fn train_inner(
+        sentences: &[LabeledSentence],
+        cfg: MinerConfig,
+        teacher: Option<&TagMiner>,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.train.seed);
+        let texts: Vec<String> = sentences.iter().map(|s| s.tokens.join(" ")).collect();
+        let vocab = Vocab::from_texts(&texts, 1);
+
+        let mut params = ParamSet::new(cfg.train.lr);
+        let emb = Embedding::new("miner.emb", vocab.len(), cfg.dim, &mut params, &mut rng);
+        let pos = PositionEmbedding::new("miner.pos", MAX_SENT_LEN, cfg.dim, &mut params, &mut rng);
+        let enc = TransformerEncoder::new(
+            "miner.enc",
+            cfg.layers,
+            cfg.dim,
+            cfg.heads,
+            &mut params,
+            &mut rng,
+        );
+        let seg_head = Linear::new("miner.seg", cfg.dim, 3, true, &mut params, &mut rng);
+        let weight_head = Linear::new("miner.w", cfg.dim, 1, true, &mut params, &mut rng);
+        let model = TagMiner { cfg, vocab, emb, pos, enc, seg_head, weight_head };
+
+        // Pre-fetch teacher targets once (teacher runs in inference mode).
+        let teacher_preds: Option<Vec<TokenPredictions>> =
+            teacher.map(|t| sentences.iter().map(|s| t.predict_tokens(&s.tokens)).collect());
+
+        let tc = &model.cfg.train;
+        params.total_steps =
+            Some((sentences.len() * tc.epochs).div_ceil(tc.batch_size.max(1)).max(1));
+        let mut order: Vec<usize> = (0..sentences.len()).collect();
+        for epoch in 0..tc.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f64;
+            let mut in_batch = 0;
+            for (i, &si) in order.iter().enumerate() {
+                let s = &sentences[si];
+                let n = s.tokens.len().min(MAX_SENT_LEN);
+                if n == 0 {
+                    continue;
+                }
+                let tape = Tape::training(tc.seed ^ (epoch as u64) << 32 ^ si as u64);
+                let h = model.encode(&tape, &s.tokens[..n]);
+                let mut loss: Option<Tensor> = None;
+                let mut add = |l: Tensor| {
+                    loss = Some(match loss.take() {
+                        Some(acc) => acc.add(&l),
+                        None => l,
+                    })
+                };
+
+                if model.cfg.task != MiningTask::WeightingOnly {
+                    let logits = model.seg_head.forward(&tape, &h); // n x 3
+                    let gold: Vec<usize> = s.seg[..n].iter().map(|l| l.class()).collect();
+                    add(logits.cross_entropy_logits(&gold));
+                    if let Some(tp) = &teacher_preds {
+                        add(logits.soft_cross_entropy(&tp[si].seg_probs.slice_rows(0, n)));
+                    }
+                }
+                if model.cfg.task != MiningTask::SegmentationOnly {
+                    let logits = model.weight_head.forward(&tape, &h); // n x 1
+                    let gold = Matrix::from_vec(n, 1, s.weight[..n].to_vec());
+                    add(logits.bce_with_logits(&gold));
+                    if let Some(tp) = &teacher_preds {
+                        let soft = Matrix::from_vec(n, 1, tp[si].weights[..n].to_vec());
+                        add(logits.bce_with_logits(&soft));
+                    }
+                }
+
+                let loss = loss.expect("at least one task active");
+                epoch_loss += loss.scalar() as f64;
+                loss.backward();
+                in_batch += 1;
+                if in_batch == tc.batch_size || i + 1 == order.len() {
+                    params.step(1.0 / in_batch as f32);
+                    in_batch = 0;
+                }
+            }
+            if tc.verbose {
+                println!(
+                    "miner({:?}, L={}) epoch {epoch}: loss {:.4}",
+                    model.cfg.task,
+                    model.cfg.layers,
+                    epoch_loss / sentences.len().max(1) as f64
+                );
+            }
+        }
+        model
+    }
+
+    fn encode(&self, tape: &Tape, tokens: &[String]) -> Tensor {
+        let ids: Vec<usize> = tokens.iter().map(|t| self.vocab.id(t)).collect();
+        let x = self.emb.forward(tape, &ids);
+        let p = self.pos.forward(tape, ids.len());
+        self.enc.forward(tape, &x.add(&p))
+    }
+
+    /// Runs inference on one tokenized sentence.
+    pub fn predict_tokens(&self, tokens: &[String]) -> TokenPredictions {
+        let n = tokens.len().min(MAX_SENT_LEN);
+        if n == 0 {
+            return TokenPredictions {
+                seg: Vec::new(),
+                seg_probs: Matrix::zeros(0, 3),
+                weights: Vec::new(),
+            };
+        }
+        let tape = Tape::new();
+        let h = self.encode(&tape, &tokens[..n]);
+        let seg_probs = self.seg_head.forward(&tape, &h).value().softmax_rows();
+        let seg = (0..n)
+            .map(|r| SegLabel::from_class(seg_probs.argmax_row(r)))
+            .collect();
+        let weights = self
+            .weight_head
+            .forward(&tape, &h)
+            .value()
+            .into_vec()
+            .into_iter()
+            .map(|x| 1.0 / (1.0 + (-x).exp()))
+            .collect();
+        TokenPredictions { seg, seg_probs, weights }
+    }
+
+    /// The miner's configuration.
+    pub fn config(&self) -> &MinerConfig {
+        &self.cfg
+    }
+
+    /// Number of Transformer layers (teacher vs student check).
+    pub fn num_layers(&self) -> usize {
+        self.cfg.layers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intellitag_datagen::{labeled_sentences, World, WorldConfig};
+
+    fn data() -> Vec<LabeledSentence> {
+        let world = World::generate(WorldConfig::tiny(21));
+        labeled_sentences(&world)
+    }
+
+    fn quick_cfg(task: MiningTask) -> MinerConfig {
+        MinerConfig {
+            dim: 24,
+            layers: 1,
+            heads: 2,
+            task,
+            train: TrainConfig { epochs: 3, lr: 5e-3, seed: 4, ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn multitask_learns_to_segment() {
+        let data = data();
+        let (train, test) = data.split_at(160);
+        let m = TagMiner::train(train, quick_cfg(MiningTask::MultiTask));
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for s in test.iter().take(40) {
+            let p = m.predict_tokens(&s.tokens);
+            for (pred, gold) in p.seg.iter().zip(&s.seg) {
+                total += 1;
+                if pred == gold {
+                    correct += 1;
+                }
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.7, "token segmentation accuracy {acc}");
+    }
+
+    #[test]
+    fn weights_separate_tag_tokens() {
+        let data = data();
+        let (train, test) = data.split_at(160);
+        let m = TagMiner::train(train, quick_cfg(MiningTask::MultiTask));
+        let mut tag_w = 0.0f64;
+        let mut other_w = 0.0f64;
+        let (mut nt, mut no) = (0, 0);
+        for s in test.iter().take(40) {
+            let p = m.predict_tokens(&s.tokens);
+            for (i, &w) in p.weights.iter().enumerate() {
+                if s.weight[i] > 0.5 {
+                    tag_w += w as f64;
+                    nt += 1;
+                } else {
+                    other_w += w as f64;
+                    no += 1;
+                }
+            }
+        }
+        assert!(tag_w / nt as f64 > other_w / no.max(1) as f64 + 0.2);
+    }
+
+    #[test]
+    fn single_task_variants_train() {
+        let data = data();
+        let seg = TagMiner::train(&data[..80], quick_cfg(MiningTask::SegmentationOnly));
+        let w = TagMiner::train(&data[..80], quick_cfg(MiningTask::WeightingOnly));
+        let p1 = seg.predict_tokens(&data[100].tokens);
+        let p2 = w.predict_tokens(&data[100].tokens);
+        assert_eq!(p1.seg.len(), data[100].tokens.len());
+        assert_eq!(p2.weights.len(), data[100].tokens.len());
+    }
+
+    #[test]
+    fn distilled_student_is_shallower_and_usable() {
+        let data = data();
+        let teacher_cfg = MinerConfig { layers: 2, ..quick_cfg(MiningTask::MultiTask) };
+        let teacher = TagMiner::train(&data[..120], teacher_cfg);
+        let student = TagMiner::distill(&teacher, &data[..120], teacher_cfg.student());
+        assert_eq!(student.num_layers(), 1);
+        let p = student.predict_tokens(&data[130].tokens);
+        assert_eq!(p.seg.len(), data[130].tokens.len());
+        assert!(p.weights.iter().all(|w| (0.0..=1.0).contains(w)));
+    }
+
+    #[test]
+    fn empty_sentence_is_safe() {
+        let data = data();
+        let m = TagMiner::train(&data[..40], quick_cfg(MiningTask::MultiTask));
+        let p = m.predict_tokens(&[]);
+        assert!(p.seg.is_empty() && p.weights.is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! Automatic Q&A pair collection (paper §III-A): cluster user questions
+//! together with existing RQs (DBSCAN over sentence embeddings), promote a
+//! representative question for clusters that lack an RQ, and select an
+//! answer from high-rated manual-service replies.
+//!
+//! The paper uses Transformer sentence embeddings and a machine-reading-
+//! comprehension model for answer extraction; offline substitutes are
+//! hashed sentence embeddings and BM25-based answer selection (see
+//! DESIGN.md §2).
+
+use intellitag_search::InvertedIndex;
+use intellitag_text::{dbscan_points, HashedEmbedder};
+
+/// A user-proposed question observed in the online logs.
+#[derive(Debug, Clone)]
+pub struct UserQuestion {
+    /// The question text.
+    pub text: String,
+    /// A high-rated manual-service reply, when one exists.
+    pub reply: Option<String>,
+}
+
+/// Collection parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CollectConfig {
+    /// Embedding width for clustering.
+    pub embed_dim: usize,
+    /// DBSCAN neighborhood radius (embeddings are unit vectors, so
+    /// distances live in `[0, 2]`).
+    pub eps: f64,
+    /// DBSCAN core-point threshold.
+    pub min_pts: usize,
+}
+
+impl Default for CollectConfig {
+    fn default() -> Self {
+        CollectConfig { embed_dim: 128, eps: 0.75, min_pts: 3 }
+    }
+}
+
+/// A newly collected Q&A pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectedPair {
+    /// The promoted representative question.
+    pub question: String,
+    /// The selected answer.
+    pub answer: String,
+    /// How many user questions the cluster contained.
+    pub cluster_size: usize,
+}
+
+/// Runs the collection pipeline. `existing_rqs` are the KB's current
+/// representative questions; clusters containing any of them are skipped
+/// (they are already covered). Clusters without replies are skipped too —
+/// there is nothing to answer with.
+pub fn collect_qa_pairs(
+    questions: &[UserQuestion],
+    existing_rqs: &[String],
+    cfg: &CollectConfig,
+) -> Vec<CollectedPair> {
+    if questions.is_empty() {
+        return Vec::new();
+    }
+    let embedder = HashedEmbedder::new(cfg.embed_dim);
+    // Mix user questions and RQs into one point set (paper: "we mix user's
+    // frequently proposed questions and RQs").
+    let mut points: Vec<Vec<f32>> = Vec::with_capacity(questions.len() + existing_rqs.len());
+    for q in questions {
+        points.push(embedder.embed(&q.text));
+    }
+    for rq in existing_rqs {
+        points.push(embedder.embed(rq));
+    }
+    let assignment = dbscan_points(&points, cfg.eps, cfg.min_pts);
+
+    // Group user-question indices per cluster; note clusters that contain an RQ.
+    let num_clusters = assignment
+        .iter()
+        .filter_map(|a| a.cluster())
+        .max()
+        .map_or(0, |m| m + 1);
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); num_clusters];
+    let mut has_rq = vec![false; num_clusters];
+    for (i, a) in assignment.iter().enumerate() {
+        let Some(c) = a.cluster() else { continue };
+        if i < questions.len() {
+            members[c].push(i);
+        } else {
+            has_rq[c] = true;
+        }
+    }
+
+    let mut out = Vec::new();
+    for (c, qs) in members.iter().enumerate() {
+        if has_rq[c] || qs.is_empty() {
+            continue;
+        }
+        // Representative question: the medoid (minimum total distance to the
+        // other cluster members) — the stand-in for "randomly choose a
+        // user's question" that keeps the choice deterministic.
+        let medoid = *qs
+            .iter()
+            .min_by(|&&a, &&b| {
+                let da: f64 = qs.iter().map(|&o| dist(&points[a], &points[o])).sum();
+                let db: f64 = qs.iter().map(|&o| dist(&points[b], &points[o])).sum();
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty cluster");
+        let question = questions[medoid].text.clone();
+
+        // Answer selection: BM25 over the cluster's high-rated replies
+        // against the representative question (the MRC substitute).
+        let replies: Vec<&String> =
+            qs.iter().filter_map(|&i| questions[i].reply.as_ref()).collect();
+        if replies.is_empty() {
+            continue;
+        }
+        let mut index = InvertedIndex::new();
+        for r in &replies {
+            index.add_document(&intellitag_text::tokenize(r));
+        }
+        let query = intellitag_text::tokenize(&question);
+        let answer = match index.search(&query, 1).first() {
+            Some(hit) => replies[hit.doc].clone(),
+            None => replies[0].clone(), // no lexical overlap: fall back to any reply
+        };
+
+        out.push(CollectedPair { question, answer, cluster_size: qs.len() });
+    }
+    out
+}
+
+fn dist(a: &[f32], b: &[f32]) -> f64 {
+    intellitag_text::euclidean(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(text: &str, reply: Option<&str>) -> UserQuestion {
+        UserQuestion { text: text.into(), reply: reply.map(str::to_string) }
+    }
+
+    fn paraphrase_cluster() -> Vec<UserQuestion> {
+        vec![
+            q("how do i reset my vpn password", Some("Open the VPN client and click reset password.")),
+            q("reset vpn password how", None),
+            q("i want to reset the vpn password please", Some("Use the VPN reset menu.")),
+            q("how to reset vpn password quickly", None),
+        ]
+    }
+
+    #[test]
+    fn uncovered_cluster_yields_a_new_pair() {
+        let questions = paraphrase_cluster();
+        let pairs = collect_qa_pairs(&questions, &[], &CollectConfig::default());
+        assert_eq!(pairs.len(), 1);
+        assert!(pairs[0].question.contains("vpn password"));
+        assert!(pairs[0].answer.to_lowercase().contains("reset"));
+        assert_eq!(pairs[0].cluster_size, 4);
+    }
+
+    #[test]
+    fn covered_cluster_is_skipped() {
+        let questions = paraphrase_cluster();
+        let existing = vec!["how to reset the vpn password".to_string()];
+        let pairs = collect_qa_pairs(&questions, &existing, &CollectConfig::default());
+        assert!(pairs.is_empty(), "an existing RQ already covers the cluster");
+    }
+
+    #[test]
+    fn clusters_without_replies_are_skipped() {
+        let questions = vec![
+            q("how to freeze my credit card", None),
+            q("freeze credit card how", None),
+            q("please freeze the credit card now", None),
+        ];
+        let pairs = collect_qa_pairs(&questions, &[], &CollectConfig::default());
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn noise_questions_do_not_form_pairs() {
+        let questions = vec![
+            q("completely unique gibberish alpha", Some("reply a")),
+            q("another unrelated thing beta", Some("reply b")),
+        ];
+        let pairs = collect_qa_pairs(&questions, &[], &CollectConfig::default());
+        assert!(pairs.is_empty(), "sparse points are DBSCAN noise");
+    }
+
+    #[test]
+    fn two_distinct_clusters_yield_two_pairs() {
+        let mut questions = paraphrase_cluster();
+        questions.extend([
+            q("how to cancel my food order", Some("Open orders and tap cancel.")),
+            q("how to cancel the food order", None),
+            q("how to cancel food order today", Some("Go to my orders, cancel.")),
+            q("cancel the food order how", None),
+        ]);
+        let pairs = collect_qa_pairs(&questions, &[], &CollectConfig::default());
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        assert!(collect_qa_pairs(&[], &[], &CollectConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Rule-based post-processing of mined tags (paper §III-B): an
+//! equal-weighted combination of (1) model tag weight, (2) tag frequency,
+//! (3) tag IDF and (4) averaged intra-tag PMI. Tags below a threshold are
+//! discarded, trading recall for precision (Table III, "MT model + r").
+
+use intellitag_text::CorpusStats;
+
+/// The four rule components for one candidate tag, each normalized to
+/// `[0, 1]` before the equal-weight average (the paper sets "the same weight
+/// for each rule").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuleScore {
+    /// Model-predicted tag weight (mean word weight over the span).
+    pub weight: f64,
+    /// Corpus-frequency component.
+    pub frequency: f64,
+    /// Inverse-document-frequency component.
+    pub idf: f64,
+    /// Intra-tag semantic-consistency component (averaged PMI).
+    pub pmi: f64,
+}
+
+impl RuleScore {
+    /// The equal-weighted combination.
+    pub fn combined(&self) -> f64 {
+        (self.weight + self.frequency + self.idf + self.pmi) / 4.0
+    }
+}
+
+/// Corpus-level rule filter.
+pub struct RuleFilter {
+    stats: CorpusStats,
+    /// Acceptance threshold on the combined score.
+    pub min_score: f64,
+}
+
+impl RuleFilter {
+    /// Builds corpus statistics from the whole KB document (tokenized RQ
+    /// sentences) — the paper computes frequency/IDF "based on the whole KB
+    /// document".
+    pub fn from_corpus<'a, I>(sentences: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [String]>,
+    {
+        let mut stats = CorpusStats::new(4);
+        for s in sentences {
+            stats.add_document(s);
+        }
+        RuleFilter { stats, min_score: 0.5 }
+    }
+
+    /// Scores one candidate tag.
+    pub fn score(&self, words: &[String], model_weight: f64) -> RuleScore {
+        // Frequency: log-saturating in the rarest constituent word (a tag is
+        // only as frequent as its rarest word).
+        let min_tf = words
+            .iter()
+            .map(|w| self.stats.term_frequency(w))
+            .min()
+            .unwrap_or(0);
+        let frequency = ((1 + min_tf) as f64).ln() / ((1 + 200) as f64).ln();
+        // IDF: the smoothed IDF of the most informative word, squashed.
+        let max_idf = words
+            .iter()
+            .map(|w| self.stats.idf(w))
+            .fold(0.0f64, f64::max);
+        let idf = (max_idf / 6.0).clamp(0.0, 1.0);
+        // PMI: logistic squash of the averaged PMI; single-word tags sit at
+        // the neutral 0.5.
+        let pmi = 1.0 / (1.0 + (-self.stats.avg_pmi(words)).exp());
+        RuleScore {
+            weight: model_weight.clamp(0.0, 1.0),
+            frequency: frequency.clamp(0.0, 1.0),
+            idf,
+            pmi,
+        }
+    }
+
+    /// Whether a candidate passes the filter.
+    pub fn accepts(&self, words: &[String], model_weight: f64) -> bool {
+        self.score(words, model_weight).combined() >= self.min_score
+    }
+
+    /// The underlying corpus statistics.
+    pub fn stats(&self) -> &CorpusStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intellitag_text::tokenize;
+
+    fn filter() -> RuleFilter {
+        let docs: Vec<Vec<String>> = [
+            "how to change password",
+            "how to change password quickly",
+            "where to change my password",
+            "how can i apply for etc card",
+            "apply for etc card on highway",
+            "random blargh unique gibberish",
+        ]
+        .iter()
+        .map(|s| tokenize(s))
+        .collect();
+        RuleFilter::from_corpus(docs.iter().map(|d| d.as_slice()))
+    }
+
+    fn words(s: &str) -> Vec<String> {
+        tokenize(s)
+    }
+
+    #[test]
+    fn collocations_outscore_random_pairs() {
+        let f = filter();
+        let good = f.score(&words("change password"), 0.9);
+        let bad = f.score(&words("password highway"), 0.9);
+        assert!(good.pmi > bad.pmi, "{good:?} vs {bad:?}");
+        assert!(good.combined() > bad.combined());
+    }
+
+    #[test]
+    fn frequent_tags_outscore_hapaxes() {
+        let f = filter();
+        let frequent = f.score(&words("password"), 0.8);
+        let rare = f.score(&words("blargh"), 0.8);
+        assert!(frequent.frequency > rare.frequency);
+    }
+
+    #[test]
+    fn model_weight_contributes() {
+        let f = filter();
+        let hi = f.score(&words("change password"), 0.95);
+        let lo = f.score(&words("change password"), 0.05);
+        assert!(hi.combined() > lo.combined());
+        assert!((hi.combined() - lo.combined() - 0.9 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn components_are_bounded() {
+        let f = filter();
+        for tag in ["change password", "blargh", "etc card", "password highway blargh"] {
+            let s = f.score(&words(tag), 0.5);
+            for v in [s.weight, s.frequency, s.idf, s.pmi] {
+                assert!((0.0..=1.0).contains(&v), "{tag}: {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_gates_acceptance() {
+        let mut f = filter();
+        f.min_score = 0.0;
+        assert!(f.accepts(&words("anything at all"), 0.0));
+        f.min_score = 1.01;
+        assert!(!f.accepts(&words("change password"), 1.0));
+    }
+
+    #[test]
+    fn unseen_word_tag_is_penalized_on_frequency() {
+        let f = filter();
+        let s = f.score(&words("zzzz"), 1.0);
+        assert_eq!(s.frequency, 0.0);
+    }
+}

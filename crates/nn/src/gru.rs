@@ -1,0 +1,164 @@
+//! Gated recurrent unit, the backbone of the GRU4Rec baseline.
+
+use intellitag_tensor::{ParamSet, Tape, Tensor};
+use rand::Rng;
+
+use crate::linear::Linear;
+
+/// A single-layer GRU mapping an `N x input` sequence to `N x hidden` states.
+///
+/// Gate equations (Cho et al., 2014):
+/// ```text
+/// z_t = sigmoid(x_t W_z + h_{t-1} U_z + b_z)
+/// r_t = sigmoid(x_t W_r + h_{t-1} U_r + b_r)
+/// n_t = tanh  (x_t W_n + (r_t ⊙ h_{t-1}) U_n + b_n)
+/// h_t = (1 - z_t) ⊙ n_t + z_t ⊙ h_{t-1}
+/// ```
+pub struct Gru {
+    wz: Linear,
+    uz: Linear,
+    wr: Linear,
+    ur: Linear,
+    wn: Linear,
+    un: Linear,
+    hidden: usize,
+}
+
+impl Gru {
+    /// Creates a GRU layer and registers its parameters.
+    pub fn new<R: Rng>(
+        name: &str,
+        input: usize,
+        hidden: usize,
+        params: &mut ParamSet,
+        rng: &mut R,
+    ) -> Self {
+        let l = |n: &str, i: usize, bias: bool, ps: &mut ParamSet, rng: &mut R| {
+            Linear::new(&format!("{name}.{n}"), i, hidden, bias, ps, rng)
+        };
+        Gru {
+            wz: l("wz", input, true, params, rng),
+            uz: l("uz", hidden, false, params, rng),
+            wr: l("wr", input, true, params, rng),
+            ur: l("ur", hidden, false, params, rng),
+            wn: l("wn", input, true, params, rng),
+            un: l("un", hidden, false, params, rng),
+            hidden,
+        }
+    }
+
+    /// One recurrence step: `x_t` is `1 x input`, `h` is `1 x hidden`.
+    pub fn step(&self, tape: &Tape, x_t: &Tensor, h: &Tensor) -> Tensor {
+        let z = self
+            .wz
+            .forward(tape, x_t)
+            .add(&self.uz.forward(tape, h))
+            .sigmoid();
+        let r = self
+            .wr
+            .forward(tape, x_t)
+            .add(&self.ur.forward(tape, h))
+            .sigmoid();
+        let n = self
+            .wn
+            .forward(tape, x_t)
+            .add(&self.un.forward(tape, &r.mul(h)))
+            .tanh();
+        // (1 - z) ⊙ n + z ⊙ h
+        let one_minus_z = z.scale(-1.0).add_scalar(1.0);
+        one_minus_z.mul(&n).add(&z.mul(h))
+    }
+
+    /// Runs the full sequence, returning all hidden states (`N x hidden`).
+    pub fn forward(&self, tape: &Tape, x: &Tensor) -> Tensor {
+        assert!(x.rows() > 0, "empty sequence");
+        let mut h = tape.constant(intellitag_tensor::Matrix::zeros(1, self.hidden));
+        let mut states = Vec::with_capacity(x.rows());
+        for t in 0..x.rows() {
+            let x_t = x.row(t);
+            h = self.step(tape, &x_t, &h);
+            states.push(h.clone());
+        }
+        Tensor::concat_rows(&states)
+    }
+
+    /// Runs the full sequence, returning only the final state (`1 x hidden`).
+    pub fn forward_last(&self, tape: &Tape, x: &Tensor) -> Tensor {
+        let states = self.forward(tape, x);
+        states.row(states.rows() - 1)
+    }
+
+    /// Hidden width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intellitag_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ps = ParamSet::new(1e-3);
+        let gru = Gru::new("g", 3, 5, &mut ps, &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(Matrix::uniform(4, 3, 1.0, &mut rng));
+        let all = gru.forward(&tape, &x);
+        assert_eq!(all.shape(), (4, 5));
+        let last = gru.forward_last(&tape, &x);
+        assert_eq!(last.shape(), (1, 5));
+        assert_eq!(last.value().row_slice(0), all.value().row_slice(3));
+    }
+
+    #[test]
+    fn hidden_states_stay_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ps = ParamSet::new(1e-3);
+        let gru = Gru::new("g", 2, 4, &mut ps, &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(Matrix::uniform(50, 2, 5.0, &mut rng));
+        let h = gru.forward(&tape, &x).value();
+        // tanh candidate + convex gate keeps |h| <= 1
+        assert!(h.data().iter().all(|v| v.abs() <= 1.0 + 1e-5));
+    }
+
+    #[test]
+    fn learns_to_remember_first_token() {
+        // Task: output at the end should match the first input's sign.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ps = ParamSet::new(0.02);
+        ps.weight_decay = 0.0;
+        let gru = Gru::new("g", 1, 8, &mut ps, &mut rng);
+        let mut head_ps = ParamSet::new(0.02);
+        head_ps.weight_decay = 0.0;
+        let head = Linear::new("head", 8, 2, true, &mut head_ps, &mut rng);
+        ps.extend(&head_ps);
+
+        let mut correct = 0;
+        let mut total = 0;
+        for step in 0..800 {
+            let tape = Tape::new();
+            let first = if step % 2 == 0 { 1.0 } else { -1.0 };
+            let label = usize::from(step % 2 == 1);
+            let seq = vec![first, 0.1, -0.1, 0.05];
+            let x = tape.constant(Matrix::from_vec(4, 1, seq));
+            let h = gru.forward_last(&tape, &x);
+            let logits = head.forward(&tape, &h);
+            if step >= 700 {
+                total += 1;
+                if logits.value().argmax_row(0) == label {
+                    correct += 1;
+                }
+            }
+            let loss = logits.cross_entropy_logits(&[label]);
+            loss.backward();
+            ps.step(1.0);
+        }
+        assert!(correct as f32 / total as f32 > 0.9, "{correct}/{total}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Fully-connected layer.
+
+use intellitag_tensor::{Param, ParamSet, Tape, Tensor};
+use rand::Rng;
+
+/// An affine map `y = x W + b` applied row-wise to an `R x in` input.
+pub struct Linear {
+    /// Weight, `in x out`.
+    pub w: Param,
+    /// Bias, `1 x out`; `None` when the layer was built without bias.
+    pub b: Option<Param>,
+}
+
+impl Linear {
+    /// Creates a Xavier-initialized linear layer and registers its parameters.
+    pub fn new<R: Rng>(
+        name: &str,
+        input: usize,
+        output: usize,
+        bias: bool,
+        params: &mut ParamSet,
+        rng: &mut R,
+    ) -> Self {
+        let w = params.register(Param::xavier(format!("{name}.w"), input, output, rng));
+        let b = bias.then(|| params.register(Param::zeros(format!("{name}.b"), 1, output)));
+        Linear { w, b }
+    }
+
+    /// Applies the layer on a tape.
+    pub fn forward(&self, tape: &Tape, x: &Tensor) -> Tensor {
+        let y = x.matmul(&tape.param(&self.w));
+        match &self.b {
+            Some(b) => y.add_row_broadcast(&tape.param(b)),
+            None => y,
+        }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.w.shape().0
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.w.shape().1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intellitag_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ps = ParamSet::new(1e-3);
+        let lin = Linear::new("l", 3, 2, true, &mut ps, &mut rng);
+        assert_eq!(ps.params().len(), 2);
+        let tape = Tape::new();
+        let x = tape.constant(Matrix::zeros(4, 3));
+        let y = lin.forward(&tape, &x);
+        assert_eq!(y.shape(), (4, 2));
+        // zero input + zero bias = zero output
+        assert!(y.value().data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn no_bias_variant_registers_one_param() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ps = ParamSet::new(1e-3);
+        let lin = Linear::new("l", 3, 2, false, &mut ps, &mut rng);
+        assert!(lin.b.is_none());
+        assert_eq!(ps.params().len(), 1);
+    }
+
+    #[test]
+    fn trains_to_fit_linear_map() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ps = ParamSet::new(0.05);
+        ps.weight_decay = 0.0;
+        let lin = Linear::new("l", 2, 1, true, &mut ps, &mut rng);
+        // target: y = 2a - b + 0.5
+        for step in 0..600 {
+            let tape = Tape::new();
+            let a = (step % 7) as f32 / 7.0;
+            let b = (step % 5) as f32 / 5.0;
+            let x = tape.constant(Matrix::row(vec![a, b]));
+            let y = lin.forward(&tape, &x);
+            let loss = y.mse(&Matrix::row(vec![2.0 * a - b + 0.5]));
+            loss.backward();
+            ps.step(1.0);
+        }
+        let w = lin.w.value();
+        let b = lin.b.as_ref().unwrap().value();
+        assert!((w.get(0, 0) - 2.0).abs() < 0.1, "w0={}", w.get(0, 0));
+        assert!((w.get(1, 0) + 1.0).abs() < 0.1, "w1={}", w.get(1, 0));
+        assert!((b.get(0, 0) - 0.5).abs() < 0.1, "b={}", b.get(0, 0));
+    }
+}

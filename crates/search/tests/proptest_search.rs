@@ -1,0 +1,105 @@
+//! Property tests for the BM25 inverted index and KB warehouse.
+
+use intellitag_search::{InvertedIndex, KbWarehouse};
+use proptest::prelude::*;
+
+fn word() -> impl Strategy<Value = String> {
+    "[a-e]{1,3}".prop_map(|s| s)
+}
+
+fn doc() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(word(), 1..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn results_are_sorted_and_bounded(docs in proptest::collection::vec(doc(), 1..20),
+                                      query in doc(), k in 0usize..10) {
+        let mut ix = InvertedIndex::new();
+        for d in &docs {
+            ix.add_document(d);
+        }
+        let hits = ix.search(&query, k);
+        prop_assert!(hits.len() <= k);
+        for w in hits.windows(2) {
+            prop_assert!(
+                w[0].score > w[1].score
+                    || (w[0].score == w[1].score && w[0].doc < w[1].doc)
+            );
+        }
+        prop_assert!(hits.iter().all(|h| h.doc < docs.len()));
+        prop_assert!(hits.iter().all(|h| h.score.is_finite() && h.score > 0.0));
+    }
+
+    #[test]
+    fn self_query_retrieves_the_document(docs in proptest::collection::vec(doc(), 1..15)) {
+        let mut ix = InvertedIndex::new();
+        for d in &docs {
+            ix.add_document(d);
+        }
+        // Querying with a document's full token list must retrieve it.
+        for (i, d) in docs.iter().enumerate() {
+            let hits = ix.search(d, docs.len());
+            prop_assert!(
+                hits.iter().any(|h| h.doc == i),
+                "doc {i} not found by its own text"
+            );
+        }
+    }
+
+    #[test]
+    fn idf_is_monotone_in_rarity(docs in proptest::collection::vec(doc(), 2..15)) {
+        let mut ix = InvertedIndex::new();
+        for d in &docs {
+            ix.add_document(d);
+        }
+        // A term in every document has minimal idf among observed terms.
+        use std::collections::HashMap;
+        let mut df: HashMap<&String, usize> = HashMap::new();
+        for d in &docs {
+            let mut seen: Vec<&String> = d.iter().collect();
+            seen.sort();
+            seen.dedup();
+            for t in seen {
+                *df.entry(t).or_default() += 1;
+            }
+        }
+        let mut terms: Vec<(&&String, &usize)> = df.iter().collect();
+        terms.sort_by_key(|&(_, c)| *c);
+        for w in terms.windows(2) {
+            let (rare, rc) = w[0];
+            let (common, cc) = w[1];
+            if rc < cc {
+                prop_assert!(ix.idf(rare) >= ix.idf(common));
+            }
+        }
+    }
+
+    #[test]
+    fn warehouse_tenant_filter_never_leaks(
+        pairs in proptest::collection::vec((doc(), 0usize..3), 1..15),
+        query in doc(),
+        tenant in 0usize..3,
+    ) {
+        let mut kb = KbWarehouse::new();
+        for (tokens, t) in &pairs {
+            kb.add_pair(tokens.join(" "), "answer", *t);
+        }
+        for h in kb.recall_for_tenant(&query.join(" "), tenant, 10) {
+            prop_assert_eq!(kb.pair(h.doc).tenant, tenant);
+        }
+    }
+
+    #[test]
+    fn recall_is_subset_of_corpus(pairs in proptest::collection::vec(doc(), 1..10), q in doc()) {
+        let mut kb = KbWarehouse::new();
+        for tokens in &pairs {
+            kb.add_pair(tokens.join(" "), "a", 0);
+        }
+        let hits = kb.recall(&q.join(" "), 100);
+        prop_assert!(hits.len() <= pairs.len());
+        prop_assert!(hits.iter().all(|h| h.doc < pairs.len()));
+    }
+}

@@ -1,0 +1,64 @@
+//! Numeric gradient checking used by the test suites of this crate and the
+//! layers built on top of it.
+
+use crate::matrix::Matrix;
+use crate::param::Param;
+
+/// Central-difference numeric gradient of `loss_fn` with respect to `param`.
+///
+/// `loss_fn` must rebuild the forward pass from the parameter's *current*
+/// value each call (it is invoked `2 * len` times with perturbed values).
+pub fn numeric_grad(param: &Param, eps: f32, mut loss_fn: impl FnMut() -> f32) -> Matrix {
+    let base = param.value();
+    let (rows, cols) = base.shape();
+    let mut grad = Matrix::zeros(rows, cols);
+    for i in 0..base.len() {
+        let mut plus = base.clone();
+        plus.data_mut()[i] += eps;
+        param.set_value(plus);
+        let lp = loss_fn();
+
+        let mut minus = base.clone();
+        minus.data_mut()[i] -= eps;
+        param.set_value(minus);
+        let lm = loss_fn();
+
+        grad.data_mut()[i] = (lp - lm) / (2.0 * eps);
+    }
+    param.set_value(base);
+    grad
+}
+
+/// Asserts that the analytic gradients of `params` under `loss_fn` match
+/// numeric central differences within `tol` (relative, with an absolute
+/// floor). `loss_fn` must build a fresh tape, run backward, and return the
+/// scalar loss; parameter gradients must be zeroed before each call — this
+/// helper does that.
+pub fn assert_grads_match(params: &[Param], tol: f32, mut loss_fn: impl FnMut() -> f32) {
+    // Analytic pass.
+    for p in params {
+        p.zero_grad();
+    }
+    let _ = loss_fn();
+    let analytic: Vec<Matrix> = params.iter().map(Param::grad).collect();
+
+    for (p, a) in params.iter().zip(&analytic) {
+        let n = numeric_grad(p, 1e-3, || {
+            for q in params {
+                q.zero_grad();
+            }
+            loss_fn()
+        });
+        for i in 0..a.len() {
+            let av = a.data()[i];
+            let nv = n.data()[i];
+            let denom = av.abs().max(nv.abs()).max(1.0);
+            let rel = (av - nv).abs() / denom;
+            assert!(
+                rel < tol,
+                "gradient mismatch for {} at flat index {i}: analytic={av}, numeric={nv}, rel={rel}",
+                p.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Binary serialization of matrices and parameter snapshots.
+//!
+//! The deployed IntelliTag retrains offline every day ("T+1", paper §V-B)
+//! and uploads the results to the online model servers: precomputed tag
+//! embeddings plus the sequence-layer parameters. This module provides the
+//! artifact format — a minimal little-endian binary layout with a magic
+//! header, no external dependencies.
+
+use std::io::{self, Read, Write};
+
+use crate::matrix::Matrix;
+use crate::param::ParamSet;
+
+const MAGIC: &[u8; 8] = b"ITAGSNP1";
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Sanity bound on deserialized dimensions/lengths (1B entries) so corrupt
+/// headers fail fast instead of attempting huge allocations.
+const MAX_LEN: u64 = 1 << 30;
+
+/// Writes one matrix: `rows: u64, cols: u64, data: f32-LE…`.
+pub fn write_matrix<W: Write>(w: &mut W, m: &Matrix) -> io::Result<()> {
+    write_u64(w, m.rows() as u64)?;
+    write_u64(w, m.cols() as u64)?;
+    for &v in m.data() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads one matrix written by [`write_matrix`].
+pub fn read_matrix<R: Read>(r: &mut R) -> io::Result<Matrix> {
+    let rows = read_u64(r)?;
+    let cols = read_u64(r)?;
+    if rows > MAX_LEN || cols > MAX_LEN || rows.saturating_mul(cols) > MAX_LEN {
+        return Err(bad("matrix dimensions out of range"));
+    }
+    let n = (rows * cols) as usize;
+    let mut data = Vec::with_capacity(n);
+    let mut buf = [0u8; 4];
+    for _ in 0..n {
+        r.read_exact(&mut buf)?;
+        data.push(f32::from_le_bytes(buf));
+    }
+    Ok(Matrix::from_vec(rows as usize, cols as usize, data))
+}
+
+/// A named-parameter snapshot: what the offline trainer ships to serving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// `(parameter name, value)` pairs, in registration order.
+    pub entries: Vec<(String, Matrix)>,
+}
+
+impl Snapshot {
+    /// Captures the current values of every parameter in a set.
+    pub fn capture(params: &ParamSet) -> Snapshot {
+        Snapshot {
+            entries: params
+                .params()
+                .iter()
+                .map(|p| (p.name(), p.value()))
+                .collect(),
+        }
+    }
+
+    /// Restores values into a parameter set **by name**.
+    ///
+    /// Every parameter in `params` must have exactly one entry with matching
+    /// name and shape; extra snapshot entries are an error too, so a
+    /// mismatched architecture fails loudly rather than half-loading.
+    pub fn restore(&self, params: &ParamSet) -> io::Result<()> {
+        if self.entries.len() != params.params().len() {
+            return Err(bad(&format!(
+                "snapshot has {} entries, parameter set has {}",
+                self.entries.len(),
+                params.params().len()
+            )));
+        }
+        let by_name: std::collections::HashMap<&str, &Matrix> =
+            self.entries.iter().map(|(n, m)| (n.as_str(), m)).collect();
+        if by_name.len() != self.entries.len() {
+            return Err(bad("duplicate parameter names in snapshot"));
+        }
+        for p in params.params() {
+            let name = p.name();
+            let m = by_name
+                .get(name.as_str())
+                .ok_or_else(|| bad(&format!("missing parameter {name}")))?;
+            if m.shape() != p.shape() {
+                return Err(bad(&format!(
+                    "shape mismatch for {name}: snapshot {:?}, model {:?}",
+                    m.shape(),
+                    p.shape()
+                )));
+            }
+            p.set_value((*m).clone());
+        }
+        Ok(())
+    }
+
+    /// Serializes the snapshot.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        write_u64(w, self.entries.len() as u64)?;
+        for (name, m) in &self.entries {
+            write_u64(w, name.len() as u64)?;
+            w.write_all(name.as_bytes())?;
+            write_matrix(w, m)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a snapshot written by [`Snapshot::write_to`].
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Snapshot> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("not an intellitag snapshot (bad magic)"));
+        }
+        let count = read_u64(r)?;
+        if count > MAX_LEN {
+            return Err(bad("entry count out of range"));
+        }
+        let mut entries = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let name_len = read_u64(r)?;
+            if name_len > 4096 {
+                return Err(bad("parameter name too long"));
+            }
+            let mut name = vec![0u8; name_len as usize];
+            r.read_exact(&mut name)?;
+            let name = String::from_utf8(name).map_err(|_| bad("non-UTF8 name"))?;
+            entries.push((name, read_matrix(r)?));
+        }
+        Ok(Snapshot { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matrix_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Matrix::uniform(3, 5, 2.0, &mut rng);
+        let mut buf = Vec::new();
+        write_matrix(&mut buf, &m).unwrap();
+        let back = read_matrix(&mut buf.as_slice()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ps = ParamSet::new(1e-3);
+        let a = ps.register(Param::xavier("a", 2, 3, &mut rng));
+        let b = ps.register(Param::xavier("b", 1, 4, &mut rng));
+        let snap = Snapshot::capture(&ps);
+        let mut buf = Vec::new();
+        snap.write_to(&mut buf).unwrap();
+
+        // Perturb, then restore.
+        a.set_value(Matrix::zeros(2, 3));
+        b.set_value(Matrix::zeros(1, 4));
+        let loaded = Snapshot::read_from(&mut buf.as_slice()).unwrap();
+        loaded.restore(&ps).unwrap();
+        assert_eq!(a.value(), snap.entries[0].1);
+        assert_eq!(b.value(), snap.entries[1].1);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOTASNAPxxxxxxx".to_vec();
+        assert!(Snapshot::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut ps1 = ParamSet::new(1e-3);
+        ps1.register(Param::zeros("w", 2, 2));
+        let snap = Snapshot::capture(&ps1);
+
+        let mut ps2 = ParamSet::new(1e-3);
+        ps2.register(Param::zeros("w", 3, 2));
+        assert!(snap.restore(&ps2).is_err());
+    }
+
+    #[test]
+    fn missing_and_extra_params_rejected() {
+        let mut ps1 = ParamSet::new(1e-3);
+        ps1.register(Param::zeros("w", 1, 1));
+        let snap = Snapshot::capture(&ps1);
+
+        let mut ps2 = ParamSet::new(1e-3);
+        ps2.register(Param::zeros("other", 1, 1));
+        assert!(snap.restore(&ps2).is_err());
+
+        let mut ps3 = ParamSet::new(1e-3);
+        ps3.register(Param::zeros("w", 1, 1));
+        ps3.register(Param::zeros("extra", 1, 1));
+        assert!(snap.restore(&ps3).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_fails_cleanly() {
+        let mut ps = ParamSet::new(1e-3);
+        ps.register(Param::zeros("w", 4, 4));
+        let mut buf = Vec::new();
+        Snapshot::capture(&ps).write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(Snapshot::read_from(&mut buf.as_slice()).is_err());
+    }
+}

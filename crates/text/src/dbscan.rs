@@ -1,0 +1,160 @@
+//! DBSCAN density clustering (Ester et al., 1996), used by the automatic
+//! Q&A collection pipeline to cluster user questions (paper §III-A).
+
+/// Cluster assignment produced by [`dbscan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assignment {
+    /// Point belongs to the cluster with this id (0-based, dense).
+    Cluster(usize),
+    /// Point is density noise.
+    Noise,
+}
+
+impl Assignment {
+    /// The cluster id, if any.
+    pub fn cluster(self) -> Option<usize> {
+        match self {
+            Assignment::Cluster(c) => Some(c),
+            Assignment::Noise => None,
+        }
+    }
+}
+
+/// Runs DBSCAN over `n` points given a pairwise distance function.
+///
+/// * `eps` — neighborhood radius.
+/// * `min_pts` — minimum neighborhood size (including the point itself) for a
+///   point to be a core point.
+///
+/// Returns one [`Assignment`] per point. Cluster ids are dense, assigned in
+/// discovery order. The implementation is the textbook O(n²) algorithm, which
+/// is appropriate for the few-thousand-question batches the collection
+/// pipeline clusters per day.
+pub fn dbscan(
+    n: usize,
+    eps: f64,
+    min_pts: usize,
+    mut dist: impl FnMut(usize, usize) -> f64,
+) -> Vec<Assignment> {
+    const UNVISITED: isize = -2;
+    const NOISE: isize = -1;
+    let mut labels = vec![UNVISITED; n];
+    let mut cluster: isize = 0;
+
+    let neighbors = |p: usize, dist: &mut dyn FnMut(usize, usize) -> f64| -> Vec<usize> {
+        (0..n).filter(|&q| dist(p, q) <= eps).collect()
+    };
+
+    for p in 0..n {
+        if labels[p] != UNVISITED {
+            continue;
+        }
+        let nbrs = neighbors(p, &mut dist);
+        if nbrs.len() < min_pts {
+            labels[p] = NOISE;
+            continue;
+        }
+        labels[p] = cluster;
+        let mut queue: Vec<usize> = nbrs.into_iter().filter(|&q| q != p).collect();
+        let mut qi = 0;
+        while qi < queue.len() {
+            let q = queue[qi];
+            qi += 1;
+            if labels[q] == NOISE {
+                labels[q] = cluster; // border point
+            }
+            if labels[q] != UNVISITED {
+                continue;
+            }
+            labels[q] = cluster;
+            let qn = neighbors(q, &mut dist);
+            if qn.len() >= min_pts {
+                for r in qn {
+                    if labels[r] == UNVISITED || labels[r] == NOISE {
+                        queue.push(r);
+                    }
+                }
+            }
+        }
+        cluster += 1;
+    }
+
+    labels
+        .into_iter()
+        .map(|l| {
+            if l >= 0 {
+                Assignment::Cluster(l as usize)
+            } else {
+                Assignment::Noise
+            }
+        })
+        .collect()
+}
+
+/// Convenience wrapper clustering dense vectors by Euclidean distance.
+pub fn dbscan_points(points: &[Vec<f32>], eps: f64, min_pts: usize) -> Vec<Assignment> {
+    dbscan(points.len(), eps, min_pts, |a, b| {
+        points[a]
+            .iter()
+            .zip(&points[b])
+            .map(|(x, y)| (x - y) as f64 * (x - y) as f64)
+            .sum::<f64>()
+            .sqrt()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_blobs_and_noise() {
+        let mut pts: Vec<Vec<f32>> = Vec::new();
+        for i in 0..5 {
+            pts.push(vec![0.0 + i as f32 * 0.01, 0.0]);
+        }
+        for i in 0..5 {
+            pts.push(vec![10.0 + i as f32 * 0.01, 10.0]);
+        }
+        pts.push(vec![100.0, 100.0]); // outlier
+        let a = dbscan_points(&pts, 0.5, 3);
+        let c0 = a[0].cluster().unwrap();
+        let c1 = a[5].cluster().unwrap();
+        assert_ne!(c0, c1);
+        for i in 0..5 {
+            assert_eq!(a[i], Assignment::Cluster(c0));
+            assert_eq!(a[5 + i], Assignment::Cluster(c1));
+        }
+        assert_eq!(a[10], Assignment::Noise);
+    }
+
+    #[test]
+    fn all_noise_when_min_pts_too_high() {
+        let pts = vec![vec![0.0], vec![10.0], vec![20.0]];
+        let a = dbscan_points(&pts, 1.0, 2);
+        assert!(a.iter().all(|&x| x == Assignment::Noise));
+    }
+
+    #[test]
+    fn single_cluster_chain_links() {
+        // Chain of points, each within eps of the next: one cluster.
+        let pts: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32 * 0.9]).collect();
+        let a = dbscan_points(&pts, 1.0, 2);
+        assert!(a.iter().all(|&x| x == Assignment::Cluster(0)));
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = dbscan_points(&[], 1.0, 2);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn border_point_joins_cluster() {
+        // 3 dense core points + 1 border point within eps of a core point but
+        // with too few neighbors to be core itself.
+        let pts: Vec<Vec<f64>> = vec![vec![0.0], vec![0.1], vec![0.2], vec![1.0]];
+        let a = dbscan(4, 0.85, 3, |x, y| (pts[x][0] - pts[y][0]).abs());
+        assert_eq!(a[3].cluster(), a[0].cluster());
+    }
+}

@@ -1,0 +1,165 @@
+//! Deterministic text vectorization.
+//!
+//! The paper feeds questions through a Transformer to get sentence embeddings
+//! for DBSCAN clustering (§III-A), and gives TagRec 100-dimensional tag
+//! feature vectors "learned from a text perspective" (§VI-A3). With no
+//! pretrained encoder available offline, this module provides the classical
+//! substitute: L2-normalized feature-hashed bag-of-words vectors (optionally
+//! with character n-grams), which preserve exactly the property both uses
+//! rely on — texts about the same thing land close together in cosine space.
+
+use crate::tokenize::tokenize;
+
+/// FNV-1a 64-bit hash (stable across runs and platforms).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A feature-hashing text embedder producing fixed-width dense vectors.
+#[derive(Debug, Clone)]
+pub struct HashedEmbedder {
+    dim: usize,
+    /// Include character trigrams in addition to whole words, which gives
+    /// related word forms ("activate"/"activation") overlapping features.
+    pub char_ngrams: bool,
+}
+
+impl HashedEmbedder {
+    /// Creates an embedder with the given output dimensionality.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "embedding dim must be positive");
+        HashedEmbedder { dim, char_ngrams: true }
+    }
+
+    /// Output width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embeds one text into an L2-normalized vector. An empty text maps to
+    /// the zero vector.
+    pub fn embed(&self, text: &str) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.dim];
+        let tokens = tokenize(text);
+        for tok in &tokens {
+            self.add_feature(&mut v, tok.as_bytes());
+            if self.char_ngrams && tok.len() > 3 {
+                let bytes = tok.as_bytes();
+                for w in bytes.windows(3) {
+                    self.add_feature(&mut v, w);
+                }
+            }
+        }
+        l2_normalize(&mut v);
+        v
+    }
+
+    /// Embeds a pre-tokenized slice of words (used for tag names).
+    pub fn embed_tokens(&self, tokens: &[String]) -> Vec<f32> {
+        self.embed(&tokens.join(" "))
+    }
+
+    fn add_feature(&self, v: &mut [f32], bytes: &[u8]) {
+        let h = fnv1a(bytes);
+        let idx = (h % self.dim as u64) as usize;
+        // Sign hash decorrelates collisions (Weinberger et al., 2009).
+        let sign = if (h >> 63) == 0 { 1.0 } else { -1.0 };
+        v[idx] += sign;
+    }
+}
+
+/// Normalizes a vector to unit L2 norm in place (no-op on the zero vector).
+pub fn l2_normalize(v: &mut [f32]) {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+/// Cosine similarity between two equal-length vectors (0 when either is 0).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine: length mismatch");
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Euclidean distance between two equal-length vectors.
+pub fn euclidean(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "euclidean: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| ((x - y) as f64).powi(2))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedding_is_deterministic_and_normalized() {
+        let e = HashedEmbedder::new(64);
+        let a = e.embed("how to change password");
+        let b = e.embed("how to change password");
+        assert_eq!(a, b);
+        let norm: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn similar_texts_are_closer_than_different_ones() {
+        let e = HashedEmbedder::new(128);
+        let q1 = e.embed("how do i change my password");
+        let q2 = e.embed("change password how");
+        let q3 = e.embed("apply for etc card on highway");
+        assert!(cosine(&q1, &q2) > cosine(&q1, &q3));
+    }
+
+    #[test]
+    fn empty_text_is_zero_vector() {
+        let e = HashedEmbedder::new(16);
+        let v = e.embed("!!!");
+        assert!(v.iter().all(|&x| x == 0.0));
+        assert_eq!(cosine(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn cosine_bounds() {
+        let e = HashedEmbedder::new(64);
+        let a = e.embed("refund order cancel");
+        let b = e.embed("bluetooth activate open");
+        let c = cosine(&a, &b);
+        assert!((-1.0..=1.0).contains(&c));
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn euclidean_zero_iff_same() {
+        let e = HashedEmbedder::new(32);
+        let a = e.embed("open account");
+        assert_eq!(euclidean(&a, &a), 0.0);
+        let b = e.embed("close account");
+        assert!(euclidean(&a, &b) > 0.0);
+    }
+
+    #[test]
+    fn embed_tokens_matches_joined_text() {
+        let e = HashedEmbedder::new(32);
+        let toks = vec!["initial".to_string(), "vpn".to_string(), "password".to_string()];
+        assert_eq!(e.embed_tokens(&toks), e.embed("initial vpn password"));
+    }
+}

@@ -1,0 +1,23 @@
+//! # intellitag-text
+//!
+//! Text processing substrate for the IntelliTag reproduction:
+//!
+//! * [`tokenize`] / [`Vocab`] — word tokenization and id mapping.
+//! * [`CorpusStats`] — term frequency, IDF and PMI, backing the tag
+//!   post-processing rules of paper §III-B.
+//! * [`dbscan`] — density clustering for the automatic Q&A collection
+//!   pipeline (paper §III-A uses DBSCAN over question embeddings).
+//! * [`HashedEmbedder`] — deterministic feature-hashed sentence/tag vectors,
+//!   the offline substitute for the paper's Transformer text embeddings.
+
+#![warn(missing_docs)]
+
+mod dbscan;
+mod embed;
+mod stats;
+mod tokenize;
+
+pub use dbscan::{dbscan, dbscan_points, Assignment};
+pub use embed::{cosine, euclidean, l2_normalize, HashedEmbedder};
+pub use stats::CorpusStats;
+pub use tokenize::{tokenize, Vocab, UNK_ID, UNK_TOKEN};

@@ -1,0 +1,190 @@
+//! Corpus statistics backing the paper's tag post-processing rules (§III-B):
+//! tag frequency, inverse document frequency, and averaged point-wise mutual
+//! information between the words inside a tag.
+
+use std::collections::HashMap;
+
+/// Term/document statistics over a tokenized corpus.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusStats {
+    /// Total token occurrences per term.
+    term_freq: HashMap<String, usize>,
+    /// Number of documents containing the term.
+    doc_freq: HashMap<String, usize>,
+    /// Co-occurrence counts of ordered-normalized word pairs within a window.
+    pair_freq: HashMap<(String, String), usize>,
+    /// Total number of tokens in the corpus.
+    total_tokens: usize,
+    /// Number of documents.
+    num_docs: usize,
+    /// PMI co-occurrence window size (in tokens).
+    window: usize,
+}
+
+impl CorpusStats {
+    /// Creates empty statistics with a PMI co-occurrence window.
+    pub fn new(window: usize) -> Self {
+        CorpusStats { window: window.max(1), ..Default::default() }
+    }
+
+    /// Adds one document (a tokenized sentence) to the statistics.
+    pub fn add_document(&mut self, tokens: &[String]) {
+        self.num_docs += 1;
+        self.total_tokens += tokens.len();
+        let mut seen: HashMap<&str, ()> = HashMap::new();
+        for tok in tokens {
+            *self.term_freq.entry(tok.clone()).or_default() += 1;
+            if seen.insert(tok, ()).is_none() {
+                *self.doc_freq.entry(tok.clone()).or_default() += 1;
+            }
+        }
+        for (i, a) in tokens.iter().enumerate() {
+            for b in tokens.iter().skip(i + 1).take(self.window) {
+                let key = if a <= b {
+                    (a.clone(), b.clone())
+                } else {
+                    (b.clone(), a.clone())
+                };
+                *self.pair_freq.entry(key).or_default() += 1;
+            }
+        }
+    }
+
+    /// Number of documents ingested.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Total token occurrences of `term`.
+    pub fn term_frequency(&self, term: &str) -> usize {
+        self.term_freq.get(term).copied().unwrap_or(0)
+    }
+
+    /// Relative frequency `tf / total_tokens` of `term`.
+    pub fn relative_frequency(&self, term: &str) -> f64 {
+        if self.total_tokens == 0 {
+            return 0.0;
+        }
+        self.term_frequency(term) as f64 / self.total_tokens as f64
+    }
+
+    /// Smoothed inverse document frequency:
+    /// `ln((1 + N) / (1 + df)) + 1`.
+    pub fn idf(&self, term: &str) -> f64 {
+        let df = self.doc_freq.get(term).copied().unwrap_or(0);
+        ((1.0 + self.num_docs as f64) / (1.0 + df as f64)).ln() + 1.0
+    }
+
+    /// Point-wise mutual information between two words
+    /// (`ln p(a,b) / (p(a) p(b))`), following Church & Hanks (1990) as cited
+    /// by the paper. Returns a large negative value when the pair never
+    /// co-occurs and 0 when either word is unseen.
+    pub fn pmi(&self, a: &str, b: &str) -> f64 {
+        let fa = self.term_frequency(a);
+        let fb = self.term_frequency(b);
+        if fa == 0 || fb == 0 || self.total_tokens == 0 {
+            return 0.0;
+        }
+        let key = if a <= b {
+            (a.to_string(), b.to_string())
+        } else {
+            (b.to_string(), a.to_string())
+        };
+        let fab = self.pair_freq.get(&key).copied().unwrap_or(0);
+        if fab == 0 {
+            return -10.0;
+        }
+        let n = self.total_tokens as f64;
+        let p_ab = fab as f64 / n;
+        let p_a = fa as f64 / n;
+        let p_b = fb as f64 / n;
+        (p_ab / (p_a * p_b)).ln()
+    }
+
+    /// Averaged PMI over all unordered word pairs inside a candidate tag
+    /// (paper rule 4). Single-word tags score 0 by convention — the rule
+    /// only measures intra-tag consistency.
+    pub fn avg_pmi(&self, words: &[String]) -> f64 {
+        if words.len() < 2 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for i in 0..words.len() {
+            for j in i + 1..words.len() {
+                sum += self.pmi(&words[i], &words[j]);
+                count += 1;
+            }
+        }
+        sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokenize;
+
+    fn stats(docs: &[&str]) -> CorpusStats {
+        let mut s = CorpusStats::new(4);
+        for d in docs {
+            s.add_document(&tokenize(d));
+        }
+        s
+    }
+
+    #[test]
+    fn frequencies_count_occurrences() {
+        let s = stats(&["a a b", "a c"]);
+        assert_eq!(s.term_frequency("a"), 3);
+        assert_eq!(s.term_frequency("b"), 1);
+        assert_eq!(s.term_frequency("zzz"), 0);
+        assert_eq!(s.num_docs(), 2);
+        assert!((s.relative_frequency("a") - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idf_decreases_with_document_frequency() {
+        let s = stats(&["common rare", "common", "common other"]);
+        assert!(s.idf("rare") > s.idf("common"));
+        // unseen terms get the maximum idf
+        assert!(s.idf("unseen") >= s.idf("rare"));
+    }
+
+    #[test]
+    fn pmi_positive_for_collocations() {
+        // "etc card" always co-occur; "etc" and "noise" never do.
+        let s = stats(&[
+            "apply etc card",
+            "cancel etc card",
+            "etc card fee",
+            "random noise words",
+            "more noise here",
+        ]);
+        assert!(s.pmi("etc", "card") > 0.0, "collocation should have positive PMI");
+        assert_eq!(s.pmi("etc", "noise"), -10.0, "never co-occur");
+        assert_eq!(s.pmi("etc", "unseen"), 0.0, "unseen word");
+    }
+
+    #[test]
+    fn pmi_is_symmetric() {
+        let s = stats(&["open bluetooth now", "bluetooth open later"]);
+        assert!((s.pmi("open", "bluetooth") - s.pmi("bluetooth", "open")).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avg_pmi_single_word_is_zero() {
+        let s = stats(&["a b c"]);
+        assert_eq!(s.avg_pmi(&["a".into()]), 0.0);
+        assert!(s.avg_pmi(&["a".into(), "b".into()]) != 0.0);
+    }
+
+    #[test]
+    fn window_limits_pairs() {
+        let mut s = CorpusStats::new(1);
+        s.add_document(&tokenize("a b c"));
+        // window 1: only adjacent pairs counted
+        assert!(s.pmi("a", "b") > -10.0);
+        assert_eq!(s.pmi("a", "c"), -10.0);
+    }
+}

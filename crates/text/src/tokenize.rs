@@ -1,0 +1,169 @@
+//! Tokenization and vocabulary handling.
+//!
+//! The paper works on Chinese customer-service text; this reproduction's
+//! synthetic corpus is ASCII, so a lowercase word tokenizer (alphanumeric
+//! runs) is the faithful equivalent of the paper's word segmentation step.
+
+use std::collections::HashMap;
+
+/// Splits text into lowercase alphanumeric tokens.
+///
+/// Punctuation and whitespace are separators; digits stay inside tokens so
+/// product names like "etc2" survive.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                current.push(lc);
+            }
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Reserved id for out-of-vocabulary tokens.
+pub const UNK_ID: usize = 0;
+/// Reserved token string for out-of-vocabulary tokens.
+pub const UNK_TOKEN: &str = "<unk>";
+
+/// A frozen token ↔ id mapping with an `<unk>` fallback at id 0.
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    token_to_id: HashMap<String, usize>,
+    id_to_token: Vec<String>,
+}
+
+impl Vocab {
+    /// Builds a vocabulary from tokenized sentences, keeping tokens that
+    /// appear at least `min_count` times. Ids are assigned in descending
+    /// frequency (ties broken lexicographically) after the `<unk>` slot.
+    pub fn build<'a, I>(sentences: I, min_count: usize) -> Self
+    where
+        I: IntoIterator<Item = &'a [String]>,
+    {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for sent in sentences {
+            for tok in sent {
+                *counts.entry(tok.as_str()).or_default() += 1;
+            }
+        }
+        let mut items: Vec<(&str, usize)> =
+            counts.into_iter().filter(|&(_, c)| c >= min_count).collect();
+        items.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+
+        let mut id_to_token = vec![UNK_TOKEN.to_string()];
+        id_to_token.extend(items.iter().map(|(t, _)| t.to_string()));
+        let token_to_id = id_to_token
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i))
+            .collect();
+        Vocab { token_to_id, id_to_token }
+    }
+
+    /// Builds directly from raw strings using [`tokenize`].
+    pub fn from_texts<S: AsRef<str>>(texts: &[S], min_count: usize) -> Self {
+        let tokenized: Vec<Vec<String>> =
+            texts.iter().map(|t| tokenize(t.as_ref())).collect();
+        Vocab::build(tokenized.iter().map(|v| v.as_slice()), min_count)
+    }
+
+    /// Token id, or [`UNK_ID`] when unknown.
+    pub fn id(&self, token: &str) -> usize {
+        self.token_to_id.get(token).copied().unwrap_or(UNK_ID)
+    }
+
+    /// Token string for an id.
+    ///
+    /// # Panics
+    /// Panics when `id` is out of range.
+    pub fn token(&self, id: usize) -> &str {
+        &self.id_to_token[id]
+    }
+
+    /// True when the token is in the vocabulary (not `<unk>`).
+    pub fn contains(&self, token: &str) -> bool {
+        self.token_to_id.contains_key(token)
+    }
+
+    /// Vocabulary size including the `<unk>` slot.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// True when only `<unk>` is present.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_token.len() <= 1
+    }
+
+    /// Encodes a raw string to ids (unknowns map to [`UNK_ID`]).
+    pub fn encode(&self, text: &str) -> Vec<usize> {
+        tokenize(text).iter().map(|t| self.id(t)).collect()
+    }
+
+    /// Decodes ids back to a space-joined string.
+    pub fn decode(&self, ids: &[usize]) -> String {
+        ids.iter()
+            .map(|&i| self.token(i))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_lowercases_and_splits() {
+        assert_eq!(
+            tokenize("How to change Password?!"),
+            vec!["how", "to", "change", "password"]
+        );
+        assert_eq!(tokenize("  a--b  "), vec!["a", "b"]);
+        assert!(tokenize("...").is_empty());
+    }
+
+    #[test]
+    fn tokenize_keeps_digits() {
+        assert_eq!(tokenize("pay v2 fee"), vec!["pay", "v2", "fee"]);
+    }
+
+    #[test]
+    fn vocab_assigns_by_frequency() {
+        let v = Vocab::from_texts(&["b b b a a c"], 1);
+        assert_eq!(v.token(UNK_ID), UNK_TOKEN);
+        assert_eq!(v.id("b"), 1);
+        assert_eq!(v.id("a"), 2);
+        assert_eq!(v.id("c"), 3);
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn vocab_min_count_filters() {
+        let v = Vocab::from_texts(&["a a b"], 2);
+        assert!(v.contains("a"));
+        assert!(!v.contains("b"));
+        assert_eq!(v.id("b"), UNK_ID);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_known_tokens() {
+        let v = Vocab::from_texts(&["open bluetooth now"], 1);
+        let ids = v.encode("open bluetooth");
+        assert_eq!(v.decode(&ids), "open bluetooth");
+    }
+
+    #[test]
+    fn unknown_maps_to_unk() {
+        let v = Vocab::from_texts(&["hello"], 1);
+        assert_eq!(v.encode("goodbye"), vec![UNK_ID]);
+    }
+}

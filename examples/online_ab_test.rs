@@ -1,0 +1,84 @@
+//! Online A/B simulation (paper §VI-F): three traffic buckets —
+//! metapath2vec, BERT4Rec and IntelliTag — serve the same simulated user
+//! population; daily macro-averaged CTR (Fig. 7), HIR and response latency
+//! (Table VI) are reported.
+//!
+//! ```sh
+//! cargo run --release --example online_ab_test
+//! ```
+
+use intellitag::prelude::*;
+
+fn main() {
+    // The sparse regime: many long-tail tags and small tenants, where the
+    // paper's online findings (macro-CTR, HIR) live.
+    let world = World::generate(WorldConfig::sparse_eval(23));
+    let graph = world.build_graph();
+    let split = split_sessions(&world.sessions, 0);
+    let train: Vec<Vec<usize>> = split.train.iter().map(|s| s.clicks.clone()).collect();
+    let texts: Vec<String> = world.tags.iter().map(|t| t.text()).collect();
+
+    println!("training the three bucket policies ...");
+    let m2v = Metapath2Vec::train(&graph, &M2vConfig::default());
+    let tc = TrainConfig { epochs: 3, lr: 3e-3, ..Default::default() };
+    let bert = Bert4Rec::train(&train, world.tags.len(), 64, 2, 4, &tc);
+    let intellitag = IntelliTag::train(
+        &graph,
+        &texts,
+        &train,
+        TagRecConfig { train: tc, ..Default::default() },
+    );
+
+    let sim = SimConfig { days: 10, sessions_per_day: 150, ..Default::default() };
+    let user = UserModel::default();
+    let make_server = |name: &str| {
+        println!("bucket: {name}");
+        (
+            world.build_kb(),
+            texts.clone(),
+            world.rqs.iter().map(|r| r.tags.clone()).collect::<Vec<_>>(),
+            (0..world.tenants.len()).map(|e| world.tenant_tag_pool(e)).collect::<Vec<_>>(),
+            world.click_frequency(),
+        )
+    };
+
+    let mut outcomes = Vec::new();
+    {
+        let (kb, t, rt, tt, cc) = make_server("metapath2vec");
+        let server = ModelServer::new(m2v, kb, t, rt, tt, cc);
+        outcomes.push(simulate_online(&server, &world, &user, &sim));
+    }
+    {
+        let (kb, t, rt, tt, cc) = make_server("BERT4Rec");
+        let server = ModelServer::new(bert, kb, t, rt, tt, cc);
+        outcomes.push(simulate_online(&server, &world, &user, &sim));
+    }
+    {
+        let (kb, t, rt, tt, cc) = make_server("IntelliTag");
+        let server = ModelServer::new(intellitag, kb, t, rt, tt, cc);
+        outcomes.push(simulate_online(&server, &world, &user, &sim));
+    }
+
+    println!("\n== Fig 7: daily macro-averaged CTR ==");
+    print!("{:<14}", "day");
+    for o in &outcomes {
+        print!(" {:>13}", o.policy);
+    }
+    println!();
+    for d in 0..sim.days {
+        print!("{:<14}", d + 1);
+        for o in &outcomes {
+            print!(" {:>13.4}", o.daily[d].macro_ctr);
+        }
+        println!();
+    }
+
+    println!("\n== Table VI: HIR and response latency ==");
+    println!("{:<14} {:>8} {:>14} {:>14} {:>10}", "Policy", "HIR", "latency(mean)", "latency(p99)", "sessions");
+    for o in &outcomes {
+        println!(
+            "{:<14} {:>8.3} {:>11.3} ms {:>11.3} ms {:>10}",
+            o.policy, o.hir, o.mean_latency_ms, o.p99_latency_ms, o.sessions
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Tag mining end to end (paper §III): train the multi-task miner, extract
+//! a tag inventory (Table I analogue), compare against the single-task
+//! baseline, apply the rule filter, distill a fast student, and run the
+//! automatic Q&A collection pipeline.
+//!
+//! ```sh
+//! cargo run --release --example tag_mining
+//! ```
+
+use intellitag::mining::{
+    collect_qa_pairs, evaluate_extractor, inference_time, mine_tag_inventory, CollectConfig,
+    Extractor, MinerConfig, MiningTask, RuleFilter, TagMiner, UserQuestion,
+};
+use intellitag::prelude::*;
+
+fn main() {
+    // A deliberately hard regime: little supervision and noisy annotations,
+    // mirroring the paper's mid-70s-to-80% F1 band on real data.
+    let mut wc = WorldConfig::small(7);
+    wc.label_noise = 0.15;
+    let world = World::generate(wc);
+    let data = labeled_sentences(&world);
+    let (train, test) = data.split_at(330);
+    let test = &test[..400];
+    println!("labeled RQ sentences: train={} test={}", train.len(), test.len());
+
+    // ----- multi-task vs single-task ---------------------------------------
+    let base = MinerConfig {
+        train: intellitag::mining::TrainConfig { epochs: 3, lr: 3e-3, ..Default::default() },
+        ..Default::default()
+    };
+    println!("\ntraining MT model (joint segmentation + weighting) ...");
+    let mt = TagMiner::train(train, base);
+    println!("training ST models (separate tasks) ...");
+    let st_seg = TagMiner::train(train, MinerConfig { task: MiningTask::SegmentationOnly, ..base });
+    let st_w = TagMiner::train(train, MinerConfig { task: MiningTask::WeightingOnly, ..base });
+
+    let mt_ex = Extractor::multi_task(&mt);
+    let st_ex = Extractor::single_task(&st_seg, &st_w);
+    println!("\n== Span-level evaluation (Table III analogue) ==");
+    println!("{:<20} {:>7}  {:>7}  {:>7}", "Training Mode", "Prec", "Recall", "F1");
+    println!("{}", evaluate_extractor(&st_ex, test).table_row("ST model"));
+    println!("{}", evaluate_extractor(&mt_ex, test).table_row("MT model"));
+
+    // ----- rules ------------------------------------------------------------
+    let corpus: Vec<&[String]> = train.iter().map(|s| s.tokens.as_slice()).collect();
+    let mut rules = RuleFilter::from_corpus(corpus);
+    rules.min_score = 0.55;
+    let mt_rules = Extractor::multi_task(&mt).with_rules(&rules);
+    println!("{}", evaluate_extractor(&mt_rules, test).table_row("MT model + r"));
+
+    // ----- distillation ------------------------------------------------------
+    println!("\ndistilling a {}-layer student ...", base.student().layers);
+    let student = TagMiner::distill(&mt, train, base.student());
+    let student_ex = Extractor::multi_task(&student).with_rules(&rules);
+    println!("{}", evaluate_extractor(&student_ex, test).table_row("MT model + d + r"));
+    let t_teacher = inference_time(&mt_rules, test);
+    let t_student = inference_time(&student_ex, test);
+    println!(
+        "inference over {} sentences: teacher {:?}  student {:?}  ({:.1}x faster)",
+        test.len(),
+        t_teacher,
+        t_student,
+        t_teacher.as_secs_f64() / t_student.as_secs_f64().max(1e-9)
+    );
+
+    // ----- mined inventory (Table I analogue) --------------------------------
+    let inventory = mine_tag_inventory(&mt_rules, test);
+    println!("\n== Sample mined tags (Table I analogue) ==");
+    println!("{:<28} example RQ", "Tag");
+    for tag in inventory.iter().take(8) {
+        let rq = test
+            .iter()
+            .find(|s| s.tokens.join(" ").contains(&tag.text()))
+            .map(|s| s.tokens.join(" "))
+            .unwrap_or_default();
+        println!("{:<28} {rq}", tag.text());
+    }
+
+    // ----- automatic Q&A collection (paper §III-A) ---------------------------
+    println!("\n== Automatic Q&A collection ==");
+    let questions = vec![
+        UserQuestion {
+            text: "how do i reset my forgotten passphrase".into(),
+            reply: Some("Open account settings and choose reset passphrase.".into()),
+        },
+        UserQuestion { text: "reset forgotten passphrase how".into(), reply: None },
+        UserQuestion {
+            text: "i want to reset the forgotten passphrase please".into(),
+            reply: Some("Use the passphrase reset menu under security.".into()),
+        },
+        UserQuestion { text: "how to reset forgotten passphrase now".into(), reply: None },
+    ];
+    let existing: Vec<String> = world.rqs.iter().take(50).map(|r| r.text()).collect();
+    let pairs = collect_qa_pairs(&questions, &existing, &CollectConfig::default());
+    for p in &pairs {
+        println!("new RQ (cluster of {}): {}", p.cluster_size, p.question);
+        println!("selected answer:        {}", p.answer);
+    }
+    if pairs.is_empty() {
+        println!("(no uncovered clusters this run)");
+    }
+}
