@@ -80,8 +80,7 @@ impl Bert4Rec {
                 let tape = Tape::training(cfg.seed ^ (epoch as u64) << 32 ^ si as u64);
                 let hidden = model.encode(&tape, &input);
                 // Gather masked positions and predict their original tags.
-                let rows: Vec<Tensor> =
-                    targets.iter().map(|&(p, _)| hidden.row(p)).collect();
+                let rows: Vec<Tensor> = targets.iter().map(|&(p, _)| hidden.row(p)).collect();
                 let stacked = Tensor::concat_rows(&rows);
                 let logits = model.out.forward(&tape, &stacked);
                 let gold: Vec<usize> = targets.iter().map(|&(_, g)| g).collect();
@@ -149,24 +148,15 @@ mod tests {
     fn learns_cyclic_structure() {
         let n = 6;
         let sessions = cyclic_sessions(n, 90);
-        let cfg = TrainConfig {
-            epochs: 30,
-            lr: 0.01,
-            batch_size: 16,
-            seed: 2,
-            ..Default::default()
-        };
+        let cfg =
+            TrainConfig { epochs: 30, lr: 0.01, batch_size: 16, seed: 2, ..Default::default() };
         let m = Bert4Rec::train(&sessions, n, 16, 1, 2, &cfg);
         let mut correct = 0;
         for start in 0..n {
             let ctx = vec![start, (start + 1) % n];
             let scores = m.score_all(&ctx);
-            let pred = scores
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .unwrap()
-                .0;
+            let pred =
+                scores.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
             if pred == (start + 2) % n {
                 correct += 1;
             }

@@ -19,12 +19,7 @@ pub struct Gru4Rec {
 impl Gru4Rec {
     /// Trains on click sessions (`sessions[i]` is a session's ordered tag
     /// clicks). Every prefix of length >= 1 predicts the following click.
-    pub fn train(
-        sessions: &[Vec<usize>],
-        num_tags: usize,
-        dim: usize,
-        cfg: &TrainConfig,
-    ) -> Self {
+    pub fn train(sessions: &[Vec<usize>], num_tags: usize, dim: usize, cfg: &TrainConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut params = ParamSet::new(cfg.lr);
         let emb = Embedding::new("gru4rec.emb", num_tags, dim, &mut params, &mut rng);
@@ -106,23 +101,14 @@ mod tests {
     fn learns_deterministic_transitions() {
         let n = 6;
         let sessions = cyclic_sessions(n, 60);
-        let cfg = TrainConfig {
-            epochs: 30,
-            lr: 0.01,
-            batch_size: 16,
-            seed: 1,
-            ..Default::default()
-        };
+        let cfg =
+            TrainConfig { epochs: 30, lr: 0.01, batch_size: 16, seed: 1, ..Default::default() };
         let m = Gru4Rec::train(&sessions, n, 16, &cfg);
         let mut correct = 0;
         for start in 0..n {
             let scores = m.score_all(&[start]);
-            let pred = scores
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .unwrap()
-                .0;
+            let pred =
+                scores.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
             if pred == (start + 1) % n {
                 correct += 1;
             }

@@ -1,0 +1,95 @@
+//! A transparent observability wrapper around any [`SequenceRecommender`].
+//!
+//! The model-scoring stage is the latency-dominant part of the serving path
+//! for the learned models (the paper's Table VI latency row is essentially
+//! "how expensive is one forward pass"), so the scoring path gets its own
+//! histogram and call counter, keyed by the wrapped model's name. Wrap the
+//! model before handing it to the `ModelServer` and share the registry via
+//! `with_metrics` to see model time and stage time side by side.
+
+use std::sync::Arc;
+
+use intellitag_obs::{Counter, Histogram, MetricsRegistry};
+
+use crate::recommender::SequenceRecommender;
+
+/// Wraps a recommender, timing every scoring call into
+/// `model.{name}.score_us` and counting calls in `model.{name}.score_calls`.
+pub struct Instrumented<M> {
+    inner: M,
+    score_latency: Arc<Histogram>,
+    score_calls: Arc<Counter>,
+}
+
+impl<M: SequenceRecommender> Instrumented<M> {
+    /// Wraps `inner`, registering its metrics in `registry`.
+    pub fn new(inner: M, registry: &MetricsRegistry) -> Self {
+        let name = inner.name();
+        Instrumented {
+            score_latency: registry.histogram(&format!("model.{name}.score_us")),
+            score_calls: registry.counter(&format!("model.{name}.score_calls")),
+            inner,
+        }
+    }
+
+    /// The wrapped recommender.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Unwraps the recommender.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+}
+
+impl<M: SequenceRecommender> SequenceRecommender for Instrumented<M> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn score_all(&self, context: &[usize]) -> Vec<f32> {
+        self.score_calls.inc();
+        let span = self.score_latency.span();
+        let out = self.inner.score_all(context);
+        span.finish();
+        out
+    }
+
+    fn score_candidates(&self, context: &[usize], candidates: &[usize]) -> Vec<f32> {
+        self.score_calls.inc();
+        let span = self.score_latency.span();
+        let out = self.inner.score_candidates(context, candidates);
+        span.finish();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recommender::Popularity;
+
+    #[test]
+    fn scores_pass_through_unchanged() {
+        let registry = MetricsRegistry::new();
+        let plain = Popularity::from_counts(&[1, 5, 3]);
+        let wrapped = Instrumented::new(Popularity::from_counts(&[1, 5, 3]), &registry);
+        assert_eq!(wrapped.name(), "Popularity");
+        assert_eq!(wrapped.score_all(&[0]), plain.score_all(&[0]));
+        assert_eq!(wrapped.score_candidates(&[0], &[2, 1]), plain.score_candidates(&[0], &[2, 1]));
+        assert_eq!(wrapped.recommend(&[1], 2), plain.recommend(&[1], 2));
+    }
+
+    #[test]
+    fn scoring_calls_are_counted_and_timed() {
+        let registry = MetricsRegistry::new();
+        let wrapped = Instrumented::new(Popularity::from_counts(&[1, 5, 3]), &registry);
+        let _ = wrapped.score_all(&[0]);
+        let _ = wrapped.score_candidates(&[0], &[1, 2]);
+        // recommend() routes through score_all, adding a third call.
+        let _ = wrapped.recommend(&[0], 2);
+        assert_eq!(registry.counter("model.Popularity.score_calls").get(), 3);
+        assert_eq!(registry.histogram("model.Popularity.score_us").count(), 3);
+    }
+}

@@ -64,8 +64,7 @@ impl Metapath2Vec {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         // The walk scheme cycles through all four paper metapaths so every
         // relation contributes context pairs.
-        let scheme =
-            [Metapath::TT, Metapath::TQT, Metapath::TQQT, Metapath::TQEQT];
+        let scheme = [Metapath::TT, Metapath::TQT, Metapath::TQQT, Metapath::TQEQT];
 
         let mut walks: Vec<Vec<usize>> = Vec::with_capacity(num_tags * cfg.walks_per_tag);
         for t in 0..num_tags {
@@ -221,10 +220,7 @@ mod tests {
         }
         let within = within / nw as f32;
         let across = across / na as f32;
-        assert!(
-            within > across + 0.1,
-            "within {within} should exceed across {across}"
-        );
+        assert!(within > across + 0.1, "within {within} should exceed across {across}");
     }
 
     #[test]

@@ -24,13 +24,9 @@ pub trait SequenceRecommender {
     /// Top-`k` recommendations, excluding tags already in `context`.
     fn recommend(&self, context: &[usize], k: usize) -> Vec<usize> {
         let scores = self.score_all(context);
-        let mut idx: Vec<usize> =
-            (0..scores.len()).filter(|t| !context.contains(t)).collect();
+        let mut idx: Vec<usize> = (0..scores.len()).filter(|t| !context.contains(t)).collect();
         idx.sort_by(|&a, &b| {
-            scores[b]
-                .partial_cmp(&scores[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
+            scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
         });
         idx.truncate(k);
         idx
@@ -57,14 +53,7 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig {
-            epochs: 3,
-            lr: 1e-3,
-            batch_size: 32,
-            seed: 0,
-            mask_prob: 0.2,
-            verbose: false,
-        }
+        TrainConfig { epochs: 3, lr: 1e-3, batch_size: 32, seed: 0, mask_prob: 0.2, verbose: false }
     }
 }
 

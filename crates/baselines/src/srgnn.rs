@@ -30,12 +30,7 @@ pub struct SrGnn {
 
 impl SrGnn {
     /// Trains on click sessions with next-click prefix examples.
-    pub fn train(
-        sessions: &[Vec<usize>],
-        num_tags: usize,
-        dim: usize,
-        cfg: &TrainConfig,
-    ) -> Self {
+    pub fn train(sessions: &[Vec<usize>], num_tags: usize, dim: usize, cfg: &TrainConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut params = ParamSet::new(cfg.lr);
         let l = |n: &str, i: usize, o: usize, ps: &mut ParamSet, rng: &mut StdRng| {
@@ -152,9 +147,7 @@ impl SrGnn {
             .sigmoid();
         let alpha = self.attn_v.forward(tape, &q); // n x 1
         let global = alpha.transpose().matmul(&h); // 1 x d
-        let session = self
-            .fuse
-            .forward(tape, &Tensor::concat_cols(&[last, global])); // 1 x d
+        let session = self.fuse.forward(tape, &Tensor::concat_cols(&[last, global])); // 1 x d
         debug_assert_eq!(session.shape(), (1, self.dim));
         // Score against tag embeddings (dot products).
         session.matmul(&tape.param(self.emb.param()).transpose())
@@ -197,12 +190,8 @@ mod tests {
         let mut correct = 0;
         for start in 0..n {
             let scores = m.score_all(&[start, (start + 1) % n]);
-            let pred = scores
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .unwrap()
-                .0;
+            let pred =
+                scores.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
             if pred == (start + 2) % n {
                 correct += 1;
             }

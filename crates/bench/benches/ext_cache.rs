@@ -33,14 +33,10 @@ fn make_server(world: &World, cached: bool) -> ModelServer<Popularity> {
 /// A heavy-tailed request stream: most requests repeat popular one-click
 /// prefixes from a big tenant.
 fn request_stream(world: &World, n: usize) -> Vec<(usize, Vec<usize>)> {
-    let tenant = (0..world.tenants.len())
-        .max_by_key(|&e| world.rqs_by_tenant[e].len())
-        .unwrap();
+    let tenant = (0..world.tenants.len()).max_by_key(|&e| world.rqs_by_tenant[e].len()).unwrap();
     let pool = world.tenant_tag_pool(tenant);
-    let dist = WeightedIndex::new(
-        (0..pool.len()).map(|r| 1.0 / ((r + 1) as f64).powf(1.2)),
-    )
-    .unwrap();
+    let dist =
+        WeightedIndex::new((0..pool.len()).map(|r| 1.0 / ((r + 1) as f64).powf(1.2))).unwrap();
     let mut rng = StdRng::seed_from_u64(42);
     (0..n)
         .map(|_| {
@@ -66,10 +62,9 @@ fn run_comparison(world: &World) {
         let lat = server.latencies_us();
         let mean_us = lat.iter().sum::<u64>() as f64 / lat.len() as f64;
         match server.cache_hit_rate() {
-            Some(hr) => println!(
-                "cached:   mean latency {mean_us:>8.1} us  hit rate {:.1}%",
-                hr * 100.0
-            ),
+            Some(hr) => {
+                println!("cached:   mean latency {mean_us:>8.1} us  hit rate {:.1}%", hr * 100.0)
+            }
             None => println!("uncached: mean latency {mean_us:>8.1} us"),
         }
     }
@@ -81,9 +76,8 @@ fn bench(c: &mut Criterion) {
 
     let uncached = make_server(&exp.world, false);
     let cached = make_server(&exp.world, true);
-    let tenant = (0..exp.world.tenants.len())
-        .max_by_key(|&e| exp.world.rqs_by_tenant[e].len())
-        .unwrap();
+    let tenant =
+        (0..exp.world.tenants.len()).max_by_key(|&e| exp.world.rqs_by_tenant[e].len()).unwrap();
     let clicks = vec![exp.world.tenant_tag_pool(tenant)[0]];
     // Warm the cache once so the cached bench measures the hit path.
     let _ = cached.handle_tag_click(tenant, &clicks);

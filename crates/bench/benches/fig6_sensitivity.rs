@@ -47,10 +47,12 @@ fn bench(c: &mut Criterion) {
     let mut cfg = intellitag_cfg();
     cfg.train.epochs = 1;
     let m = IntelliTag::train(&exp.graph, &exp.tag_texts, &exp.train_sessions, cfg);
-    c.bench_function("intellitag_score_all_dim64", |b| b.iter(|| {
-        use intellitag_baselines::SequenceRecommender;
-        m.score_all(&[0, 1, 2])
-    }));
+    c.bench_function("intellitag_score_all_dim64", |b| {
+        b.iter(|| {
+            use intellitag_baselines::SequenceRecommender;
+            m.score_all(&[0, 1, 2])
+        })
+    });
 }
 
 criterion_group! {

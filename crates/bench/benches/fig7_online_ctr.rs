@@ -42,8 +42,7 @@ fn run_fig7() {
         ..Default::default()
     };
 
-    let m2v =
-        Metapath2Vec::train(&exp.graph, &M2vConfig { dim: MODEL_DIM, ..Default::default() });
+    let m2v = Metapath2Vec::train(&exp.graph, &M2vConfig { dim: MODEL_DIM, ..Default::default() });
     let bert = Bert4Rec::train(
         &exp.train_sessions,
         n_tags,
@@ -84,8 +83,7 @@ fn bench(c: &mut Criterion) {
     run_fig7();
     // Criterion target: one full simulated day for the cheapest policy.
     let exp = Experiment::standard(1);
-    let m2v =
-        Metapath2Vec::train(&exp.graph, &M2vConfig { dim: MODEL_DIM, ..Default::default() });
+    let m2v = Metapath2Vec::train(&exp.graph, &M2vConfig { dim: MODEL_DIM, ..Default::default() });
     let server = ModelServer::new(
         m2v,
         exp.world.build_kb(),

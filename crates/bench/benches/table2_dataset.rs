@@ -28,17 +28,12 @@ fn print_table2() {
     for (name, paper, ours) in rows {
         println!("{name:<16} {paper:>12} {ours:>12}");
     }
-    println!(
-        "{:<16} {:>12} {:>12.1}",
-        "average clicks", 2.9, world.avg_clicks()
-    );
+    println!("{:<16} {:>12} {:>12.1}", "average clicks", 2.9, world.avg_clicks());
 }
 
 fn bench(c: &mut Criterion) {
     print_table2();
-    c.bench_function("world_generate_small", |b| {
-        b.iter(|| World::generate(WorldConfig::small(1)))
-    });
+    c.bench_function("world_generate_small", |b| b.iter(|| World::generate(WorldConfig::small(1))));
     let world = World::generate(WorldConfig::small(1));
     c.bench_function("graph_build_small", |b| b.iter(|| world.build_graph()));
     c.bench_function("kb_build_small", |b| b.iter(|| world.build_kb()));

@@ -8,8 +8,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use intellitag_datagen::{labeled_sentences, LabeledSentence, World, WorldConfig};
 use intellitag_mining::{
-    evaluate_extractor, inference_time, Extractor, MinerConfig, MiningTask, RuleFilter,
-    TagMiner, TrainConfig,
+    evaluate_extractor, inference_time, Extractor, MinerConfig, MiningTask, RuleFilter, TagMiner,
+    TrainConfig,
 };
 
 struct Table3 {
@@ -43,8 +43,7 @@ fn run_table3() -> Table3 {
     );
 
     // ST: two independently trained single-task models.
-    let st_seg =
-        TagMiner::train(train, MinerConfig { task: MiningTask::SegmentationOnly, ..base });
+    let st_seg = TagMiner::train(train, MinerConfig { task: MiningTask::SegmentationOnly, ..base });
     let st_w = TagMiner::train(train, MinerConfig { task: MiningTask::WeightingOnly, ..base });
     let st_ex = Extractor::single_task(&st_seg, &st_w);
     let r = evaluate_extractor(&st_ex, &test);
@@ -71,11 +70,7 @@ fn run_table3() -> Table3 {
     let st_r = Extractor::multi_task(&student).with_rules(&rules);
     let r = evaluate_extractor(&st_r, &test);
     let t_student = inference_time(&st_r, &test);
-    println!(
-        "{}  {:>11.0} ms",
-        r.table_row("MT model + d + r"),
-        t_student.as_secs_f64() * 1e3
-    );
+    println!("{}  {:>11.0} ms", r.table_row("MT model + d + r"), t_student.as_secs_f64() * 1e3);
     println!(
         "distillation speedup: {:.1}x (paper: 14x with a 12->2 layer ratio; here {} -> {})",
         t_mt_r.as_secs_f64() / t_student.as_secs_f64().max(1e-12),
@@ -96,9 +91,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| t.student.predict_tokens(&sentence.tokens))
     });
     let ex = Extractor::multi_task(&t.student).with_rules(&t.rules);
-    c.bench_function("student_extraction_with_rules", |b| {
-        b.iter(|| ex.extract(&sentence.tokens))
-    });
+    c.bench_function("student_extraction_with_rules", |b| b.iter(|| ex.extract(&sentence.tokens)));
 }
 
 criterion_group! {

@@ -35,10 +35,7 @@ fn averaged(
 
 fn run_table4(exp: &Experiment) -> Vec<Box<dyn SequenceRecommender>> {
     let n_tags = exp.world.tags.len();
-    println!(
-        "\n=== Table IV: offline evaluation (mean of {} seeds) ===",
-        BENCH_SEEDS.len()
-    );
+    println!("\n=== Table IV: offline evaluation (mean of {} seeds) ===", BENCH_SEEDS.len());
     println!(
         "world: {} tags, {} RQs, {} tenants; {} train sessions, {} test examples",
         n_tags,

@@ -13,7 +13,10 @@ use intellitag_bench::{
 };
 use intellitag_core::{evaluate_offline, IntelliTag, ProtocolConfig, TagRecConfig};
 
-fn train_and_eval(exp: &Experiment, base: TagRecConfig) -> (String, intellitag_eval::RankingReport) {
+fn train_and_eval(
+    exp: &Experiment,
+    base: TagRecConfig,
+) -> (String, intellitag_eval::RankingReport) {
     let protocol = ProtocolConfig::default();
     let mut reports = Vec::new();
     let mut name = String::new();

@@ -41,8 +41,7 @@ fn bench(c: &mut Criterion) {
 
     println!("\n=== Table VI: online HIR and response latency ===");
 
-    let m2v =
-        Metapath2Vec::train(&exp.graph, &M2vConfig { dim: MODEL_DIM, ..Default::default() });
+    let m2v = Metapath2Vec::train(&exp.graph, &M2vConfig { dim: MODEL_DIM, ..Default::default() });
     let (m2v_server, m2v_out) = run_bucket(&exp.world, m2v, &sim);
 
     let bert = Bert4Rec::train(
@@ -68,13 +67,14 @@ fn bench(c: &mut Criterion) {
             o.policy, o.hir, o.mean_latency_ms, o.p99_latency_ms, o.sessions
         );
     }
-    println!("(paper: HIR 0.218 / 0.214 / 0.212; latency 50.8 / 106.2 / 109.8 ms on the deployed stack)");
+    println!(
+        "(paper: HIR 0.218 / 0.214 / 0.212; latency 50.8 / 106.2 / 109.8 ms on the deployed stack)"
+    );
 
     // Criterion: per-request latency of the tag-click path, per policy —
     // this is the quantity Table VI's latency column measures.
-    let tenant = (0..exp.world.tenants.len())
-        .max_by_key(|&e| exp.world.rqs_by_tenant[e].len())
-        .unwrap();
+    let tenant =
+        (0..exp.world.tenants.len()).max_by_key(|&e| exp.world.rqs_by_tenant[e].len()).unwrap();
     let clicks = vec![exp.world.tenant_tag_pool(tenant)[0]];
     c.bench_function("tag_click_metapath2vec", |b| {
         b.iter(|| m2v_server.handle_tag_click(tenant, &clicks))

@@ -18,9 +18,7 @@
 
 use intellitag_baselines::TrainConfig;
 use intellitag_core::TagRecConfig;
-use intellitag_datagen::{
-    sequence_examples, split_sessions, SeqExample, World, WorldConfig,
-};
+use intellitag_datagen::{sequence_examples, split_sessions, SeqExample, World, WorldConfig};
 use intellitag_graph::HetGraph;
 
 /// A prepared TagRec experiment: world, graph, training sessions and test
@@ -100,7 +98,9 @@ pub fn intellitag_cfg() -> TagRecConfig {
 
 /// Averages ranking reports across seeds (benches train each model under a
 /// few seeds and report the mean, damping single-run noise).
-pub fn average_reports(reports: &[intellitag_eval::RankingReport]) -> intellitag_eval::RankingReport {
+pub fn average_reports(
+    reports: &[intellitag_eval::RankingReport],
+) -> intellitag_eval::RankingReport {
     assert!(!reports.is_empty());
     let n = reports.len() as f64;
     intellitag_eval::RankingReport {

@@ -39,10 +39,9 @@ pub fn evaluate_offline(
 
     let mut acc = RankingAccumulator::new();
     for (i, ex) in examples.iter().enumerate() {
-        let pool = pools[ex.tenant]
-            .get_or_insert_with(|| world.tenant_tag_pool(ex.tenant))
-            .clone();
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let pool = pools[ex.tenant].get_or_insert_with(|| world.tenant_tag_pool(ex.tenant)).clone();
+        let mut rng =
+            StdRng::seed_from_u64(cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let negs = sample_negatives(ex.target, &pool, &global, cfg.negatives, &mut rng);
         let mut candidates = Vec::with_capacity(1 + negs.len());
         candidates.push(ex.target);
@@ -105,8 +104,7 @@ mod tests {
     fn adversary_gets_worst_scores() {
         let world = World::generate(WorldConfig::tiny(1));
         let ex = sequence_examples(&world.sessions);
-        let r =
-            evaluate_offline(&Antichance, &ex[..50.min(ex.len())], &world, &Default::default());
+        let r = evaluate_offline(&Antichance, &ex[..50.min(ex.len())], &world, &Default::default());
         assert!(r.mrr < 0.05);
         assert_eq!(r.hr10, 0.0);
     }
@@ -114,8 +112,7 @@ mod tests {
     #[test]
     fn popularity_beats_chance() {
         let world = World::generate(WorldConfig::tiny(2));
-        let sessions: Vec<Vec<usize>> =
-            world.sessions.iter().map(|s| s.clicks.clone()).collect();
+        let sessions: Vec<Vec<usize>> = world.sessions.iter().map(|s| s.clicks.clone()).collect();
         let pop = Popularity::from_sessions(&sessions, world.tags.len());
         let ex = sequence_examples(&world.sessions);
         let r = evaluate_offline(&pop, &ex, &world, &Default::default());
@@ -126,8 +123,7 @@ mod tests {
     #[test]
     fn protocol_is_deterministic_across_calls() {
         let world = World::generate(WorldConfig::tiny(3));
-        let sessions: Vec<Vec<usize>> =
-            world.sessions.iter().map(|s| s.clicks.clone()).collect();
+        let sessions: Vec<Vec<usize>> = world.sessions.iter().map(|s| s.clicks.clone()).collect();
         let pop = Popularity::from_sessions(&sessions, world.tags.len());
         let ex = sequence_examples(&world.sessions);
         let a = evaluate_offline(&pop, &ex, &world, &Default::default());

@@ -154,8 +154,7 @@ impl GraphLayers {
 
     /// Computes the structural embedding `z_t` (Eq. 7) of one tag.
     pub fn embed_tag(&self, tape: &Tape, t: usize) -> Tensor {
-        let h: Vec<Tensor> =
-            (0..4).map(|mp| self.aggregate_metapath(tape, t, mp)).collect();
+        let h: Vec<Tensor> = (0..4).map(|mp| self.aggregate_metapath(tape, t, mp)).collect();
 
         let weights = if self.use_metapath_attention {
             // β_ρ = v_p^T tanh(W_p h_ρ + b_p), softmaxed over ρ.
@@ -175,11 +174,11 @@ impl GraphLayers {
 
         let stacked = Tensor::concat_rows(&h); // 4 x M*d
         let fused = weights.matmul(&stacked); // 1 x M*d
-        // Residual from the raw tag features: the paper starts from strong
-        // pretrained 100-d text vectors, which keep tags separable through
-        // the sigmoid aggregation; with from-scratch features the residual
-        // restores that direct path (gradients reach x_t without passing
-        // through the attention stack).
+                                              // Residual from the raw tag features: the paper starts from strong
+                                              // pretrained 100-d text vectors, which keep tags separable through
+                                              // the sigmoid aggregation; with from-scratch features the residual
+                                              // restores that direct path (gradients reach x_t without passing
+                                              // through the attention stack).
         let x_t = self.features.forward(tape, &[t]);
         self.out.forward(tape, &fused).add(&x_t) // 1 x d
     }
@@ -218,12 +217,7 @@ impl GraphLayers {
         let mut avg = vec![0.0f32; k];
         for h in 0..self.heads {
             let w = tape.param(&self.w_n[mp_index][h]);
-            let alpha = pairs
-                .matmul(&w)
-                .leaky_relu(LEAKY_SLOPE)
-                .transpose()
-                .softmax_rows()
-                .value();
+            let alpha = pairs.matmul(&w).leaky_relu(LEAKY_SLOPE).transpose().softmax_rows().value();
             for (a, &v) in avg.iter_mut().zip(alpha.row_slice(0)) {
                 *a += v / self.heads as f32;
             }

@@ -10,9 +10,13 @@
 //! * [`evaluate_offline`] — the 49-negative ranking protocol (§VI-A2)
 //!   behind Tables IV/V and Fig. 6.
 //! * [`ModelServer`] — the online request path of §V: BM25 recall + model
-//!   re-rank, precomputed tag embeddings, cold-start fallbacks.
+//!   re-rank, precomputed tag embeddings, cold-start fallbacks, and
+//!   per-stage observability through `intellitag-obs` (span timing for
+//!   recall/rerank/score/cache, error and cold-start counters, bounded
+//!   latency histograms).
 //! * [`simulate_online`] — A/B traffic buckets measuring CTR (Fig. 7),
-//!   HIR and latency (Table VI) against the simulated user population.
+//!   HIR and latency (Table VI) against the simulated user population,
+//!   publishing rolling `online.*` gauges into the shared registry.
 
 #![warn(missing_docs)]
 
@@ -31,5 +35,5 @@ pub use experiment::{evaluate_offline, ProtocolConfig};
 pub use graph_layers::GraphLayers;
 pub use model::IntelliTag;
 pub use qa_matcher::{QaMatcher, QaMatcherConfig};
-pub use serving::{ModelServer, QuestionResponse, TagClickResponse};
+pub use serving::{ModelServer, QuestionResponse, TagClickResponse, RECENT_LATENCY_WINDOW};
 pub use simulator::{simulate_online, DayMetrics, SimConfig, SimOutcome};

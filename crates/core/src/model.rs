@@ -2,9 +2,12 @@
 //! heterogeneous graph (inner, shared) feeding Transformer layers over the
 //! click sequence (outer), trained end-to-end or step-by-step.
 
+use std::time::Instant;
+
 use intellitag_baselines::SequenceRecommender;
 use intellitag_graph::{HetGraph, ALL_METAPATHS};
 use intellitag_nn::{Linear, PositionEmbedding, TransformerEncoder};
+use intellitag_obs::MetricsRegistry;
 use intellitag_tensor::{Matrix, Param, ParamSet, Tape, Tensor};
 use intellitag_text::HashedEmbedder;
 use rand::prelude::*;
@@ -119,6 +122,21 @@ impl IntelliTag {
         sessions: &[Vec<usize>],
         cfg: TagRecConfig,
     ) -> Self {
+        Self::train_with_metrics(graph, tag_texts, sessions, cfg, &MetricsRegistry::new())
+    }
+
+    /// Like [`IntelliTag::train`], but publishes per-epoch training gauges
+    /// (`train.{model}.graph.loss`, `train.{model}.seq.loss`, throughput in
+    /// examples/s, and an epoch counter) into a shared registry — the
+    /// offline T+1 trainer's visibility into whether a nightly refresh is
+    /// converging.
+    pub fn train_with_metrics(
+        graph: &HetGraph,
+        tag_texts: &[String],
+        sessions: &[Vec<usize>],
+        cfg: TagRecConfig,
+        metrics: &MetricsRegistry,
+    ) -> Self {
         let mut model = Self::build(graph, tag_texts, cfg);
         let mut rng = StdRng::seed_from_u64(cfg.train.seed ^ 0x7261_696E); // "rain"
 
@@ -133,15 +151,15 @@ impl IntelliTag {
         graph_params.extend(&model.graph_params);
         let mut seq_params = ParamSet::new(cfg.train.lr);
         seq_params.extend(&model.seq_params);
-        model.pretrain_graph(&mut graph_params, &mut rng);
+        model.pretrain_graph(&mut graph_params, &mut rng, metrics);
         if cfg.end_to_end {
             let mut params = ParamSet::new(cfg.train.lr);
             params.extend(&graph_params);
             params.extend(&seq_params);
-            model.train_sequence(sessions, &mut params, true, &mut rng);
+            model.train_sequence(sessions, &mut params, true, &mut rng, metrics);
         } else {
             model.z_table = model.graph_layers.precompute_all();
-            model.train_sequence(sessions, &mut seq_params, false, &mut rng);
+            model.train_sequence(sessions, &mut seq_params, false, &mut rng, metrics);
         }
 
         // Final offline inference pass: freeze tag embeddings for serving.
@@ -188,13 +206,20 @@ impl IntelliTag {
     /// Structural pretraining for the step-by-step variant: metapath
     /// neighbors should score higher than random tags (skip-gram-style
     /// ranking over the learned `z`).
-    fn pretrain_graph(&self, params: &mut ParamSet, rng: &mut StdRng) {
+    fn pretrain_graph(&self, params: &mut ParamSet, rng: &mut StdRng, metrics: &MetricsRegistry) {
+        let prefix = format!("train.{}", self.cfg.model_name());
+        let loss_gauge = metrics.gauge(&format!("{prefix}.graph.loss"));
+        let rate_gauge = metrics.gauge(&format!("{prefix}.graph.examples_per_sec"));
+        let epoch_counter = metrics.counter(&format!("{prefix}.epochs"));
         let num_tags = self.num_tags;
         let epochs = self.cfg.train.epochs.max(1);
         params.total_steps = Some((num_tags * epochs).div_ceil(self.cfg.train.batch_size).max(1));
         let negatives = 4;
         let mut order: Vec<usize> = (0..num_tags).collect();
         for _ in 0..epochs {
+            let epoch_start = Instant::now();
+            let mut epoch_loss = 0.0f64;
+            let mut seen = 0u64;
             order.shuffle(rng);
             let mut in_batch = 0;
             for (i, &t) in order.iter().enumerate() {
@@ -227,6 +252,8 @@ impl IntelliTag {
                 let z_c = self.graph_layers.embed_tags(&tape, &cands); // (1+neg) x d
                 let logits = z_t.matmul(&z_c.transpose()); // 1 x (1+neg)
                 let loss = logits.cross_entropy_logits(&[0]);
+                epoch_loss += loss.scalar() as f64;
+                seen += 1;
                 loss.backward();
                 in_batch += 1;
                 if in_batch == self.cfg.train.batch_size || i + 1 == order.len() {
@@ -234,6 +261,9 @@ impl IntelliTag {
                     in_batch = 0;
                 }
             }
+            loss_gauge.set(epoch_loss / seen.max(1) as f64);
+            rate_gauge.set(seen as f64 / epoch_start.elapsed().as_secs_f64().max(1e-9));
+            epoch_counter.inc();
         }
     }
 
@@ -246,7 +276,12 @@ impl IntelliTag {
         params: &mut ParamSet,
         end_to_end: bool,
         rng: &mut StdRng,
+        metrics: &MetricsRegistry,
     ) {
+        let prefix = format!("train.{}", self.cfg.model_name());
+        let loss_gauge = metrics.gauge(&format!("{prefix}.seq.loss"));
+        let rate_gauge = metrics.gauge(&format!("{prefix}.seq.examples_per_sec"));
+        let epoch_counter = metrics.counter(&format!("{prefix}.epochs"));
         let mut examples: Vec<(&[usize], usize)> = Vec::new();
         for s in sessions {
             for k in 1..s.len() {
@@ -260,6 +295,7 @@ impl IntelliTag {
 
         let mut order: Vec<usize> = (0..examples.len()).collect();
         for epoch in 0..cfg.epochs {
+            let epoch_start = Instant::now();
             order.shuffle(rng);
             let mut epoch_loss = 0.0f64;
             let mut in_batch = 0;
@@ -284,6 +320,9 @@ impl IntelliTag {
                     in_batch = 0;
                 }
             }
+            loss_gauge.set(epoch_loss / examples.len().max(1) as f64);
+            rate_gauge.set(examples.len() as f64 / epoch_start.elapsed().as_secs_f64().max(1e-9));
+            epoch_counter.inc();
             if cfg.verbose {
                 println!(
                     "{} epoch {epoch}: loss {:.4}",
@@ -453,17 +492,29 @@ mod tests {
         let mut correct = 0;
         for s in 0..n {
             let scores = m.score_all(&[s, (s + 1) % n]);
-            let pred = scores
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .unwrap()
-                .0;
+            let pred =
+                scores.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
             if pred == (s + 2) % n {
                 correct += 1;
             }
         }
         assert!(correct >= n - 2, "learned {correct}/{n} transitions");
+    }
+
+    #[test]
+    fn training_publishes_metrics() {
+        let (g, texts, sessions) = cyclic_world(5);
+        let mut cfg = quick_cfg();
+        cfg.train.epochs = 2;
+        let registry = MetricsRegistry::new();
+        let m = IntelliTag::train_with_metrics(&g, &texts, &sessions, cfg, &registry);
+        let prefix = format!("train.{}", m.name());
+        // Graph pretraining and sequence training each ran 2 epochs.
+        assert_eq!(registry.counter(&format!("{prefix}.epochs")).get(), 4);
+        assert!(registry.gauge(&format!("{prefix}.graph.loss")).get() > 0.0);
+        assert!(registry.gauge(&format!("{prefix}.seq.loss")).get() > 0.0);
+        assert!(registry.gauge(&format!("{prefix}.seq.examples_per_sec")).get() > 0.0);
+        assert!(registry.gauge(&format!("{prefix}.graph.examples_per_sec")).get() > 0.0);
     }
 
     #[test]
@@ -522,7 +573,7 @@ mod tests {
         assert_eq!(attn.len(), 1); // layers
         assert_eq!(attn[0].len(), 2); // heads
         assert_eq!(attn[0][0].shape(), (3, 3)); // 2 clicks + mask
-        // Rows are distributions.
+                                                // Rows are distributions.
         for h in &attn[0] {
             for r in 0..3 {
                 let s: f32 = h.row_slice(r).iter().sum();

@@ -6,7 +6,10 @@
 //! with a bilinear form, trained on (paraphrase, RQ) pairs with in-batch
 //! negatives.
 
+use std::time::Instant;
+
 use intellitag_nn::Embedding;
+use intellitag_obs::MetricsRegistry;
 use intellitag_tensor::{Matrix, Param, ParamSet, Tape, Tensor};
 use intellitag_text::Vocab;
 use rand::prelude::*;
@@ -48,7 +51,22 @@ impl QaMatcher {
     /// Trains on `(user question, matching RQ text)` pairs. Negatives are
     /// drawn from `corpus` (all RQ texts).
     pub fn train(pairs: &[(String, String)], corpus: &[String], cfg: QaMatcherConfig) -> Self {
+        Self::train_with_metrics(pairs, corpus, cfg, &MetricsRegistry::new())
+    }
+
+    /// Like [`QaMatcher::train`], but publishes per-epoch
+    /// `train.qa_matcher.loss` / `train.qa_matcher.pairs_per_sec` gauges and
+    /// an epoch counter into a shared registry.
+    pub fn train_with_metrics(
+        pairs: &[(String, String)],
+        corpus: &[String],
+        cfg: QaMatcherConfig,
+        metrics: &MetricsRegistry,
+    ) -> Self {
         assert!(!pairs.is_empty() && !corpus.is_empty(), "matcher needs data");
+        let loss_gauge = metrics.gauge("train.qa_matcher.loss");
+        let rate_gauge = metrics.gauge("train.qa_matcher.pairs_per_sec");
+        let epoch_counter = metrics.counter("train.qa_matcher.epochs");
         let mut rng = StdRng::seed_from_u64(cfg.train.seed);
         let mut all_texts: Vec<&str> = corpus.iter().map(String::as_str).collect();
         all_texts.extend(pairs.iter().map(|(q, _)| q.as_str()));
@@ -60,10 +78,10 @@ impl QaMatcher {
         let model = QaMatcher { vocab, emb, w, dim: cfg.dim };
 
         let tc = &cfg.train;
-        params.total_steps =
-            Some((pairs.len() * tc.epochs).div_ceil(tc.batch_size.max(1)).max(1));
+        params.total_steps = Some((pairs.len() * tc.epochs).div_ceil(tc.batch_size.max(1)).max(1));
         let mut order: Vec<usize> = (0..pairs.len()).collect();
         for epoch in 0..tc.epochs {
+            let epoch_start = Instant::now();
             order.shuffle(&mut rng);
             let mut in_batch = 0;
             let mut epoch_loss = 0.0f64;
@@ -88,9 +106,7 @@ impl QaMatcher {
                     }
                 }
                 let cand_matrix = Tensor::concat_rows(&cands); // k x d
-                let logits = q
-                    .matmul(&tape.param(&model.w))
-                    .matmul(&cand_matrix.transpose()); // 1 x k
+                let logits = q.matmul(&tape.param(&model.w)).matmul(&cand_matrix.transpose()); // 1 x k
                 let loss = logits.cross_entropy_logits(&[0]);
                 epoch_loss += loss.scalar() as f64;
                 loss.backward();
@@ -100,11 +116,11 @@ impl QaMatcher {
                     in_batch = 0;
                 }
             }
+            loss_gauge.set(epoch_loss / pairs.len() as f64);
+            rate_gauge.set(pairs.len() as f64 / epoch_start.elapsed().as_secs_f64().max(1e-9));
+            epoch_counter.inc();
             if tc.verbose {
-                println!(
-                    "QaMatcher epoch {epoch}: loss {:.4}",
-                    epoch_loss / pairs.len() as f64
-                );
+                println!("QaMatcher epoch {epoch}: loss {:.4}", epoch_loss / pairs.len() as f64);
             }
         }
         model
@@ -124,8 +140,7 @@ impl QaMatcher {
     /// Returns `f32::NEG_INFINITY` when either text has no known tokens.
     pub fn score(&self, question: &str, rq_text: &str) -> f32 {
         let tape = Tape::new();
-        let (Some(q), Some(r)) = (self.encode(&tape, question), self.encode(&tape, rq_text))
-        else {
+        let (Some(q), Some(r)) = (self.encode(&tape, question), self.encode(&tape, rq_text)) else {
             return f32::NEG_INFINITY;
         };
         q.matmul(&tape.param(&self.w)).matmul(&r.transpose()).scalar()
@@ -137,14 +152,10 @@ impl QaMatcher {
         question: &str,
         candidates: impl IntoIterator<Item = (usize, &'a str)>,
     ) -> Vec<usize> {
-        let mut scored: Vec<(usize, f32)> = candidates
-            .into_iter()
-            .map(|(id, text)| (id, self.score(question, text)))
-            .collect();
+        let mut scored: Vec<(usize, f32)> =
+            candidates.into_iter().map(|(id, text)| (id, self.score(question, text))).collect();
         scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
         });
         scored.into_iter().map(|(id, _)| id).collect()
     }
@@ -195,6 +206,20 @@ mod tests {
             }
         }
         assert!(hits * 2 > total, "matcher hit@3 too low: {hits}/{total}");
+    }
+
+    #[test]
+    fn training_publishes_metrics() {
+        let (_, pairs, corpus) = training_setup();
+        let registry = MetricsRegistry::new();
+        let cfg = QaMatcherConfig {
+            train: TrainConfig { epochs: 3, ..Default::default() },
+            ..Default::default()
+        };
+        let _ = QaMatcher::train_with_metrics(&pairs[..30], &corpus, cfg, &registry);
+        assert_eq!(registry.counter("train.qa_matcher.epochs").get(), 3);
+        assert!(registry.gauge("train.qa_matcher.loss").get() > 0.0);
+        assert!(registry.gauge("train.qa_matcher.pairs_per_sec").get() > 0.0);
     }
 
     #[test]

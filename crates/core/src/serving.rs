@@ -2,15 +2,29 @@
 //! and tag recommendation, with the deployment strategy of §V-B — tag
 //! embeddings precomputed offline, only sequence layers run per request,
 //! popularity fallback for cold start, `asc`-relation tags after a question.
+//!
+//! Every request is instrumented through [`intellitag_obs`]: per-stage span
+//! timing (ES recall, Q&A-matcher rerank, model scoring, cache lookup),
+//! cache hit/miss and cold-start counters, per-tenant request counters, and
+//! bounded log2 latency histograms replacing the old unbounded latency log —
+//! the paper's §VI latency budget ("respond in under 150 ms", Table VI) is
+//! only actionable when you can see where the time goes.
 
-use std::time::Instant;
+use std::sync::Arc;
 
 use intellitag_baselines::SequenceRecommender;
+use intellitag_obs::{
+    Counter, Histogram, HistogramSnapshot, MetricsRegistry, SampleRing, SpanTimer,
+};
 use intellitag_search::KbWarehouse;
-use parking_lot::Mutex;
 
 use crate::cache::ResponseCache;
 use crate::qa_matcher::QaMatcher;
+
+/// How many recent raw latency samples the server retains for
+/// [`ModelServer::latencies_us`]. Aggregate statistics come from the
+/// bounded histograms; the ring only serves debugging and the benches.
+pub const RECENT_LATENCY_WINDOW: usize = 1024;
 
 /// Response to a user question (the Q&A dialogue path).
 #[derive(Debug, Clone)]
@@ -36,8 +50,59 @@ pub struct TagClickResponse {
     pub latency_us: u64,
 }
 
+/// Metric handles bound once at construction so the hot path never touches
+/// the registry's name map (except for the dynamic per-tenant counters).
+struct ServerMetrics {
+    registry: MetricsRegistry,
+    /// End-to-end latency across both request kinds (`serving.request_us`).
+    request_latency: Arc<Histogram>,
+    /// Q&A path latency (`serving.question_us`).
+    question_latency: Arc<Histogram>,
+    /// Tag-click path latency (`serving.tag_click_us`).
+    click_latency: Arc<Histogram>,
+    /// BM25/ES recall stage (`serving.stage.recall_us`).
+    stage_recall: Arc<Histogram>,
+    /// Q&A-matcher / overlap rerank stage (`serving.stage.rerank_us`).
+    stage_rerank: Arc<Histogram>,
+    /// Sequence-model scoring stage (`serving.stage.score_us`).
+    stage_score: Arc<Histogram>,
+    /// Response-cache lookup stage (`serving.stage.cache_us`).
+    stage_cache: Arc<Histogram>,
+    cache_hit: Arc<Counter>,
+    cache_miss: Arc<Counter>,
+    cold_start: Arc<Counter>,
+    err_bad_tenant: Arc<Counter>,
+    err_bad_tag: Arc<Counter>,
+    err_empty_clicks: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    fn bind(registry: MetricsRegistry) -> Self {
+        ServerMetrics {
+            request_latency: registry.histogram("serving.request_us"),
+            question_latency: registry.histogram("serving.question_us"),
+            click_latency: registry.histogram("serving.tag_click_us"),
+            stage_recall: registry.histogram("serving.stage.recall_us"),
+            stage_rerank: registry.histogram("serving.stage.rerank_us"),
+            stage_score: registry.histogram("serving.stage.score_us"),
+            stage_cache: registry.histogram("serving.stage.cache_us"),
+            cache_hit: registry.counter("serving.cache.hit"),
+            cache_miss: registry.counter("serving.cache.miss"),
+            cold_start: registry.counter("serving.cold_start_fallback"),
+            err_bad_tenant: registry.counter("serving.error.bad_tenant"),
+            err_bad_tag: registry.counter("serving.error.bad_tag"),
+            err_empty_clicks: registry.counter("serving.error.empty_clicks"),
+            registry,
+        }
+    }
+
+    fn tenant_requests(&self, tenant: usize) -> Arc<Counter> {
+        self.registry.counter(&format!("serving.requests.tenant_{tenant}"))
+    }
+}
+
 /// The model server: one recommender + the searchable KB + per-tenant
-/// metadata. Thread-safe latency log via `parking_lot`.
+/// metadata, fully instrumented through a shared [`MetricsRegistry`].
 pub struct ModelServer<M: SequenceRecommender> {
     model: M,
     kb: KbWarehouse,
@@ -54,7 +119,9 @@ pub struct ModelServer<M: SequenceRecommender> {
     pub tags_per_response: usize,
     /// Predicted questions shown per response.
     pub questions_per_response: usize,
-    latencies_us: Mutex<Vec<u64>>,
+    /// Recent raw latencies — bounded, unlike the old `Vec<u64>` log.
+    recent_latencies: SampleRing,
+    obs: ServerMetrics,
     /// Optional response cache over `(tenant, clicks)` — the paper's §VII
     /// future-work extension ("cache high-frequency data to decrease system
     /// latency").
@@ -65,7 +132,8 @@ pub struct ModelServer<M: SequenceRecommender> {
 }
 
 impl<M: SequenceRecommender> ModelServer<M> {
-    /// Assembles a server.
+    /// Assembles a server with its own private metrics registry; use
+    /// [`ModelServer::with_metrics`] to share one across components.
     pub fn new(
         model: M,
         kb: KbWarehouse,
@@ -85,10 +153,19 @@ impl<M: SequenceRecommender> ModelServer<M> {
             click_counts,
             tags_per_response: 5,
             questions_per_response: 3,
-            latencies_us: Mutex::new(Vec::new()),
+            recent_latencies: SampleRing::new(RECENT_LATENCY_WINDOW),
+            obs: ServerMetrics::bind(MetricsRegistry::new()),
             cache: None,
             qa_matcher: None,
         }
+    }
+
+    /// Rebinds the server onto a shared metrics registry (e.g. one also fed
+    /// by the training loops and the online simulator). Call before serving
+    /// traffic — metrics recorded so far stay in the old registry.
+    pub fn with_metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.obs = ServerMetrics::bind(registry);
+        self
     }
 
     /// Attaches a trained Q&A matcher; question recall is then re-ranked by
@@ -116,18 +193,56 @@ impl<M: SequenceRecommender> ModelServer<M> {
         &self.model
     }
 
-    /// Recorded request latencies (µs).
-    pub fn latencies_us(&self) -> Vec<u64> {
-        self.latencies_us.lock().clone()
+    /// The server's metrics registry (counters, gauges, stage histograms).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.obs.registry
     }
 
-    /// Cold-start tags for a tenant: most frequently clicked (§V-B).
+    /// Snapshot of the end-to-end request latency histogram (µs) — the
+    /// bounded replacement for aggregating over a raw latency log.
+    pub fn latency_snapshot(&self) -> HistogramSnapshot {
+        self.obs.request_latency.snapshot()
+    }
+
+    /// The most recent request latencies (µs), capped at
+    /// [`RECENT_LATENCY_WINDOW`] samples. Long-running simulations no
+    /// longer grow memory with request count; use
+    /// [`ModelServer::latency_snapshot`] for whole-run statistics.
+    pub fn latencies_us(&self) -> Vec<u64> {
+        self.recent_latencies.snapshot()
+    }
+
+    /// Records the end of a request on both the per-path and the combined
+    /// histograms plus the recent-sample ring; returns the latency in µs.
+    fn finish_request(&self, timer: SpanTimer, path: &Histogram) -> u64 {
+        let us = timer.elapsed_us();
+        path.record(us);
+        self.obs.request_latency.record(us);
+        self.recent_latencies.push(us);
+        us
+    }
+
+    /// Cold-start tags for a tenant: most frequently clicked (§V-B),
+    /// counted as a `serving.cold_start_fallback`. An out-of-range tenant
+    /// degrades to an empty result (plus an error counter) instead of
+    /// panicking.
     pub fn cold_start_tags(&self, tenant: usize) -> Vec<usize> {
-        let mut pool = self.tenant_tags[tenant].clone();
+        let Some(pool) = self.tenant_tags.get(tenant) else {
+            self.obs.err_bad_tenant.inc();
+            return Vec::new();
+        };
+        self.obs.cold_start.inc();
+        self.popularity_tags(pool)
+    }
+
+    /// The popularity ranking behind the cold-start fallback, without the
+    /// fallback counter — also used to top up short tag lists on answered
+    /// questions, which is not a cold start.
+    fn popularity_tags(&self, pool: &[usize]) -> Vec<usize> {
+        let mut pool = pool.to_vec();
         pool.sort_by(|&a, &b| {
-            self.click_counts[b]
-                .cmp(&self.click_counts[a])
-                .then(a.cmp(&b))
+            let count = |t: usize| self.click_counts.get(t).copied().unwrap_or(0);
+            count(b).cmp(&count(a)).then(a.cmp(&b))
         });
         pool.truncate(self.tags_per_response);
         pool
@@ -137,24 +252,44 @@ impl<M: SequenceRecommender> ModelServer<M> {
     /// Q&A matcher attached, the BM25 recall set is re-ranked by match score
     /// (recall-then-rerank, exactly the deployed §V-A pipeline).
     pub fn handle_question(&self, tenant: usize, question: &str) -> QuestionResponse {
-        let start = Instant::now();
+        let timer = SpanTimer::start();
+        self.obs.tenant_requests(tenant).inc();
+        if tenant >= self.tenant_tags.len() {
+            self.obs.err_bad_tenant.inc();
+            let latency_us = self.finish_request(timer, &self.obs.question_latency);
+            return QuestionResponse {
+                rq: None,
+                answer: None,
+                recommended_tags: Vec::new(),
+                latency_us,
+            };
+        }
         let best = match &self.qa_matcher {
             Some(matcher) => {
+                let recall_span = self.obs.stage_recall.span();
                 let recall = self.kb.recall_for_tenant(question, tenant, 10);
+                recall_span.finish();
+                let rerank_span = self.obs.stage_rerank.span();
                 let reranked = matcher.rerank(
                     question,
                     recall.iter().map(|h| (h.doc, self.kb.pair(h.doc).question.as_str())),
                 );
+                rerank_span.finish();
                 reranked.first().map(|&rq| (rq, self.kb.pair(rq)))
             }
-            None => self.kb.best_match(question, tenant),
+            None => {
+                let recall_span = self.obs.stage_recall.span();
+                let best = self.kb.best_match(question, tenant);
+                recall_span.finish();
+                best
+            }
         };
         let (rq, answer, recommended_tags) = match best {
             Some((rq, pair)) => {
                 // Recommend the matched question's own tags (asc relation),
                 // backfilled with cold-start popularity.
                 let mut tags = self.rq_tags[rq].clone();
-                for t in self.cold_start_tags(tenant) {
+                for t in self.popularity_tags(&self.tenant_tags[tenant]) {
                     if tags.len() >= self.tags_per_response {
                         break;
                     }
@@ -167,80 +302,108 @@ impl<M: SequenceRecommender> ModelServer<M> {
             }
             None => (None, None, self.cold_start_tags(tenant)),
         };
-        let latency_us = start.elapsed().as_micros() as u64;
-        self.latencies_us.lock().push(latency_us);
+        let latency_us = self.finish_request(timer, &self.obs.question_latency);
         QuestionResponse { rq, answer, recommended_tags, latency_us }
+    }
+
+    /// An empty tag-click response for degraded requests (bad tenant, no
+    /// usable clicks) — the serving path never panics on malformed input.
+    fn degraded_click_response(&self, timer: SpanTimer) -> TagClickResponse {
+        let latency_us = self.finish_request(timer, &self.obs.click_latency);
+        TagClickResponse {
+            recommended_tags: Vec::new(),
+            predicted_questions: Vec::new(),
+            latency_us,
+        }
     }
 
     /// Handles a tag click: the model ranks next tags (restricted to the
     /// tenant's inventory) and the click history becomes an ES query whose
     /// recall is re-ranked by tag overlap (§V-A).
+    ///
+    /// Malformed requests degrade gracefully: empty click lists, unknown
+    /// tenants and unknown tag ids produce an empty response (and error
+    /// counters) rather than a panic in the hot serving path.
     pub fn handle_tag_click(&self, tenant: usize, clicks: &[usize]) -> TagClickResponse {
-        assert!(!clicks.is_empty(), "a click must have happened");
-        let start = Instant::now();
-
-        if let Some(cache) = &self.cache {
-            let key = (tenant, clicks.to_vec());
-            if let Some(mut resp) = cache.get(&key) {
-                resp.latency_us = start.elapsed().as_micros() as u64;
-                self.latencies_us.lock().push(resp.latency_us);
-                return resp;
+        let timer = SpanTimer::start();
+        self.obs.tenant_requests(tenant).inc();
+        if clicks.is_empty() {
+            self.obs.err_empty_clicks.inc();
+            return self.degraded_click_response(timer);
+        }
+        if tenant >= self.tenant_tags.len() {
+            self.obs.err_bad_tenant.inc();
+            return self.degraded_click_response(timer);
+        }
+        // Unknown tag ids can't be looked up in the tag-text table; drop
+        // them (counted) and serve from the remaining clicks.
+        let valid: Vec<usize> =
+            clicks.iter().copied().filter(|&t| t < self.tag_texts.len()).collect();
+        if valid.len() < clicks.len() {
+            self.obs.err_bad_tag.add((clicks.len() - valid.len()) as u64);
+            if valid.is_empty() {
+                return self.degraded_click_response(timer);
             }
         }
+        let clicks = &valid[..];
 
-        // --- next-tag recommendation ------------------------------------
+        if let Some(cache) = &self.cache {
+            let cache_span = self.obs.stage_cache.span();
+            let key = (tenant, clicks.to_vec());
+            let cached = cache.get(&key);
+            cache_span.finish();
+            if let Some(mut resp) = cached {
+                self.obs.cache_hit.inc();
+                resp.latency_us = self.finish_request(timer, &self.obs.click_latency);
+                return resp;
+            }
+            self.obs.cache_miss.inc();
+        }
+
+        // One sorted lookup set per request: membership checks drop from
+        // O(clicks) scans per candidate to O(log clicks).
+        let mut click_set = clicks.to_vec();
+        click_set.sort_unstable();
+        let clicked = |t: usize| click_set.binary_search(&t).is_ok();
+
+        // --- next-tag recommendation (model scoring stage) ----------------
         let pool = &self.tenant_tags[tenant];
+        let score_span = self.obs.stage_score.span();
         let scores = self.model.score_candidates(clicks, pool);
-        let mut ranked: Vec<(usize, f32)> = pool
-            .iter()
-            .copied()
-            .zip(scores)
-            .filter(|(t, _)| !clicks.contains(t))
-            .collect();
+        score_span.finish();
+        let mut ranked: Vec<(usize, f32)> =
+            pool.iter().copied().zip(scores).filter(|&(t, _)| !clicked(t)).collect();
         ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
         });
-        let recommended_tags: Vec<usize> = ranked
-            .into_iter()
-            .take(self.tags_per_response)
-            .map(|(t, _)| t)
-            .collect();
+        let recommended_tags: Vec<usize> =
+            ranked.into_iter().take(self.tags_per_response).map(|(t, _)| t).collect();
 
-        // --- predicted questions -----------------------------------------
+        // --- predicted questions (recall stage + overlap rerank stage) ----
         // Query = concatenated clicked-tag texts (paper: "the user's
         // successive clicked tags are composed as a query").
-        let query: String = clicks
-            .iter()
-            .map(|&t| self.tag_texts[t].as_str())
-            .collect::<Vec<_>>()
-            .join(" ");
+        let query: String =
+            clicks.iter().map(|&t| self.tag_texts[t].as_str()).collect::<Vec<_>>().join(" ");
+        let recall_span = self.obs.stage_recall.span();
         let recall = self.kb.recall_for_tenant(&query, tenant, 20);
+        recall_span.finish();
+        let rerank_span = self.obs.stage_rerank.span();
         let max_bm25 = recall.first().map_or(1.0, |h| h.score.max(1e-6));
         let mut rescored: Vec<(usize, f32)> = recall
             .into_iter()
             .map(|h| {
-                let overlap = self.rq_tags[h.doc]
-                    .iter()
-                    .filter(|t| clicks.contains(t))
-                    .count() as f32;
+                let overlap = self.rq_tags[h.doc].iter().filter(|&&t| clicked(t)).count() as f32;
                 (h.doc, h.score / max_bm25 + 2.0 * overlap)
             })
             .collect();
         rescored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
         });
-        let predicted_questions: Vec<usize> = rescored
-            .into_iter()
-            .take(self.questions_per_response)
-            .map(|(q, _)| q)
-            .collect();
+        let predicted_questions: Vec<usize> =
+            rescored.into_iter().take(self.questions_per_response).map(|(q, _)| q).collect();
+        rerank_span.finish();
 
-        let latency_us = start.elapsed().as_micros() as u64;
-        self.latencies_us.lock().push(latency_us);
+        let latency_us = self.finish_request(timer, &self.obs.click_latency);
         let resp = TagClickResponse { recommended_tags, predicted_questions, latency_us };
         if let Some(cache) = &self.cache {
             cache.put((tenant, clicks.to_vec()), resp.clone());
@@ -275,6 +438,10 @@ mod tests {
         ModelServer::new(model, kb, tag_texts, rq_tags, tenant_tags, clicks)
     }
 
+    fn counter_value(s: &ModelServer<Popularity>, name: &str) -> u64 {
+        s.metrics().counter(name).get()
+    }
+
     #[test]
     fn question_path_returns_answer_and_asc_tags() {
         let s = server();
@@ -292,6 +459,7 @@ mod tests {
         assert_eq!(r.rq, None);
         assert!(r.answer.is_none());
         assert_eq!(r.recommended_tags, s.cold_start_tags(0));
+        assert!(counter_value(&s, "serving.cold_start_fallback") >= 1);
     }
 
     #[test]
@@ -324,9 +492,12 @@ mod tests {
         assert_eq!(a.recommended_tags, b.recommended_tags);
         assert_eq!(a.predicted_questions, b.predicted_questions);
         assert_eq!(s.cache_hit_rate(), Some(0.5));
+        assert_eq!(counter_value(&s, "serving.cache.hit"), 1);
+        assert_eq!(counter_value(&s, "serving.cache.miss"), 1);
         // Different key misses.
         let _ = s.handle_tag_click(0, &[1]);
         assert!(s.cache_hit_rate().unwrap() < 0.5);
+        assert_eq!(counter_value(&s, "serving.cache.miss"), 2);
     }
 
     #[test]
@@ -346,14 +517,20 @@ mod tests {
             ("cancel order please".to_string(), corpus[2].clone()),
             ("order cancel where".to_string(), corpus[2].clone()),
         ];
-        let matcher = QaMatcher::train(&pairs, &corpus, QaMatcherConfig {
-            train: crate::TrainConfig { epochs: 20, lr: 1e-2, ..Default::default() },
-            ..Default::default()
-        });
+        let matcher = QaMatcher::train(
+            &pairs,
+            &corpus,
+            QaMatcherConfig {
+                train: crate::TrainConfig { epochs: 20, lr: 1e-2, ..Default::default() },
+                ..Default::default()
+            },
+        );
         let s = server().with_qa_matcher(matcher);
         let r = s.handle_question(0, "password change how please");
         assert_eq!(r.rq, Some(0), "matcher should pick the password RQ");
         assert!(r.answer.unwrap().contains("security"));
+        // The rerank stage ran and was timed.
+        assert_eq!(s.metrics().histogram("serving.stage.rerank_us").count(), 1);
     }
 
     #[test]
@@ -361,6 +538,7 @@ mod tests {
         let s = server();
         let _ = s.handle_tag_click(0, &[0]);
         assert_eq!(s.cache_hit_rate(), None);
+        assert_eq!(s.metrics().histogram("serving.stage.cache_us").count(), 0);
     }
 
     #[test]
@@ -369,5 +547,110 @@ mod tests {
         let _ = s.handle_question(0, "change password");
         let _ = s.handle_tag_click(0, &[0]);
         assert_eq!(s.latencies_us().len(), 2);
+        assert_eq!(s.latency_snapshot().count, 2);
+        assert_eq!(s.metrics().histogram("serving.question_us").count(), 1);
+        assert_eq!(s.metrics().histogram("serving.tag_click_us").count(), 1);
+    }
+
+    #[test]
+    fn recent_latency_log_is_bounded() {
+        let s = server();
+        for i in 0..(RECENT_LATENCY_WINDOW + 50) {
+            let _ = s.handle_tag_click(i % 2, &[if i % 2 == 0 { 0 } else { 4 }]);
+        }
+        assert_eq!(s.latencies_us().len(), RECENT_LATENCY_WINDOW);
+        assert_eq!(s.latency_snapshot().count, (RECENT_LATENCY_WINDOW + 50) as u64);
+    }
+
+    #[test]
+    fn unknown_tenant_degrades_gracefully() {
+        let s = server();
+        assert_eq!(s.cold_start_tags(99), Vec::<usize>::new());
+        let q = s.handle_question(99, "change password");
+        assert_eq!(q.rq, None);
+        assert!(q.recommended_tags.is_empty());
+        let c = s.handle_tag_click(99, &[0]);
+        assert!(c.recommended_tags.is_empty());
+        assert!(c.predicted_questions.is_empty());
+        assert_eq!(counter_value(&s, "serving.error.bad_tenant"), 3);
+        // Degraded requests still count toward latency accounting.
+        assert_eq!(s.latency_snapshot().count, 2);
+    }
+
+    #[test]
+    fn empty_clicks_do_not_panic() {
+        let s = server();
+        let r = s.handle_tag_click(0, &[]);
+        assert!(r.recommended_tags.is_empty());
+        assert!(r.predicted_questions.is_empty());
+        assert_eq!(counter_value(&s, "serving.error.empty_clicks"), 1);
+    }
+
+    #[test]
+    fn unknown_tag_ids_are_dropped_not_fatal() {
+        let s = server();
+        // 999 is out of range; the valid click 1 still drives the response.
+        let r = s.handle_tag_click(0, &[1, 999]);
+        assert!(!r.recommended_tags.contains(&1));
+        assert_eq!(counter_value(&s, "serving.error.bad_tag"), 1);
+        // All-invalid clicks degrade to the empty response.
+        let r = s.handle_tag_click(0, &[999, 1000]);
+        assert!(r.recommended_tags.is_empty());
+        assert_eq!(counter_value(&s, "serving.error.bad_tag"), 3);
+    }
+
+    #[test]
+    fn per_stage_histograms_populate() {
+        let s = server().with_cache(8);
+        let _ = s.handle_tag_click(0, &[0, 1]);
+        let m = s.metrics();
+        for stage in ["recall", "rerank", "score", "cache"] {
+            let h = m.histogram(&format!("serving.stage.{stage}_us"));
+            assert_eq!(h.count(), 1, "stage {stage} not timed");
+        }
+        // Per-tenant request counter.
+        assert_eq!(counter_value(&s, "serving.requests.tenant_0"), 1);
+    }
+
+    #[test]
+    fn shared_registry_receives_server_metrics() {
+        let registry = MetricsRegistry::new();
+        let s = server().with_metrics(registry.clone());
+        let _ = s.handle_tag_click(0, &[0]);
+        assert_eq!(registry.histogram("serving.tag_click_us").count(), 1);
+        let text = registry.render_prometheus();
+        assert!(text.contains("serving_tag_click_us_count 1"));
+    }
+
+    #[test]
+    fn concurrent_clicks_are_all_accounted() {
+        // The deployment shape: one server shard per worker thread, all
+        // publishing into one shared scrape registry. `ModelServer` itself
+        // is not `Sync` (the optional QA matcher holds `Rc`-based params),
+        // but the registry is, and every shard's requests must land in it.
+        let registry = MetricsRegistry::new();
+        let threads = 4;
+        let per_thread = 50;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let registry = registry.clone();
+                scope.spawn(move || {
+                    let s = server().with_metrics(registry);
+                    for i in 0..per_thread {
+                        let clicks = if (t + i) % 2 == 0 { vec![0] } else { vec![1, 0] };
+                        let r = s.handle_tag_click(0, &clicks);
+                        assert!(!r.recommended_tags.is_empty());
+                    }
+                });
+            }
+        });
+        let total = (threads * per_thread) as u64;
+        let snap = registry.histogram("serving.request_us").snapshot();
+        assert_eq!(snap.count, total, "histogram count == request count");
+        assert_eq!(registry.histogram("serving.tag_click_us").count(), total);
+        assert_eq!(registry.counter("serving.requests.tenant_0").get(), total);
+        let (p50, p90, p99) = (snap.quantile(0.5), snap.quantile(0.9), snap.quantile(0.99));
+        assert!(p50 <= p90 && p90 <= p99, "monotone quantiles: {p50} {p90} {p99}");
+        assert!(snap.quantile(1.0) == snap.max);
     }
 }

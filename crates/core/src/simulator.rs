@@ -1,10 +1,14 @@
 //! Online A/B simulation (paper §VI-F): traffic buckets replaying the same
 //! latent-intent user population against different recommenders, measuring
 //! daily macro-averaged CTR (Fig. 7), HIR and response latency (Table VI).
+//!
+//! The simulator publishes rolling `online.*` gauges (macro/micro CTR, HIR,
+//! sessions) into the server's metrics registry after every simulated day,
+//! so a dashboard scraping the registry sees the same series as Fig. 7.
 
 use intellitag_baselines::SequenceRecommender;
 use intellitag_datagen::{UserModel, World};
-use intellitag_eval::{CtrAccumulator, HirAccumulator, LatencyAccumulator};
+use intellitag_eval::{CtrAccumulator, HirAccumulator};
 use rand::distributions::WeightedIndex;
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -108,19 +112,23 @@ pub fn simulate_online<M: SequenceRecommender>(
             let solved = run_session(server, world, user, tenant, intent, cfg, &mut ctr, &mut rng);
             hir.record(!solved);
         }
+        // Rolling online gauges: the day's CTR and the run-so-far HIR land
+        // in the shared registry right after each simulated day.
+        ctr.publish(server.metrics(), "online");
+        hir.publish(server.metrics(), "online");
+        server.metrics().gauge("online.day").set((day + 1) as f64);
         daily.push(DayMetrics { day, macro_ctr: ctr.macro_ctr(), micro_ctr: ctr.micro_ctr() });
     }
 
-    let mut lat = LatencyAccumulator::new();
-    for us in server.latencies_us() {
-        lat.record_us(us);
-    }
+    // Whole-run latency from the server's bounded histogram (exact mean,
+    // bucket-resolution p99) — no unbounded raw-sample log required.
+    let lat = server.latency_snapshot();
     SimOutcome {
         policy: server.model().name().to_string(),
         daily,
         hir: hir.hir(),
-        mean_latency_ms: lat.mean_ms(),
-        p99_latency_ms: lat.percentile_ms(99.0),
+        mean_latency_ms: lat.mean() / 1000.0,
+        p99_latency_ms: lat.quantile(0.99) as f64 / 1000.0,
         sessions: hir.sessions(),
     }
 }
@@ -195,8 +203,7 @@ mod tests {
         let tenant_tags: Vec<Vec<usize>> =
             (0..world.tenants.len()).map(|e| world.tenant_tag_pool(e)).collect();
         let counts = world.click_frequency();
-        let sessions: Vec<Vec<usize>> =
-            world.sessions.iter().map(|s| s.clicks.clone()).collect();
+        let sessions: Vec<Vec<usize>> = world.sessions.iter().map(|s| s.clicks.clone()).collect();
         let model = Popularity::from_sessions(&sessions, world.tags.len());
         ModelServer::new(model, kb, tag_texts, rq_tags, tenant_tags, counts)
     }
@@ -229,6 +236,21 @@ mod tests {
         for (x, y) in a.daily.iter().zip(&b.daily) {
             assert_eq!(x.macro_ctr, y.macro_ctr);
         }
+    }
+
+    #[test]
+    fn simulation_publishes_rolling_gauges() {
+        let world = World::generate(WorldConfig::tiny(9));
+        let server = make_server(&world);
+        let cfg = SimConfig { days: 2, sessions_per_day: 20, ..Default::default() };
+        let out = simulate_online(&server, &world, &UserModel::default(), &cfg);
+        let m = server.metrics();
+        assert_eq!(m.gauge("online.day").get(), 2.0);
+        assert_eq!(m.gauge("online.hir").get(), out.hir);
+        assert_eq!(m.gauge("online.sessions").get(), out.sessions as f64);
+        let last = out.daily.last().unwrap();
+        assert_eq!(m.gauge("online.macro_ctr").get(), last.macro_ctr);
+        assert_eq!(m.gauge("online.micro_ctr").get(), last.micro_ctr);
     }
 
     #[test]

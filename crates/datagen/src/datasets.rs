@@ -38,9 +38,8 @@ pub fn split_sessions(sessions: &[Session], seed: u64) -> SessionSplit {
     let n = sessions.len();
     let n_train = n * 8 / 10;
     let n_valid = n / 10;
-    let take = |range: &[usize]| -> Vec<Session> {
-        range.iter().map(|&i| sessions[i].clone()).collect()
-    };
+    let take =
+        |range: &[usize]| -> Vec<Session> { range.iter().map(|&i| sessions[i].clone()).collect() };
     SessionSplit {
         train: take(&idx[..n_train]),
         valid: take(&idx[n_train..n_train + n_valid]),
@@ -192,11 +191,7 @@ mod tests {
     fn sequence_examples_cover_all_targets() {
         let w = world();
         let ex = sequence_examples(&w.sessions);
-        let expected: usize = w
-            .sessions
-            .iter()
-            .map(|s| s.clicks.len().saturating_sub(1))
-            .sum();
+        let expected: usize = w.sessions.iter().map(|s| s.clicks.len().saturating_sub(1)).sum();
         assert_eq!(ex.len(), expected);
         for e in &ex {
             assert!(!e.context.is_empty());

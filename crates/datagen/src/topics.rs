@@ -20,30 +20,126 @@ pub struct Topic {
 }
 
 const BANK: &[(&str, &[&str], &[&str])] = &[
-    ("account-security", &["change", "reset", "recover", "unlock"], &["password", "account", "security code", "login"]),
-    ("highway-etc", &["apply for", "activate", "return", "recharge"], &["etc card", "toll account", "device", "deposit"]),
-    ("ecommerce-orders", &["cancel", "track", "modify", "return"], &["order", "package", "delivery address", "item"]),
-    ("device-charging", &["charge", "connect", "pair", "reboot"], &["phones", "charger", "power bank", "cable"]),
-    ("corporate-vpn", &["configure", "renew", "install", "reset"], &["initial vpn password", "vpn client", "certificate", "proxy"]),
-    ("banking-cards", &["open", "freeze", "report", "upgrade"], &["credit card", "debit card", "quota", "statement"]),
-    ("bluetooth-devices", &["open", "activate", "disconnect", "update"], &["bluetooth", "headset", "firmware", "speaker"]),
-    ("payments", &["pay", "refund", "dispute", "split"], &["bill", "fee", "invoice", "transaction"]),
-    ("logistics", &["ship", "expedite", "redirect", "collect"], &["parcel", "freight", "pickup point", "customs form"]),
-    ("membership", &["join", "renew", "cancel", "downgrade"], &["membership", "subscription", "loyalty points", "coupon"]),
-    ("telecom", &["port", "suspend", "top up", "unblock"], &["sim card", "data plan", "roaming", "voicemail"]),
-    ("insurance", &["file", "renew", "cancel", "transfer"], &["claim", "policy", "premium", "beneficiary"]),
-    ("travel", &["book", "reschedule", "cancel", "upgrade"], &["flight ticket", "hotel room", "itinerary", "seat"]),
-    ("utilities", &["register", "transfer", "read", "dispute"], &["electricity meter", "water bill", "gas account", "tariff"]),
-    ("education", &["enroll", "defer", "withdraw", "certify"], &["course", "exam", "transcript", "scholarship"]),
-    ("healthcare", &["schedule", "cancel", "renew", "request"], &["appointment", "prescription", "referral", "lab report"]),
-    ("tax", &["declare", "amend", "defer", "appeal"], &["tax return", "deduction", "receipt", "assessment"]),
-    ("property", &["lease", "terminate", "inspect", "sublet"], &["apartment", "contract", "deposit slip", "utility meter"]),
-    ("gaming", &["redeem", "recover", "merge", "report"], &["game account", "gift code", "ban appeal", "character"]),
-    ("streaming", &["stream", "download", "share", "restrict"], &["playlist", "profile", "watch history", "device limit"]),
-    ("food-delivery", &["order", "tip", "rate", "reorder"], &["meal", "rider", "voucher", "group order"]),
-    ("ride-hailing", &["hail", "schedule", "report", "estimate"], &["ride", "driver", "fare", "lost item"]),
-    ("cloud-hosting", &["deploy", "scale", "backup", "migrate"], &["instance", "snapshot", "load balancer", "billing alert"]),
-    ("hr-payroll", &["submit", "approve", "correct", "export"], &["timesheet", "payslip", "leave request", "expense claim"]),
+    (
+        "account-security",
+        &["change", "reset", "recover", "unlock"],
+        &["password", "account", "security code", "login"],
+    ),
+    (
+        "highway-etc",
+        &["apply for", "activate", "return", "recharge"],
+        &["etc card", "toll account", "device", "deposit"],
+    ),
+    (
+        "ecommerce-orders",
+        &["cancel", "track", "modify", "return"],
+        &["order", "package", "delivery address", "item"],
+    ),
+    (
+        "device-charging",
+        &["charge", "connect", "pair", "reboot"],
+        &["phones", "charger", "power bank", "cable"],
+    ),
+    (
+        "corporate-vpn",
+        &["configure", "renew", "install", "reset"],
+        &["initial vpn password", "vpn client", "certificate", "proxy"],
+    ),
+    (
+        "banking-cards",
+        &["open", "freeze", "report", "upgrade"],
+        &["credit card", "debit card", "quota", "statement"],
+    ),
+    (
+        "bluetooth-devices",
+        &["open", "activate", "disconnect", "update"],
+        &["bluetooth", "headset", "firmware", "speaker"],
+    ),
+    (
+        "payments",
+        &["pay", "refund", "dispute", "split"],
+        &["bill", "fee", "invoice", "transaction"],
+    ),
+    (
+        "logistics",
+        &["ship", "expedite", "redirect", "collect"],
+        &["parcel", "freight", "pickup point", "customs form"],
+    ),
+    (
+        "membership",
+        &["join", "renew", "cancel", "downgrade"],
+        &["membership", "subscription", "loyalty points", "coupon"],
+    ),
+    (
+        "telecom",
+        &["port", "suspend", "top up", "unblock"],
+        &["sim card", "data plan", "roaming", "voicemail"],
+    ),
+    (
+        "insurance",
+        &["file", "renew", "cancel", "transfer"],
+        &["claim", "policy", "premium", "beneficiary"],
+    ),
+    (
+        "travel",
+        &["book", "reschedule", "cancel", "upgrade"],
+        &["flight ticket", "hotel room", "itinerary", "seat"],
+    ),
+    (
+        "utilities",
+        &["register", "transfer", "read", "dispute"],
+        &["electricity meter", "water bill", "gas account", "tariff"],
+    ),
+    (
+        "education",
+        &["enroll", "defer", "withdraw", "certify"],
+        &["course", "exam", "transcript", "scholarship"],
+    ),
+    (
+        "healthcare",
+        &["schedule", "cancel", "renew", "request"],
+        &["appointment", "prescription", "referral", "lab report"],
+    ),
+    (
+        "tax",
+        &["declare", "amend", "defer", "appeal"],
+        &["tax return", "deduction", "receipt", "assessment"],
+    ),
+    (
+        "property",
+        &["lease", "terminate", "inspect", "sublet"],
+        &["apartment", "contract", "deposit slip", "utility meter"],
+    ),
+    (
+        "gaming",
+        &["redeem", "recover", "merge", "report"],
+        &["game account", "gift code", "ban appeal", "character"],
+    ),
+    (
+        "streaming",
+        &["stream", "download", "share", "restrict"],
+        &["playlist", "profile", "watch history", "device limit"],
+    ),
+    (
+        "food-delivery",
+        &["order", "tip", "rate", "reorder"],
+        &["meal", "rider", "voucher", "group order"],
+    ),
+    (
+        "ride-hailing",
+        &["hail", "schedule", "report", "estimate"],
+        &["ride", "driver", "fare", "lost item"],
+    ),
+    (
+        "cloud-hosting",
+        &["deploy", "scale", "backup", "migrate"],
+        &["instance", "snapshot", "load balancer", "billing alert"],
+    ),
+    (
+        "hr-payroll",
+        &["submit", "approve", "correct", "export"],
+        &["timesheet", "payslip", "leave request", "expense claim"],
+    ),
 ];
 
 /// Builds `n` topics, cycling through the curated bank and suffixing words
@@ -65,11 +161,7 @@ pub fn build_topics(n: usize) -> Vec<Topic> {
                 }
             };
             Topic {
-                name: if round == 0 {
-                    name.to_string()
-                } else {
-                    format!("{name}-{round}")
-                },
+                name: if round == 0 { name.to_string() } else { format!("{name}-{round}") },
                 actions: actions.iter().map(|w| suffix(w)).collect(),
                 objects: objects.iter().map(|w| suffix(w)).collect(),
             }
@@ -79,8 +171,7 @@ pub fn build_topics(n: usize) -> Vec<Topic> {
 
 /// Filler words for question templates; deliberately *not* tag material.
 pub const FILLERS: &[&str] = &[
-    "please", "today", "quickly", "now", "really", "kindly", "again", "still", "maybe",
-    "actually",
+    "please", "today", "quickly", "now", "really", "kindly", "again", "still", "maybe", "actually",
 ];
 
 /// Question templates. `{A}` is replaced by an action tag, `{O}` by an object
@@ -127,10 +218,8 @@ mod tests {
         // its round-0 original.
         let n = BANK.len() + 2;
         let topics = build_topics(n);
-        let round0: HashSet<&String> = topics[..BANK.len()]
-            .iter()
-            .flat_map(|t| t.actions.iter().chain(&t.objects))
-            .collect();
+        let round0: HashSet<&String> =
+            topics[..BANK.len()].iter().flat_map(|t| t.actions.iter().chain(&t.objects)).collect();
         for t in &topics[BANK.len()..] {
             for w in t.actions.iter().chain(&t.objects) {
                 assert!(!round0.contains(w), "overflow word {w} collides with round 0");

@@ -109,19 +109,11 @@ mod tests {
     fn intent_tags_are_most_attractive() {
         let w = world();
         let u = UserModel::default();
-        let rq = w
-            .rqs
-            .iter()
-            .position(|r| !r.tags.is_empty())
-            .expect("an RQ with tags");
+        let rq = w.rqs.iter().position(|r| !r.tags.is_empty()).expect("an RQ with tags");
         let intent_tag = w.rqs[rq].tags[0];
-        let other_topic_tag = (0..w.tags.len())
-            .find(|&t| w.tags[t].topic != w.rqs[rq].topic)
-            .expect("another topic");
-        assert!(
-            u.attractiveness(&w, rq, intent_tag)
-                > u.attractiveness(&w, rq, other_topic_tag)
-        );
+        let other_topic_tag =
+            (0..w.tags.len()).find(|&t| w.tags[t].topic != w.rqs[rq].topic).expect("another topic");
+        assert!(u.attractiveness(&w, rq, intent_tag) > u.attractiveness(&w, rq, other_topic_tag));
     }
 
     #[test]
@@ -131,9 +123,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let rq = w.rqs.iter().position(|r| !r.tags.is_empty()).unwrap();
         let intent_tag = w.rqs[rq].tags[0];
-        let junk = (0..w.tags.len())
-            .find(|&t| w.tags[t].topic != w.rqs[rq].topic)
-            .unwrap();
+        let junk = (0..w.tags.len()).find(|&t| w.tags[t].topic != w.rqs[rq].topic).unwrap();
         // Relevant tag at the bottom, junk on top: the user should still
         // click the relevant one far more often.
         let shown = vec![junk, junk, intent_tag];
@@ -152,12 +142,7 @@ mod tests {
     #[test]
     fn already_clicked_tags_are_skipped() {
         let w = world();
-        let u = UserModel {
-            p_intent: 1.0,
-            p_topic: 1.0,
-            p_other: 1.0,
-            position_bias: false,
-        };
+        let u = UserModel { p_intent: 1.0, p_topic: 1.0, p_other: 1.0, position_bias: false };
         let mut rng = StdRng::seed_from_u64(1);
         let rq = 0;
         let shown = vec![5, 6];

@@ -26,11 +26,46 @@ use crate::topics::{build_topics, Topic, FILLERS, TEMPLATES};
 /// Extra single-word modifiers used to synthesize long-tail tag variants
 /// when a topic needs more tags than its curated bank provides.
 const MODIFIERS: &[&str] = &[
-    "new", "old", "premium", "basic", "digital", "mobile", "online", "offline", "shared",
-    "family", "business", "personal", "temporary", "annual", "monthly", "expired", "joint",
-    "virtual", "physical", "backup", "primary", "secondary", "regional", "global", "trial",
-    "legacy", "standard", "extended", "partial", "instant", "manual", "automatic", "priority",
-    "internal", "external", "public", "private", "frozen", "active", "archived",
+    "new",
+    "old",
+    "premium",
+    "basic",
+    "digital",
+    "mobile",
+    "online",
+    "offline",
+    "shared",
+    "family",
+    "business",
+    "personal",
+    "temporary",
+    "annual",
+    "monthly",
+    "expired",
+    "joint",
+    "virtual",
+    "physical",
+    "backup",
+    "primary",
+    "secondary",
+    "regional",
+    "global",
+    "trial",
+    "legacy",
+    "standard",
+    "extended",
+    "partial",
+    "instant",
+    "manual",
+    "automatic",
+    "priority",
+    "internal",
+    "external",
+    "public",
+    "private",
+    "frozen",
+    "active",
+    "archived",
 ];
 
 /// A mined/minable tag: an ordered list of words plus its topic.
@@ -429,17 +464,12 @@ fn generate_rq<R: Rng>(
     // representative spans are the evaluation ground truth.
     let true_spans: Vec<GoldSpan> =
         spans.iter().copied().filter(|s| tags[s.tag].representative).collect();
-    let weight_spans: Vec<GoldSpan> = true_spans
-        .iter()
-        .copied()
-        .filter(|_| !rng.gen_bool(label_noise))
-        .collect();
+    let weight_spans: Vec<GoldSpan> =
+        true_spans.iter().copied().filter(|_| !rng.gen_bool(label_noise)).collect();
     spans.retain(|_| !rng.gen_bool(label_noise));
 
-    let answer = format!(
-        "To resolve this, open the {} section and follow the guided steps.",
-        topic.name
-    );
+    let answer =
+        format!("To resolve this, open the {} section and follow the guided steps.", topic.name);
     Rq { tenant, topic: topic_id, tokens, tags: used_tags, spans, weight_spans, true_spans, answer }
 }
 
@@ -507,9 +537,7 @@ fn generate_session<R: Rng>(
             .copied()
             .filter(|&q| q != intent_rq && rqs[q].topic == topic)
             .choose(rng)
-            .or_else(|| {
-                tenant_rqs.iter().copied().filter(|&q| q != intent_rq).choose(rng)
-            });
+            .or_else(|| tenant_rqs.iter().copied().filter(|&q| q != intent_rq).choose(rng));
         if let Some(q) = sibling {
             consulted.push(q);
         }
@@ -546,12 +574,7 @@ mod tests {
     fn different_seeds_differ() {
         let a = World::generate(WorldConfig::tiny(1));
         let b = World::generate(WorldConfig::tiny(2));
-        let same = a
-            .sessions
-            .iter()
-            .zip(&b.sessions)
-            .filter(|(x, y)| x.clicks == y.clicks)
-            .count();
+        let same = a.sessions.iter().zip(&b.sessions).filter(|(x, y)| x.clicks == y.clicks).count();
         assert!(same < a.sessions.len(), "seeds should change the sessions");
     }
 
@@ -567,10 +590,7 @@ mod tests {
     fn avg_clicks_near_paper_target() {
         let w = World::generate(WorldConfig::small(7));
         let avg = w.avg_clicks();
-        assert!(
-            (2.2..=3.6).contains(&avg),
-            "avg clicks {avg} should be near the paper's 2.9"
-        );
+        assert!((2.2..=3.6).contains(&avg), "avg clicks {avg} should be near the paper's 2.9");
     }
 
     #[test]
@@ -580,8 +600,7 @@ mod tests {
             for s in &rq.spans {
                 let span_words: Vec<&str> =
                     rq.tokens[s.start..s.end].iter().map(String::as_str).collect();
-                let tag_words: Vec<&str> =
-                    w.tags[s.tag].words.iter().map(String::as_str).collect();
+                let tag_words: Vec<&str> = w.tags[s.tag].words.iter().map(String::as_str).collect();
                 assert_eq!(span_words, tag_words, "span text must equal the tag");
             }
         }
@@ -657,9 +676,10 @@ mod tests {
             let p = w.paraphrase_question(rq, &mut rng);
             // Some templates carry only the {O} slot, so require any of the
             // RQ's tags (not a specific one) to surface.
-            let mentions_any = w.rqs[rq].tags.iter().any(|&t| {
-                w.tags[t].words.iter().any(|word| p.contains(word.as_str()))
-            });
+            let mentions_any = w.rqs[rq]
+                .tags
+                .iter()
+                .any(|&t| w.tags[t].words.iter().any(|word| p.contains(word.as_str())));
             assert!(mentions_any, "paraphrase {p:?} should mention a tag of RQ {rq}");
         }
     }

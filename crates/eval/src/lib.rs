@@ -10,6 +10,10 @@
 //!   (Fig. 7).
 //! * [`HirAccumulator`] / [`LatencyAccumulator`] — human intervention rate
 //!   and response latency (Table VI).
+//!
+//! The CTR and HIR accumulators can `publish` their readings as gauges into
+//! an `intellitag-obs` [`MetricsRegistry`](intellitag_obs::MetricsRegistry)
+//! for scraping alongside the serving-side metrics.
 
 #![warn(missing_docs)]
 

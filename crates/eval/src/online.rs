@@ -1,9 +1,14 @@
 //! Online-style metrics: CTR (Fig. 7) and HIR (Table VI).
 //!
 //! The paper macro-averages CTR over tenants because small tenants are the
-//! business focus; the same convention is implemented here.
+//! business focus; the same convention is implemented here. Accumulators
+//! can publish their current readings as gauges into a shared
+//! [`MetricsRegistry`], which is how the online simulator exposes rolling
+//! CTR/HIR series for scraping.
 
 use std::collections::BTreeMap;
+
+use intellitag_obs::MetricsRegistry;
 
 /// Click-through-rate accumulator with per-tenant bookkeeping.
 #[derive(Debug, Default, Clone)]
@@ -28,10 +33,8 @@ impl CtrAccumulator {
 
     /// Micro-averaged CTR: total clicks / total impressions.
     pub fn micro_ctr(&self) -> f64 {
-        let (c, i) = self
-            .per_tenant
-            .values()
-            .fold((0u64, 0u64), |acc, &(c, i)| (acc.0 + c, acc.1 + i));
+        let (c, i) =
+            self.per_tenant.values().fold((0u64, 0u64), |acc, &(c, i)| (acc.0 + c, acc.1 + i));
         if i == 0 {
             0.0
         } else {
@@ -58,6 +61,14 @@ impl CtrAccumulator {
     /// Number of tenants with at least one impression.
     pub fn num_tenants(&self) -> usize {
         self.per_tenant.values().filter(|&&(_, i)| i > 0).count()
+    }
+
+    /// Publishes the current readings as `{prefix}.macro_ctr`,
+    /// `{prefix}.micro_ctr` and `{prefix}.tenants` gauges.
+    pub fn publish(&self, registry: &MetricsRegistry, prefix: &str) {
+        registry.gauge(&format!("{prefix}.macro_ctr")).set(self.macro_ctr());
+        registry.gauge(&format!("{prefix}.micro_ctr")).set(self.micro_ctr());
+        registry.gauge(&format!("{prefix}.tenants")).set(self.num_tenants() as f64);
     }
 
     /// Population variance of per-tenant CTRs (the paper attributes
@@ -111,6 +122,13 @@ impl HirAccumulator {
         } else {
             self.interventions as f64 / self.sessions as f64
         }
+    }
+
+    /// Publishes the current readings as `{prefix}.hir` and
+    /// `{prefix}.sessions` gauges.
+    pub fn publish(&self, registry: &MetricsRegistry, prefix: &str) {
+        registry.gauge(&format!("{prefix}.hir")).set(self.hir());
+        registry.gauge(&format!("{prefix}.sessions")).set(self.sessions() as f64);
     }
 }
 
@@ -222,6 +240,30 @@ mod tests {
         assert_eq!(h.sessions(), 4);
         assert!((h.hir() - 0.25).abs() < 1e-12);
         assert_eq!(HirAccumulator::new().hir(), 0.0);
+    }
+
+    #[test]
+    fn publish_exports_gauges() {
+        let registry = MetricsRegistry::new();
+        let mut c = CtrAccumulator::new();
+        c.record(0, true);
+        c.record(0, false);
+        c.record(1, true);
+        c.publish(&registry, "online");
+        assert!((registry.gauge("online.macro_ctr").get() - 0.75).abs() < 1e-12);
+        assert!((registry.gauge("online.micro_ctr").get() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(registry.gauge("online.tenants").get(), 2.0);
+
+        let mut h = HirAccumulator::new();
+        h.record(true);
+        h.record(false);
+        h.publish(&registry, "online");
+        assert_eq!(registry.gauge("online.hir").get(), 0.5);
+        assert_eq!(registry.gauge("online.sessions").get(), 2.0);
+        // Re-publishing overwrites (rolling gauges, not counters).
+        h.record(false);
+        h.publish(&registry, "online");
+        assert_eq!(registry.gauge("online.sessions").get(), 3.0);
     }
 
     #[test]

@@ -144,19 +144,12 @@ pub fn sample_negatives<R: Rng>(
     n: usize,
     rng: &mut R,
 ) -> Vec<usize> {
-    let mut negs: Vec<usize> = tenant_pool
-        .iter()
-        .copied()
-        .filter(|&t| t != positive)
-        .collect();
+    let mut negs: Vec<usize> = tenant_pool.iter().copied().filter(|&t| t != positive).collect();
     negs.shuffle(rng);
     negs.truncate(n);
     if negs.len() < n {
-        let mut extra: Vec<usize> = global_pool
-            .iter()
-            .copied()
-            .filter(|&t| t != positive && !negs.contains(&t))
-            .collect();
+        let mut extra: Vec<usize> =
+            global_pool.iter().copied().filter(|&t| t != positive && !negs.contains(&t)).collect();
         extra.shuffle(rng);
         extra.truncate(n - negs.len());
         negs.extend(extra);

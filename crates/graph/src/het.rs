@@ -241,11 +241,8 @@ impl HetGraph {
 
     /// All tags mined from a tenant's RQs, deduplicated and sorted.
     pub fn tags_of_tenant(&self, e: TenantId) -> Vec<TagId> {
-        let mut out: Vec<TagId> = self
-            .tenant_rqs[e]
-            .iter()
-            .flat_map(|&q| self.rq_tags[q].iter().copied())
-            .collect();
+        let mut out: Vec<TagId> =
+            self.tenant_rqs[e].iter().flat_map(|&q| self.rq_tags[q].iter().copied()).collect();
         out.sort_unstable();
         out.dedup();
         out

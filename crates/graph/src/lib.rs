@@ -17,6 +17,6 @@ pub use het::{
     HetGraph, HetGraphBuilder, NodeType, Relation, RelationCounts, RqId, TagId, TenantId,
 };
 pub use metapath::{
-    metapath_neighbors, metapath_walk, random_metapath_step, sample_metapath_neighbors,
-    Metapath, ALL_METAPATHS,
+    metapath_neighbors, metapath_walk, random_metapath_step, sample_metapath_neighbors, Metapath,
+    ALL_METAPATHS,
 };

@@ -68,8 +68,7 @@ impl<'a> Extractor<'a> {
         };
         let mut out = Vec::new();
         for (start, end) in spans_from_seg(&seg_pred.seg) {
-            let w: f32 =
-                weights[start..end].iter().sum::<f32>() / (end - start) as f32;
+            let w: f32 = weights[start..end].iter().sum::<f32>() / (end - start) as f32;
             if w < self.weight_threshold {
                 continue;
             }
@@ -113,10 +112,7 @@ pub fn inference_time(ex: &Extractor<'_>, sentences: &[LabeledSentence]) -> Dura
 
 /// Deduplicated corpus-level tag inventory mined from sentences, with each
 /// tag's maximum observed weight (what the paper's tag deposit stores).
-pub fn mine_tag_inventory(
-    ex: &Extractor<'_>,
-    sentences: &[LabeledSentence],
-) -> Vec<MinedTag> {
+pub fn mine_tag_inventory(ex: &Extractor<'_>, sentences: &[LabeledSentence]) -> Vec<MinedTag> {
     use std::collections::HashMap;
     let mut best: HashMap<String, MinedTag> = HashMap::new();
     for s in sentences {
@@ -188,10 +184,7 @@ mod tests {
         let filtered = Extractor::multi_task(&m).with_rules(&rules);
         let r_rules = evaluate_extractor(&filtered, &test[..40]);
 
-        assert!(
-            r_rules.recall() <= r_base.recall() + 1e-9,
-            "rules must not raise recall"
-        );
+        assert!(r_rules.recall() <= r_base.recall() + 1e-9, "rules must not raise recall");
     }
 
     #[test]

@@ -208,9 +208,7 @@ impl TagMiner {
         let tape = Tape::new();
         let h = self.encode(&tape, &tokens[..n]);
         let seg_probs = self.seg_head.forward(&tape, &h).value().softmax_rows();
-        let seg = (0..n)
-            .map(|r| SegLabel::from_class(seg_probs.argmax_row(r)))
-            .collect();
+        let seg = (0..n).map(|r| SegLabel::from_class(seg_probs.argmax_row(r))).collect();
         let weights = self
             .weight_head
             .forward(&tape, &h)

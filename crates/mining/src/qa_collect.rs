@@ -74,11 +74,7 @@ pub fn collect_qa_pairs(
     let assignment = dbscan_points(&points, cfg.eps, cfg.min_pts);
 
     // Group user-question indices per cluster; note clusters that contain an RQ.
-    let num_clusters = assignment
-        .iter()
-        .filter_map(|a| a.cluster())
-        .max()
-        .map_or(0, |m| m + 1);
+    let num_clusters = assignment.iter().filter_map(|a| a.cluster()).max().map_or(0, |m| m + 1);
     let mut members: Vec<Vec<usize>> = vec![Vec::new(); num_clusters];
     let mut has_rq = vec![false; num_clusters];
     for (i, a) in assignment.iter().enumerate() {
@@ -144,7 +140,10 @@ mod tests {
 
     fn paraphrase_cluster() -> Vec<UserQuestion> {
         vec![
-            q("how do i reset my vpn password", Some("Open the VPN client and click reset password.")),
+            q(
+                "how do i reset my vpn password",
+                Some("Open the VPN client and click reset password."),
+            ),
             q("reset vpn password how", None),
             q("i want to reset the vpn password please", Some("Use the VPN reset menu.")),
             q("how to reset vpn password quickly", None),

@@ -53,17 +53,10 @@ impl RuleFilter {
     pub fn score(&self, words: &[String], model_weight: f64) -> RuleScore {
         // Frequency: log-saturating in the rarest constituent word (a tag is
         // only as frequent as its rarest word).
-        let min_tf = words
-            .iter()
-            .map(|w| self.stats.term_frequency(w))
-            .min()
-            .unwrap_or(0);
+        let min_tf = words.iter().map(|w| self.stats.term_frequency(w)).min().unwrap_or(0);
         let frequency = ((1 + min_tf) as f64).ln() / ((1 + 200) as f64).ln();
         // IDF: the smoothed IDF of the most informative word, squashed.
-        let max_idf = words
-            .iter()
-            .map(|w| self.stats.idf(w))
-            .fold(0.0f64, f64::max);
+        let max_idf = words.iter().map(|w| self.stats.idf(w)).fold(0.0f64, f64::max);
         let idf = (max_idf / 6.0).clamp(0.0, 1.0);
         // PMI: logistic squash of the averaged PMI; single-word tags sit at
         // the neutral 0.5.

@@ -49,21 +49,9 @@ impl Gru {
 
     /// One recurrence step: `x_t` is `1 x input`, `h` is `1 x hidden`.
     pub fn step(&self, tape: &Tape, x_t: &Tensor, h: &Tensor) -> Tensor {
-        let z = self
-            .wz
-            .forward(tape, x_t)
-            .add(&self.uz.forward(tape, h))
-            .sigmoid();
-        let r = self
-            .wr
-            .forward(tape, x_t)
-            .add(&self.ur.forward(tape, h))
-            .sigmoid();
-        let n = self
-            .wn
-            .forward(tape, x_t)
-            .add(&self.un.forward(tape, &r.mul(h)))
-            .tanh();
+        let z = self.wz.forward(tape, x_t).add(&self.uz.forward(tape, h)).sigmoid();
+        let r = self.wr.forward(tape, x_t).add(&self.ur.forward(tape, h)).sigmoid();
+        let n = self.wn.forward(tape, x_t).add(&self.un.forward(tape, &r.mul(h))).tanh();
         // (1 - z) ⊙ n + z ⊙ h
         let one_minus_z = z.scale(-1.0).add_scalar(1.0);
         one_minus_z.mul(&n).add(&z.mul(h))

@@ -52,13 +52,11 @@ impl TransformerLayer {
     /// Applies the layer; also returns the per-head attention matrices.
     pub fn forward_with_attn(&self, tape: &Tape, x: &Tensor) -> (Tensor, Vec<Matrix>) {
         let (attn_out, attn_w) = self.attn.forward_with_attn(tape, x);
-        let a = x
-            .add(&attn_out.dropout(self.dropout))
-            .layer_norm(
-                &tape.param(&self.norm1_gamma),
-                &tape.param(&self.norm1_beta),
-                1e-5,
-            );
+        let a = x.add(&attn_out.dropout(self.dropout)).layer_norm(
+            &tape.param(&self.norm1_gamma),
+            &tape.param(&self.norm1_beta),
+            1e-5,
+        );
         let ffn = self.ff2.forward(tape, &self.ff1.forward(tape, &a).gelu());
         let out = a.add(&ffn.dropout(self.dropout)).layer_norm(
             &tape.param(&self.norm2_gamma),
@@ -173,12 +171,8 @@ mod tests {
         let y = enc.forward(&tape, &x);
         let loss = y.mul(&y).mean_all();
         loss.backward();
-        let dead: Vec<String> = ps
-            .params()
-            .iter()
-            .filter(|p| p.grad().norm() == 0.0)
-            .map(|p| p.name())
-            .collect();
+        let dead: Vec<String> =
+            ps.params().iter().filter(|p| p.grad().norm() == 0.0).map(|p| p.name()).collect();
         assert!(dead.is_empty(), "parameters with zero gradient: {dead:?}");
     }
 

@@ -1,0 +1,442 @@
+//! Export formats: Prometheus text exposition and JSON-lines snapshots.
+//!
+//! Both are dependency-free by design (the build environment is offline).
+//! The JSON-lines form is the lossless one — [`parse_json_lines`] restores
+//! the exact [`MetricSample`]s, which the tests use for round-trip checks
+//! and the dashboard example uses to post-process snapshots.
+
+use crate::histogram::HistogramSnapshot;
+
+/// A point-in-time sample of one named metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSample {
+    /// Counter value.
+    Counter {
+        /// Registered name.
+        name: String,
+        /// Current total.
+        value: u64,
+    },
+    /// Gauge value.
+    Gauge {
+        /// Registered name.
+        name: String,
+        /// Current value.
+        value: f64,
+    },
+    /// Histogram state.
+    Histogram {
+        /// Registered name.
+        name: String,
+        /// Bucket counts and aggregates.
+        snapshot: HistogramSnapshot,
+    },
+}
+
+impl MetricSample {
+    /// The metric's registered name.
+    pub fn name(&self) -> &str {
+        match self {
+            MetricSample::Counter { name, .. }
+            | MetricSample::Gauge { name, .. }
+            | MetricSample::Histogram { name, .. } => name,
+        }
+    }
+}
+
+/// Maps a metric name onto the Prometheus exposition charset
+/// (`[a-zA-Z0-9_:]`, not starting with a digit).
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, ch) in name.chars().enumerate() {
+        let ok = ch.is_ascii_alphanumeric() || ch == '_' || ch == ':';
+        if i == 0 && ch.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { ch } else { '_' });
+    }
+    out
+}
+
+fn render_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else if v > 0.0 {
+        "+Inf".to_string()
+    } else {
+        "-Inf".to_string()
+    }
+}
+
+/// Renders samples in the Prometheus text exposition format.
+///
+/// Histograms emit cumulative `_bucket{le="..."}` lines for their non-empty
+/// log2 buckets (inclusive upper bounds) plus the mandatory `+Inf` bucket,
+/// `_sum` and `_count`.
+pub fn render_prometheus(samples: &[MetricSample]) -> String {
+    let mut out = String::new();
+    for s in samples {
+        match s {
+            MetricSample::Counter { name, value } => {
+                let n = sanitize(name);
+                out.push_str(&format!("# TYPE {n} counter\n{n} {value}\n"));
+            }
+            MetricSample::Gauge { name, value } => {
+                let n = sanitize(name);
+                out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", render_f64(*value)));
+            }
+            MetricSample::Histogram { name, snapshot } => {
+                let n = sanitize(name);
+                out.push_str(&format!("# TYPE {n} histogram\n"));
+                let mut cum = 0u64;
+                for &(i, c) in &snapshot.buckets {
+                    cum += c;
+                    if i >= 64 {
+                        continue; // covered by the +Inf bucket
+                    }
+                    let le = HistogramSnapshot::bucket_upper_bound(i);
+                    out.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cum}\n"));
+                }
+                out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", snapshot.count));
+                out.push_str(&format!("{n}_sum {}\n", snapshot.sum));
+                out.push_str(&format!("{n}_count {}\n", snapshot.count));
+            }
+        }
+    }
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        // JSON has no literal for NaN/Inf.
+        "null".to_string()
+    }
+}
+
+/// Renders samples as JSON lines: one self-describing object per line.
+pub fn render_json_lines(samples: &[MetricSample]) -> String {
+    let mut out = String::new();
+    for s in samples {
+        match s {
+            MetricSample::Counter { name, value } => {
+                out.push_str(&format!(
+                    "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{value}}}\n",
+                    escape_json(name)
+                ));
+            }
+            MetricSample::Gauge { name, value } => {
+                out.push_str(&format!(
+                    "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}\n",
+                    escape_json(name),
+                    render_json_f64(*value)
+                ));
+            }
+            MetricSample::Histogram { name, snapshot } => {
+                let buckets: Vec<String> =
+                    snapshot.buckets.iter().map(|(i, c)| format!("[{i},{c}]")).collect();
+                out.push_str(&format!(
+                    "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}\n",
+                    escape_json(name),
+                    snapshot.count,
+                    snapshot.sum,
+                    snapshot.min,
+                    snapshot.max,
+                    buckets.join(",")
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn unescape_json(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '\\' {
+            out.push(ch);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('/') => out.push('/'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code =
+                    u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                out.push(char::from_u32(code).ok_or_else(|| format!("bad codepoint {code}"))?);
+            }
+            other => return Err(format!("bad escape `\\{other:?}`")),
+        }
+    }
+    Ok(out)
+}
+
+/// Splits the interior of a JSON object into top-level `key:value` field
+/// strings (tracks string and bracket nesting; no allocation per char).
+fn split_fields(body: &str) -> Vec<&str> {
+    let mut fields = Vec::new();
+    let (mut depth, mut in_str, mut esc, mut start) = (0i32, false, false, 0usize);
+    for (i, b) in body.bytes().enumerate() {
+        if in_str {
+            if esc {
+                esc = false;
+            } else if b == b'\\' {
+                esc = true;
+            } else if b == b'"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'[' | b'{' => depth += 1,
+            b']' | b'}' => depth -= 1,
+            b',' if depth == 0 => {
+                fields.push(body[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let last = body[start..].trim();
+    if !last.is_empty() {
+        fields.push(last);
+    }
+    fields
+}
+
+/// Parses one `"key":value` field into `(key, raw value)`.
+fn split_key_value(field: &str) -> Result<(String, &str), String> {
+    let field = field.trim();
+    if !field.starts_with('"') {
+        return Err(format!("field does not start with a quoted key: `{field}`"));
+    }
+    // Find the closing quote of the key (keys we emit never contain escapes
+    // that hide quotes incorrectly because we scan escape-aware).
+    let bytes = field.as_bytes();
+    let mut esc = false;
+    for i in 1..bytes.len() {
+        if esc {
+            esc = false;
+            continue;
+        }
+        match bytes[i] {
+            b'\\' => esc = true,
+            b'"' => {
+                let key = unescape_json(&field[1..i])?;
+                let rest = field[i + 1..].trim_start();
+                let value = rest
+                    .strip_prefix(':')
+                    .ok_or_else(|| format!("missing `:` in field `{field}`"))?;
+                return Ok((key, value.trim()));
+            }
+            _ => {}
+        }
+    }
+    Err(format!("unterminated key in field `{field}`"))
+}
+
+fn parse_quoted(v: &str) -> Result<String, String> {
+    let inner = v
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("expected string, got `{v}`"))?;
+    unescape_json(inner)
+}
+
+fn parse_u64(v: &str) -> Result<u64, String> {
+    v.parse::<u64>().map_err(|_| format!("expected integer, got `{v}`"))
+}
+
+fn parse_f64(v: &str) -> Result<f64, String> {
+    if v == "null" {
+        return Ok(f64::NAN);
+    }
+    v.parse::<f64>().map_err(|_| format!("expected number, got `{v}`"))
+}
+
+fn parse_buckets(v: &str) -> Result<Vec<(usize, u64)>, String> {
+    let body = v
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("expected array, got `{v}`"))?;
+    let mut out = Vec::new();
+    for pair in split_fields(body) {
+        let inner = pair
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+            .ok_or_else(|| format!("expected [index,count], got `{pair}`"))?;
+        let mut it = inner.split(',');
+        let idx = parse_u64(it.next().unwrap_or("").trim())? as usize;
+        let count = parse_u64(it.next().ok_or("missing bucket count")?.trim())?;
+        out.push((idx, count));
+    }
+    Ok(out)
+}
+
+/// Parses a JSON-lines snapshot produced by [`render_json_lines`] back into
+/// samples. Restores counters, gauges (non-finite values come back as NaN)
+/// and histograms exactly.
+pub fn parse_json_lines(text: &str) -> Result<Vec<MetricSample>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let body = line
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or_else(|| format!("line {}: not an object: `{line}`", lineno + 1))?;
+        let mut kind = None;
+        let mut name = None;
+        let mut value_raw = None;
+        let (mut count, mut sum, mut min, mut max) = (0u64, 0u64, 0u64, 0u64);
+        let mut buckets = Vec::new();
+        for field in split_fields(body) {
+            let (key, raw) =
+                split_key_value(field).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let res: Result<(), String> = (|| {
+                match key.as_str() {
+                    "type" => kind = Some(parse_quoted(raw)?),
+                    "name" => name = Some(parse_quoted(raw)?),
+                    "value" => value_raw = Some(raw.to_string()),
+                    "count" => count = parse_u64(raw)?,
+                    "sum" => sum = parse_u64(raw)?,
+                    "min" => min = parse_u64(raw)?,
+                    "max" => max = parse_u64(raw)?,
+                    "buckets" => buckets = parse_buckets(raw)?,
+                    _ => {} // forward compatible: ignore unknown fields
+                }
+                Ok(())
+            })();
+            res.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        }
+        let name = name.ok_or_else(|| format!("line {}: missing name", lineno + 1))?;
+        let sample = match kind.as_deref() {
+            Some("counter") => MetricSample::Counter {
+                name,
+                value: parse_u64(value_raw.as_deref().unwrap_or("0"))
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?,
+            },
+            Some("gauge") => MetricSample::Gauge {
+                name,
+                value: parse_f64(value_raw.as_deref().unwrap_or("null"))
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?,
+            },
+            Some("histogram") => MetricSample::Histogram {
+                name,
+                snapshot: HistogramSnapshot { count, sum, min, max, buckets },
+            },
+            other => return Err(format!("line {}: unknown metric type {other:?}", lineno + 1)),
+        };
+        out.push(sample);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn sample_registry() -> MetricsRegistry {
+        let r = MetricsRegistry::new();
+        r.counter("serving.cache.hit").add(7);
+        r.gauge("online.macro_ctr").set(0.4375);
+        let h = r.histogram("serving.stage.recall_us");
+        for v in [0, 1, 3, 900, 1_000_000] {
+            h.record(v);
+        }
+        r
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = sample_registry().render_prometheus();
+        assert!(text.contains("# TYPE serving_cache_hit counter\nserving_cache_hit 7\n"));
+        assert!(text.contains("# TYPE online_macro_ctr gauge\nonline_macro_ctr 0.4375\n"));
+        assert!(text.contains("# TYPE serving_stage_recall_us histogram\n"));
+        // Cumulative buckets: 0 -> 1, le="1" -> 2, le="3" -> 3, ...
+        assert!(text.contains("serving_stage_recall_us_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("serving_stage_recall_us_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("serving_stage_recall_us_bucket{le=\"3\"} 3\n"));
+        assert!(text.contains("serving_stage_recall_us_bucket{le=\"1023\"} 4\n"));
+        assert!(text.contains("serving_stage_recall_us_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("serving_stage_recall_us_sum 1000904\n"));
+        assert!(text.contains("serving_stage_recall_us_count 5\n"));
+    }
+
+    #[test]
+    fn prometheus_sanitizes_names() {
+        let samples = vec![MetricSample::Counter { name: "9a.b-c d".into(), value: 1 }];
+        let text = render_prometheus(&samples);
+        assert!(text.contains("_9a_b_c_d 1\n"), "{text}");
+    }
+
+    #[test]
+    fn json_lines_round_trip() {
+        let snap = sample_registry().snapshot();
+        let text = render_json_lines(&snap);
+        assert_eq!(text.lines().count(), 3);
+        let back = parse_json_lines(&text).expect("parse");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn json_round_trips_awkward_names() {
+        let samples = vec![
+            MetricSample::Counter { name: "quote\"back\\slash\ttab".into(), value: 3 },
+            MetricSample::Gauge { name: "nan gauge".into(), value: f64::INFINITY },
+        ];
+        let text = render_json_lines(&samples);
+        let back = parse_json_lines(&text).expect("parse");
+        assert_eq!(back[0], samples[0]);
+        // Non-finite gauges degrade to NaN (JSON has no Inf literal).
+        match &back[1] {
+            MetricSample::Gauge { name, value } => {
+                assert_eq!(name, "nan gauge");
+                assert!(value.is_nan());
+            }
+            other => panic!("wrong sample {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_json_lines("not json").is_err());
+        assert!(parse_json_lines("{\"type\":\"widget\",\"name\":\"x\"}").is_err());
+        assert!(parse_json_lines("{\"type\":\"counter\",\"value\":1}").is_err());
+    }
+
+    #[test]
+    fn empty_input_parses_to_nothing() {
+        assert_eq!(parse_json_lines("").unwrap(), Vec::new());
+        assert_eq!(parse_json_lines("\n  \n").unwrap(), Vec::new());
+    }
+}

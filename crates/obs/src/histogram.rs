@@ -1,0 +1,373 @@
+//! Fixed-bucket log2 latency histogram with O(1) record and bounded memory,
+//! plus span timers that record stage durations into it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of log2 buckets: bucket 0 holds the value `0`, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i - 1]`, so bucket 64 ends at `u64::MAX`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// Bucket index for a value (O(1): one `leading_zeros`).
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `[lo, hi]` value range of a bucket.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 0)
+    } else {
+        let lo = 1u64 << (i - 1);
+        let hi = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+        (lo, hi)
+    }
+}
+
+/// A concurrent latency histogram over `u64` samples (microseconds by
+/// convention) with 65 log2 buckets.
+///
+/// `record` is a handful of relaxed atomic ops — safe to call from every
+/// request thread — and memory stays constant no matter how many samples
+/// arrive, unlike the unbounded `Vec<u64>` it replaces. Quantiles are exact
+/// up to bucket resolution (a factor of two), refined by linear
+/// interpolation inside the bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating sum: wrapping would corrupt the mean on pathological
+        // inputs (e.g. u64::MAX sentinel samples).
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| Some(s.saturating_add(v)));
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a wall-clock duration as microseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        self.snapshot().mean()
+    }
+
+    /// Quantile estimate (`q` in `[0, 1]`); `0` when empty. See
+    /// [`HistogramSnapshot::quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// A consistent point-in-time copy of the bucket counts and aggregates.
+    ///
+    /// Concurrent writers may land between the individual loads, so `count`
+    /// is re-derived from the bucket copy to keep the snapshot internally
+    /// consistent.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.push((i, c));
+                count += c;
+            }
+        }
+        let min = self.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// Starts an RAII span that records its elapsed microseconds into this
+    /// histogram when dropped (or explicitly via [`Span::finish`]).
+    pub fn span(&self) -> Span<'_> {
+        Span { hist: self, timer: SpanTimer::start(), armed: true }
+    }
+}
+
+/// An immutable histogram snapshot: sparse `(bucket index, count)` pairs
+/// plus aggregates. This is also the JSON-lines wire form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Saturating sum of samples.
+    pub sum: u64,
+    /// Smallest sample (`0` when empty).
+    pub min: u64,
+    /// Largest sample (`0` when empty).
+    pub max: u64,
+    /// Non-empty buckets as `(index, count)`, ascending by index.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile estimate (`q` clamped to `[0, 1]`): walks the cumulative
+    /// bucket counts to the target rank, then linearly interpolates inside
+    /// the bucket's `[lo, hi]` range. Monotone in `q` by construction and
+    /// never off by more than one bucket width (a factor of two).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for &(i, c) in &self.buckets {
+            if cum + c >= target {
+                let (lo, hi) = bucket_bounds(i);
+                let frac = (target - cum) as f64 / c as f64;
+                let est = lo as f64 + (hi - lo) as f64 * frac;
+                // Clamp into the observed range so estimates never exceed
+                // the true extremes.
+                return (est as u64).clamp(self.min, self.max);
+            }
+            cum += c;
+        }
+        self.max
+    }
+
+    /// Inclusive upper bound of a bucket index (for Prometheus `le` labels).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        bucket_bounds(i).1
+    }
+}
+
+/// A manually driven stopwatch for staged request handling.
+///
+/// ```
+/// use intellitag_obs::{Histogram, SpanTimer};
+/// let recall = Histogram::new();
+/// let t = SpanTimer::start();
+/// // ... do the recall stage ...
+/// let us = t.record(&recall);
+/// assert_eq!(recall.count(), 1);
+/// assert!(us < 1_000_000);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SpanTimer {
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        SpanTimer { start: Instant::now() }
+    }
+
+    /// Microseconds elapsed so far.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    /// Stops the timer, records the elapsed microseconds into `hist`, and
+    /// returns them.
+    pub fn record(self, hist: &Histogram) -> u64 {
+        let us = self.elapsed_us();
+        hist.record(us);
+        us
+    }
+}
+
+/// RAII stage span from [`Histogram::span`]: records elapsed microseconds on
+/// drop unless [`Span::discard`]ed.
+#[derive(Debug)]
+pub struct Span<'a> {
+    hist: &'a Histogram,
+    timer: SpanTimer,
+    armed: bool,
+}
+
+impl Span<'_> {
+    /// Records now and returns the elapsed microseconds.
+    pub fn finish(mut self) -> u64 {
+        self.armed = false;
+        self.timer.record(self.hist)
+    }
+
+    /// Drops the span without recording (e.g. a stage that bailed early).
+    pub fn discard(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.timer.record(self.hist);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_bounds(0), (0, 0));
+        assert_eq!(bucket_bounds(1), (1, 1));
+        assert_eq!(bucket_bounds(2), (2, 3));
+        assert_eq!(bucket_bounds(64).1, u64::MAX);
+    }
+
+    #[test]
+    fn extreme_values_land_in_terminal_buckets() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.buckets, vec![(0, 1), (1, 1), (64, 1)]);
+        // Saturating sum must not wrap past u64::MAX.
+        assert_eq!(s.sum, u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        let s = h.snapshot();
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let h = Histogram::new();
+        // Deterministic pseudo-random samples (no external RNG available).
+        let mut x = 88172645463325252u64;
+        for _ in 0..10_000 {
+            // xorshift64
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.record(x % 200_000);
+        }
+        let s = h.snapshot();
+        let (p50, p90, p99) = (s.quantile(0.5), s.quantile(0.9), s.quantile(0.99));
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        assert!(p99 <= s.max);
+        assert!(s.quantile(0.0) >= s.min);
+        assert_eq!(s.quantile(1.0), s.max);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bucket_resolution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // True p50 is 500; bucket resolution guarantees a factor of two.
+        let p50 = h.quantile(0.5);
+        assert!((250..=1000).contains(&p50), "p50 estimate {p50}");
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        let h = Arc::new(Histogram::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let h = Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    h.record(t * 1000 + i);
+                }
+            }));
+        }
+        for th in handles {
+            th.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.snapshot().count, 4000);
+    }
+
+    #[test]
+    fn span_records_on_drop_and_discard_skips() {
+        let h = Histogram::new();
+        {
+            let _s = h.span();
+        }
+        assert_eq!(h.count(), 1);
+        h.span().discard();
+        assert_eq!(h.count(), 1);
+        let us = h.span().finish();
+        assert_eq!(h.count(), 2);
+        assert!(us < 1_000_000);
+    }
+}

@@ -1,0 +1,38 @@
+//! # intellitag-obs
+//!
+//! Observability primitives for the IntelliTag serving stack. The paper's
+//! online evaluation (§VI) is driven by operational metrics — CTR, HIR and a
+//! hard "respond in under 150 ms" latency budget (Table VI) — and a system
+//! serving heavy traffic needs to know *where* a request spends its time
+//! (ES recall vs. Q&A rerank vs. model scoring vs. cache lookup), not just
+//! the end-to-end number.
+//!
+//! Everything here is `std`-only (the build environment is offline) and
+//! cheap enough for hot paths:
+//!
+//! * [`Counter`] / [`Gauge`] — lock-free atomics.
+//! * [`Histogram`] — fixed log2 buckets: O(1) record, bounded memory
+//!   (65 buckets regardless of sample count), p50/p90/p99 estimates with
+//!   intra-bucket linear interpolation.
+//! * [`SpanTimer`] / [`Span`] — per-stage wall-clock timing that records
+//!   into a histogram on drop.
+//! * [`SampleRing`] — bounded ring of recent raw samples, replacing the
+//!   unbounded `Vec<u64>` latency log the server used to keep.
+//! * [`MetricsRegistry`] — a cloneable handle mapping names to metrics,
+//!   with Prometheus text exposition and JSON-lines snapshots
+//!   ([`MetricsRegistry::render_prometheus`],
+//!   [`MetricsRegistry::render_json_lines`], [`parse_json_lines`]).
+
+#![warn(missing_docs)]
+
+mod export;
+mod histogram;
+mod metric;
+mod registry;
+mod ring;
+
+pub use export::{parse_json_lines, render_json_lines, render_prometheus, MetricSample};
+pub use histogram::{Histogram, HistogramSnapshot, Span, SpanTimer, NUM_BUCKETS};
+pub use metric::{Counter, Gauge};
+pub use registry::{Metric, MetricsRegistry};
+pub use ring::SampleRing;

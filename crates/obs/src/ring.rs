@@ -1,0 +1,113 @@
+//! A bounded ring of recent raw samples.
+//!
+//! The histogram answers quantile questions in bounded memory, but debugging
+//! and the criterion benches still want a window of raw latencies. The ring
+//! keeps the last `capacity` samples — long-running simulations no longer
+//! grow memory linearly with request count.
+
+use std::sync::Mutex;
+
+/// Bounded FIFO of the most recent `u64` samples.
+#[derive(Debug)]
+pub struct SampleRing {
+    inner: Mutex<RingInner>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct RingInner {
+    buf: Vec<u64>,
+    /// Next write position once the buffer has wrapped.
+    next: usize,
+    /// Total samples ever pushed (not capped by capacity).
+    total: u64,
+}
+
+impl SampleRing {
+    /// Creates a ring holding at most `capacity` samples.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        SampleRing {
+            inner: Mutex::new(RingInner { buf: Vec::with_capacity(capacity), next: 0, total: 0 }),
+            capacity,
+        }
+    }
+
+    /// Appends a sample, evicting the oldest when full.
+    pub fn push(&self, v: u64) {
+        let mut r = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if r.buf.len() < self.capacity {
+            r.buf.push(v);
+        } else {
+            let i = r.next;
+            r.buf[i] = v;
+            r.next = (i + 1) % self.capacity;
+        }
+        r.total += 1;
+    }
+
+    /// The retained samples, oldest first.
+    pub fn snapshot(&self) -> Vec<u64> {
+        let r = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::with_capacity(r.buf.len());
+        out.extend_from_slice(&r.buf[r.next..]);
+        out.extend_from_slice(&r.buf[..r.next]);
+        out
+    }
+
+    /// Samples currently retained (`≤ capacity`).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).buf.len()
+    }
+
+    /// True when nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total samples ever pushed.
+    pub fn total(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).total
+    }
+
+    /// Maximum retained samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_most_recent_in_order() {
+        let r = SampleRing::new(4);
+        for v in 0..10 {
+            r.push(v);
+        }
+        assert_eq!(r.snapshot(), vec![6, 7, 8, 9]);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.total(), 10);
+        assert_eq!(r.capacity(), 4);
+    }
+
+    #[test]
+    fn under_capacity_returns_all() {
+        let r = SampleRing::new(8);
+        assert!(r.is_empty());
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.snapshot(), vec![1, 2]);
+        assert_eq!(r.total(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = SampleRing::new(0);
+    }
+}

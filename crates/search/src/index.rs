@@ -69,10 +69,7 @@ impl InvertedIndex {
             *counts.entry(t.as_str()).or_default() += 1;
         }
         for (term, tf) in counts {
-            self.postings
-                .entry(term.to_string())
-                .or_default()
-                .push(Posting { doc, tf });
+            self.postings.entry(term.to_string()).or_default().push(Posting { doc, tf });
         }
         doc
     }
@@ -122,10 +119,9 @@ impl InvertedIndex {
             let idf = self.idf(term);
             for p in posts {
                 let tf = p.tf as f32;
-                let len_norm = 1.0 - self.params.b
-                    + self.params.b * self.doc_len[p.doc] as f32 / avg;
-                let s = idf * tf * (self.params.k1 + 1.0)
-                    / (tf + self.params.k1 * len_norm);
+                let len_norm =
+                    1.0 - self.params.b + self.params.b * self.doc_len[p.doc] as f32 / avg;
+                let s = idf * tf * (self.params.k1 + 1.0) / (tf + self.params.k1 * len_norm);
                 *scores.entry(p.doc).or_default() += q_weight * s;
             }
         }
@@ -172,12 +168,7 @@ mod tests {
 
     #[test]
     fn rare_terms_outweigh_common_ones() {
-        let ix = index(&[
-            "the the the password",
-            "the account",
-            "the order",
-            "the refund",
-        ]);
+        let ix = index(&["the the the password", "the account", "the order", "the refund"]);
         // "password" is rare; "the" occurs everywhere.
         assert!(ix.idf("password") > ix.idf("the"));
     }

@@ -36,7 +36,12 @@ impl KbWarehouse {
     }
 
     /// Adds a Q&A pair and returns its RQ id (dense, insertion order).
-    pub fn add_pair(&mut self, question: impl Into<String>, answer: impl Into<String>, tenant: usize) -> usize {
+    pub fn add_pair(
+        &mut self,
+        question: impl Into<String>,
+        answer: impl Into<String>,
+        tenant: usize,
+    ) -> usize {
         let question = question.into();
         let tokens = tokenize(&question);
         let id = self.index.add_document(&tokens);
@@ -90,9 +95,7 @@ impl KbWarehouse {
     /// Best-matching RQ for a question within a tenant, if any
     /// (the Q&A dialogue path: question in, answer out).
     pub fn best_match(&self, query: &str, tenant: usize) -> Option<(usize, &QaPair)> {
-        self.recall_for_tenant(query, tenant, 1)
-            .first()
-            .map(|h| (h.doc, &self.pairs[h.doc]))
+        self.recall_for_tenant(query, tenant, 1).first().map(|h| (h.doc, &self.pairs[h.doc]))
     }
 }
 

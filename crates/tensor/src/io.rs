@@ -68,13 +68,7 @@ pub struct Snapshot {
 impl Snapshot {
     /// Captures the current values of every parameter in a set.
     pub fn capture(params: &ParamSet) -> Snapshot {
-        Snapshot {
-            entries: params
-                .params()
-                .iter()
-                .map(|p| (p.name(), p.value()))
-                .collect(),
-        }
+        Snapshot { entries: params.params().iter().map(|p| (p.name(), p.value())).collect() }
     }
 
     /// Restores values into a parameter set **by name**.

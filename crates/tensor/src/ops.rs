@@ -359,8 +359,7 @@ impl Tensor {
     /// neighbor-attention scores).
     pub fn leaky_relu(&self, alpha: f32) -> Tensor {
         let a = self.id;
-        let value =
-            self.tape.inner.borrow().values[a].map(|x| if x > 0.0 { x } else { alpha * x });
+        let value = self.tape.inner.borrow().values[a].map(|x| if x > 0.0 { x } else { alpha * x });
         self.tape.push(
             value,
             BackwardKind::Op(Box::new(move |g, v, grads| {
@@ -415,11 +414,7 @@ impl Tensor {
     pub fn gelu(&self) -> Tensor {
         let a = self.id;
         const C: f32 = 0.797_884_6; // sqrt(2/pi)
-        let value = self
-            .tape
-            .inner
-            .borrow()
-            .values[a]
+        let value = self.tape.inner.borrow().values[a]
             .map(|x| 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh()));
         self.tape.push(
             value,
@@ -451,9 +446,7 @@ impl Tensor {
                     let srow = s.row_slice(r);
                     let grow = g.row_slice(r);
                     let dotv: f32 = srow.iter().zip(grow).map(|(x, y)| x * y).sum();
-                    for ((o, &sv), &gv) in
-                        ga.row_slice_mut(r).iter_mut().zip(srow).zip(grow)
-                    {
+                    for ((o, &sv), &gv) in ga.row_slice_mut(r).iter_mut().zip(srow).zip(grow) {
                         *o = sv * (gv - dotv);
                     }
                 }
@@ -482,8 +475,7 @@ impl Tensor {
             for (r, inv_slot) in istd.iter_mut().enumerate() {
                 let row = x.row_slice(r);
                 let mean = row.iter().sum::<f32>() / cols as f32;
-                let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
-                    / cols as f32;
+                let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
                 let inv = 1.0 / (var + eps).sqrt();
                 *inv_slot = inv;
                 for (c, &rv) in row.iter().enumerate() {
@@ -510,15 +502,10 @@ impl Tensor {
                         gb.data_mut()[c] += grow[c];
                     }
                     // dxhat = g * gamma
-                    let dxhat: Vec<f32> =
-                        (0..cols).map(|c| grow[c] * gm.get(0, c)).collect();
+                    let dxhat: Vec<f32> = (0..cols).map(|c| grow[c] * gm.get(0, c)).collect();
                     let mean_dx = dxhat.iter().sum::<f32>() / cols as f32;
-                    let mean_dxh: f32 = dxhat
-                        .iter()
-                        .zip(hrow)
-                        .map(|(d, h)| d * h)
-                        .sum::<f32>()
-                        / cols as f32;
+                    let mean_dxh: f32 =
+                        dxhat.iter().zip(hrow).map(|(d, h)| d * h).sum::<f32>() / cols as f32;
                     for c in 0..cols {
                         ga.set(r, c, inv * (dxhat[c] - mean_dx - hrow[c] * mean_dxh));
                     }
@@ -758,7 +745,8 @@ mod tests {
     #[test]
     fn layer_norm_output_is_normalized() {
         let tape = Tape::new();
-        let x = tape.constant(Matrix::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, -1.0, 0.0, 1.0, 2.0]));
+        let x =
+            tape.constant(Matrix::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, -1.0, 0.0, 1.0, 2.0]));
         let gamma = tape.constant(Matrix::full(1, 4, 1.0));
         let beta = tape.constant(Matrix::zeros(1, 4));
         let y = x.layer_norm(&gamma, &beta, 1e-5).value();

@@ -261,8 +261,8 @@ impl ParamSet {
                 v.data_mut()[i] = vi;
                 let m_hat = mi / bc1;
                 let v_hat = vi / bc2;
-                let update = m_hat / (v_hat.sqrt() + self.eps)
-                    + self.weight_decay * value.data()[i];
+                let update =
+                    m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * value.data()[i];
                 value.data_mut()[i] -= lr * update;
             }
             grad.fill_zero();

@@ -216,9 +216,7 @@ impl Tensor {
             match &nodes[i].backward {
                 BackwardKind::Leaf => {}
                 BackwardKind::Param(p) => p.accumulate_grad(&g),
-                BackwardKind::Gather { param, indices } => {
-                    param.accumulate_grad_rows(indices, &g)
-                }
+                BackwardKind::Gather { param, indices } => param.accumulate_grad_rows(indices, &g),
                 BackwardKind::Op(f) => f(&g, values, grads),
             }
             inner.grads[i] = Some(g);
@@ -265,10 +263,7 @@ mod tests {
 
     #[test]
     fn gather_forward_and_scatter_backward() {
-        let table = Param::new(
-            "emb",
-            Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
-        );
+        let table = Param::new("emb", Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
         let tape = Tape::new();
         let t = tape.gather(&table, &[2, 0, 2]);
         assert_eq!(t.value().data(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);

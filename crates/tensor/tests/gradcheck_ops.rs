@@ -32,11 +32,7 @@ fn grad_matmul_chain() {
     let c = p("c", 4, 1, 5);
     assert_grads_match(&[a.clone(), b.clone(), c.clone()], 1e-2, || {
         let tape = Tape::new();
-        let loss = tape
-            .param(&a)
-            .matmul(&tape.param(&b))
-            .matmul(&tape.param(&c))
-            .mean_all();
+        let loss = tape.param(&a).matmul(&tape.param(&b)).matmul(&tape.param(&c)).mean_all();
         loss.backward();
         loss.scalar()
     });
@@ -141,11 +137,7 @@ fn grad_shape_ops() {
         let y = tape.param(&b);
         let stacked = Tensor::concat_rows(&[x.repeat_rows(2), y.clone()]); // 4 x 4
         let wide = Tensor::concat_cols(&[stacked.clone(), stacked.transpose()]); // 4 x 8
-        let loss = wide
-            .slice_cols(2, 7)
-            .slice_rows(1, 4)
-            .sum_rows()
-            .mean_all();
+        let loss = wide.slice_cols(2, 7).slice_rows(1, 4).sum_rows().mean_all();
         loss.backward();
         loss.scalar()
     });

@@ -81,13 +81,7 @@ pub fn dbscan(
 
     labels
         .into_iter()
-        .map(|l| {
-            if l >= 0 {
-                Assignment::Cluster(l as usize)
-            } else {
-                Assignment::Noise
-            }
-        })
+        .map(|l| if l >= 0 { Assignment::Cluster(l as usize) } else { Assignment::Noise })
         .collect()
 }
 

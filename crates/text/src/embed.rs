@@ -99,11 +99,7 @@ pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
 /// Euclidean distance between two equal-length vectors.
 pub fn euclidean(a: &[f32], b: &[f32]) -> f64 {
     assert_eq!(a.len(), b.len(), "euclidean: length mismatch");
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| ((x - y) as f64).powi(2))
-        .sum::<f64>()
-        .sqrt()
+    a.iter().zip(b).map(|(x, y)| ((x - y) as f64).powi(2)).sum::<f64>().sqrt()
 }
 
 #[cfg(test)]

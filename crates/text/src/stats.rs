@@ -40,11 +40,7 @@ impl CorpusStats {
         }
         for (i, a) in tokens.iter().enumerate() {
             for b in tokens.iter().skip(i + 1).take(self.window) {
-                let key = if a <= b {
-                    (a.clone(), b.clone())
-                } else {
-                    (b.clone(), a.clone())
-                };
+                let key = if a <= b { (a.clone(), b.clone()) } else { (b.clone(), a.clone()) };
                 *self.pair_freq.entry(key).or_default() += 1;
             }
         }
@@ -85,11 +81,8 @@ impl CorpusStats {
         if fa == 0 || fb == 0 || self.total_tokens == 0 {
             return 0.0;
         }
-        let key = if a <= b {
-            (a.to_string(), b.to_string())
-        } else {
-            (b.to_string(), a.to_string())
-        };
+        let key =
+            if a <= b { (a.to_string(), b.to_string()) } else { (b.to_string(), a.to_string()) };
         let fab = self.pair_freq.get(&key).copied().unwrap_or(0);
         if fab == 0 {
             return -10.0;

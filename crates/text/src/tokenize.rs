@@ -60,18 +60,13 @@ impl Vocab {
 
         let mut id_to_token = vec![UNK_TOKEN.to_string()];
         id_to_token.extend(items.iter().map(|(t, _)| t.to_string()));
-        let token_to_id = id_to_token
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (t.clone(), i))
-            .collect();
+        let token_to_id = id_to_token.iter().enumerate().map(|(i, t)| (t.clone(), i)).collect();
         Vocab { token_to_id, id_to_token }
     }
 
     /// Builds directly from raw strings using [`tokenize`].
     pub fn from_texts<S: AsRef<str>>(texts: &[S], min_count: usize) -> Self {
-        let tokenized: Vec<Vec<String>> =
-            texts.iter().map(|t| tokenize(t.as_ref())).collect();
+        let tokenized: Vec<Vec<String>> = texts.iter().map(|t| tokenize(t.as_ref())).collect();
         Vocab::build(tokenized.iter().map(|v| v.as_slice()), min_count)
     }
 
@@ -110,10 +105,7 @@ impl Vocab {
 
     /// Decodes ids back to a space-joined string.
     pub fn decode(&self, ids: &[usize]) -> String {
-        ids.iter()
-            .map(|&i| self.token(i))
-            .collect::<Vec<_>>()
-            .join(" ")
+        ids.iter().map(|&i| self.token(i)).collect::<Vec<_>>().join(" ")
     }
 }
 
@@ -123,10 +115,7 @@ mod tests {
 
     #[test]
     fn tokenize_lowercases_and_splits() {
-        assert_eq!(
-            tokenize("How to change Password?!"),
-            vec!["how", "to", "change", "password"]
-        );
+        assert_eq!(tokenize("How to change Password?!"), vec!["how", "to", "change", "password"]);
         assert_eq!(tokenize("  a--b  "), vec!["a", "b"]);
         assert!(tokenize("...").is_empty());
     }

@@ -66,11 +66,8 @@ fn main() {
     }
 
     // ---- (c)(d) contextual attention ---------------------------------------
-    let session = split
-        .test
-        .iter()
-        .find(|s| s.clicks.len() >= 3)
-        .expect("a session with 3+ clicks");
+    let session =
+        split.test.iter().find(|s| s.clicks.len() >= 3).expect("a session with 3+ clicks");
     let ctx = &session.clicks;
     println!("\n== Fig 5c/d: contextual attention over a session ==");
     println!(

@@ -1,0 +1,100 @@
+//! End-to-end observability demo: serve simulated traffic through a
+//! `ModelServer` wired to a shared `intellitag-obs` registry, then print the
+//! stage-by-stage latency picture the paper summarises in Table VI —
+//! p50/p90/p99 per serving stage (ES recall, matcher rerank, model scoring,
+//! cache lookup) plus cache-hit, cold-start and error counters — and finally
+//! the same registry in both export formats (Prometheus text + JSON lines).
+//!
+//! ```sh
+//! cargo run --release --example metrics_dashboard
+//! ```
+
+use intellitag::prelude::*;
+
+fn stage_row(name: &str, snap: &HistogramSnapshot) {
+    println!(
+        "{:<22} {:>8} {:>9} {:>9} {:>9} {:>9.1}",
+        name,
+        snap.count,
+        snap.quantile(0.50),
+        snap.quantile(0.90),
+        snap.quantile(0.99),
+        snap.mean(),
+    );
+}
+
+fn main() {
+    let world = World::generate(WorldConfig::small(7));
+    let train: Vec<Vec<usize>> = world.sessions.iter().map(|s| s.clicks.clone()).collect();
+    let texts: Vec<String> = world.tags.iter().map(|t| t.text()).collect();
+
+    // One registry shared by the model wrapper and the server, so model
+    // forward-pass time and per-stage serving time land side by side.
+    let registry = MetricsRegistry::new();
+    let model = Instrumented::new(Popularity::from_sessions(&train, world.tags.len()), &registry);
+    let server = ModelServer::new(
+        model,
+        world.build_kb(),
+        texts,
+        world.rqs.iter().map(|r| r.tags.clone()).collect(),
+        (0..world.tenants.len()).map(|e| world.tenant_tag_pool(e)).collect(),
+        world.click_frequency(),
+    )
+    .with_cache(512)
+    .with_metrics(registry.clone());
+
+    // Plain traffic: every session replayed as incremental tag clicks, plus
+    // the underlying question. Repeated prefixes exercise the cache.
+    println!("serving {} sessions ...", world.sessions.len());
+    for session in &world.sessions {
+        let _ = server.handle_question(session.tenant, &world.rqs[session.intent_rq].text());
+        for len in 1..=session.clicks.len() {
+            let _ = server.handle_tag_click(session.tenant, &session.clicks[..len]);
+        }
+    }
+
+    // Degraded traffic: the paths that used to panic now only move counters.
+    let _ = server.handle_question(0, "zzz qqq nothing the kb knows"); // cold start
+    let _ = server.handle_question(usize::MAX, "who am i"); // bad tenant
+    let _ = server.handle_tag_click(0, &[]); // empty clicks
+    let _ = server.handle_tag_click(1, &[usize::MAX]); // bad tag id
+
+    let hist = |name: &str| registry.histogram(name).snapshot();
+    let count = |name: &str| registry.counter(name).get();
+
+    println!("\n== per-stage latency (µs) ==");
+    println!("{:<22} {:>8} {:>9} {:>9} {:>9} {:>9}", "stage", "count", "p50", "p90", "p99", "mean");
+    stage_row("recall (BM25)", &hist("serving.stage.recall_us"));
+    stage_row("rerank (QA match)", &hist("serving.stage.rerank_us"));
+    stage_row("score (model)", &hist("serving.stage.score_us"));
+    stage_row("cache lookup", &hist("serving.stage.cache_us"));
+    stage_row("model forward pass", &hist("model.Popularity.score_us"));
+    stage_row("question end-to-end", &hist("serving.question_us"));
+    stage_row("tag click end-to-end", &hist("serving.tag_click_us"));
+
+    println!("\n== counters ==");
+    println!("cache hits            {}", count("serving.cache.hit"));
+    println!("cache misses          {}", count("serving.cache.miss"));
+    println!("cold-start fallbacks  {}", count("serving.cold_start_fallback"));
+    println!("bad-tenant requests   {}", count("serving.error.bad_tenant"));
+    println!("bad-tag clicks        {}", count("serving.error.bad_tag"));
+    println!("empty-click requests  {}", count("serving.error.empty_clicks"));
+    if let Some(rate) = server.cache_hit_rate() {
+        println!("cache hit rate        {rate:.3}");
+    }
+
+    // What a scraper would fetch from this process.
+    println!("\n== Prometheus exposition (serving.* series) ==");
+    for line in registry.render_prometheus().lines() {
+        if line.contains("serving_") {
+            println!("{line}");
+        }
+    }
+
+    println!("\n== JSON lines (counters and gauges) ==");
+    for line in registry.render_json_lines().lines() {
+        if line.contains("\"counter\"") || line.contains("\"gauge\"") {
+            println!("{line}");
+        }
+    }
+}

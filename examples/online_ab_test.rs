@@ -22,12 +22,8 @@ fn main() {
     let m2v = Metapath2Vec::train(&graph, &M2vConfig::default());
     let tc = TrainConfig { epochs: 3, lr: 3e-3, ..Default::default() };
     let bert = Bert4Rec::train(&train, world.tags.len(), 64, 2, 4, &tc);
-    let intellitag = IntelliTag::train(
-        &graph,
-        &texts,
-        &train,
-        TagRecConfig { train: tc, ..Default::default() },
-    );
+    let intellitag =
+        IntelliTag::train(&graph, &texts, &train, TagRecConfig { train: tc, ..Default::default() });
 
     let sim = SimConfig { days: 10, sessions_per_day: 150, ..Default::default() };
     let user = UserModel::default();
@@ -42,21 +38,30 @@ fn main() {
         )
     };
 
+    // One metrics registry per bucket: each server publishes its per-stage
+    // latency histograms and counters into its own scrape surface.
     let mut outcomes = Vec::new();
+    let mut registries = Vec::new();
     {
         let (kb, t, rt, tt, cc) = make_server("metapath2vec");
-        let server = ModelServer::new(m2v, kb, t, rt, tt, cc);
+        let registry = MetricsRegistry::new();
+        let server = ModelServer::new(m2v, kb, t, rt, tt, cc).with_metrics(registry.clone());
         outcomes.push(simulate_online(&server, &world, &user, &sim));
+        registries.push(registry);
     }
     {
         let (kb, t, rt, tt, cc) = make_server("BERT4Rec");
-        let server = ModelServer::new(bert, kb, t, rt, tt, cc);
+        let registry = MetricsRegistry::new();
+        let server = ModelServer::new(bert, kb, t, rt, tt, cc).with_metrics(registry.clone());
         outcomes.push(simulate_online(&server, &world, &user, &sim));
+        registries.push(registry);
     }
     {
         let (kb, t, rt, tt, cc) = make_server("IntelliTag");
-        let server = ModelServer::new(intellitag, kb, t, rt, tt, cc);
+        let registry = MetricsRegistry::new();
+        let server = ModelServer::new(intellitag, kb, t, rt, tt, cc).with_metrics(registry.clone());
         outcomes.push(simulate_online(&server, &world, &user, &sim));
+        registries.push(registry);
     }
 
     println!("\n== Fig 7: daily macro-averaged CTR ==");
@@ -74,11 +79,31 @@ fn main() {
     }
 
     println!("\n== Table VI: HIR and response latency ==");
-    println!("{:<14} {:>8} {:>14} {:>14} {:>10}", "Policy", "HIR", "latency(mean)", "latency(p99)", "sessions");
+    println!(
+        "{:<14} {:>8} {:>14} {:>14} {:>10}",
+        "Policy", "HIR", "latency(mean)", "latency(p99)", "sessions"
+    );
     for o in &outcomes {
         println!(
             "{:<14} {:>8.3} {:>11.3} ms {:>11.3} ms {:>10}",
             o.policy, o.hir, o.mean_latency_ms, o.p99_latency_ms, o.sessions
+        );
+    }
+
+    println!("\n== per-stage p99 latency (µs, from each bucket's metrics registry) ==");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "Policy", "recall", "rerank", "score", "cold-starts", "requests"
+    );
+    for (o, registry) in outcomes.iter().zip(&registries) {
+        println!(
+            "{:<14} {:>10} {:>10} {:>10} {:>12} {:>10}",
+            o.policy,
+            registry.histogram("serving.stage.recall_us").quantile(0.99),
+            registry.histogram("serving.stage.rerank_us").quantile(0.99),
+            registry.histogram("serving.stage.score_us").quantile(0.99),
+            registry.counter("serving.cold_start_fallback").get(),
+            registry.histogram("serving.request_us").count(),
         );
     }
 }

@@ -19,10 +19,7 @@ fn main() {
         world.rqs.len(),
         world.tenants.len()
     );
-    println!(
-        "asc={}  clk={}  cst={}  crl={}",
-        counts.asc, counts.clk, counts.cst, counts.crl
-    );
+    println!("asc={}  clk={}  cst={}  crl={}", counts.asc, counts.clk, counts.cst, counts.crl);
     println!(
         "sessions={}  tag clicks={}  average clicks={:.1}\n",
         world.sessions.len(),
@@ -58,9 +55,7 @@ fn main() {
         world.click_frequency(),
     );
     // Pick a tenant with a healthy corpus for the demo.
-    let tenant = (0..world.tenants.len())
-        .max_by_key(|&e| world.rqs_by_tenant[e].len())
-        .unwrap();
+    let tenant = (0..world.tenants.len()).max_by_key(|&e| world.rqs_by_tenant[e].len()).unwrap();
     let rq = &world.rqs[world.rqs_by_tenant[tenant][0]];
 
     println!("\n== Serving demo (tenant {tenant}) ==");
@@ -84,5 +79,8 @@ fn main() {
     for &pq in &r.predicted_questions {
         println!("  - {}", world.rqs[pq].text());
     }
-    println!("\ncold-start tags: {:?}", server.cold_start_tags(tenant).iter().map(|&t| texts[t].clone()).collect::<Vec<_>>());
+    println!(
+        "\ncold-start tags: {:?}",
+        server.cold_start_tags(tenant).iter().map(|&t| texts[t].clone()).collect::<Vec<_>>()
+    );
 }

@@ -17,6 +17,7 @@
 //! | [`mining`] | multi-task tag miner, rules, distillation, Q&A collection |
 //! | [`baselines`] | GRU4Rec, SR-GNN, metapath2vec, BERT4Rec |
 //! | [`eval`] | MRR/NDCG/HR, P/R/F1, CTR, HIR, latency accumulators |
+//! | [`obs`] | metrics registry, latency histograms, span timing, exporters |
 //! | [`core`] | the IntelliTag TagRec model, model server and A/B simulator |
 //!
 //! ## Quickstart
@@ -50,6 +51,7 @@ pub use intellitag_eval as eval;
 pub use intellitag_graph as graph;
 pub use intellitag_mining as mining;
 pub use intellitag_nn as nn;
+pub use intellitag_obs as obs;
 pub use intellitag_search as search;
 pub use intellitag_tensor as tensor;
 pub use intellitag_text as text;
@@ -57,8 +59,8 @@ pub use intellitag_text as text;
 /// One-stop imports for the common workflow.
 pub mod prelude {
     pub use intellitag_baselines::{
-        Bert4Rec, Gru4Rec, M2vConfig, Metapath2Vec, Popularity, SequenceRecommender, SrGnn,
-        TrainConfig,
+        Bert4Rec, Gru4Rec, Instrumented, M2vConfig, Metapath2Vec, Popularity, SequenceRecommender,
+        SrGnn, TrainConfig,
     };
     pub use intellitag_core::{
         evaluate_offline, simulate_online, IntelliTag, ModelServer, ProtocolConfig, SimConfig,
@@ -71,6 +73,10 @@ pub mod prelude {
     pub use intellitag_graph::{HetGraph, Metapath, ALL_METAPATHS};
     pub use intellitag_mining::{
         evaluate_extractor, Extractor, MinerConfig, MiningTask, RuleFilter, TagMiner,
+    };
+    pub use intellitag_obs::{
+        render_json_lines, render_prometheus, Histogram, HistogramSnapshot, MetricsRegistry,
+        SpanTimer,
     };
     pub use intellitag_search::KbWarehouse;
 }

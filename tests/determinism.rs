@@ -90,11 +90,7 @@ fn evaluation_and_simulation_are_deterministic() {
 fn different_seeds_change_the_world() {
     let a = World::generate(WorldConfig::tiny(1));
     let b = World::generate(WorldConfig::tiny(2));
-    let differing = a
-        .sessions
-        .iter()
-        .zip(&b.sessions)
-        .filter(|(x, y)| x.clicks != y.clicks)
-        .count();
+    let differing =
+        a.sessions.iter().zip(&b.sessions).filter(|(x, y)| x.clicks != y.clicks).count();
     assert!(differing > 0, "different seeds must differ");
 }

@@ -1,8 +1,8 @@
 //! Cross-crate integration: the full IntelliTag pipeline on a tiny world —
 //! generate → mine tags → build graph → train models → evaluate → serve.
 
-use intellitag::prelude::*;
 use intellitag::mining::{mine_tag_inventory, TagMiner};
+use intellitag::prelude::*;
 
 fn tiny_experiment() -> (World, Vec<Vec<usize>>, Vec<intellitag::datagen::SeqExample>) {
     let world = World::generate(WorldConfig::tiny(77));
@@ -25,11 +25,7 @@ fn full_pipeline_smoke() {
             dim: 24,
             layers: 1,
             heads: 2,
-            train: intellitag::mining::TrainConfig {
-                epochs: 3,
-                lr: 5e-3,
-                ..Default::default()
-            },
+            train: intellitag::mining::TrainConfig { epochs: 3, lr: 5e-3, ..Default::default() },
             ..Default::default()
         },
     );
@@ -68,9 +64,7 @@ fn full_pipeline_smoke() {
         (0..world.tenants.len()).map(|e| world.tenant_tag_pool(e)).collect(),
         world.click_frequency(),
     );
-    let tenant = (0..world.tenants.len())
-        .max_by_key(|&e| world.rqs_by_tenant[e].len())
-        .unwrap();
+    let tenant = (0..world.tenants.len()).max_by_key(|&e| world.rqs_by_tenant[e].len()).unwrap();
     let rq = &world.rqs[world.rqs_by_tenant[tenant][0]];
     let q = server.handle_question(tenant, &rq.text());
     assert!(q.answer.is_some(), "a known question must be answered");

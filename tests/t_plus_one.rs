@@ -39,9 +39,7 @@ fn t_plus_one_retrain_upload_serve() {
     let model_day1 = IntelliTag::train(&graph, &texts, day1, cfg);
     let eval_day1 = evaluate_offline(&model_day1, &test, &world, &ProtocolConfig::default());
     let server = make_server(&world, model_day1);
-    let tenant = (0..world.tenants.len())
-        .max_by_key(|&e| world.rqs_by_tenant[e].len())
-        .unwrap();
+    let tenant = (0..world.tenants.len()).max_by_key(|&e| world.rqs_by_tenant[e].len()).unwrap();
     let first_tag = world.tenant_tag_pool(tenant)[0];
     let resp_day1 = server.handle_tag_click(tenant, &[first_tag]);
     assert!(!resp_day1.recommended_tags.is_empty());
@@ -53,8 +51,7 @@ fn t_plus_one_retrain_upload_serve() {
     let mut artifact = Vec::new();
     model_day2.save(&mut artifact).unwrap();
     // ...and bring up a fresh server from the uploaded bytes.
-    let uploaded =
-        IntelliTag::load(&graph, &texts, cfg, &mut artifact.as_slice()).unwrap();
+    let uploaded = IntelliTag::load(&graph, &texts, cfg, &mut artifact.as_slice()).unwrap();
     let server2 = make_server(&world, uploaded);
     let resp_day2 = server2.handle_tag_click(tenant, &[first_tag]);
     assert!(!resp_day2.recommended_tags.is_empty());
