@@ -59,7 +59,9 @@ impl Default for TrainConfig {
 
 /// Frequency-ranked popularity recommender — the cold-start fallback the
 /// deployed system uses before any click happens (§V-B), and a sanity floor
-/// for the learned models.
+/// for the learned models. `Clone` lets every shard of the serving front
+/// carry its own replica.
+#[derive(Debug, Clone)]
 pub struct Popularity {
     scores: Vec<f32>,
 }

@@ -14,6 +14,12 @@
 //!   per-stage observability through `intellitag-obs` (span timing for
 //!   recall/rerank/score/cache, error and cold-start counters, bounded
 //!   latency histograms).
+//! * [`ShardedServer`] — the sharded, batched serving front: N worker
+//!   threads each owning a `ModelServer` replica, bounded request queues
+//!   with overload shedding, per-shard labeled metrics, and response parity
+//!   with the single-process server (pinned by `tests/sharded_parity.rs`).
+//! * [`TagService`] — the request surface both fronts implement, so the
+//!   simulator, benches and examples swap fronts with one line.
 //! * [`simulate_online`] — A/B traffic buckets measuring CTR (Fig. 7),
 //!   HIR and latency (Table VI) against the simulated user population,
 //!   publishing rolling `online.*` gauges into the shared registry.
@@ -27,6 +33,7 @@ mod graph_layers;
 mod model;
 mod qa_matcher;
 mod serving;
+mod sharded;
 mod simulator;
 
 pub use cache::ResponseCache;
@@ -35,5 +42,8 @@ pub use experiment::{evaluate_offline, ProtocolConfig};
 pub use graph_layers::GraphLayers;
 pub use model::IntelliTag;
 pub use qa_matcher::{QaMatcher, QaMatcherConfig};
-pub use serving::{ModelServer, QuestionResponse, TagClickResponse, RECENT_LATENCY_WINDOW};
+pub use serving::{
+    ModelServer, QuestionResponse, TagClickResponse, TagService, RECENT_LATENCY_WINDOW,
+};
+pub use sharded::{ShardConfig, ShardedServer, ShedReason};
 pub use simulator::{simulate_online, DayMetrics, SimConfig, SimOutcome};

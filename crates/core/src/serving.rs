@@ -26,6 +26,31 @@ use crate::qa_matcher::QaMatcher;
 /// bounded histograms; the ring only serves debugging and the benches.
 pub const RECENT_LATENCY_WINDOW: usize = 1024;
 
+/// The request surface shared by every serving front — the single-process
+/// [`ModelServer`] and the sharded/batched [`crate::ShardedServer`] alike.
+/// The simulator, benches and examples drive traffic through this trait, so
+/// swapping fronts is a one-line change and the parity tests can pin that
+/// both fronts answer identically.
+pub trait TagService {
+    /// Handles a typed question (the Q&A dialogue path).
+    fn handle_question(&self, tenant: usize, question: &str) -> QuestionResponse;
+
+    /// Handles a tag click (the TagRec path).
+    fn handle_tag_click(&self, tenant: usize, clicks: &[usize]) -> TagClickResponse;
+
+    /// Cold-start tags for a tenant (most frequently clicked, §V-B).
+    fn cold_start_tags(&self, tenant: usize) -> Vec<usize>;
+
+    /// The metrics registry this front publishes into.
+    fn metrics(&self) -> &MetricsRegistry;
+
+    /// Snapshot of the end-to-end request latency histogram (µs).
+    fn latency_snapshot(&self) -> HistogramSnapshot;
+
+    /// The served policy's (model's) name, as printed in the paper's tables.
+    fn policy(&self) -> String;
+}
+
 /// Response to a user question (the Q&A dialogue path).
 #[derive(Debug, Clone)]
 pub struct QuestionResponse {
@@ -39,6 +64,17 @@ pub struct QuestionResponse {
     pub latency_us: u64,
 }
 
+impl QuestionResponse {
+    /// Content equality ignoring the measured latency — the quantity the
+    /// parity tests pin across serving fronts (shard count and batch size
+    /// must never change what a request returns, only how fast).
+    pub fn same_content(&self, other: &Self) -> bool {
+        self.rq == other.rq
+            && self.answer == other.answer
+            && self.recommended_tags == other.recommended_tags
+    }
+}
+
 /// Response to a tag click (the TagRec path).
 #[derive(Debug, Clone)]
 pub struct TagClickResponse {
@@ -48,6 +84,15 @@ pub struct TagClickResponse {
     pub predicted_questions: Vec<usize>,
     /// Server-side processing latency in microseconds.
     pub latency_us: u64,
+}
+
+impl TagClickResponse {
+    /// Content equality ignoring the measured latency (see
+    /// [`QuestionResponse::same_content`]).
+    pub fn same_content(&self, other: &Self) -> bool {
+        self.recommended_tags == other.recommended_tags
+            && self.predicted_questions == other.predicted_questions
+    }
 }
 
 /// Metric handles bound once at construction so the hot path never touches
@@ -409,6 +454,32 @@ impl<M: SequenceRecommender> ModelServer<M> {
             cache.put((tenant, clicks.to_vec()), resp.clone());
         }
         resp
+    }
+}
+
+impl<M: SequenceRecommender> TagService for ModelServer<M> {
+    fn handle_question(&self, tenant: usize, question: &str) -> QuestionResponse {
+        ModelServer::handle_question(self, tenant, question)
+    }
+
+    fn handle_tag_click(&self, tenant: usize, clicks: &[usize]) -> TagClickResponse {
+        ModelServer::handle_tag_click(self, tenant, clicks)
+    }
+
+    fn cold_start_tags(&self, tenant: usize) -> Vec<usize> {
+        ModelServer::cold_start_tags(self, tenant)
+    }
+
+    fn metrics(&self) -> &MetricsRegistry {
+        ModelServer::metrics(self)
+    }
+
+    fn latency_snapshot(&self) -> HistogramSnapshot {
+        ModelServer::latency_snapshot(self)
+    }
+
+    fn policy(&self) -> String {
+        self.model.name().to_string()
     }
 }
 

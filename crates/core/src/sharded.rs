@@ -1,0 +1,560 @@
+//! The sharded, batched serving front: N worker threads, each owning a full
+//! [`ModelServer`] replica, multiplexing tenant traffic over bounded
+//! `std::sync::mpsc` request queues.
+//!
+//! This is the ROADMAP's "next scaling step" for the paper's online system
+//! (§V): the deployed stack serves heavy tenant traffic with strict latency
+//! SLOs (Table VI), which a single synchronous server cannot absorb. The
+//! front partitions tenants across shards (`tenant % shards`, so a tenant's
+//! cache and counters stay shard-local), micro-batches queue drains (up to
+//! `batch_max` requests per wakeup, amortizing scheduler round trips), and
+//! degrades gracefully under overload: queues are bounded, the `try_`
+//! variants shed with a counter instead of blocking, and shutdown drains
+//! every in-flight request before the workers exit.
+//!
+//! The headline guarantee — enforced by `tests/sharded_parity.rs` — is that
+//! for any request stream the front returns responses identical to a
+//! single-process [`ModelServer`] built from the same data: shard count and
+//! batch size are pure performance knobs. This holds because every model in
+//! the workspace is deterministic and each shard owns a complete replica,
+//! so no request's answer depends on scheduling.
+//!
+//! Every shard publishes labeled series into the shared
+//! [`MetricsRegistry`]: `sharded.request_us{shard="i"}` (client-observed
+//! queue + processing latency), `sharded.batch{shard="i"}` (drain sizes),
+//! `sharded.queue_depth{shard="i"}` gauges, and `sharded.processed` /
+//! `sharded.shed` counters, while the inner servers' `serving.*` metrics
+//! aggregate across shards in the same registry.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use intellitag_baselines::SequenceRecommender;
+use intellitag_obs::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, SpanTimer};
+
+use crate::serving::{ModelServer, QuestionResponse, TagClickResponse, TagService};
+
+/// Tuning knobs of the sharded front. Parity with the single-process server
+/// holds for every setting; these trade latency against throughput only.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardConfig {
+    /// Worker threads, each owning one `ModelServer` replica. Tenants are
+    /// partitioned as `tenant % shards`.
+    pub shards: usize,
+    /// Maximum requests drained per worker wakeup (micro-batch size). `1`
+    /// disables batching.
+    pub batch_max: usize,
+    /// Bounded per-shard queue capacity. Blocking calls apply backpressure
+    /// when the queue is full; `try_` calls shed instead.
+    pub queue_capacity: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig { shards: 4, batch_max: 8, queue_capacity: 256 }
+    }
+}
+
+/// Why a `try_` request was rejected without being served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The shard's bounded queue was full (overload shedding; counted in
+    /// `sharded.shed`).
+    Overloaded,
+    /// The shard's worker has exited (the front is shutting down).
+    ShuttingDown,
+}
+
+/// One request in flight to a shard worker.
+enum Job {
+    Question { tenant: usize, text: String, reply: mpsc::Sender<QuestionResponse> },
+    TagClick { tenant: usize, clicks: Vec<usize>, reply: mpsc::Sender<TagClickResponse> },
+    ColdStart { tenant: usize, reply: mpsc::Sender<Vec<usize>> },
+}
+
+/// Client-side handle to one shard: the bounded queue plus the metric
+/// handles both sides of the queue share.
+struct Shard {
+    tx: SyncSender<Job>,
+    /// Requests currently enqueued or being drained (mirrored into the
+    /// `sharded.queue_depth{shard=..}` gauge by whichever side moved last).
+    depth: Arc<AtomicI64>,
+    depth_gauge: Arc<Gauge>,
+    /// Client-observed latency (queue wait + batching delay + processing).
+    front_latency: Arc<Histogram>,
+    shed: Arc<Counter>,
+}
+
+/// Per-shard state the worker thread updates while draining.
+struct WorkerMetrics {
+    depth: Arc<AtomicI64>,
+    depth_gauge: Arc<Gauge>,
+    batch_sizes: Arc<Histogram>,
+    processed: Arc<Counter>,
+}
+
+/// The sharded, batched front over per-shard [`ModelServer`] replicas.
+///
+/// Construction goes through [`ShardedServer::spawn`], which runs the
+/// factory once *inside* each worker thread — the models in this workspace
+/// hold `Rc`-based autograd parameters and are not `Send`, so replicas must
+/// be built where they will serve, exactly like the deployed one-replica-
+/// per-worker layout. Dropping the front (or calling
+/// [`ShardedServer::shutdown`]) closes the queues, drains every accepted
+/// request, and joins the workers.
+pub struct ShardedServer {
+    shards: Vec<Shard>,
+    workers: Vec<JoinHandle<()>>,
+    registry: MetricsRegistry,
+    policy: String,
+    config: ShardConfig,
+    shed_total: Arc<Counter>,
+    worker_lost: Arc<Counter>,
+}
+
+impl ShardedServer {
+    /// Spawns `cfg.shards` worker threads, building one server replica per
+    /// shard via `factory(shard_id)` inside the worker. Every replica is
+    /// rebound onto the shared `registry`, so `serving.*` metrics aggregate
+    /// across shards while `sharded.*{shard="i"}` series stay per shard.
+    ///
+    /// # Panics
+    /// Panics when any knob in `cfg` is zero, or when a factory panics
+    /// during startup (the spawn surfaces worker construction failures
+    /// instead of serving into the void).
+    pub fn spawn<M, F>(cfg: ShardConfig, registry: MetricsRegistry, factory: F) -> Self
+    where
+        M: SequenceRecommender,
+        F: Fn(usize) -> ModelServer<M> + Send + Sync + 'static,
+    {
+        assert!(cfg.shards >= 1, "need at least one shard");
+        assert!(cfg.batch_max >= 1, "batch_max must be at least 1");
+        assert!(cfg.queue_capacity >= 1, "queue_capacity must be at least 1");
+        let factory = Arc::new(factory);
+        let (ready_tx, ready_rx) = mpsc::channel::<String>();
+        let mut shards = Vec::with_capacity(cfg.shards);
+        let mut workers = Vec::with_capacity(cfg.shards);
+        for shard_id in 0..cfg.shards {
+            let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_capacity);
+            let sid = shard_id.to_string();
+            let labels = [("shard", sid.as_str())];
+            let depth = Arc::new(AtomicI64::new(0));
+            let shard = Shard {
+                tx,
+                depth: Arc::clone(&depth),
+                depth_gauge: registry.gauge_labeled("sharded.queue_depth", &labels),
+                front_latency: registry.histogram_labeled("sharded.request_us", &labels),
+                shed: registry.counter_labeled("sharded.shed", &labels),
+            };
+            let worker_metrics = WorkerMetrics {
+                depth,
+                depth_gauge: Arc::clone(&shard.depth_gauge),
+                batch_sizes: registry.histogram_labeled("sharded.batch", &labels),
+                processed: registry.counter_labeled("sharded.processed", &labels),
+            };
+            let (factory, registry, ready_tx) =
+                (Arc::clone(&factory), registry.clone(), ready_tx.clone());
+            let batch_max = cfg.batch_max;
+            let handle = std::thread::Builder::new()
+                .name(format!("intellitag-shard-{shard_id}"))
+                .spawn(move || {
+                    let server = factory(shard_id).with_metrics(registry);
+                    let _ = ready_tx.send(server.policy());
+                    drop(ready_tx);
+                    worker_loop(server, rx, worker_metrics, batch_max);
+                })
+                .expect("spawn shard worker");
+            shards.push(shard);
+            workers.push(handle);
+        }
+        drop(ready_tx);
+        // Wait for every replica to finish building; a factory panic shows
+        // up here as a truncated ready stream.
+        let names: Vec<String> = ready_rx.iter().take(cfg.shards).collect();
+        assert_eq!(names.len(), cfg.shards, "a shard worker died during startup");
+        ShardedServer {
+            shards,
+            workers,
+            policy: names.into_iter().next().unwrap_or_default(),
+            shed_total: registry.counter("sharded.shed_total"),
+            worker_lost: registry.counter("sharded.error.worker_lost"),
+            registry,
+            config: cfg,
+        }
+    }
+
+    /// The shard a tenant's requests are routed to.
+    pub fn shard_for(&self, tenant: usize) -> usize {
+        tenant % self.shards.len()
+    }
+
+    /// The front's configuration.
+    pub fn config(&self) -> &ShardConfig {
+        &self.config
+    }
+
+    /// Total requests shed across all shards.
+    pub fn shed_count(&self) -> u64 {
+        self.shed_total.get()
+    }
+
+    /// Merged client-observed front latency across every shard's
+    /// `sharded.request_us{shard=..}` series.
+    pub fn front_latency_snapshot(&self) -> HistogramSnapshot {
+        self.registry.merged_histogram("sharded.request_us")
+    }
+
+    /// Shuts the front down: closes every queue, drains all accepted
+    /// requests, and joins the workers. Dropping the front does the same.
+    pub fn shutdown(mut self) {
+        self.join_workers();
+    }
+
+    fn join_workers(&mut self) {
+        self.shards.clear(); // drop senders: workers drain, then exit
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Sends a job to the tenant's shard, blocking when the queue is full
+    /// (backpressure). Returns `false` when the worker is gone.
+    fn send(&self, tenant: usize, job: Job) -> bool {
+        let shard = &self.shards[self.shard_for(tenant)];
+        let depth = shard.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        shard.depth_gauge.set(depth as f64);
+        if shard.tx.send(job).is_err() {
+            shard.depth.fetch_sub(1, Ordering::Relaxed);
+            self.worker_lost.inc();
+            return false;
+        }
+        true
+    }
+
+    /// Sends a job without blocking; sheds on a full queue.
+    fn try_send(&self, tenant: usize, job: Job) -> Result<(), ShedReason> {
+        let shard = &self.shards[self.shard_for(tenant)];
+        let depth = shard.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        match shard.tx.try_send(job) {
+            Ok(()) => {
+                shard.depth_gauge.set(depth as f64);
+                Ok(())
+            }
+            Err(e) => {
+                shard.depth.fetch_sub(1, Ordering::Relaxed);
+                match e {
+                    TrySendError::Full(_) => {
+                        shard.shed.inc();
+                        self.shed_total.inc();
+                        Err(ShedReason::Overloaded)
+                    }
+                    TrySendError::Disconnected(_) => {
+                        self.worker_lost.inc();
+                        Err(ShedReason::ShuttingDown)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Completes a round trip: waits for the reply and records the
+    /// client-observed latency on the tenant's shard.
+    fn finish<T>(&self, tenant: usize, timer: SpanTimer, reply: Receiver<T>) -> Option<T> {
+        match reply.recv() {
+            Ok(resp) => {
+                self.shards[self.shard_for(tenant)].front_latency.record(timer.elapsed_us());
+                Some(resp)
+            }
+            Err(_) => {
+                self.worker_lost.inc();
+                None
+            }
+        }
+    }
+
+    /// Handles a typed question through the front, blocking under
+    /// backpressure. A lost worker degrades to an empty response (plus the
+    /// `sharded.error.worker_lost` counter) — the client never panics.
+    pub fn handle_question(&self, tenant: usize, question: &str) -> QuestionResponse {
+        let timer = SpanTimer::start();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let sent = self
+            .send(tenant, Job::Question { tenant, text: question.to_string(), reply: reply_tx });
+        let degraded = |timer: SpanTimer| QuestionResponse {
+            rq: None,
+            answer: None,
+            recommended_tags: Vec::new(),
+            latency_us: timer.elapsed_us(),
+        };
+        if !sent {
+            return degraded(timer);
+        }
+        self.finish(tenant, timer, reply_rx).unwrap_or_else(|| degraded(timer))
+    }
+
+    /// Handles a tag click through the front, blocking under backpressure.
+    pub fn handle_tag_click(&self, tenant: usize, clicks: &[usize]) -> TagClickResponse {
+        let timer = SpanTimer::start();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let sent =
+            self.send(tenant, Job::TagClick { tenant, clicks: clicks.to_vec(), reply: reply_tx });
+        let degraded = |timer: SpanTimer| TagClickResponse {
+            recommended_tags: Vec::new(),
+            predicted_questions: Vec::new(),
+            latency_us: timer.elapsed_us(),
+        };
+        if !sent {
+            return degraded(timer);
+        }
+        self.finish(tenant, timer, reply_rx).unwrap_or_else(|| degraded(timer))
+    }
+
+    /// Cold-start tags for a tenant, served by its shard.
+    pub fn cold_start_tags(&self, tenant: usize) -> Vec<usize> {
+        let timer = SpanTimer::start();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        if !self.send(tenant, Job::ColdStart { tenant, reply: reply_tx }) {
+            return Vec::new();
+        }
+        self.finish(tenant, timer, reply_rx).unwrap_or_default()
+    }
+
+    /// Non-blocking question: sheds with [`ShedReason::Overloaded`] instead
+    /// of waiting when the shard's queue is full.
+    pub fn try_handle_question(
+        &self,
+        tenant: usize,
+        question: &str,
+    ) -> Result<QuestionResponse, ShedReason> {
+        let timer = SpanTimer::start();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.try_send(
+            tenant,
+            Job::Question { tenant, text: question.to_string(), reply: reply_tx },
+        )?;
+        self.finish(tenant, timer, reply_rx).ok_or(ShedReason::ShuttingDown)
+    }
+
+    /// Non-blocking tag click: sheds instead of waiting on a full queue.
+    pub fn try_handle_tag_click(
+        &self,
+        tenant: usize,
+        clicks: &[usize],
+    ) -> Result<TagClickResponse, ShedReason> {
+        let timer = SpanTimer::start();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.try_send(tenant, Job::TagClick { tenant, clicks: clicks.to_vec(), reply: reply_tx })?;
+        self.finish(tenant, timer, reply_rx).ok_or(ShedReason::ShuttingDown)
+    }
+}
+
+impl TagService for ShardedServer {
+    fn handle_question(&self, tenant: usize, question: &str) -> QuestionResponse {
+        ShardedServer::handle_question(self, tenant, question)
+    }
+
+    fn handle_tag_click(&self, tenant: usize, clicks: &[usize]) -> TagClickResponse {
+        ShardedServer::handle_tag_click(self, tenant, clicks)
+    }
+
+    fn cold_start_tags(&self, tenant: usize) -> Vec<usize> {
+        ShardedServer::cold_start_tags(self, tenant)
+    }
+
+    fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    fn latency_snapshot(&self) -> HistogramSnapshot {
+        // The shards' inner servers all publish into the shared registry,
+        // so the plain `serving.request_us` histogram already aggregates
+        // every shard's server-side latency.
+        self.registry.histogram("serving.request_us").snapshot()
+    }
+
+    fn policy(&self) -> String {
+        self.policy.clone()
+    }
+}
+
+impl Drop for ShardedServer {
+    fn drop(&mut self) {
+        self.join_workers();
+    }
+}
+
+/// The worker loop: block for one request, then drain up to `batch_max - 1`
+/// more without blocking, record the batch size, and serve the batch
+/// through the shard's replica. Exits when every client handle is gone and
+/// the queue is empty — `std::sync::mpsc` delivers buffered messages after
+/// sender drop, which is what makes shutdown drain instead of abort.
+fn worker_loop<M: SequenceRecommender>(
+    server: ModelServer<M>,
+    rx: Receiver<Job>,
+    metrics: WorkerMetrics,
+    batch_max: usize,
+) {
+    let mut batch = Vec::with_capacity(batch_max);
+    while let Ok(first) = rx.recv() {
+        batch.push(first);
+        while batch.len() < batch_max {
+            match rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        let remaining =
+            metrics.depth.fetch_sub(batch.len() as i64, Ordering::Relaxed) - batch.len() as i64;
+        metrics.depth_gauge.set(remaining.max(0) as f64);
+        metrics.batch_sizes.record(batch.len() as u64);
+        for job in batch.drain(..) {
+            // `processed` is incremented before the reply is released so
+            // that once a client holds a response, the counter already
+            // reflects it — registry reconciliation never lags behind the
+            // clients' own accounting. A send error means the client gave
+            // up on the reply (e.g. a shed-and-retry harness); the request
+            // was still served.
+            match job {
+                Job::Question { tenant, text, reply } => {
+                    let resp = server.handle_question(tenant, &text);
+                    metrics.processed.inc();
+                    let _ = reply.send(resp);
+                }
+                Job::TagClick { tenant, clicks, reply } => {
+                    let resp = server.handle_tag_click(tenant, &clicks);
+                    metrics.processed.inc();
+                    let _ = reply.send(resp);
+                }
+                Job::ColdStart { tenant, reply } => {
+                    let resp = server.cold_start_tags(tenant);
+                    metrics.processed.inc();
+                    let _ = reply.send(resp);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intellitag_baselines::Popularity;
+    use intellitag_search::KbWarehouse;
+
+    fn replica() -> ModelServer<Popularity> {
+        let mut kb = KbWarehouse::new();
+        kb.add_pair("how to change password", "settings > security", 0);
+        kb.add_pair("how to apply for etc card", "apply in the etc menu", 0);
+        kb.add_pair("where to cancel the order", "orders > cancel", 1);
+        let tag_texts = vec![
+            "change".into(),
+            "password".into(),
+            "apply".into(),
+            "etc card".into(),
+            "cancel".into(),
+            "order".into(),
+        ];
+        let rq_tags = vec![vec![0, 1], vec![2, 3], vec![4, 5]];
+        let tenant_tags = vec![vec![0, 1, 2, 3], vec![4, 5]];
+        let clicks = vec![5, 9, 3, 7, 2, 4];
+        let model = Popularity::from_counts(&clicks);
+        ModelServer::new(model, kb, tag_texts, rq_tags, tenant_tags, clicks)
+    }
+
+    fn front(cfg: ShardConfig) -> (ShardedServer, MetricsRegistry) {
+        let registry = MetricsRegistry::new();
+        let front = ShardedServer::spawn(cfg, registry.clone(), |_shard| replica());
+        (front, registry)
+    }
+
+    #[test]
+    fn front_matches_single_process_server() {
+        let single = replica();
+        let (front, _) = front(ShardConfig { shards: 2, ..Default::default() });
+        for tenant in 0..2 {
+            let q = front.handle_question(tenant, "how to change password");
+            assert!(q.same_content(&single.handle_question(tenant, "how to change password")));
+            let c = front.handle_tag_click(tenant, &[4 * tenant]);
+            assert!(c.same_content(&single.handle_tag_click(tenant, &[4 * tenant])));
+            assert_eq!(front.cold_start_tags(tenant), single.cold_start_tags(tenant));
+        }
+    }
+
+    #[test]
+    fn per_shard_series_land_in_shared_registry() {
+        let (front, registry) = front(ShardConfig { shards: 2, ..Default::default() });
+        let _ = front.handle_tag_click(0, &[0]); // shard 0
+        let _ = front.handle_tag_click(1, &[4]); // shard 1
+        for shard in ["0", "1"] {
+            let h = registry.histogram_labeled("sharded.request_us", &[("shard", shard)]);
+            assert_eq!(h.count(), 1, "shard {shard} front latency not recorded");
+        }
+        assert_eq!(front.front_latency_snapshot().count, 2);
+        // Inner servers aggregate into the plain serving histograms.
+        assert_eq!(registry.histogram("serving.request_us").count(), 2);
+        let text = registry.render_prometheus();
+        assert!(text.contains("sharded_request_us_count{shard=\"0\"} 1"), "{text}");
+        assert!(text.contains("sharded_request_us_count{shard=\"1\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_requests() {
+        // One slow shard with a deep queue: enqueue from a helper thread,
+        // then drop the front while requests are still queued — every reply
+        // channel must still resolve.
+        let (front, registry) = front(ShardConfig { shards: 1, batch_max: 2, queue_capacity: 64 });
+        let n = 32;
+        let replies: Vec<_> = (0..n)
+            .map(|i| {
+                let (tx, rx) = mpsc::channel();
+                front
+                    .try_send(0, Job::TagClick { tenant: 0, clicks: vec![i % 4], reply: tx })
+                    .expect("queue has room");
+                rx
+            })
+            .collect();
+        front.shutdown();
+        for rx in replies {
+            let resp = rx.recv().expect("request drained, not dropped");
+            assert!(!resp.recommended_tags.is_empty() || !resp.predicted_questions.is_empty());
+        }
+        assert_eq!(
+            registry.counter_labeled("sharded.processed", &[("shard", "0")]).get(),
+            n as u64
+        );
+    }
+
+    #[test]
+    fn batching_is_observable_and_bounded() {
+        let (front, registry) = front(ShardConfig { shards: 1, batch_max: 4, queue_capacity: 64 });
+        for _ in 0..3 {
+            let _ = front.handle_tag_click(0, &[0]);
+        }
+        front.shutdown();
+        let batches = registry.histogram_labeled("sharded.batch", &[("shard", "0")]).snapshot();
+        assert!(batches.count >= 1);
+        assert!(batches.max <= 4, "batch exceeded batch_max: {}", batches.max);
+    }
+
+    #[test]
+    fn policy_and_service_trait_surface() {
+        let (front, _) = front(ShardConfig { shards: 1, ..Default::default() });
+        assert_eq!(TagService::policy(&front), replica().policy());
+        let svc: &dyn TagService = &front;
+        let r = svc.handle_question(0, "how to change password");
+        assert_eq!(r.rq, Some(0));
+        assert_eq!(svc.latency_snapshot().count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        let registry = MetricsRegistry::new();
+        let _ =
+            ShardedServer::spawn(ShardConfig { shards: 0, ..Default::default() }, registry, |_| {
+                replica()
+            });
+    }
+}

@@ -6,14 +6,13 @@
 //! sessions) into the server's metrics registry after every simulated day,
 //! so a dashboard scraping the registry sees the same series as Fig. 7.
 
-use intellitag_baselines::SequenceRecommender;
 use intellitag_datagen::{UserModel, World};
 use intellitag_eval::{CtrAccumulator, HirAccumulator};
 use rand::distributions::WeightedIndex;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
-use crate::serving::ModelServer;
+use crate::serving::TagService;
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy)]
@@ -87,8 +86,13 @@ impl SimOutcome {
 }
 
 /// Runs one traffic bucket of the A/B test.
-pub fn simulate_online<M: SequenceRecommender>(
-    server: &ModelServer<M>,
+///
+/// Generic over [`TagService`], so the same bucket can be driven through
+/// the single-process [`crate::ModelServer`] or the sharded
+/// [`crate::ShardedServer`] front — the parity guarantee makes the two
+/// produce identical CTR/HIR series for the same seed.
+pub fn simulate_online<S: TagService>(
+    server: &S,
     world: &World,
     user: &UserModel,
     cfg: &SimConfig,
@@ -124,7 +128,7 @@ pub fn simulate_online<M: SequenceRecommender>(
     // bucket-resolution p99) — no unbounded raw-sample log required.
     let lat = server.latency_snapshot();
     SimOutcome {
-        policy: server.model().name().to_string(),
+        policy: server.policy(),
         daily,
         hir: hir.hir(),
         mean_latency_ms: lat.mean() / 1000.0,
@@ -137,8 +141,8 @@ pub fn simulate_online<M: SequenceRecommender>(
 /// predicted questions, until the intent surfaces (solved) or the user
 /// bails (human intervention).
 #[allow(clippy::too_many_arguments)]
-fn run_session<M: SequenceRecommender>(
-    server: &ModelServer<M>,
+fn run_session<S: TagService>(
+    server: &S,
     world: &World,
     user: &UserModel,
     tenant: usize,
@@ -193,6 +197,7 @@ fn run_session<M: SequenceRecommender>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::serving::ModelServer;
     use intellitag_baselines::Popularity;
     use intellitag_datagen::WorldConfig;
 
@@ -236,6 +241,52 @@ mod tests {
         for (x, y) in a.daily.iter().zip(&b.daily) {
             assert_eq!(x.macro_ctr, y.macro_ctr);
         }
+    }
+
+    #[test]
+    fn sharded_front_reproduces_single_process_series() {
+        use crate::sharded::{ShardConfig, ShardedServer};
+        use intellitag_obs::MetricsRegistry;
+
+        let world = World::generate(WorldConfig::tiny(9));
+        let cfg = SimConfig { days: 2, sessions_per_day: 30, seed: 7, ..Default::default() };
+        let single = make_server(&world);
+        let a = simulate_online(&single, &world, &UserModel::default(), &cfg);
+
+        // The factory captures only cloneable server data, rebuilding one
+        // full replica inside each worker thread.
+        let kb = world.build_kb();
+        let tag_texts: Vec<String> = world.tags.iter().map(|t| t.text()).collect();
+        let rq_tags: Vec<Vec<usize>> = world.rqs.iter().map(|r| r.tags.clone()).collect();
+        let tenant_tags: Vec<Vec<usize>> =
+            (0..world.tenants.len()).map(|e| world.tenant_tag_pool(e)).collect();
+        let counts = world.click_frequency();
+        let sessions: Vec<Vec<usize>> = world.sessions.iter().map(|s| s.clicks.clone()).collect();
+        let n_tags = world.tags.len();
+        let front = ShardedServer::spawn(
+            ShardConfig { shards: 3, batch_max: 4, ..Default::default() },
+            MetricsRegistry::new(),
+            move |_shard| {
+                ModelServer::new(
+                    Popularity::from_sessions(&sessions, n_tags),
+                    kb.clone(),
+                    tag_texts.clone(),
+                    rq_tags.clone(),
+                    tenant_tags.clone(),
+                    counts.clone(),
+                )
+            },
+        );
+        let b = simulate_online(&front, &world, &UserModel::default(), &cfg);
+        // Same seed, same responses: the whole observable series coincides.
+        assert_eq!(a.policy, b.policy);
+        assert_eq!(a.hir, b.hir);
+        assert_eq!(a.sessions, b.sessions);
+        for (x, y) in a.daily.iter().zip(&b.daily) {
+            assert_eq!(x.macro_ctr, y.macro_ctr);
+            assert_eq!(x.micro_ctr, y.micro_ctr);
+        }
+        front.shutdown();
     }
 
     #[test]

@@ -190,6 +190,48 @@ impl HistogramSnapshot {
     pub fn bucket_upper_bound(i: usize) -> u64 {
         bucket_bounds(i).1
     }
+
+    /// Merges another snapshot into this one, bucket by bucket.
+    ///
+    /// Merging the snapshots of N histograms is equivalent to having
+    /// recorded every sample into a single histogram (the property tests pin
+    /// this), which is what makes per-shard histograms aggregatable into a
+    /// whole-server view without a shared write path.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let mut merged: Vec<(usize, u64)> = Vec::with_capacity(self.buckets.len());
+        let (mut a, mut b) = (self.buckets.iter().peekable(), other.buckets.iter().peekable());
+        while let (Some(&&(ia, ca)), Some(&&(ib, cb))) = (a.peek(), b.peek()) {
+            match ia.cmp(&ib) {
+                std::cmp::Ordering::Less => {
+                    merged.push((ia, ca));
+                    a.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push((ib, cb));
+                    b.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push((ia, ca + cb));
+                    a.next();
+                    b.next();
+                }
+            }
+        }
+        merged.extend(a.copied());
+        merged.extend(b.copied());
+        self.buckets = merged;
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// A manually driven stopwatch for staged request handling.
@@ -355,6 +397,29 @@ mod tests {
         }
         assert_eq!(h.count(), 4000);
         assert_eq!(h.snapshot().count, 4000);
+    }
+
+    #[test]
+    fn merge_equals_concat_recording() {
+        let (a, b, all) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in [0u64, 1, 7, 900, 1_000_000] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [3u64, 7, u64::MAX] {
+            b.record(v);
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+        // Merging an empty snapshot is the identity, both ways.
+        let mut id = a.snapshot();
+        id.merge(&Histogram::new().snapshot());
+        assert_eq!(id, a.snapshot());
+        let mut from_empty = Histogram::new().snapshot();
+        from_empty.merge(&a.snapshot());
+        assert_eq!(from_empty, a.snapshot());
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //!   with Prometheus text exposition and JSON-lines snapshots
 //!   ([`MetricsRegistry::render_prometheus`],
 //!   [`MetricsRegistry::render_json_lines`], [`parse_json_lines`]).
+//! * Labeled series — [`labeled`] encodes `base{k="v"}` names so per-shard
+//!   metrics (`sharded.request_us{shard="3"}`) render as proper Prometheus
+//!   label sets; [`parse_prometheus`] is the scrape-side inverse and
+//!   [`HistogramSnapshot::merge`] aggregates per-shard histograms into a
+//!   whole-server view.
 
 #![warn(missing_docs)]
 
@@ -31,7 +36,9 @@ mod metric;
 mod registry;
 mod ring;
 
-pub use export::{parse_json_lines, render_json_lines, render_prometheus, MetricSample};
+pub use export::{
+    labeled, parse_json_lines, parse_prometheus, render_json_lines, render_prometheus, MetricSample,
+};
 pub use histogram::{Histogram, HistogramSnapshot, Span, SpanTimer, NUM_BUCKETS};
 pub use metric::{Counter, Gauge};
 pub use registry::{Metric, MetricsRegistry};

@@ -106,6 +106,40 @@ impl MetricsRegistry {
         })
     }
 
+    /// Returns the labeled counter `base{k="v",...}`, creating it on first
+    /// use (see [`crate::labeled`] for the name encoding).
+    pub fn counter_labeled(&self, base: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.counter(&export::labeled(base, labels))
+    }
+
+    /// Returns the labeled gauge `base{k="v",...}`, creating it on first use.
+    pub fn gauge_labeled(&self, base: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.gauge(&export::labeled(base, labels))
+    }
+
+    /// Returns the labeled histogram `base{k="v",...}`, creating it on first
+    /// use.
+    pub fn histogram_labeled(&self, base: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram(&export::labeled(base, labels))
+    }
+
+    /// Merged snapshot over every histogram named `base` or a labeled
+    /// variant `base{...}` — the aggregate view over per-shard series,
+    /// equivalent to having recorded every sample into one histogram.
+    pub fn merged_histogram(&self, base: &str) -> crate::HistogramSnapshot {
+        let metrics = self.metrics.read().unwrap_or_else(|e| e.into_inner());
+        let mut merged =
+            crate::HistogramSnapshot { count: 0, sum: 0, min: 0, max: 0, buckets: Vec::new() };
+        for (name, m) in metrics.iter() {
+            let matches =
+                name == base || name.strip_prefix(base).is_some_and(|rest| rest.starts_with('{'));
+            if let (true, Metric::Histogram(h)) = (matches, m) {
+                merged.merge(&h.snapshot());
+            }
+        }
+        merged
+    }
+
     /// Looks up a metric without creating it.
     pub fn get(&self, name: &str) -> Option<Metric> {
         self.metrics.read().unwrap_or_else(|e| e.into_inner()).get(name).cloned()

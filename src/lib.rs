@@ -63,8 +63,8 @@ pub mod prelude {
         SrGnn, TrainConfig,
     };
     pub use intellitag_core::{
-        evaluate_offline, simulate_online, IntelliTag, ModelServer, ProtocolConfig, SimConfig,
-        TagRecConfig,
+        evaluate_offline, simulate_online, IntelliTag, ModelServer, ProtocolConfig, ShardConfig,
+        ShardedServer, ShedReason, SimConfig, TagRecConfig, TagService,
     };
     pub use intellitag_datagen::{
         labeled_sentences, sequence_examples, split_sessions, UserModel, World, WorldConfig,
@@ -75,8 +75,8 @@ pub mod prelude {
         evaluate_extractor, Extractor, MinerConfig, MiningTask, RuleFilter, TagMiner,
     };
     pub use intellitag_obs::{
-        render_json_lines, render_prometheus, Histogram, HistogramSnapshot, MetricsRegistry,
-        SpanTimer,
+        parse_prometheus, render_json_lines, render_prometheus, Histogram, HistogramSnapshot,
+        MetricsRegistry, SpanTimer,
     };
     pub use intellitag_search::KbWarehouse;
 }
