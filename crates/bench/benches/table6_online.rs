@@ -105,7 +105,7 @@ fn bench(c: &mut Criterion) {
             (0..world.tenants.len()).map(|e| world.tenant_tag_pool(e)).collect();
         let counts = world.click_frequency();
         ShardedServer::spawn(
-            ShardConfig { shards: 4, batch_max: 8, queue_capacity: 256 },
+            ShardConfig { shards: 4, batch_max: 8, queue_capacity: 256, ..Default::default() },
             front_registry.clone(),
             move |_shard| {
                 ModelServer::new(

@@ -45,5 +45,5 @@ pub use qa_matcher::{QaMatcher, QaMatcherConfig};
 pub use serving::{
     ModelServer, QuestionResponse, TagClickResponse, TagService, RECENT_LATENCY_WINDOW,
 };
-pub use sharded::{ShardConfig, ShardedServer, ShedReason};
+pub use sharded::{RoutingPolicy, ShardConfig, ShardedServer, ShedReason};
 pub use simulator::{simulate_online, DayMetrics, SimConfig, SimOutcome};

@@ -51,6 +51,37 @@ pub trait TagService {
     fn policy(&self) -> String;
 }
 
+/// Shared ownership serves transparently: a `Send + Sync` front (e.g.
+/// [`crate::ShardedServer`]) wrapped in an [`Arc`] is itself a
+/// [`TagService`], so multi-threaded callers like the HTTP gateway can
+/// hand every worker a clone of one fleet instead of building a fleet
+/// per worker.
+impl<S: TagService> TagService for Arc<S> {
+    fn handle_question(&self, tenant: usize, question: &str) -> QuestionResponse {
+        (**self).handle_question(tenant, question)
+    }
+
+    fn handle_tag_click(&self, tenant: usize, clicks: &[usize]) -> TagClickResponse {
+        (**self).handle_tag_click(tenant, clicks)
+    }
+
+    fn cold_start_tags(&self, tenant: usize) -> Vec<usize> {
+        (**self).cold_start_tags(tenant)
+    }
+
+    fn metrics(&self) -> &MetricsRegistry {
+        (**self).metrics()
+    }
+
+    fn latency_snapshot(&self) -> HistogramSnapshot {
+        (**self).latency_snapshot()
+    }
+
+    fn policy(&self) -> String {
+        (**self).policy()
+    }
+}
+
 /// Response to a user question (the Q&A dialogue path).
 #[derive(Debug, Clone)]
 pub struct QuestionResponse {
@@ -99,12 +130,18 @@ impl TagClickResponse {
 /// the registry's name map (except for the dynamic per-tenant counters).
 struct ServerMetrics {
     registry: MetricsRegistry,
+    /// Total requests served by this front, every path included — degraded
+    /// and empty responses too (`serving.requests`). Gateways reconcile
+    /// their own per-route counts against this.
+    requests: Arc<Counter>,
     /// End-to-end latency across both request kinds (`serving.request_us`).
     request_latency: Arc<Histogram>,
     /// Q&A path latency (`serving.question_us`).
     question_latency: Arc<Histogram>,
     /// Tag-click path latency (`serving.tag_click_us`).
     click_latency: Arc<Histogram>,
+    /// Top-level cold-start lookup latency (`serving.cold_start_us`).
+    cold_start_latency: Arc<Histogram>,
     /// BM25/ES recall stage (`serving.stage.recall_us`).
     stage_recall: Arc<Histogram>,
     /// Q&A-matcher / overlap rerank stage (`serving.stage.rerank_us`).
@@ -124,9 +161,11 @@ struct ServerMetrics {
 impl ServerMetrics {
     fn bind(registry: MetricsRegistry) -> Self {
         ServerMetrics {
+            requests: registry.counter("serving.requests"),
             request_latency: registry.histogram("serving.request_us"),
             question_latency: registry.histogram("serving.question_us"),
             click_latency: registry.histogram("serving.tag_click_us"),
+            cold_start_latency: registry.histogram("serving.cold_start_us"),
             stage_recall: registry.histogram("serving.stage.recall_us"),
             stage_rerank: registry.histogram("serving.stage.rerank_us"),
             stage_score: registry.histogram("serving.stage.score_us"),
@@ -258,11 +297,16 @@ impl<M: SequenceRecommender> ModelServer<M> {
     }
 
     /// Records the end of a request on both the per-path and the combined
-    /// histograms plus the recent-sample ring; returns the latency in µs.
+    /// histograms plus the recent-sample ring, and ticks the
+    /// `serving.requests` total; returns the latency in µs. Every public
+    /// handler exit — including degraded and empty responses — funnels
+    /// through here, so the counter reconciles exactly against whatever
+    /// front (gateway, sharded queue) is driving this server.
     fn finish_request(&self, timer: SpanTimer, path: &Histogram) -> u64 {
         let us = timer.elapsed_us();
         path.record(us);
         self.obs.request_latency.record(us);
+        self.obs.requests.inc();
         self.recent_latencies.push(us);
         us
     }
@@ -270,8 +314,20 @@ impl<M: SequenceRecommender> ModelServer<M> {
     /// Cold-start tags for a tenant: most frequently clicked (§V-B),
     /// counted as a `serving.cold_start_fallback`. An out-of-range tenant
     /// degrades to an empty result (plus an error counter) instead of
-    /// panicking.
+    /// panicking. As a top-level request path it ticks `serving.requests`
+    /// and records into `serving.cold_start_us` / `serving.request_us` —
+    /// the in-question fallback uses [`Self::cold_start_inner`] and is
+    /// accounted once, as a question.
     pub fn cold_start_tags(&self, tenant: usize) -> Vec<usize> {
+        let timer = SpanTimer::start();
+        self.obs.tenant_requests(tenant).inc();
+        let tags = self.cold_start_inner(tenant);
+        self.finish_request(timer, &self.obs.cold_start_latency);
+        tags
+    }
+
+    /// The cold-start lookup without request-level accounting.
+    fn cold_start_inner(&self, tenant: usize) -> Vec<usize> {
         let Some(pool) = self.tenant_tags.get(tenant) else {
             self.obs.err_bad_tenant.inc();
             return Vec::new();
@@ -345,7 +401,7 @@ impl<M: SequenceRecommender> ModelServer<M> {
                 tags.truncate(self.tags_per_response);
                 (Some(rq), Some(pair.answer.clone()), tags)
             }
-            None => (None, None, self.cold_start_tags(tenant)),
+            None => (None, None, self.cold_start_inner(tenant)),
         };
         let latency_us = self.finish_request(timer, &self.obs.question_latency);
         QuestionResponse { rq, answer, recommended_tags, latency_us }
@@ -644,8 +700,26 @@ mod tests {
         assert!(c.recommended_tags.is_empty());
         assert!(c.predicted_questions.is_empty());
         assert_eq!(counter_value(&s, "serving.error.bad_tenant"), 3);
-        // Degraded requests still count toward latency accounting.
-        assert_eq!(s.latency_snapshot().count, 2);
+        // Degraded requests still count toward latency and request
+        // accounting — a fronting gateway's 200s reconcile exactly.
+        assert_eq!(s.latency_snapshot().count, 3);
+        assert_eq!(counter_value(&s, "serving.requests"), 3);
+    }
+
+    #[test]
+    fn every_path_ticks_the_request_total() {
+        let s = server();
+        let _ = s.handle_question(0, "change password"); // answered
+        let _ = s.handle_question(0, "zz qq xx"); // cold-start fallback
+        let _ = s.handle_tag_click(0, &[0]); // answered
+        let _ = s.handle_tag_click(0, &[]); // degraded: empty clicks
+        let _ = s.cold_start_tags(0); // top-level cold start
+        assert_eq!(counter_value(&s, "serving.requests"), 5);
+        assert_eq!(s.latency_snapshot().count, 5);
+        // The in-question fallback is accounted once (as a question), the
+        // top-level lookup once (as a cold start).
+        assert_eq!(s.metrics().histogram("serving.question_us").count(), 2);
+        assert_eq!(s.metrics().histogram("serving.cold_start_us").count(), 1);
     }
 
     #[test]

@@ -5,8 +5,10 @@
 //! This is the ROADMAP's "next scaling step" for the paper's online system
 //! (§V): the deployed stack serves heavy tenant traffic with strict latency
 //! SLOs (Table VI), which a single synchronous server cannot absorb. The
-//! front partitions tenants across shards (`tenant % shards`, so a tenant's
-//! cache and counters stay shard-local), micro-batches queue drains (up to
+//! front routes requests per the configured [`RoutingPolicy`] — static
+//! `tenant % shards` partitioning (the default, keeping a tenant's cache
+//! and counters shard-local) or load-aware power-of-two-choices over live
+//! per-shard queue depths — micro-batches queue drains (up to
 //! `batch_max` requests per wakeup, amortizing scheduler round trips), and
 //! degrades gracefully under overload: queues are bounded, the `try_`
 //! variants shed with a counter instead of blocking, and shutdown drains
@@ -26,7 +28,7 @@
 //! `sharded.shed` counters, while the inner servers' `serving.*` metrics
 //! aggregate across shards in the same registry.
 
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -35,6 +37,23 @@ use intellitag_baselines::SequenceRecommender;
 use intellitag_obs::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, SpanTimer};
 
 use crate::serving::{ModelServer, QuestionResponse, TagClickResponse, TagService};
+
+/// How the front picks a shard for each request. Every shard owns a full
+/// deterministic replica, so the policy changes latency and load balance,
+/// never answers — the parity tests hold under either policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// Static partitioning: `tenant % shards`. A tenant's cache and
+    /// counters stay shard-local; one hot tenant can hotspot one shard.
+    #[default]
+    TenantHash,
+    /// Power-of-two-choices: sample two distinct candidate shards per
+    /// request (deterministically, from a per-front sequence) and route to
+    /// the one with the smaller queue depth. Spreads multi-replica tenants
+    /// across the fleet; the classic result is exponential improvement in
+    /// max load over one random choice.
+    PowerOfTwoChoices,
+}
 
 /// Tuning knobs of the sharded front. Parity with the single-process server
 /// holds for every setting; these trade latency against throughput only.
@@ -49,12 +68,29 @@ pub struct ShardConfig {
     /// Bounded per-shard queue capacity. Blocking calls apply backpressure
     /// when the queue is full; `try_` calls shed instead.
     pub queue_capacity: usize,
+    /// Shard selection policy (default: static `tenant % shards`).
+    pub routing: RoutingPolicy,
 }
 
 impl Default for ShardConfig {
     fn default() -> Self {
-        ShardConfig { shards: 4, batch_max: 8, queue_capacity: 256 }
+        ShardConfig {
+            shards: 4,
+            batch_max: 8,
+            queue_capacity: 256,
+            routing: RoutingPolicy::TenantHash,
+        }
     }
+}
+
+/// The mix stage of splitmix64 — cheap, stateless, and deterministic, which
+/// keeps power-of-two-choices candidate sampling reproducible run to run.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Why a `try_` request was rejected without being served.
@@ -112,6 +148,8 @@ pub struct ShardedServer {
     config: ShardConfig,
     shed_total: Arc<Counter>,
     worker_lost: Arc<Counter>,
+    /// Per-front sequence feeding power-of-two-choices candidate sampling.
+    route_seq: AtomicU64,
 }
 
 impl ShardedServer {
@@ -182,12 +220,46 @@ impl ShardedServer {
             worker_lost: registry.counter("sharded.error.worker_lost"),
             registry,
             config: cfg,
+            route_seq: AtomicU64::new(0),
         }
     }
 
-    /// The shard a tenant's requests are routed to.
+    /// The tenant's *static* home shard (`tenant % shards`) — where its
+    /// requests go under [`RoutingPolicy::TenantHash`]. Under
+    /// [`RoutingPolicy::PowerOfTwoChoices`] routing is per-request and
+    /// load-aware; see [`ShardedServer::route`].
     pub fn shard_for(&self, tenant: usize) -> usize {
         tenant % self.shards.len()
+    }
+
+    /// Picks the shard that will serve this request, per the configured
+    /// [`RoutingPolicy`]. Power-of-two-choices samples two distinct
+    /// candidates from a deterministic sequence and takes the one with the
+    /// smaller live queue depth (ties go to the first candidate).
+    pub fn route(&self, tenant: usize) -> usize {
+        let n = self.shards.len();
+        match self.config.routing {
+            RoutingPolicy::TenantHash => tenant % n,
+            RoutingPolicy::PowerOfTwoChoices => {
+                if n == 1 {
+                    return 0;
+                }
+                let seq = self.route_seq.fetch_add(1, Ordering::Relaxed);
+                let h = splitmix64(seq ^ (tenant as u64).rotate_left(32));
+                let a = (h % n as u64) as usize;
+                let mut b = (splitmix64(h) % (n as u64 - 1)) as usize;
+                if b >= a {
+                    b += 1; // distinct second choice
+                }
+                let depth_a = self.shards[a].depth.load(Ordering::Relaxed);
+                let depth_b = self.shards[b].depth.load(Ordering::Relaxed);
+                if depth_b < depth_a {
+                    b
+                } else {
+                    a
+                }
+            }
+        }
     }
 
     /// The front's configuration.
@@ -219,10 +291,10 @@ impl ShardedServer {
         }
     }
 
-    /// Sends a job to the tenant's shard, blocking when the queue is full
+    /// Sends a job to the routed shard, blocking when the queue is full
     /// (backpressure). Returns `false` when the worker is gone.
-    fn send(&self, tenant: usize, job: Job) -> bool {
-        let shard = &self.shards[self.shard_for(tenant)];
+    fn send(&self, shard: usize, job: Job) -> bool {
+        let shard = &self.shards[shard];
         let depth = shard.depth.fetch_add(1, Ordering::Relaxed) + 1;
         shard.depth_gauge.set(depth as f64);
         if shard.tx.send(job).is_err() {
@@ -234,8 +306,8 @@ impl ShardedServer {
     }
 
     /// Sends a job without blocking; sheds on a full queue.
-    fn try_send(&self, tenant: usize, job: Job) -> Result<(), ShedReason> {
-        let shard = &self.shards[self.shard_for(tenant)];
+    fn try_send(&self, shard: usize, job: Job) -> Result<(), ShedReason> {
+        let shard = &self.shards[shard];
         let depth = shard.depth.fetch_add(1, Ordering::Relaxed) + 1;
         match shard.tx.try_send(job) {
             Ok(()) => {
@@ -260,11 +332,11 @@ impl ShardedServer {
     }
 
     /// Completes a round trip: waits for the reply and records the
-    /// client-observed latency on the tenant's shard.
-    fn finish<T>(&self, tenant: usize, timer: SpanTimer, reply: Receiver<T>) -> Option<T> {
+    /// client-observed latency on the shard that served it.
+    fn finish<T>(&self, shard: usize, timer: SpanTimer, reply: Receiver<T>) -> Option<T> {
         match reply.recv() {
             Ok(resp) => {
-                self.shards[self.shard_for(tenant)].front_latency.record(timer.elapsed_us());
+                self.shards[shard].front_latency.record(timer.elapsed_us());
                 Some(resp)
             }
             Err(_) => {
@@ -279,9 +351,10 @@ impl ShardedServer {
     /// `sharded.error.worker_lost` counter) — the client never panics.
     pub fn handle_question(&self, tenant: usize, question: &str) -> QuestionResponse {
         let timer = SpanTimer::start();
+        let shard = self.route(tenant);
         let (reply_tx, reply_rx) = mpsc::channel();
-        let sent = self
-            .send(tenant, Job::Question { tenant, text: question.to_string(), reply: reply_tx });
+        let sent =
+            self.send(shard, Job::Question { tenant, text: question.to_string(), reply: reply_tx });
         let degraded = |timer: SpanTimer| QuestionResponse {
             rq: None,
             answer: None,
@@ -291,15 +364,16 @@ impl ShardedServer {
         if !sent {
             return degraded(timer);
         }
-        self.finish(tenant, timer, reply_rx).unwrap_or_else(|| degraded(timer))
+        self.finish(shard, timer, reply_rx).unwrap_or_else(|| degraded(timer))
     }
 
     /// Handles a tag click through the front, blocking under backpressure.
     pub fn handle_tag_click(&self, tenant: usize, clicks: &[usize]) -> TagClickResponse {
         let timer = SpanTimer::start();
+        let shard = self.route(tenant);
         let (reply_tx, reply_rx) = mpsc::channel();
         let sent =
-            self.send(tenant, Job::TagClick { tenant, clicks: clicks.to_vec(), reply: reply_tx });
+            self.send(shard, Job::TagClick { tenant, clicks: clicks.to_vec(), reply: reply_tx });
         let degraded = |timer: SpanTimer| TagClickResponse {
             recommended_tags: Vec::new(),
             predicted_questions: Vec::new(),
@@ -308,17 +382,18 @@ impl ShardedServer {
         if !sent {
             return degraded(timer);
         }
-        self.finish(tenant, timer, reply_rx).unwrap_or_else(|| degraded(timer))
+        self.finish(shard, timer, reply_rx).unwrap_or_else(|| degraded(timer))
     }
 
-    /// Cold-start tags for a tenant, served by its shard.
+    /// Cold-start tags for a tenant, served by the routed shard.
     pub fn cold_start_tags(&self, tenant: usize) -> Vec<usize> {
         let timer = SpanTimer::start();
+        let shard = self.route(tenant);
         let (reply_tx, reply_rx) = mpsc::channel();
-        if !self.send(tenant, Job::ColdStart { tenant, reply: reply_tx }) {
+        if !self.send(shard, Job::ColdStart { tenant, reply: reply_tx }) {
             return Vec::new();
         }
-        self.finish(tenant, timer, reply_rx).unwrap_or_default()
+        self.finish(shard, timer, reply_rx).unwrap_or_default()
     }
 
     /// Non-blocking question: sheds with [`ShedReason::Overloaded`] instead
@@ -329,12 +404,13 @@ impl ShardedServer {
         question: &str,
     ) -> Result<QuestionResponse, ShedReason> {
         let timer = SpanTimer::start();
+        let shard = self.route(tenant);
         let (reply_tx, reply_rx) = mpsc::channel();
         self.try_send(
-            tenant,
+            shard,
             Job::Question { tenant, text: question.to_string(), reply: reply_tx },
         )?;
-        self.finish(tenant, timer, reply_rx).ok_or(ShedReason::ShuttingDown)
+        self.finish(shard, timer, reply_rx).ok_or(ShedReason::ShuttingDown)
     }
 
     /// Non-blocking tag click: sheds instead of waiting on a full queue.
@@ -344,9 +420,10 @@ impl ShardedServer {
         clicks: &[usize],
     ) -> Result<TagClickResponse, ShedReason> {
         let timer = SpanTimer::start();
+        let shard = self.route(tenant);
         let (reply_tx, reply_rx) = mpsc::channel();
-        self.try_send(tenant, Job::TagClick { tenant, clicks: clicks.to_vec(), reply: reply_tx })?;
-        self.finish(tenant, timer, reply_rx).ok_or(ShedReason::ShuttingDown)
+        self.try_send(shard, Job::TagClick { tenant, clicks: clicks.to_vec(), reply: reply_tx })?;
+        self.finish(shard, timer, reply_rx).ok_or(ShedReason::ShuttingDown)
     }
 }
 
@@ -504,7 +581,12 @@ mod tests {
         // One slow shard with a deep queue: enqueue from a helper thread,
         // then drop the front while requests are still queued — every reply
         // channel must still resolve.
-        let (front, registry) = front(ShardConfig { shards: 1, batch_max: 2, queue_capacity: 64 });
+        let (front, registry) = front(ShardConfig {
+            shards: 1,
+            batch_max: 2,
+            queue_capacity: 64,
+            ..Default::default()
+        });
         let n = 32;
         let replies: Vec<_> = (0..n)
             .map(|i| {
@@ -528,7 +610,12 @@ mod tests {
 
     #[test]
     fn batching_is_observable_and_bounded() {
-        let (front, registry) = front(ShardConfig { shards: 1, batch_max: 4, queue_capacity: 64 });
+        let (front, registry) = front(ShardConfig {
+            shards: 1,
+            batch_max: 4,
+            queue_capacity: 64,
+            ..Default::default()
+        });
         for _ in 0..3 {
             let _ = front.handle_tag_click(0, &[0]);
         }
@@ -546,6 +633,56 @@ mod tests {
         let r = svc.handle_question(0, "how to change password");
         assert_eq!(r.rq, Some(0));
         assert_eq!(svc.latency_snapshot().count, 1);
+    }
+
+    #[test]
+    fn p2c_keeps_parity_and_spreads_one_hot_tenant() {
+        let single = replica();
+        let (front, registry) = front(ShardConfig {
+            shards: 2,
+            routing: RoutingPolicy::PowerOfTwoChoices,
+            ..Default::default()
+        });
+        // One hot tenant: under TenantHash every request would pin shard 0;
+        // under p2c the deterministic candidate sampling spreads them.
+        for i in 0..32u64 {
+            let c = front.handle_tag_click(0, &[(i % 4) as usize]);
+            assert!(c.same_content(&single.handle_tag_click(0, &[(i % 4) as usize])));
+        }
+        let q = front.handle_question(0, "how to change password");
+        assert!(q.same_content(&single.handle_question(0, "how to change password")));
+        assert_eq!(front.cold_start_tags(0), single.cold_start_tags(0));
+        for shard in ["0", "1"] {
+            let h = registry.histogram_labeled("sharded.request_us", &[("shard", shard)]);
+            assert!(h.count() > 0, "p2c never routed to shard {shard}");
+        }
+    }
+
+    #[test]
+    fn p2c_prefers_the_less_loaded_shard() {
+        let (front, _) = front(ShardConfig {
+            shards: 2,
+            routing: RoutingPolicy::PowerOfTwoChoices,
+            ..Default::default()
+        });
+        // Make shard 0 look deeply backlogged; with only two shards the
+        // candidate pair is always {0, 1}, so every route must pick 1.
+        front.shards[0].depth.store(1_000, Ordering::Relaxed);
+        for tenant in 0..8 {
+            for _ in 0..8 {
+                assert_eq!(front.route(tenant), 1);
+            }
+        }
+        front.shards[0].depth.store(0, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn tenant_hash_routing_is_static() {
+        let (front, _) = front(ShardConfig { shards: 2, ..Default::default() });
+        for tenant in 0..8 {
+            assert_eq!(front.route(tenant), tenant % 2);
+            assert_eq!(front.route(tenant), front.shard_for(tenant));
+        }
     }
 
     #[test]

@@ -1,0 +1,485 @@
+//! A hand-rolled, size- and timeout-limited HTTP/1.1 request parser and
+//! response writer.
+//!
+//! The gateway's wire format is deliberately tiny: request line + headers +
+//! optional `Content-Length` body, with keep-alive connection reuse and
+//! pipelining falling out of the buffered incremental parse. Everything a
+//! hostile or broken peer can send — truncated requests, oversized headers
+//! or bodies, invalid UTF-8, unsupported transfer encodings — maps to a
+//! typed [`HttpError`] that the server turns into the right 4xx/5xx status
+//! instead of a panic or an unbounded allocation.
+
+use std::io::{self, BufRead, Write};
+
+/// Size caps applied while parsing one request.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpLimits {
+    /// Maximum total bytes of request line + headers (431 beyond this).
+    pub max_header_bytes: usize,
+    /// Maximum `Content-Length` accepted (413 beyond this).
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits { max_header_bytes: 8 * 1024, max_body_bytes: 1024 * 1024 }
+    }
+}
+
+/// One parsed HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercase as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target (path + optional query), as sent.
+    pub path: String,
+    /// Header `(name, value)` pairs in arrival order; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body (`Content-Length` bytes; empty when absent).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    keep_alive: bool,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked for connection reuse (HTTP/1.1 default:
+    /// keep-alive unless `Connection: close`).
+    pub fn keep_alive(&self) -> bool {
+        self.keep_alive
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The peer closed the connection cleanly before sending any bytes —
+    /// the normal end of a keep-alive connection, not an error to report.
+    Closed,
+    /// The connection ended mid-request (request line, headers or body cut
+    /// short).
+    Truncated,
+    /// A read or write deadline expired.
+    TimedOut,
+    /// Request line + headers exceeded [`HttpLimits::max_header_bytes`].
+    HeadersTooLarge,
+    /// Declared `Content-Length` exceeded [`HttpLimits::max_body_bytes`].
+    BodyTooLarge(usize),
+    /// Structurally invalid request (bad request line, non-UTF-8 headers,
+    /// malformed `Content-Length`, ...).
+    Malformed(String),
+    /// A `Transfer-Encoding` the gateway does not implement (only plain
+    /// `Content-Length` bodies are supported).
+    UnsupportedTransferEncoding,
+    /// Any other I/O failure.
+    Io(String),
+}
+
+impl HttpError {
+    /// The HTTP status the server should answer with, when one applies
+    /// (`None` for clean closes and transport errors where no response can
+    /// or should be written).
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            HttpError::Closed | HttpError::Truncated | HttpError::TimedOut | HttpError::Io(_) => {
+                None
+            }
+            HttpError::HeadersTooLarge => Some(431),
+            HttpError::BodyTooLarge(_) => Some(413),
+            HttpError::Malformed(_) => Some(400),
+            HttpError::UnsupportedTransferEncoding => Some(501),
+        }
+    }
+
+    /// Whether this error is consistent with a pooled keep-alive
+    /// connection having been closed by the server between requests — the
+    /// one case where a client should retry once on a fresh socket.
+    pub fn is_stale_connection(&self) -> bool {
+        matches!(self, HttpError::Closed | HttpError::Truncated | HttpError::Io(_))
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Truncated => write!(f, "request truncated"),
+            HttpError::TimedOut => write!(f, "read timed out"),
+            HttpError::HeadersTooLarge => write!(f, "request headers too large"),
+            HttpError::BodyTooLarge(n) => write!(f, "request body of {n} bytes too large"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::UnsupportedTransferEncoding => write!(f, "unsupported transfer encoding"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+/// Maps raw socket errors to the transport-level [`HttpError`] variants
+/// (used by the client when a *write* fails, outside the parser).
+pub fn io_to_http_error(e: io::Error) -> HttpError {
+    io_error(e)
+}
+
+fn io_error(e: io::Error) -> HttpError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => HttpError::TimedOut,
+        io::ErrorKind::UnexpectedEof => HttpError::Truncated,
+        _ => HttpError::Io(e.to_string()),
+    }
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, enforcing `budget` bytes
+/// across the whole header section. Returns the line without its terminator.
+fn read_line(
+    reader: &mut impl BufRead,
+    budget: &mut usize,
+    first: bool,
+) -> Result<String, HttpError> {
+    let mut raw = Vec::new();
+    // +2 so an over-budget line is detected as HeadersTooLarge rather than
+    // silently truncated at the cap.
+    let mut limited = io::Read::take(&mut *reader, *budget as u64 + 2);
+    match limited.read_until(b'\n', &mut raw) {
+        Ok(0) if first && raw.is_empty() => return Err(HttpError::Closed),
+        Ok(0) => return Err(HttpError::Truncated),
+        Ok(_) => {}
+        Err(e) => return Err(io_error(e)),
+    }
+    if raw.last() != Some(&b'\n') {
+        // No terminator: either the budget ran out or the peer hung up.
+        return if raw.len() > *budget {
+            Err(HttpError::HeadersTooLarge)
+        } else {
+            Err(HttpError::Truncated)
+        };
+    }
+    if raw.len() > *budget {
+        return Err(HttpError::HeadersTooLarge);
+    }
+    *budget -= raw.len();
+    while raw.last() == Some(&b'\n') || raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    String::from_utf8(raw).map_err(|_| HttpError::Malformed("non-UTF-8 header bytes".into()))
+}
+
+/// Parses one request from `reader`, enforcing `limits`.
+///
+/// Keep-alive loops call this repeatedly on the same buffered reader;
+/// pipelined requests queue up in the buffer and parse back-to-back. A
+/// clean close between requests returns [`HttpError::Closed`].
+pub fn read_request(reader: &mut impl BufRead, limits: &HttpLimits) -> Result<Request, HttpError> {
+    let mut budget = limits.max_header_bytes;
+    let line = read_line(reader, &mut budget, true)?;
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m, p, v),
+        _ => return Err(HttpError::Malformed(format!("bad request line `{line}`"))),
+    };
+    if !method.chars().all(|c| c.is_ascii_alphabetic()) {
+        return Err(HttpError::Malformed(format!("bad method `{method}`")));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed(format!("unsupported version `{version}`")));
+    }
+    let method = method.to_ascii_uppercase();
+    let mut keep_alive = version == "HTTP/1.1";
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, &mut budget, false)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("header without `:` in `{line}`")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        if name.is_empty() {
+            return Err(HttpError::Malformed("empty header name".into()));
+        }
+        let value = value.trim().to_string();
+        if name == "connection" {
+            let v = value.to_ascii_lowercase();
+            if v.contains("close") {
+                keep_alive = false;
+            } else if v.contains("keep-alive") {
+                keep_alive = true;
+            }
+        }
+        headers.push((name, value));
+    }
+
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(HttpError::UnsupportedTransferEncoding);
+    }
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length `{v}`")))?,
+        None => 0,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::BodyTooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(io_error)?;
+    Ok(Request { method, path: path.to_string(), headers, body, keep_alive })
+}
+
+/// Reason phrase for the handful of statuses the gateway emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// One HTTP response ready to be written to the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response { status, content_type: "application/json", body: body.into_bytes() }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: &str) -> Self {
+        Response { status, content_type: "text/plain; charset=utf-8", body: body.into() }
+    }
+
+    /// Writes the response (with `Content-Length` and an explicit
+    /// `Connection` header) and flushes.
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        // One buffered write per response: head + body in a single syscall
+        // avoids the write-write-read pattern that trips Nagle + delayed
+        // ACK (~40 ms per request on an otherwise idle connection).
+        let conn = if keep_alive { "keep-alive" } else { "close" };
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {conn}\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+        );
+        let mut wire = Vec::with_capacity(head.len() + self.body.len());
+        wire.extend_from_slice(head.as_bytes());
+        wire.extend_from_slice(&self.body);
+        w.write_all(&wire)?;
+        w.flush()
+    }
+}
+
+/// A parsed response, as seen by [`crate::GatewayClient`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// Whether the server will keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Parses one response from `reader` (client side of the wire format).
+pub fn read_response(
+    reader: &mut impl BufRead,
+    limits: &HttpLimits,
+) -> Result<ParsedResponse, HttpError> {
+    let mut budget = limits.max_header_bytes;
+    let line = read_line(reader, &mut budget, true)?;
+    let mut parts = line.split(' ');
+    let (version, status) = match (parts.next(), parts.next()) {
+        (Some(v), Some(s)) => (v, s),
+        _ => return Err(HttpError::Malformed(format!("bad status line `{line}`"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("unsupported version `{version}`")));
+    }
+    let status: u16 =
+        status.parse().map_err(|_| HttpError::Malformed(format!("bad status `{status}`")))?;
+    let mut keep_alive = true;
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, &mut budget, false)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("header without `:` in `{line}`")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "connection" && value.to_ascii_lowercase().contains("close") {
+            keep_alive = false;
+        }
+        headers.push((name, value));
+    }
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length `{v}`")))?,
+        None => 0,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::BodyTooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(io_error)?;
+    Ok(ParsedResponse { status, headers, body, keep_alive })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(bytes.to_vec()), &HttpLimits::default())
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let r = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert_eq!(r.header("host"), Some("x"));
+        assert!(r.body.is_empty());
+        assert!(r.keep_alive());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_pipelining() {
+        let wire =
+            b"POST /v1/click HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcdGET / HTTP/1.1\r\n\r\n";
+        let mut cur = Cursor::new(wire.to_vec());
+        let limits = HttpLimits::default();
+        let first = read_request(&mut cur, &limits).unwrap();
+        assert_eq!(first.body, b"abcd");
+        let second = read_request(&mut cur, &limits).unwrap();
+        assert_eq!(second.method, "GET");
+        assert!(matches!(read_request(&mut cur, &limits), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let r = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive());
+        // HTTP/1.0 defaults to close, opts back in with keep-alive.
+        let r = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!r.keep_alive());
+        let r = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(r.keep_alive());
+    }
+
+    #[test]
+    fn truncation_is_detected_everywhere() {
+        assert!(matches!(parse(b""), Err(HttpError::Closed)));
+        assert!(matches!(parse(b"GET / HTT"), Err(HttpError::Truncated)));
+        assert!(matches!(parse(b"GET / HTTP/1.1\r\nHost: x"), Err(HttpError::Truncated)));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn size_limits_are_enforced() {
+        let limits = HttpLimits { max_header_bytes: 64, max_body_bytes: 8 };
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(200));
+        assert!(matches!(
+            read_request(&mut Cursor::new(long.into_bytes()), &limits),
+            Err(HttpError::HeadersTooLarge)
+        ));
+        let many = format!("GET / HTTP/1.1\r\n{}\r\n", "a: b\r\n".repeat(50));
+        assert!(matches!(
+            read_request(&mut Cursor::new(many.into_bytes()), &limits),
+            Err(HttpError::HeadersTooLarge)
+        ));
+        let big = b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789";
+        assert!(matches!(
+            read_request(&mut Cursor::new(big.to_vec()), &limits),
+            Err(HttpError::BodyTooLarge(9))
+        ));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_not_panicked() {
+        assert!(matches!(parse(b"\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(parse(b"GET HTTP/1.1\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(parse(b"GET / SPDY/3\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(parse(b"G=T / HTTP/1.1\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: two\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nHost: \xff\xfe\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::UnsupportedTransferEncoding)
+        ));
+    }
+
+    #[test]
+    fn bare_lf_lines_parse() {
+        let r = parse(b"GET / HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(r.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn response_round_trips_through_client_parser() {
+        let resp = Response::json(200, "{\"ok\":true}".into());
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, true).unwrap();
+        let parsed = read_response(&mut Cursor::new(wire), &HttpLimits::default()).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.body, b"{\"ok\":true}");
+        assert!(parsed.keep_alive);
+
+        let mut wire = Vec::new();
+        Response::text(503, "shed").write_to(&mut wire, false).unwrap();
+        let parsed = read_response(&mut Cursor::new(wire), &HttpLimits::default()).unwrap();
+        assert_eq!(parsed.status, 503);
+        assert!(!parsed.keep_alive);
+    }
+
+    #[test]
+    fn error_statuses_match_spec() {
+        assert_eq!(HttpError::HeadersTooLarge.status(), Some(431));
+        assert_eq!(HttpError::BodyTooLarge(9).status(), Some(413));
+        assert_eq!(HttpError::Malformed("x".into()).status(), Some(400));
+        assert_eq!(HttpError::UnsupportedTransferEncoding.status(), Some(501));
+        assert_eq!(HttpError::Closed.status(), None);
+        assert_eq!(HttpError::TimedOut.status(), None);
+    }
+}

@@ -1,0 +1,586 @@
+//! A minimal, dependency-free JSON codec for the gateway's wire types.
+//!
+//! The build environment is offline (no serde), and the gateway only needs
+//! to move two small shapes across the wire — [`RecommendRequest`] and
+//! [`RecommendResponse`] — so this module implements exactly the JSON
+//! subset they require: objects, arrays, strings with full escape handling,
+//! unsigned integers (kept exact up to `u64::MAX`, never routed through
+//! `f64`), floats, booleans and null, with a recursion-depth cap so hostile
+//! nesting cannot overflow the stack.
+
+use intellitag_core::{QuestionResponse, TagClickResponse};
+
+/// Maximum nesting depth accepted by [`parse`].
+const MAX_DEPTH: usize = 32;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer, kept exact (ids and latencies are `u64`s).
+    Int(u64),
+    /// Any other number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object (insertion order preserved).
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Field `key` of an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact `u64`, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(n) => Some(*n),
+            JsonValue::Num(f) if *f >= 0.0 && f.fract() == 0.0 && *f < 9.007_199_254_740_992e15 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(n) => out.push_str(&n.to_string()),
+            JsonValue::Num(f) if f.is_finite() => out.push_str(&f.to_string()),
+            JsonValue::Num(_) => out.push_str("null"),
+            JsonValue::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\":");
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("json error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, String> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null").map(|_| JsonValue::Null),
+            Some(b't') => self.eat_keyword("true").map(|_| JsonValue::Bool(true)),
+            Some(b'f') => self.eat_keyword("false").map(|_| JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                loop {
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(JsonValue::Arr(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    let value = self.value(depth + 1)?;
+                    fields.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(JsonValue::Obj(fields));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected byte 0x{c:02x}"))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let start = self.pos;
+        // Fast path: find the closing quote; fall back to escape decoding.
+        let mut has_escape = false;
+        let mut i = self.pos;
+        while let Some(&b) = self.bytes.get(i) {
+            match b {
+                b'"' if !has_escape => {
+                    let raw = &self.bytes[start..i];
+                    let s = std::str::from_utf8(raw)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?
+                        .to_string();
+                    self.pos = i + 1;
+                    return Ok(s);
+                }
+                b'\\' => {
+                    has_escape = true;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        if !has_escape {
+            return Err(self.err("unterminated string"));
+        }
+        // Slow path with escapes: decode char by char.
+        let rest = std::str::from_utf8(&self.bytes[start..])
+            .map_err(|_| self.err("invalid UTF-8 in string"))?;
+        let mut out = String::new();
+        let mut chars = rest.char_indices();
+        while let Some((off, ch)) = chars.next() {
+            match ch {
+                '"' => {
+                    self.pos = start + off + 1;
+                    return Ok(out);
+                }
+                '\\' => match chars.next().map(|(_, c)| c) {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, h) = chars.next().ok_or_else(|| self.err("bad \\u escape"))?;
+                            code = code * 16
+                                + h.to_digit(16).ok_or_else(|| self.err("bad \\u escape"))?;
+                        }
+                        // Surrogate pairs are not emitted by our encoder;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                c => out.push(c),
+            }
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        // Unsigned integers stay exact; everything else goes through f64.
+        if !text.contains(['.', 'e', 'E', '-']) {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(JsonValue::Int(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| self.err(&format!("bad number `{text}`")))
+    }
+}
+
+/// Parses one JSON value from `text`, rejecting trailing garbage.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing bytes after value"));
+    }
+    Ok(v)
+}
+
+/// Parses a JSON value from raw body bytes (the wire hands us bytes, not
+/// strings — invalid UTF-8 is a decode error, not a panic).
+pub fn parse_bytes(body: &[u8]) -> Result<JsonValue, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not valid UTF-8".to_string())?;
+    parse(text)
+}
+
+fn u64_field(v: &JsonValue, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(field) => field
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("`{key}` must be a non-negative integer")),
+    }
+}
+
+fn id_list_field(v: &JsonValue, key: &str) -> Result<Vec<usize>, String> {
+    match v.get(key) {
+        None | Some(JsonValue::Null) => Ok(Vec::new()),
+        Some(field) => {
+            let items = field.as_arr().ok_or_else(|| format!("`{key}` must be an array"))?;
+            items
+                .iter()
+                .map(|item| {
+                    item.as_u64()
+                        .map(|n| n as usize)
+                        .ok_or_else(|| format!("`{key}` must contain non-negative integers"))
+                })
+                .collect()
+        }
+    }
+}
+
+/// A request to the gateway's `/v1/recommend` or `/v1/click` routes.
+///
+/// * `/v1/recommend` with a `question` runs the Q&A dialogue path; without
+///   one it serves the tenant's cold-start tags.
+/// * `/v1/click` feeds `clicks` through the TagRec path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecommendRequest {
+    /// Tenant (enterprise) the request belongs to.
+    pub tenant: usize,
+    /// The user's typed question, when on the dialogue path.
+    pub question: Option<String>,
+    /// Clicked tag ids, when on the TagRec path.
+    pub clicks: Vec<usize>,
+}
+
+impl RecommendRequest {
+    /// Encodes the request as compact JSON.
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![("tenant".to_string(), JsonValue::Int(self.tenant as u64))];
+        if let Some(q) = &self.question {
+            fields.push(("question".into(), JsonValue::Str(q.clone())));
+        }
+        if !self.clicks.is_empty() {
+            fields.push((
+                "clicks".into(),
+                JsonValue::Arr(self.clicks.iter().map(|&c| JsonValue::Int(c as u64)).collect()),
+            ));
+        }
+        JsonValue::Obj(fields).render()
+    }
+
+    /// Decodes a request from raw body bytes.
+    pub fn from_json(body: &[u8]) -> Result<Self, String> {
+        let v = parse_bytes(body)?;
+        if !matches!(v, JsonValue::Obj(_)) {
+            return Err("request must be a JSON object".into());
+        }
+        let tenant = u64_field(&v, "tenant")?.ok_or("missing `tenant`")? as usize;
+        let question = match v.get("question") {
+            None | Some(JsonValue::Null) => None,
+            Some(q) => Some(q.as_str().ok_or("`question` must be a string")?.to_string()),
+        };
+        let clicks = id_list_field(&v, "clicks")?;
+        Ok(RecommendRequest { tenant, question, clicks })
+    }
+}
+
+/// The gateway's uniform response body for both recommendation routes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecommendResponse {
+    /// Best-matching RQ id (dialogue path only).
+    pub rq: Option<usize>,
+    /// The matched RQ's answer text (dialogue path only).
+    pub answer: Option<String>,
+    /// Ranked recommended tags.
+    pub recommended_tags: Vec<usize>,
+    /// Ranked predicted questions (TagRec path only).
+    pub predicted_questions: Vec<usize>,
+    /// Server-side latency in microseconds.
+    pub latency_us: u64,
+}
+
+impl RecommendResponse {
+    /// Response content equality ignoring the measured latency — what the
+    /// e2e parity tests compare across serving fronts.
+    pub fn same_content(&self, other: &Self) -> bool {
+        self.rq == other.rq
+            && self.answer == other.answer
+            && self.recommended_tags == other.recommended_tags
+            && self.predicted_questions == other.predicted_questions
+    }
+
+    /// Encodes the response as compact JSON.
+    pub fn to_json(&self) -> String {
+        let ids = |list: &[usize]| {
+            JsonValue::Arr(list.iter().map(|&t| JsonValue::Int(t as u64)).collect())
+        };
+        JsonValue::Obj(vec![
+            ("rq".into(), self.rq.map_or(JsonValue::Null, |r| JsonValue::Int(r as u64))),
+            ("answer".into(), self.answer.clone().map_or(JsonValue::Null, JsonValue::Str)),
+            ("recommended_tags".into(), ids(&self.recommended_tags)),
+            ("predicted_questions".into(), ids(&self.predicted_questions)),
+            ("latency_us".into(), JsonValue::Int(self.latency_us)),
+        ])
+        .render()
+    }
+
+    /// Decodes a response from raw body bytes.
+    pub fn from_json(body: &[u8]) -> Result<Self, String> {
+        let v = parse_bytes(body)?;
+        if !matches!(v, JsonValue::Obj(_)) {
+            return Err("response must be a JSON object".into());
+        }
+        let answer = match v.get("answer") {
+            None | Some(JsonValue::Null) => None,
+            Some(a) => Some(a.as_str().ok_or("`answer` must be a string")?.to_string()),
+        };
+        Ok(RecommendResponse {
+            rq: u64_field(&v, "rq")?.map(|r| r as usize),
+            answer,
+            recommended_tags: id_list_field(&v, "recommended_tags")?,
+            predicted_questions: id_list_field(&v, "predicted_questions")?,
+            latency_us: u64_field(&v, "latency_us")?.unwrap_or(0),
+        })
+    }
+
+    /// Builds the wire response for a served question.
+    pub fn from_question(r: &QuestionResponse) -> Self {
+        RecommendResponse {
+            rq: r.rq,
+            answer: r.answer.clone(),
+            recommended_tags: r.recommended_tags.clone(),
+            predicted_questions: Vec::new(),
+            latency_us: r.latency_us,
+        }
+    }
+
+    /// Builds the wire response for a served tag click.
+    pub fn from_click(r: &TagClickResponse) -> Self {
+        RecommendResponse {
+            rq: None,
+            answer: None,
+            recommended_tags: r.recommended_tags.clone(),
+            predicted_questions: r.predicted_questions.clone(),
+            latency_us: r.latency_us,
+        }
+    }
+
+    /// Builds the wire response for a cold-start lookup.
+    pub fn from_cold_start(tags: Vec<usize>, latency_us: u64) -> Self {
+        RecommendResponse {
+            rq: None,
+            answer: None,
+            recommended_tags: tags,
+            predicted_questions: Vec::new(),
+            latency_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trips() {
+        let text = r#"{"a":[1,2.5,null,true,"x\n\"y\""],"b":{"c":18446744073709551615}}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_u64(), Some(u64::MAX));
+        let back = parse(&v.render()).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn request_round_trips() {
+        for req in [
+            RecommendRequest { tenant: 3, question: Some("how to pay?".into()), clicks: vec![] },
+            RecommendRequest { tenant: 0, question: None, clicks: vec![5, 1, 5] },
+            RecommendRequest { tenant: usize::MAX, question: None, clicks: vec![] },
+            RecommendRequest {
+                tenant: 1,
+                question: Some("tabs\t\"quotes\"\nnewlines \u{1F600}".into()),
+                clicks: vec![0],
+            },
+        ] {
+            let back = RecommendRequest::from_json(req.to_json().as_bytes()).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resp = RecommendResponse {
+            rq: Some(7),
+            answer: Some("settings > security".into()),
+            recommended_tags: vec![1, 3, 0],
+            predicted_questions: vec![2],
+            latency_us: u64::MAX,
+        };
+        let back = RecommendResponse::from_json(resp.to_json().as_bytes()).unwrap();
+        assert_eq!(back, resp);
+        let none = RecommendResponse {
+            rq: None,
+            answer: None,
+            recommended_tags: vec![],
+            predicted_questions: vec![],
+            latency_us: 0,
+        };
+        assert_eq!(RecommendResponse::from_json(none.to_json().as_bytes()).unwrap(), none);
+    }
+
+    #[test]
+    fn bad_bodies_are_rejected() {
+        assert!(RecommendRequest::from_json(b"").is_err());
+        assert!(RecommendRequest::from_json(b"[1,2]").is_err());
+        assert!(RecommendRequest::from_json(b"{\"tenant\":-1}").is_err());
+        assert!(RecommendRequest::from_json(b"{\"tenant\":1.5}").is_err());
+        assert!(RecommendRequest::from_json(b"{\"question\":\"x\"}").is_err(), "missing tenant");
+        assert!(RecommendRequest::from_json(b"{\"tenant\":1,\"clicks\":[\"a\"]}").is_err());
+        assert!(RecommendRequest::from_json(b"{\"tenant\":1,\"question\":3}").is_err());
+        assert!(RecommendRequest::from_json(&[0xff, 0xfe, 0x00]).is_err(), "invalid UTF-8");
+        assert!(RecommendRequest::from_json(b"{\"tenant\":1}garbage").is_err());
+    }
+
+    #[test]
+    fn hostile_nesting_is_bounded() {
+        let deep = format!("{}1{}", "[".repeat(4000), "]".repeat(4000));
+        assert!(parse(&deep).is_err(), "deep nesting must be rejected, not overflow");
+    }
+
+    #[test]
+    fn numbers_keep_u64_precision() {
+        // 2^53 + 1 is not representable in f64; the codec must keep it.
+        let v = parse("9007199254740993").unwrap();
+        assert_eq!(v.as_u64(), Some(9007199254740993));
+        assert_eq!(v.render(), "9007199254740993");
+        // Floats still parse.
+        assert_eq!(parse("2.5").unwrap(), JsonValue::Num(2.5));
+        assert_eq!(parse("-3").unwrap(), JsonValue::Num(-3.0));
+    }
+}

@@ -1,0 +1,55 @@
+//! # intellitag-gateway
+//!
+//! A dependency-free (std-only) HTTP/1.1 serving gateway for the
+//! IntelliTag stack: the layer that turns an in-process [`TagService`]
+//! (a single `ModelServer` replica or a `ShardedServer` fleet) into a
+//! network service the paper's §VI online deployment describes.
+//!
+//! The crate is split along the wire:
+//!
+//! * [`http`] — a hand-rolled, size/timeout-limited HTTP/1.1 parser and
+//!   writer with keep-alive and pipelining support.
+//! * [`json`] — a minimal JSON codec (no serde) plus the typed wire
+//!   shapes [`RecommendRequest`] / [`RecommendResponse`].
+//! * [`server`] — the accept loop, worker pool, 503 load shedding and
+//!   graceful drain behind [`Gateway::spawn`].
+//! * [`client`] — the blocking keep-alive [`GatewayClient`] the loadgen
+//!   example and e2e tests drive.
+//!
+//! Routes: `POST /v1/recommend` (question path, or cold-start when no
+//! question is given), `POST /v1/click` (TagRec path), `GET /healthz`,
+//! and `GET /metrics`, which serves a live Prometheus rendering of the
+//! shared [`MetricsRegistry`](intellitag_obs::MetricsRegistry) — wire,
+//! routing and model stages in one scrape.
+//!
+//! ```no_run
+//! use intellitag_gateway::{Gateway, GatewayClient, GatewayConfig, RecommendRequest};
+//! use intellitag_obs::MetricsRegistry;
+//! # fn build_server(_: &MetricsRegistry) -> intellitag_core::ModelServer<intellitag_baselines::Popularity> { unimplemented!() }
+//!
+//! let registry = MetricsRegistry::new();
+//! let reg = registry.clone();
+//! let handle = Gateway::spawn("127.0.0.1:0", GatewayConfig::default(), &registry, move |_worker| {
+//!     build_server(&reg) // runs inside the worker thread: non-Send services are fine
+//! })
+//! .unwrap();
+//!
+//! let mut client = GatewayClient::new(handle.addr());
+//! let resp = client
+//!     .recommend(&RecommendRequest { tenant: 0, question: Some("how do I pay?".into()), clicks: vec![] })
+//!     .unwrap();
+//! println!("tags: {:?}", resp.recommended_tags);
+//! handle.shutdown();
+//! ```
+//!
+//! [`TagService`]: intellitag_core::TagService
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod server;
+
+pub use client::{ClientError, GatewayClient};
+pub use http::{HttpError, HttpLimits, Request, Response};
+pub use json::{JsonValue, RecommendRequest, RecommendResponse};
+pub use server::{Gateway, GatewayConfig, GatewayHandle};

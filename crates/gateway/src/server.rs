@@ -1,0 +1,408 @@
+//! The gateway itself: a thread-pool HTTP/1.1 front over any [`TagService`].
+//!
+//! Architecture (mirrors the replica-per-worker idiom of
+//! `ShardedServer`): an accept thread runs a non-blocking poll loop and
+//! feeds accepted sockets into a bounded queue; `workers` threads each
+//! build their **own** service instance via the caller's factory (so
+//! non-`Send` fronts like `ModelServer` work) and serve keep-alive
+//! connections off the queue. When the queue is full the accept thread
+//! sheds the connection with an immediate `503` instead of letting it
+//! queue unboundedly — the same explicit-shed discipline the sharded
+//! front uses.
+//!
+//! Everything the gateway observes lands in the shared
+//! [`MetricsRegistry`]: `gateway.requests{route=..,status=..}` counters,
+//! `gateway.request_us{route=..}` handling-latency histograms,
+//! `gateway.connections` / `gateway.pending_connections` gauges and the
+//! `gateway.shed` counter, so one `/metrics` scrape shows the wire,
+//! routing and model stages side by side.
+
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use intellitag_core::TagService;
+use intellitag_obs::{MetricsRegistry, SpanTimer};
+
+use crate::http::{read_request, HttpLimits, Request, Response};
+use crate::json::{RecommendRequest, RecommendResponse};
+
+/// Tuning knobs for [`Gateway::spawn`].
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Worker threads; each builds its own service replica.
+    pub workers: usize,
+    /// Accepted-but-unserved connections the gateway will queue before
+    /// shedding with `503`.
+    pub pending_connections: usize,
+    /// Per-connection socket read deadline (also bounds how long a worker
+    /// lingers on an idle keep-alive connection during shutdown).
+    pub read_timeout: Duration,
+    /// Per-connection socket write deadline.
+    pub write_timeout: Duration,
+    /// HTTP parser size limits.
+    pub limits: HttpLimits,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            workers: 2,
+            pending_connections: 64,
+            read_timeout: Duration::from_millis(2_000),
+            write_timeout: Duration::from_millis(2_000),
+            limits: HttpLimits::default(),
+        }
+    }
+}
+
+/// Gateway-side metric handles, all living in the shared registry.
+struct GatewayMetrics {
+    registry: MetricsRegistry,
+    conns_active: Arc<intellitag_obs::Gauge>,
+    conns_total: Arc<intellitag_obs::Counter>,
+    pending: Arc<intellitag_obs::Gauge>,
+    shed: Arc<intellitag_obs::Counter>,
+}
+
+impl GatewayMetrics {
+    fn bind(registry: &MetricsRegistry) -> Self {
+        GatewayMetrics {
+            registry: registry.clone(),
+            conns_active: registry.gauge("gateway.connections"),
+            conns_total: registry.counter("gateway.connections_total"),
+            pending: registry.gauge("gateway.pending_connections"),
+            shed: registry.counter("gateway.shed"),
+        }
+    }
+
+    fn request(&self, route: &str, status: u16, latency_us: u64) {
+        self.registry
+            .counter_labeled(
+                "gateway.requests",
+                &[("route", route), ("status", &status.to_string())],
+            )
+            .inc();
+        self.registry
+            .histogram_labeled("gateway.request_us", &[("route", route)])
+            .record(latency_us);
+    }
+}
+
+/// The std-only HTTP front. Construct with [`Gateway::spawn`].
+pub struct Gateway;
+
+/// Handle to a running gateway: the bound address, the shared registry,
+/// and a graceful [`GatewayHandle::shutdown`].
+pub struct GatewayHandle {
+    addr: SocketAddr,
+    registry: MetricsRegistry,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Binds `addr` (use port 0 for an ephemeral port) and spawns the
+    /// accept loop plus `cfg.workers` serving threads. `factory(i)` runs
+    /// **inside** worker `i`'s thread, so services that are not `Send`
+    /// (e.g. `ModelServer`, whose matcher holds `Rc`-based parameters)
+    /// can still be served; to share one concurrent service across all
+    /// workers, return clones of an `Arc<ShardedServer<_>>` instead.
+    ///
+    /// Returns once every worker has built its replica, surfacing factory
+    /// panics as an error instead of a half-alive gateway.
+    pub fn spawn<S, F>(
+        addr: &str,
+        cfg: GatewayConfig,
+        registry: &MetricsRegistry,
+        factory: F,
+    ) -> io::Result<GatewayHandle>
+    where
+        S: TagService + 'static,
+        F: Fn(usize) -> S + Send + Sync + 'static,
+    {
+        assert!(cfg.workers > 0, "gateway needs at least one worker");
+        assert!(cfg.pending_connections > 0, "pending_connections must be positive");
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let metrics = Arc::new(GatewayMetrics::bind(registry));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(cfg.pending_connections);
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let factory = Arc::new(factory);
+        let (ready_tx, ready_rx) = mpsc::channel::<usize>();
+
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for worker_id in 0..cfg.workers {
+            let factory = Arc::clone(&factory);
+            let conn_rx = Arc::clone(&conn_rx);
+            let metrics = Arc::clone(&metrics);
+            let shutdown = Arc::clone(&shutdown);
+            let ready_tx = ready_tx.clone();
+            let cfg = cfg.clone();
+            workers.push(thread::Builder::new().name(format!("gw-worker-{worker_id}")).spawn(
+                move || {
+                    let service = factory(worker_id);
+                    let _ = ready_tx.send(worker_id);
+                    drop(ready_tx);
+                    worker_loop(service, conn_rx, metrics, shutdown, cfg);
+                },
+            )?);
+        }
+        drop(ready_tx);
+        for _ in 0..cfg.workers {
+            if ready_rx.recv().is_err() {
+                // A factory panicked before signalling ready; stop the
+                // accept path so the surviving workers exit, then fail.
+                shutdown.store(true, Ordering::SeqCst);
+                drop(conn_tx);
+                return Err(io::Error::other(
+                    "gateway worker failed to initialise its service replica",
+                ));
+            }
+        }
+
+        let accept_thread = {
+            let metrics = Arc::clone(&metrics);
+            let shutdown = Arc::clone(&shutdown);
+            let cfg = cfg.clone();
+            thread::Builder::new()
+                .name("gw-accept".to_string())
+                .spawn(move || accept_loop(listener, conn_tx, metrics, shutdown, cfg))?
+        };
+
+        Ok(GatewayHandle {
+            addr: local_addr,
+            registry: registry.clone(),
+            shutdown,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+}
+
+impl GatewayHandle {
+    /// The address the gateway is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared metrics registry (also served at `GET /metrics`).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued and in-flight
+    /// requests, then join every thread. Idle keep-alive connections are
+    /// released when their read deadline expires, so shutdown takes at
+    /// most roughly `read_timeout` after the last request.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for GatewayHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    conn_tx: SyncSender<TcpStream>,
+    metrics: Arc<GatewayMetrics>,
+    shutdown: Arc<AtomicBool>,
+    cfg: GatewayConfig,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                metrics.conns_total.inc();
+                let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+                let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+                // Request/response traffic is latency-bound small writes;
+                // leaving Nagle on costs a delayed-ACK round trip per hop.
+                let _ = stream.set_nodelay(true);
+                match conn_tx.try_send(stream) {
+                    Ok(()) => metrics.pending.add(1.0),
+                    Err(TrySendError::Full(mut stream)) => {
+                        // Saturated: shed explicitly rather than queue
+                        // unboundedly. The client sees a clean 503.
+                        metrics.shed.inc();
+                        metrics.request("shed", 503, 0);
+                        let resp = Response::json(503, "{\"error\":\"gateway saturated\"}".into());
+                        let _ = resp.write_to(&mut stream, false);
+                        let _ = stream.flush();
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    // Dropping conn_tx lets workers drain what's queued and then exit.
+}
+
+fn worker_loop<S: TagService>(
+    service: S,
+    conn_rx: Arc<Mutex<Receiver<TcpStream>>>,
+    metrics: Arc<GatewayMetrics>,
+    shutdown: Arc<AtomicBool>,
+    cfg: GatewayConfig,
+) {
+    loop {
+        // Hold the lock only for the dequeue, never while serving.
+        let stream = {
+            let rx = conn_rx.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv()
+        };
+        match stream {
+            Ok(stream) => {
+                metrics.pending.add(-1.0);
+                serve_connection(&service, stream, &metrics, &shutdown, &cfg);
+            }
+            // Sender dropped: accept loop is gone and the queue is fully
+            // drained — in-flight work is done, exit.
+            Err(_) => return,
+        }
+    }
+}
+
+/// Serves one keep-alive connection until the client closes, an error
+/// occurs, or shutdown is requested (in-flight request still completes,
+/// answered with `Connection: close`).
+fn serve_connection<S: TagService>(
+    service: &S,
+    stream: TcpStream,
+    metrics: &GatewayMetrics,
+    shutdown: &AtomicBool,
+    cfg: &GatewayConfig,
+) {
+    metrics.conns_active.add(1.0);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => {
+            metrics.conns_active.add(-1.0);
+            return;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader, &cfg.limits) {
+            Ok(r) => r,
+            Err(e) => {
+                // Protocol violations get a status; transport conditions
+                // (clean close, timeout, truncation) just end the
+                // connection.
+                if let Some(status) = e.status() {
+                    metrics.request("invalid", status, 0);
+                    let body = format!(
+                        "{{\"error\":{}}}",
+                        crate::json::JsonValue::Str(e.to_string()).render()
+                    );
+                    let _ = Response::json(status, body).write_to(&mut writer, false);
+                }
+                break;
+            }
+        };
+        let timer = SpanTimer::start();
+        let (route, response) = handle(service, metrics, &request);
+        // Count before writing: a client that has the response in hand must
+        // already see it reflected in a scrape.
+        metrics.request(route, response.status, timer.elapsed_us());
+        let keep_alive = request.keep_alive() && !shutdown.load(Ordering::SeqCst);
+        let write_ok = response.write_to(&mut writer, keep_alive).is_ok() && writer.flush().is_ok();
+        if !keep_alive || !write_ok {
+            break;
+        }
+    }
+    metrics.conns_active.add(-1.0);
+}
+
+/// Routes one parsed request; returns the route label (for metrics) and
+/// the response.
+fn handle<S: TagService>(
+    service: &S,
+    metrics: &GatewayMetrics,
+    request: &Request,
+) -> (&'static str, Response) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/recommend") => ("recommend", recommend(service, request)),
+        ("POST", "/v1/click") => ("click", click(service, request)),
+        ("GET", "/healthz") => (
+            "healthz",
+            Response::json(
+                200,
+                format!(
+                    "{{\"status\":\"ok\",\"policy\":{}}}",
+                    crate::json::JsonValue::Str(service.policy()).render()
+                ),
+            ),
+        ),
+        ("GET", "/metrics") => {
+            let body = metrics.registry.render_prometheus();
+            ("metrics", Response::text(200, &body))
+        }
+        ("GET" | "POST", "/v1/recommend" | "/v1/click" | "/healthz" | "/metrics") => {
+            ("invalid", Response::json(405, "{\"error\":\"method not allowed\"}".into()))
+        }
+        _ => ("invalid", Response::json(404, "{\"error\":\"no such route\"}".into())),
+    }
+}
+
+fn bad_request(msg: &str) -> Response {
+    Response::json(
+        400,
+        format!("{{\"error\":{}}}", crate::json::JsonValue::Str(msg.to_string()).render()),
+    )
+}
+
+/// `POST /v1/recommend`: with a `question`, the Q&A dialogue path; without
+/// one, the tenant's cold-start tags (§V-B of the paper).
+fn recommend<S: TagService>(service: &S, request: &Request) -> Response {
+    let req = match RecommendRequest::from_json(&request.body) {
+        Ok(r) => r,
+        Err(e) => return bad_request(&e),
+    };
+    let wire = match &req.question {
+        Some(question) => {
+            RecommendResponse::from_question(&service.handle_question(req.tenant, question))
+        }
+        None => {
+            let timer = SpanTimer::start();
+            let tags = service.cold_start_tags(req.tenant);
+            RecommendResponse::from_cold_start(tags, timer.elapsed_us())
+        }
+    };
+    Response::json(200, wire.to_json())
+}
+
+/// `POST /v1/click`: the TagRec path over the clicked-tag trail.
+fn click<S: TagService>(service: &S, request: &Request) -> Response {
+    let req = match RecommendRequest::from_json(&request.body) {
+        Ok(r) => r,
+        Err(e) => return bad_request(&e),
+    };
+    let wire = RecommendResponse::from_click(&service.handle_tag_click(req.tenant, &req.clicks));
+    Response::json(200, wire.to_json())
+}

@@ -1,0 +1,307 @@
+//! Property/fuzz tests for the gateway's wire layer: the HTTP/1.1 parser
+//! must never panic or allocate unboundedly on hostile bytes, and the JSON
+//! codec must round-trip every value it can represent.
+//!
+//! Two layers of coverage: `proptest!` properties (strategy-driven), plus
+//! deterministic splitmix-seeded fuzz loops over the same properties so
+//! each case set is reproducible from its printed seed.
+
+use std::io::Cursor;
+
+use intellitag_gateway::http::{read_request, read_response, HttpError, HttpLimits, Response};
+use intellitag_gateway::json::{self, JsonValue, RecommendRequest, RecommendResponse};
+use proptest::prelude::*;
+
+/// Splitmix64 — deterministic fuzz driver.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// A random string mixing ASCII, escapes-in-waiting, controls and unicode.
+fn random_string(rng: &mut Rng, max_len: usize) -> String {
+    let pool: &[char] = &[
+        'a', 'b', 'z', 'Z', '0', '9', ' ', '"', '\\', '/', '\n', '\t', '\r', '\u{1}', '{', '}',
+        '[', ']', ':', ',', 'é', '中', '🦀', '\u{7f}', '\u{2028}',
+    ];
+    (0..rng.below(max_len + 1)).map(|_| pool[rng.below(pool.len())]).collect()
+}
+
+/// A random JSON value. Numbers are restricted to shapes whose rendering
+/// parses back to the same variant: full-range `u64`s stay `Int`, floats
+/// carry a fraction or a sign so they stay `Num`.
+fn random_json(rng: &mut Rng, depth: usize) -> JsonValue {
+    let top = if depth >= 3 { 5 } else { 7 };
+    match rng.below(top) {
+        0 => JsonValue::Null,
+        1 => JsonValue::Bool(rng.next() % 2 == 0),
+        2 => JsonValue::Int(rng.next()),
+        3 => {
+            let whole = (rng.next() % 2_000_000) as f64 - 1_000_000.0;
+            JsonValue::Num(whole + 0.5)
+        }
+        4 => JsonValue::Str(random_string(rng, 12)),
+        5 => JsonValue::Arr((0..rng.below(4)).map(|_| random_json(rng, depth + 1)).collect()),
+        _ => JsonValue::Obj(
+            (0..rng.below(4))
+                .map(|i| (format!("k{i}_{}", random_string(rng, 4)), random_json(rng, depth + 1)))
+                .collect(),
+        ),
+    }
+}
+
+fn parse_one(bytes: &[u8]) -> Result<intellitag_gateway::Request, HttpError> {
+    read_request(&mut Cursor::new(bytes.to_vec()), &HttpLimits::default())
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fuzz loops (always executed).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn json_round_trips_random_values() {
+    let mut rng = Rng(0x1A6);
+    for case in 0..300 {
+        let v = random_json(&mut rng, 0);
+        let text = v.render();
+        let back = json::parse(&text)
+            .unwrap_or_else(|e| panic!("case {case}: render produced unparseable `{text}`: {e}"));
+        assert_eq!(back, v, "case {case}: round trip changed the value for `{text}`");
+    }
+}
+
+#[test]
+fn wire_types_round_trip_random_values() {
+    let mut rng = Rng(0xBEEF);
+    for case in 0..200 {
+        let req = RecommendRequest {
+            tenant: rng.next() as usize,
+            question: if rng.next() % 2 == 0 { Some(random_string(&mut rng, 24)) } else { None },
+            clicks: (0..rng.below(6)).map(|_| rng.next() as usize).collect(),
+        };
+        let back = RecommendRequest::from_json(req.to_json().as_bytes())
+            .unwrap_or_else(|e| panic!("case {case}: request failed to decode: {e}"));
+        assert_eq!(back, req, "case {case}");
+
+        let resp = RecommendResponse {
+            rq: if rng.next() % 2 == 0 { Some(rng.next() as usize) } else { None },
+            answer: if rng.next() % 2 == 0 { Some(random_string(&mut rng, 24)) } else { None },
+            recommended_tags: (0..rng.below(6)).map(|_| rng.next() as usize).collect(),
+            predicted_questions: (0..rng.below(4)).map(|_| rng.next() as usize).collect(),
+            latency_us: rng.next(),
+        };
+        let back = RecommendResponse::from_json(resp.to_json().as_bytes())
+            .unwrap_or_else(|e| panic!("case {case}: response failed to decode: {e}"));
+        assert_eq!(back, resp, "case {case}");
+    }
+}
+
+#[test]
+fn json_parser_survives_garbage_and_mutations() {
+    let mut rng = Rng(0xFADE);
+    for _ in 0..400 {
+        // Pure garbage bytes (valid UTF-8 via lossy) — must error, not panic.
+        let garbage: Vec<u8> = (0..rng.below(40)).map(|_| rng.next() as u8).collect();
+        let _ = json::parse_bytes(&garbage);
+        // Mutations of valid documents — any outcome but a panic is fine.
+        let mut text = random_json(&mut rng, 0).render().into_bytes();
+        if !text.is_empty() {
+            let at = rng.below(text.len());
+            match rng.below(3) {
+                0 => text[at] = rng.next() as u8,
+                1 => text.truncate(at),
+                _ => text.insert(at, rng.next() as u8),
+            }
+        }
+        let _ = json::parse_bytes(&text);
+    }
+}
+
+/// A valid POST request wire image with a body of `body_len` bytes.
+fn valid_post(body_len: usize) -> Vec<u8> {
+    let body: String = "x".repeat(body_len);
+    format!(
+        "POST /v1/click HTTP/1.1\r\nhost: fuzz\r\ncontent-type: application/json\r\ncontent-length: {body_len}\r\n\r\n{body}"
+    )
+    .into_bytes()
+}
+
+#[test]
+fn every_strict_prefix_of_a_request_is_an_error_not_a_panic() {
+    let wire = valid_post(19);
+    assert!(parse_one(&wire).is_ok());
+    for cut in 0..wire.len() {
+        match parse_one(&wire[..cut]) {
+            Ok(r) => panic!("prefix of {cut} bytes parsed as a full request: {r:?}"),
+            Err(
+                HttpError::Closed
+                | HttpError::Truncated
+                | HttpError::Malformed(_)
+                | HttpError::Io(_),
+            ) => {}
+            Err(e) => panic!("prefix of {cut} bytes gave unexpected error {e:?}"),
+        }
+    }
+}
+
+#[test]
+fn http_parser_survives_mutated_wire_bytes() {
+    let mut rng = Rng(0x5EED);
+    for _ in 0..400 {
+        let mut wire = valid_post(rng.below(32));
+        let flips = 1 + rng.below(4);
+        for _ in 0..flips {
+            let at = rng.below(wire.len());
+            match rng.below(3) {
+                0 => wire[at] = rng.next() as u8,
+                1 => {
+                    wire.truncate(at);
+                    break;
+                }
+                _ => wire.insert(at, rng.next() as u8),
+            }
+        }
+        let _ = parse_one(&wire); // must not panic or hang
+        let _ = read_response(&mut Cursor::new(wire.clone()), &HttpLimits::default());
+    }
+}
+
+#[test]
+fn oversized_headers_and_bodies_are_rejected_with_bounded_memory() {
+    let limits = HttpLimits { max_header_bytes: 256, max_body_bytes: 128 };
+    let mut rng = Rng(0xB16);
+    for _ in 0..50 {
+        // Headers that keep growing: the parser must give up at the cap, so
+        // even a "10 GB header" input costs at most the cap in memory. The
+        // cursor only materializes a few KB here; the declared sizes probe
+        // the accounting.
+        let huge_header =
+            format!("GET / HTTP/1.1\r\nx: {}\r\n\r\n", "h".repeat(300 + rng.below(4096)));
+        assert!(matches!(
+            read_request(&mut Cursor::new(huge_header.into_bytes()), &limits),
+            Err(HttpError::HeadersTooLarge)
+        ));
+        // A declared body over the cap is rejected *before* allocation.
+        let declared = 129 + rng.below(1_000_000);
+        let big_body = format!("POST / HTTP/1.1\r\ncontent-length: {declared}\r\n\r\n");
+        assert!(matches!(
+            read_request(&mut Cursor::new(big_body.into_bytes()), &limits),
+            Err(HttpError::BodyTooLarge(n)) if n == declared
+        ));
+    }
+}
+
+#[test]
+fn pipelined_random_requests_parse_back_to_back() {
+    let mut rng = Rng(0x9999);
+    for _ in 0..50 {
+        let count = 1 + rng.below(5);
+        let mut wire = Vec::new();
+        let mut expected = Vec::new();
+        for i in 0..count {
+            let body = RecommendRequest {
+                tenant: rng.below(50),
+                question: None,
+                clicks: (0..rng.below(4)).map(|_| rng.below(100)).collect(),
+            }
+            .to_json();
+            let path = format!("/v1/click?i={i}");
+            wire.extend_from_slice(
+                format!("POST {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}", body.len())
+                    .as_bytes(),
+            );
+            expected.push((path, body));
+        }
+        let mut cur = Cursor::new(wire);
+        let limits = HttpLimits::default();
+        for (path, body) in &expected {
+            let req = read_request(&mut cur, &limits).expect("pipelined request parses");
+            assert_eq!(&req.path, path);
+            assert_eq!(req.body, body.as_bytes());
+            assert!(req.keep_alive());
+        }
+        assert!(matches!(read_request(&mut cur, &limits), Err(HttpError::Closed)));
+    }
+}
+
+#[test]
+fn invalid_utf8_is_rejected_in_headers_and_json_bodies() {
+    let mut rng = Rng(0x0F8 + 7);
+    for _ in 0..100 {
+        // Continuation bytes with no lead byte are never valid UTF-8.
+        let bad: Vec<u8> =
+            (0..1 + rng.below(8)).map(|_| 0x80 | (rng.next() as u8 & 0x3f)).collect();
+        let mut header_wire = b"GET / HTTP/1.1\r\nx: ".to_vec();
+        header_wire.extend_from_slice(&bad);
+        header_wire.extend_from_slice(b"\r\n\r\n");
+        assert!(matches!(parse_one(&header_wire), Err(HttpError::Malformed(_))));
+        assert!(json::parse_bytes(&bad).is_err());
+        assert!(RecommendRequest::from_json(&bad).is_err());
+    }
+}
+
+#[test]
+fn responses_round_trip_through_the_client_parser() {
+    let mut rng = Rng(0x4E5 + 0x52);
+    for _ in 0..100 {
+        let body = random_json(&mut rng, 0).render();
+        let status = [200u16, 400, 404, 413, 431, 500, 503][rng.below(7)];
+        let keep_alive = rng.next() % 2 == 0;
+        let mut wire = Vec::new();
+        Response::json(status, body.clone()).write_to(&mut wire, keep_alive).unwrap();
+        let parsed = read_response(&mut Cursor::new(wire), &HttpLimits::default()).unwrap();
+        assert_eq!(parsed.status, status);
+        assert_eq!(parsed.body, body.as_bytes());
+        assert_eq!(parsed.keep_alive, keep_alive);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy-driven properties (proptest).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_request_parser(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = parse_one(&bytes);
+        let _ = read_response(&mut Cursor::new(bytes.clone()), &HttpLimits::default());
+    }
+
+    #[test]
+    fn arbitrary_strings_never_panic_the_json_parser(text in ".{0,256}") {
+        let _ = json::parse(&text);
+    }
+
+    #[test]
+    fn strings_round_trip_through_escaping(s in ".{0,64}") {
+        let v = JsonValue::Str(s.clone());
+        prop_assert_eq!(json::parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn u64_ints_round_trip_exactly(n in any::<u64>()) {
+        let v = JsonValue::Int(n);
+        prop_assert_eq!(json::parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn wire_request_round_trips(tenant in any::<usize>(),
+                                question in proptest::option::of(".{0,48}"),
+                                clicks in proptest::collection::vec(any::<usize>(), 0..8)) {
+        let req = RecommendRequest { tenant, question, clicks };
+        prop_assert_eq!(RecommendRequest::from_json(req.to_json().as_bytes()).unwrap(), req);
+    }
+}

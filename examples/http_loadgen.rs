@@ -1,0 +1,207 @@
+//! Load-generate against the HTTP gateway over a real TCP socket: a
+//! 4-shard `ShardedServer` behind `Gateway`, hammered by N client threads
+//! of mixed traffic, with a mid-run `/metrics` scrape and a wire-level
+//! latency report (p50/p90/p99 from the shared obs histograms).
+//!
+//! Every request is accounted for: answered + shed == sent, or the run
+//! fails. Shed responses (`503`) are load management, not loss.
+//!
+//! ```sh
+//! cargo run --release --example http_loadgen            # 8 clients, full run
+//! cargo run --release --example http_loadgen -- --smoke # small CI-sized run
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use intellitag::gateway::ClientError;
+use intellitag::prelude::*;
+
+/// Splitmix64: a tiny deterministic traffic mixer.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (clients, per_client) = if smoke { (3usize, 30usize) } else { (8usize, 200usize) };
+
+    // ---- the stack: world -> 4-shard front -> HTTP gateway ---------------
+    let world = World::generate(WorldConfig::tiny(77));
+    let tenants = world.tenants.len();
+    let questions: Vec<String> = world.rqs.iter().take(12).map(|r| r.text()).collect();
+
+    let kb = world.build_kb();
+    let tag_texts: Vec<String> = world.tags.iter().map(|t| t.text()).collect();
+    let rq_tags: Vec<Vec<usize>> = world.rqs.iter().map(|r| r.tags.clone()).collect();
+    let tenant_tags: Vec<Vec<usize>> = (0..tenants).map(|t| world.tenant_tag_pool(t)).collect();
+    let counts = world.click_frequency();
+    let train: Vec<Vec<usize>> = world.sessions.iter().map(|s| s.clicks.clone()).collect();
+    let model = Popularity::from_sessions(&train, world.tags.len());
+
+    let registry = MetricsRegistry::new();
+    let shards = 4usize;
+    println!("spawning a {shards}-shard front (power-of-two-choices routing) ...");
+    let front = Arc::new(ShardedServer::spawn(
+        ShardConfig {
+            shards,
+            batch_max: 8,
+            queue_capacity: 256,
+            routing: RoutingPolicy::PowerOfTwoChoices,
+        },
+        registry.clone(),
+        move |shard| {
+            println!("  shard {shard}: replica built");
+            ModelServer::new(
+                model.clone(),
+                kb.clone(),
+                tag_texts.clone(),
+                rq_tags.clone(),
+                tenant_tags.clone(),
+                counts.clone(),
+            )
+        },
+    ));
+
+    let share = Arc::clone(&front);
+    let gateway = Gateway::spawn(
+        "127.0.0.1:0",
+        GatewayConfig { workers: 4, ..Default::default() },
+        &registry,
+        move |_worker| Arc::clone(&share),
+    )
+    .expect("gateway binds an ephemeral port");
+    let addr = gateway.addr();
+    println!("gateway listening on http://{addr} ({clients} clients x {per_client} requests)\n");
+
+    // ---- drive mixed traffic over the wire -------------------------------
+    let answered = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let questions = &questions;
+            let world = &world;
+            let registry = &registry;
+            let (answered, shed) = (&answered, &shed);
+            scope.spawn(move || {
+                let mut rng = Rng((client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x10AD);
+                let mut gw = GatewayClient::new(addr).with_timeout(Duration::from_millis(10_000));
+                let wire = registry.histogram("loadgen.wire_us");
+                for _ in 0..per_client {
+                    let tenant = rng.below(tenants);
+                    let req = match rng.below(3) {
+                        0 => RecommendRequest {
+                            tenant,
+                            question: Some(questions[rng.below(questions.len())].clone()),
+                            clicks: vec![],
+                        },
+                        1 => {
+                            let pool = world.tenant_tag_pool(tenant);
+                            RecommendRequest {
+                                tenant,
+                                question: None,
+                                clicks: vec![pool[rng.below(pool.len())]],
+                            }
+                        }
+                        _ => RecommendRequest { tenant, question: None, clicks: vec![] },
+                    };
+                    let timer = SpanTimer::start();
+                    let result =
+                        if req.clicks.is_empty() { gw.recommend(&req) } else { gw.click(&req) };
+                    match result {
+                        Ok(_) => {
+                            wire.record(timer.elapsed_us());
+                            answered.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ClientError::Shed) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("client {client}: request lost: {e}"),
+                    }
+                }
+            });
+        }
+
+        // One live scrape while the load is in flight — the registry is
+        // served over the same gateway the load rides.
+        scope.spawn(|| {
+            std::thread::sleep(Duration::from_millis(10));
+            let mut scraper = GatewayClient::new(addr);
+            match scraper.scrape_metrics() {
+                Ok(text) => {
+                    let parsed = parse_prometheus(&text).expect("mid-run scrape must parse");
+                    println!(
+                        "mid-run /metrics scrape: {} bytes, {} samples, parses cleanly",
+                        text.len(),
+                        parsed.len()
+                    );
+                }
+                Err(ClientError::Shed) => println!("mid-run scrape was shed (gateway saturated)"),
+                Err(e) => panic!("mid-run scrape failed: {e}"),
+            }
+        });
+    });
+    let elapsed = started.elapsed();
+
+    // ---- accounting: nothing lost ----------------------------------------
+    let sent = (clients * per_client) as u64;
+    let answered = answered.into_inner();
+    let shed_seen = shed.into_inner();
+    assert_eq!(
+        answered + shed_seen,
+        sent,
+        "lost requests: answered {answered} + shed {shed_seen} != sent {sent}"
+    );
+    assert_eq!(registry.counter("gateway.shed").get(), shed_seen);
+    println!(
+        "\nsent {sent} | answered {answered} | shed {shed_seen} | zero lost | {:.0} req/s",
+        answered as f64 / elapsed.as_secs_f64()
+    );
+
+    // ---- the latency ladder, all from one registry -----------------------
+    let wire = registry.histogram("loadgen.wire_us").snapshot();
+    let gw_us = registry.merged_histogram("gateway.request_us");
+    let shard_us = registry.merged_histogram("sharded.request_us");
+    let model_us = registry.histogram("serving.request_us").snapshot();
+    println!("\n{:<26} {:>8} {:>10} {:>10} {:>10}", "stage", "n", "p50", "p90", "p99");
+    for (stage, h) in [
+        ("client wire round-trip", &wire),
+        ("gateway handling", &gw_us),
+        ("sharded front", &shard_us),
+        ("model serving", &model_us),
+    ] {
+        println!(
+            "{:<26} {:>8} {:>7} us {:>7} us {:>7} us",
+            stage,
+            h.count,
+            h.quantile(0.5),
+            h.quantile(0.9),
+            h.quantile(0.99)
+        );
+    }
+
+    println!("\ngateway route counters:");
+    for line in registry.render_prometheus().lines() {
+        if line.starts_with("gateway_requests{") {
+            println!("  {line}");
+        }
+    }
+
+    gateway.shutdown();
+    drop(front);
+    println!("\ngateway drained and joined cleanly{}", if smoke { " (smoke run)" } else { "" });
+}

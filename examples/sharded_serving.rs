@@ -60,7 +60,7 @@ fn main() {
     // ---- a 4-shard front under normal load ------------------------------
     println!("spawning a 4-shard front (batch_max 8, queue 256) ...");
     let registry = MetricsRegistry::new();
-    let cfg = ShardConfig { shards: 4, batch_max: 8, queue_capacity: 256 };
+    let cfg = ShardConfig { shards: 4, batch_max: 8, queue_capacity: 256, ..Default::default() };
     let front = spawn_front(&world, cfg, registry.clone());
     println!("policy: {} | tenant t is served by shard t % {}", front.policy(), cfg.shards);
 
@@ -130,7 +130,7 @@ fn main() {
     // ---- overload: a tiny queue sheds instead of blocking ----------------
     println!("\noverloading a 1-shard front (batch_max 1, queue 1) with try_ traffic ...");
     let overload_registry = MetricsRegistry::new();
-    let small = ShardConfig { shards: 1, batch_max: 1, queue_capacity: 1 };
+    let small = ShardConfig { shards: 1, batch_max: 1, queue_capacity: 1, ..Default::default() };
     let overloaded = spawn_front(&world, small, overload_registry.clone());
     let (mut ok, mut shed) = (0u64, 0u64);
     std::thread::scope(|scope| {

@@ -19,6 +19,7 @@
 //! | [`eval`] | MRR/NDCG/HR, P/R/F1, CTR, HIR, latency accumulators |
 //! | [`obs`] | metrics registry, latency histograms, span timing, exporters |
 //! | [`core`] | the IntelliTag TagRec model, model server and A/B simulator |
+//! | [`gateway`] | std-only HTTP/1.1 serving gateway, JSON codec, client |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@ pub use intellitag_baselines as baselines;
 pub use intellitag_core as core;
 pub use intellitag_datagen as datagen;
 pub use intellitag_eval as eval;
+pub use intellitag_gateway as gateway;
 pub use intellitag_graph as graph;
 pub use intellitag_mining as mining;
 pub use intellitag_nn as nn;
@@ -63,13 +65,16 @@ pub mod prelude {
         SrGnn, TrainConfig,
     };
     pub use intellitag_core::{
-        evaluate_offline, simulate_online, IntelliTag, ModelServer, ProtocolConfig, ShardConfig,
-        ShardedServer, ShedReason, SimConfig, TagRecConfig, TagService,
+        evaluate_offline, simulate_online, IntelliTag, ModelServer, ProtocolConfig, RoutingPolicy,
+        ShardConfig, ShardedServer, ShedReason, SimConfig, TagRecConfig, TagService,
     };
     pub use intellitag_datagen::{
         labeled_sentences, sequence_examples, split_sessions, UserModel, World, WorldConfig,
     };
     pub use intellitag_eval::{RankingAccumulator, RankingReport};
+    pub use intellitag_gateway::{
+        Gateway, GatewayClient, GatewayConfig, GatewayHandle, RecommendRequest, RecommendResponse,
+    };
     pub use intellitag_graph::{HetGraph, Metapath, ALL_METAPATHS};
     pub use intellitag_mining::{
         evaluate_extractor, Extractor, MinerConfig, MiningTask, RuleFilter, TagMiner,

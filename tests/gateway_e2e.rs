@@ -1,0 +1,413 @@
+//! End-to-end tests for the HTTP gateway: a real TCP listener, the
+//! blocking [`GatewayClient`], and both serving fronts behind it — a
+//! per-worker `ModelServer` replica and a shared `Arc<ShardedServer>`.
+//!
+//! The headline guarantee mirrors the sharded-parity suite one layer up:
+//! putting HTTP between the client and the service must not change a
+//! single response. A seeded mixed stream (questions, clicks, cold
+//! starts, degraded traffic) replayed over the wire must match the direct
+//! in-process `TagService` answers content-identically, while a mid-run
+//! `/metrics` scrape stays parseable and the request accounting
+//! reconciles: answered + shed == sent.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use intellitag::gateway::ClientError;
+use intellitag::obs::MetricSample;
+use intellitag::prelude::*;
+
+/// Splitmix64 — deterministic stream generator, no external crates.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Everything a `ModelServer` replica needs, cloneable into factories.
+#[derive(Clone)]
+struct ServerParts {
+    kb: KbWarehouse,
+    tag_texts: Vec<String>,
+    rq_tags: Vec<Vec<usize>>,
+    tenant_tags: Vec<Vec<usize>>,
+    counts: Vec<usize>,
+    model: Popularity,
+}
+
+impl ServerParts {
+    fn from_world(world: &World) -> Self {
+        let train: Vec<Vec<usize>> = world.sessions.iter().map(|s| s.clicks.clone()).collect();
+        ServerParts {
+            kb: world.build_kb(),
+            tag_texts: world.tags.iter().map(|t| t.text()).collect(),
+            rq_tags: world.rqs.iter().map(|r| r.tags.clone()).collect(),
+            tenant_tags: (0..world.tenants.len()).map(|t| world.tenant_tag_pool(t)).collect(),
+            counts: world.click_frequency(),
+            model: Popularity::from_sessions(&train, world.tags.len()),
+        }
+    }
+
+    fn build(&self) -> ModelServer<Popularity> {
+        ModelServer::new(
+            self.model.clone(),
+            self.kb.clone(),
+            self.tag_texts.clone(),
+            self.rq_tags.clone(),
+            self.tenant_tags.clone(),
+            self.counts.clone(),
+        )
+    }
+}
+
+/// One wire request of the replayed stream: the route plus its payload.
+#[derive(Debug, Clone)]
+enum WireCall {
+    Recommend(RecommendRequest),
+    Click(RecommendRequest),
+}
+
+/// A seeded mixed stream: RQ questions (some paraphrased), click trails,
+/// cold starts (recommend without a question), and degraded traffic
+/// (unknown tenants, empty clicks, bogus tag ids) that must degrade
+/// identically over the wire and in process.
+fn wire_stream(world: &World, seed: u64, len: usize) -> Vec<WireCall> {
+    let mut rng = Rng(seed);
+    let tenants = world.tenants.len();
+    (0..len)
+        .map(|i| {
+            let tenant = rng.below(tenants);
+            match rng.below(10) {
+                0..=3 => {
+                    let rq = &world.rqs[rng.below(world.rqs.len())];
+                    let mut text = rq.text();
+                    if rng.below(2) == 0 {
+                        text = format!("please tell me {text} thanks");
+                    }
+                    WireCall::Recommend(RecommendRequest {
+                        tenant,
+                        question: Some(text),
+                        clicks: vec![],
+                    })
+                }
+                4..=6 => {
+                    let pool = world.tenant_tag_pool(tenant);
+                    let n = 1 + rng.below(3.min(pool.len().max(1)));
+                    let clicks = (0..n).map(|_| pool[rng.below(pool.len())]).collect();
+                    WireCall::Click(RecommendRequest { tenant, question: None, clicks })
+                }
+                7..=8 => {
+                    // Cold start: recommend without a question.
+                    WireCall::Recommend(RecommendRequest { tenant, question: None, clicks: vec![] })
+                }
+                _ => match i % 3 {
+                    0 => WireCall::Recommend(RecommendRequest {
+                        tenant: tenants + 7,
+                        question: Some("lost".into()),
+                        clicks: vec![],
+                    }),
+                    1 => {
+                        WireCall::Click(RecommendRequest { tenant, question: None, clicks: vec![] })
+                    }
+                    _ => WireCall::Click(RecommendRequest {
+                        tenant,
+                        question: None,
+                        clicks: vec![usize::MAX / 2, 1_000_000],
+                    }),
+                },
+            }
+        })
+        .collect()
+}
+
+/// The direct (no HTTP) answer for one call, as the wire type.
+fn direct_answer<S: TagService>(service: &S, call: &WireCall) -> RecommendResponse {
+    match call {
+        WireCall::Recommend(req) => match &req.question {
+            Some(q) => RecommendResponse::from_question(&service.handle_question(req.tenant, q)),
+            None => RecommendResponse::from_cold_start(service.cold_start_tags(req.tenant), 0),
+        },
+        WireCall::Click(req) => {
+            RecommendResponse::from_click(&service.handle_tag_click(req.tenant, &req.clicks))
+        }
+    }
+}
+
+fn wire_answer(
+    client: &mut GatewayClient,
+    call: &WireCall,
+) -> Result<RecommendResponse, ClientError> {
+    match call {
+        WireCall::Recommend(req) => client.recommend(req),
+        WireCall::Click(req) => client.click(req),
+    }
+}
+
+#[test]
+fn gateway_over_model_server_matches_direct_responses() {
+    let world = World::generate(WorldConfig::tiny(29));
+    let parts = ServerParts::from_world(&world);
+    let stream = wire_stream(&world, 404, 120);
+
+    // Direct answers from one in-process replica.
+    let direct = parts.build();
+    let expected: Vec<RecommendResponse> =
+        stream.iter().map(|c| direct_answer(&direct, c)).collect();
+    // The stream exercised every route, including degraded traffic.
+    assert!(stream.iter().any(|c| matches!(c, WireCall::Recommend(r) if r.question.is_some())));
+    assert!(stream.iter().any(|c| matches!(c, WireCall::Recommend(r) if r.question.is_none())));
+    assert!(stream.iter().any(|c| matches!(c, WireCall::Click(r) if r.clicks.is_empty())));
+
+    // Two workers, each with its own deterministic replica: whichever
+    // worker picks up the connection must produce the same bytes.
+    let registry = MetricsRegistry::new();
+    let factory_parts = parts.clone();
+    let factory_registry = registry.clone();
+    let handle = Gateway::spawn(
+        "127.0.0.1:0",
+        GatewayConfig { workers: 2, ..Default::default() },
+        &registry,
+        // Rebind each replica onto the shared registry so the gateway's
+        // wire counters and the replicas' serving.* series reconcile in
+        // one scrape.
+        move |_worker| factory_parts.build().with_metrics(factory_registry.clone()),
+    )
+    .expect("gateway binds an ephemeral port");
+
+    let mut client = GatewayClient::new(handle.addr());
+    assert!(client.healthz().expect("healthz").contains("\"ok\""));
+    for (i, call) in stream.iter().enumerate() {
+        let got = wire_answer(&mut client, call).unwrap_or_else(|e| panic!("call {i} failed: {e}"));
+        assert!(
+            got.same_content(&expected[i]),
+            "wire answer {i} diverged:\n  wire   {got:?}\n  direct {:?}",
+            expected[i]
+        );
+    }
+
+    // Every wire request was counted under its route with status 200.
+    let n200 = |route: &str| {
+        registry.counter_labeled("gateway.requests", &[("route", route), ("status", "200")]).get()
+    };
+    let recommends = stream.iter().filter(|c| matches!(c, WireCall::Recommend(_))).count() as u64;
+    let clicks = stream.len() as u64 - recommends;
+    assert_eq!(n200("recommend"), recommends);
+    assert_eq!(n200("click"), clicks);
+    assert_eq!(n200("healthz"), 1);
+    assert_eq!(registry.counter("gateway.shed").get(), 0);
+    // The inner replicas ticked one serving.requests per wire request.
+    assert_eq!(registry.counter("serving.requests").get(), stream.len() as u64);
+
+    handle.shutdown();
+}
+
+#[test]
+fn gateway_over_sharded_front_reconciles_under_concurrency() {
+    let world = World::generate(WorldConfig::tiny(61));
+    let parts = ServerParts::from_world(&world);
+    let direct = parts.build();
+
+    let registry = MetricsRegistry::new();
+    let shards = 4usize;
+    let factory_parts = parts.clone();
+    let front = Arc::new(ShardedServer::spawn(
+        ShardConfig {
+            shards,
+            batch_max: 4,
+            queue_capacity: 64,
+            routing: RoutingPolicy::PowerOfTwoChoices,
+        },
+        registry.clone(),
+        move |_shard| factory_parts.build(),
+    ));
+    // All gateway workers share the one sharded front via `Arc`.
+    let share = Arc::clone(&front);
+    let handle = Gateway::spawn(
+        "127.0.0.1:0",
+        GatewayConfig { workers: 3, ..Default::default() },
+        &registry,
+        move |_worker| Arc::clone(&share),
+    )
+    .expect("gateway binds");
+    let addr = handle.addr();
+
+    let clients = 6usize;
+    let per_client = 40usize;
+    // `ModelServer` is not `Send` (Rc-based parameters), so compute each
+    // client's expected answers up front on this thread; the client
+    // threads then only compare.
+    let plans: Vec<Vec<(WireCall, RecommendResponse)>> = (0..clients)
+        .map(|c| {
+            wire_stream(&world, 0x5EED ^ (c as u64) << 13, per_client)
+                .into_iter()
+                .map(|call| {
+                    let want = direct_answer(&direct, &call);
+                    (call, want)
+                })
+                .collect()
+        })
+        .collect();
+    let answered = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let stop_scraper = AtomicBool::new(false);
+    let scrapes = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        // A scraper hammers GET /metrics *while* traffic flows; every
+        // scrape must parse.
+        scope.spawn(|| {
+            let mut scraper = GatewayClient::new(addr).with_timeout(Duration::from_millis(5_000));
+            while !stop_scraper.load(Ordering::Relaxed) {
+                let text = scraper.scrape_metrics().expect("mid-run scrape succeeds");
+                let samples = parse_prometheus(&text).expect("mid-run scrape parses");
+                assert!(!samples.is_empty());
+                scrapes.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+
+        let mut client_threads = Vec::new();
+        for plan in &plans {
+            let (answered, shed) = (&answered, &shed);
+            client_threads.push(scope.spawn(move || {
+                let mut client =
+                    GatewayClient::new(addr).with_timeout(Duration::from_millis(5_000));
+                for (call, want) in plan {
+                    match wire_answer(&mut client, call) {
+                        Ok(got) => {
+                            answered.fetch_add(1, Ordering::Relaxed);
+                            assert!(
+                                got.same_content(want),
+                                "sharded wire answer diverged:\n  wire   {got:?}\n  direct {want:?}"
+                            );
+                        }
+                        Err(ClientError::Shed) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("unexpected client error: {e}"),
+                    }
+                }
+            }));
+        }
+        // Join the traffic threads (propagating any client panic), then
+        // release the scraper so the scope can close.
+        for t in client_threads {
+            if let Err(p) = t.join() {
+                stop_scraper.store(true, Ordering::Relaxed);
+                std::panic::resume_unwind(p);
+            }
+        }
+        stop_scraper.store(true, Ordering::Relaxed);
+    });
+
+    let sent = (clients * per_client) as u64;
+    let answered = answered.into_inner();
+    let shed_seen = shed.into_inner();
+    assert_eq!(answered + shed_seen, sent, "every request answered or shed, never both");
+    assert!(scrapes.into_inner() > 0, "the mid-run scraper must have scraped");
+
+    // Gateway-side accounting agrees with the clients'.
+    let route_200: u64 = ["recommend", "click"]
+        .iter()
+        .map(|r| {
+            registry.counter_labeled("gateway.requests", &[("route", r), ("status", "200")]).get()
+        })
+        .sum();
+    assert_eq!(route_200, answered);
+    assert_eq!(registry.counter("gateway.shed").get(), shed_seen);
+
+    // One scrape carries all three stages: gateway wire, per-shard
+    // routing, and the model-serving layer, in one registry.
+    let mut tail = GatewayClient::new(addr);
+    let text = tail.scrape_metrics().expect("final scrape");
+    handle.shutdown();
+    let samples = parse_prometheus(&text).expect("final scrape parses");
+    let has = |needle: &str| {
+        samples.iter().any(|s| match s {
+            MetricSample::Counter { name, .. }
+            | MetricSample::Gauge { name, .. }
+            | MetricSample::Histogram { name, .. } => name.contains(needle),
+        })
+    };
+    assert!(has("gateway_requests"), "gateway series missing from scrape:\n{text}");
+    assert!(has("gateway_request_us"), "gateway latency series missing");
+    assert!(has("shard=\"0\""), "per-shard series missing from scrape");
+    assert!(has("serving_request_us"), "model-serving series missing");
+    // Per-shard request counts sum to the answered total (each accepted
+    // request was routed to exactly one shard).
+    let per_shard: u64 = (0..shards)
+        .map(|s| registry.counter_labeled("sharded.processed", &[("shard", &s.to_string())]).get())
+        .sum();
+    assert_eq!(per_shard, answered);
+
+    drop(front);
+}
+
+#[test]
+fn gateway_error_paths_are_clean_json_statuses() {
+    let world = World::generate(WorldConfig::tiny(7));
+    let parts = ServerParts::from_world(&world);
+    let registry = MetricsRegistry::new();
+    let handle = Gateway::spawn(
+        "127.0.0.1:0",
+        GatewayConfig { workers: 1, ..Default::default() },
+        &registry,
+        move |_| parts.build(),
+    )
+    .expect("gateway binds");
+
+    let mut client = GatewayClient::new(handle.addr());
+    // Unknown route → 404; wrong method on a known route → 405. The
+    // public client only speaks the real routes, so drive these through
+    // a raw request with an empty body.
+    let recommend_on_get = RecommendRequest { tenant: 0, question: None, clicks: vec![] };
+    let err = client.click(&RecommendRequest { tenant: 0, question: None, clicks: vec![] });
+    assert!(err.is_ok(), "empty click degrades to popularity, not an error: {err:?}");
+    let _ = recommend_on_get; // routes below are exercised over raw sockets
+
+    use std::io::{Read as _, Write as _};
+    let raw = |wire: &str| -> String {
+        let mut s = std::net::TcpStream::connect(handle.addr()).unwrap();
+        s.write_all(wire.as_bytes()).unwrap();
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        out
+    };
+    let r404 =
+        raw("GET /nope HTTP/1.1\r\nhost: x\r\nconnection: close\r\ncontent-length: 0\r\n\r\n");
+    assert!(r404.starts_with("HTTP/1.1 404"), "got: {r404}");
+    let r405 = raw(
+        "GET /v1/recommend HTTP/1.1\r\nhost: x\r\nconnection: close\r\ncontent-length: 0\r\n\r\n",
+    );
+    assert!(r405.starts_with("HTTP/1.1 405"), "got: {r405}");
+    let r400 = raw(
+        "POST /v1/click HTTP/1.1\r\nhost: x\r\nconnection: close\r\ncontent-length: 9\r\n\r\nnot-json!",
+    );
+    assert!(r400.starts_with("HTTP/1.1 400"), "got: {r400}");
+    // Protocol garbage gets a 400 too (malformed request line).
+    let bad = raw("TOTAL GARBAGE\r\n\r\n");
+    assert!(bad.starts_with("HTTP/1.1 400"), "got: {bad}");
+
+    // Unroutable traffic (bad route, bad method, protocol garbage) counts
+    // under route=invalid; a bad body on a real route counts under that
+    // route with status 400.
+    let labeled = |route: &str, status: &str| {
+        registry.counter_labeled("gateway.requests", &[("route", route), ("status", status)]).get()
+    };
+    assert_eq!(labeled("invalid", "404"), 1);
+    assert_eq!(labeled("invalid", "405"), 1);
+    assert_eq!(labeled("invalid", "400"), 1, "protocol garbage counts as invalid/400");
+    assert_eq!(labeled("click", "400"), 1, "bad JSON counts under its route with 400");
+    handle.shutdown();
+}

@@ -157,7 +157,7 @@ fn sharded_front_matches_single_process_across_knobs() {
     for shards in [1usize, 2, 4] {
         for batch_max in [1usize, 8] {
             let registry = MetricsRegistry::new();
-            let cfg = ShardConfig { shards, batch_max, queue_capacity: 64 };
+            let cfg = ShardConfig { shards, batch_max, queue_capacity: 64, ..Default::default() };
             let factory_parts = parts.clone();
             let front =
                 ShardedServer::spawn(cfg, registry.clone(), move |_shard| factory_parts.build());
@@ -181,7 +181,7 @@ fn same_content_parity_holds_per_response() {
     let registry = MetricsRegistry::new();
     let factory_parts = parts.clone();
     let front = ShardedServer::spawn(
-        ShardConfig { shards: 4, batch_max: 8, queue_capacity: 32 },
+        ShardConfig { shards: 4, batch_max: 8, queue_capacity: 32, ..Default::default() },
         registry,
         move |_shard| factory_parts.build(),
     );
@@ -216,7 +216,7 @@ fn per_shard_series_render_in_prometheus_output() {
     let shards = 3usize;
     let factory_parts = parts.clone();
     let front = ShardedServer::spawn(
-        ShardConfig { shards, batch_max: 4, queue_capacity: 64 },
+        ShardConfig { shards, batch_max: 4, queue_capacity: 64, ..Default::default() },
         registry.clone(),
         move |_shard| factory_parts.build(),
     );

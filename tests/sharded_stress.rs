@@ -53,7 +53,7 @@ fn stress_answers_every_request_exactly_once() {
     // A deliberately tiny queue so the non-blocking senders hit Overloaded.
     let front = build_front(
         &world,
-        ShardConfig { shards, batch_max: 4, queue_capacity: 2 },
+        ShardConfig { shards, batch_max: 4, queue_capacity: 2, ..Default::default() },
         registry.clone(),
     );
 
@@ -161,7 +161,7 @@ fn per_shard_shed_counters_sum_to_total() {
     let shards = 4usize;
     let front = build_front(
         &world,
-        ShardConfig { shards, batch_max: 1, queue_capacity: 1 },
+        ShardConfig { shards, batch_max: 1, queue_capacity: 1, ..Default::default() },
         registry.clone(),
     );
     let tenants = world.tenants.len();
