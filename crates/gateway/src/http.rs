@@ -167,6 +167,25 @@ fn read_line(
     String::from_utf8(raw).map_err(|_| HttpError::Malformed("non-UTF-8 header bytes".into()))
 }
 
+/// Extracts the body length from a parsed header list, strictly: at most
+/// one `Content-Length` header (duplicates — even agreeing ones — are the
+/// classic request-smuggling vector when a fronting proxy picks the other
+/// copy), and the value must be plain ASCII digits (no `+`, sign, or
+/// whitespace beyond the already-trimmed edges).
+fn parse_content_length(headers: &[(String, String)]) -> Result<usize, HttpError> {
+    let mut values = headers.iter().filter(|(k, _)| k == "content-length").map(|(_, v)| v.as_str());
+    let Some(first) = values.next() else { return Ok(0) };
+    if values.next().is_some() {
+        return Err(HttpError::Malformed("multiple content-length headers".into()));
+    }
+    if first.is_empty() || !first.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(HttpError::Malformed(format!("bad content-length `{first}`")));
+    }
+    first
+        .parse::<usize>()
+        .map_err(|_| HttpError::Malformed(format!("bad content-length `{first}`")))
+}
+
 /// Parses one request from `reader`, enforcing `limits`.
 ///
 /// Keep-alive loops call this repeatedly on the same buffered reader;
@@ -217,12 +236,7 @@ pub fn read_request(reader: &mut impl BufRead, limits: &HttpLimits) -> Result<Re
     if headers.iter().any(|(k, _)| k == "transfer-encoding") {
         return Err(HttpError::UnsupportedTransferEncoding);
     }
-    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
-        Some((_, v)) => v
-            .parse::<usize>()
-            .map_err(|_| HttpError::Malformed(format!("bad content-length `{v}`")))?,
-        None => 0,
-    };
+    let content_length = parse_content_length(&headers)?;
     if content_length > limits.max_body_bytes {
         return Err(HttpError::BodyTooLarge(content_length));
     }
@@ -256,17 +270,31 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body bytes.
     pub body: Vec<u8>,
+    /// `Allow` header value, emitted with `405` responses.
+    pub allow: Option<&'static str>,
 }
 
 impl Response {
     /// A JSON response.
     pub fn json(status: u16, body: String) -> Self {
-        Response { status, content_type: "application/json", body: body.into_bytes() }
+        Response { status, content_type: "application/json", body: body.into_bytes(), allow: None }
     }
 
     /// A plain-text response.
     pub fn text(status: u16, body: &str) -> Self {
-        Response { status, content_type: "text/plain; charset=utf-8", body: body.into() }
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+            allow: None,
+        }
+    }
+
+    /// A `405 Method Not Allowed` naming the methods the route supports.
+    pub fn method_not_allowed(allow: &'static str) -> Self {
+        let mut resp = Response::json(405, "{\"error\":\"method not allowed\"}".into());
+        resp.allow = Some(allow);
+        resp
     }
 
     /// Writes the response (with `Content-Length` and an explicit
@@ -276,8 +304,12 @@ impl Response {
         // avoids the write-write-read pattern that trips Nagle + delayed
         // ACK (~40 ms per request on an otherwise idle connection).
         let conn = if keep_alive { "keep-alive" } else { "close" };
+        let allow = match self.allow {
+            Some(methods) => format!("Allow: {methods}\r\n"),
+            None => String::new(),
+        };
         let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {conn}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{allow}Connection: {conn}\r\n\r\n",
             self.status,
             reason(self.status),
             self.content_type,
@@ -338,12 +370,7 @@ pub fn read_response(
         }
         headers.push((name, value));
     }
-    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
-        Some((_, v)) => v
-            .parse::<usize>()
-            .map_err(|_| HttpError::Malformed(format!("bad content-length `{v}`")))?,
-        None => 0,
-    };
+    let content_length = parse_content_length(&headers)?;
     if content_length > limits.max_body_bytes {
         return Err(HttpError::BodyTooLarge(content_length));
     }
@@ -448,6 +475,48 @@ mod tests {
             parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
             Err(HttpError::UnsupportedTransferEncoding)
         ));
+    }
+
+    #[test]
+    fn content_length_is_strict_against_smuggling_shapes() {
+        // Duplicate Content-Length headers — agreeing or not — are rejected.
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 10\r\n\r\nabcd"),
+            Err(HttpError::Malformed(_))
+        ));
+        // Rust's usize::from_str accepts a leading `+`; the wire must not.
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: +4\r\n\r\nabcd"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: -4\r\n\r\nabcd"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length:\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        // The same strictness guards the client-side response parser.
+        let dup = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok";
+        assert!(matches!(
+            read_response(&mut Cursor::new(dup.to_vec()), &HttpLimits::default()),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn method_not_allowed_carries_allow_header() {
+        let mut wire = Vec::new();
+        Response::method_not_allowed("POST").write_to(&mut wire, false).unwrap();
+        let parsed = read_response(&mut Cursor::new(wire), &HttpLimits::default()).unwrap();
+        assert_eq!(parsed.status, 405);
+        let allow = parsed.headers.iter().find(|(k, _)| k == "allow").map(|(_, v)| v.as_str());
+        assert_eq!(allow, Some("POST"));
     }
 
     #[test]

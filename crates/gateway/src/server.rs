@@ -235,6 +235,10 @@ fn accept_loop(
         match listener.accept() {
             Ok((stream, _peer)) => {
                 metrics.conns_total.inc();
+                // The listener is non-blocking, and on some platforms
+                // (macOS/BSD) accepted streams inherit that flag; workers
+                // need blocking reads with deadlines, not WouldBlock spam.
+                let _ = stream.set_nonblocking(false);
                 let _ = stream.set_read_timeout(Some(cfg.read_timeout));
                 let _ = stream.set_write_timeout(Some(cfg.write_timeout));
                 // Request/response traffic is latency-bound small writes;
@@ -363,9 +367,10 @@ fn handle<S: TagService>(
             let body = metrics.registry.render_prometheus();
             ("metrics", Response::text(200, &body))
         }
-        ("GET" | "POST", "/v1/recommend" | "/v1/click" | "/healthz" | "/metrics") => {
-            ("invalid", Response::json(405, "{\"error\":\"method not allowed\"}".into()))
-        }
+        // Known path, wrong method (any method, not just the two we
+        // speak): 405 naming the allowed method, never a misleading 404.
+        (_, "/v1/recommend" | "/v1/click") => ("invalid", Response::method_not_allowed("POST")),
+        (_, "/healthz" | "/metrics") => ("invalid", Response::method_not_allowed("GET")),
         _ => ("invalid", Response::json(404, "{\"error\":\"no such route\"}".into())),
     }
 }

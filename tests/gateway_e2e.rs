@@ -391,6 +391,18 @@ fn gateway_error_paths_are_clean_json_statuses() {
         "GET /v1/recommend HTTP/1.1\r\nhost: x\r\nconnection: close\r\ncontent-length: 0\r\n\r\n",
     );
     assert!(r405.starts_with("HTTP/1.1 405"), "got: {r405}");
+    assert!(r405.contains("Allow: POST"), "405 must name the allowed method: {r405}");
+    // Any method outside GET/POST on a known route is still a 405, not a
+    // misleading 404; the Allow header names what the route speaks.
+    let r405_put = raw(
+        "PUT /v1/recommend HTTP/1.1\r\nhost: x\r\nconnection: close\r\ncontent-length: 0\r\n\r\n",
+    );
+    assert!(r405_put.starts_with("HTTP/1.1 405"), "got: {r405_put}");
+    assert!(r405_put.contains("Allow: POST"), "got: {r405_put}");
+    let r405_head =
+        raw("HEAD /healthz HTTP/1.1\r\nhost: x\r\nconnection: close\r\ncontent-length: 0\r\n\r\n");
+    assert!(r405_head.starts_with("HTTP/1.1 405"), "got: {r405_head}");
+    assert!(r405_head.contains("Allow: GET"), "got: {r405_head}");
     let r400 = raw(
         "POST /v1/click HTTP/1.1\r\nhost: x\r\nconnection: close\r\ncontent-length: 9\r\n\r\nnot-json!",
     );
@@ -406,7 +418,7 @@ fn gateway_error_paths_are_clean_json_statuses() {
         registry.counter_labeled("gateway.requests", &[("route", route), ("status", status)]).get()
     };
     assert_eq!(labeled("invalid", "404"), 1);
-    assert_eq!(labeled("invalid", "405"), 1);
+    assert_eq!(labeled("invalid", "405"), 3);
     assert_eq!(labeled("invalid", "400"), 1, "protocol garbage counts as invalid/400");
     assert_eq!(labeled("click", "400"), 1, "bad JSON counts under its route with 400");
     handle.shutdown();
