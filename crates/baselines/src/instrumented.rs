@@ -19,6 +19,7 @@ pub struct Instrumented<M> {
     inner: M,
     score_latency: Arc<Histogram>,
     score_calls: Arc<Counter>,
+    batch_rows: Arc<Histogram>,
 }
 
 impl<M: SequenceRecommender> Instrumented<M> {
@@ -28,6 +29,7 @@ impl<M: SequenceRecommender> Instrumented<M> {
         Instrumented {
             score_latency: registry.histogram(&format!("model.{name}.score_us")),
             score_calls: registry.counter(&format!("model.{name}.score_calls")),
+            batch_rows: registry.histogram(&format!("model.{name}.batch_rows")),
             inner,
         }
     }
@@ -63,6 +65,18 @@ impl<M: SequenceRecommender> SequenceRecommender for Instrumented<M> {
         span.finish();
         out
     }
+
+    // Must forward explicitly: falling back to the trait default would route
+    // through `self.score_candidates` per item, silently discarding the
+    // wrapped model's batched forward and inflating `score_calls`.
+    fn score_candidates_batch(&self, reqs: &[(&[usize], &[usize])]) -> Vec<Vec<f32>> {
+        self.score_calls.inc();
+        self.batch_rows.record(reqs.len() as u64);
+        let span = self.score_latency.span();
+        let out = self.inner.score_candidates_batch(reqs);
+        span.finish();
+        out
+    }
 }
 
 #[cfg(test)]
@@ -91,5 +105,21 @@ mod tests {
         let _ = wrapped.recommend(&[0], 2);
         assert_eq!(registry.counter("model.Popularity.score_calls").get(), 3);
         assert_eq!(registry.histogram("model.Popularity.score_us").count(), 3);
+    }
+
+    #[test]
+    fn batch_forwards_as_one_call_and_matches_serial() {
+        let registry = MetricsRegistry::new();
+        let wrapped = Instrumented::new(Popularity::from_counts(&[1, 5, 3]), &registry);
+        let ctx_a = [0usize];
+        let ctx_b = [1usize, 2];
+        let pool = [0usize, 1, 2];
+        let reqs: Vec<(&[usize], &[usize])> = vec![(&ctx_a, &pool), (&ctx_b, &pool)];
+        let batched = wrapped.score_candidates_batch(&reqs);
+        assert_eq!(batched[0], wrapped.inner().score_candidates(&ctx_a, &pool));
+        assert_eq!(batched[1], wrapped.inner().score_candidates(&ctx_b, &pool));
+        // One batched call = one score_calls tick, not one per row.
+        assert_eq!(registry.counter("model.Popularity.score_calls").get(), 1);
+        assert_eq!(registry.histogram("model.Popularity.batch_rows").count(), 1);
     }
 }

@@ -21,6 +21,21 @@ pub trait SequenceRecommender {
         candidates.iter().map(|&c| all[c]).collect()
     }
 
+    /// Scores a batch of `(context, candidates)` requests at once. The
+    /// default falls back to one [`SequenceRecommender::score_candidates`]
+    /// call per request; models whose forward pass can stack contexts into a
+    /// single matrix (TagRec's contextual attention) override this so a
+    /// micro-batch drain costs one forward instead of `reqs.len()`.
+    ///
+    /// Overrides must stay bit-exact with the per-item path: callers (the
+    /// sharded serving front) treat batched and serial scoring as
+    /// interchangeable.
+    fn score_candidates_batch(&self, reqs: &[(&[usize], &[usize])]) -> Vec<Vec<f32>> {
+        reqs.iter()
+            .map(|&(context, candidates)| self.score_candidates(context, candidates))
+            .collect()
+    }
+
     /// Top-`k` recommendations, excluding tags already in `context`.
     fn recommend(&self, context: &[usize], k: usize) -> Vec<usize> {
         let scores = self.score_all(context);

@@ -362,11 +362,7 @@ impl IntelliTag {
 
     /// Looks up frozen tag embeddings as constants (no gradient to graph).
     fn gather_frozen(&self, tape: &Tape, tags: &[usize]) -> Tensor {
-        let mut m = Matrix::zeros(tags.len(), self.cfg.dim);
-        for (i, &t) in tags.iter().enumerate() {
-            m.row_slice_mut(i).copy_from_slice(self.z_table.row_slice(t));
-        }
-        tape.constant(m)
+        tape.constant(self.z_table.gather_rows(tags))
     }
 
     /// Sequential forward (Eq. 8-11): append the mask embedding, add
@@ -387,6 +383,48 @@ impl IntelliTag {
             x.row(n.saturating_sub(1))
         };
         self.out.forward(tape, &last) // 1 x |T|
+    }
+
+    /// One stacked forward over several contexts at once: every context's
+    /// `[z_seq; mask]` block is row-stacked into a single matrix and run
+    /// through the encoder under a block-diagonal attention mask, so a
+    /// micro-batch costs one forward instead of one per request.
+    ///
+    /// Bit-exact with [`Self::seq_logits`] per row: all non-attention ops are
+    /// row-local, the additive `0.0`/`-inf` mask leaves in-block softmax bits
+    /// untouched, and the zero-skipping matmul preserves the per-block
+    /// accumulation order. Contexts must be non-empty and pre-clipped.
+    fn seq_logits_batch(&self, contexts: &[&[usize]]) -> Matrix {
+        let tape = Tape::new();
+        let mask_emb = tape.param(&self.mask_emb);
+        let mut parts: Vec<Tensor> = Vec::with_capacity(contexts.len() * 2);
+        let mut lens = Vec::with_capacity(contexts.len());
+        let mut pos_ids = Vec::new();
+        let mut pred_rows = Vec::with_capacity(contexts.len());
+        let mut offset = 0;
+        for &ctx in contexts {
+            let n = ctx.len();
+            assert!(n > 0, "seq_logits_batch: contexts must be non-empty");
+            parts.push(self.gather_frozen(&tape, ctx));
+            parts.push(mask_emb.clone());
+            lens.push(n + 1);
+            pos_ids.extend(0..=n);
+            pred_rows.push(if self.cfg.use_contextual_attention {
+                offset + n // the mask slot
+            } else {
+                offset + n - 1 // ablation w/o ca: the most recent click
+            });
+            offset += n + 1;
+        }
+        let x = Tensor::concat_rows(&parts);
+        let x = x.add(&self.pos.forward_ids(&tape, &pos_ids));
+        let h = if self.cfg.use_contextual_attention {
+            let attn_mask = tape.constant(Matrix::block_diag_mask(&lens));
+            self.encoder.forward_masked(&tape, &x, &attn_mask)
+        } else {
+            x
+        };
+        self.out.forward(&tape, &h.gather_rows(&pred_rows)).value() // B x |T|
     }
 
     /// The model's configuration.
@@ -437,6 +475,24 @@ impl SequenceRecommender for IntelliTag {
         let tape = Tape::new();
         let z_seq = self.gather_frozen(&tape, ctx);
         self.seq_logits(&tape, &z_seq).value().into_vec()
+    }
+
+    fn score_candidates_batch(&self, reqs: &[(&[usize], &[usize])]) -> Vec<Vec<f32>> {
+        // Empty contexts keep `score_all`'s all-zero scores; everything else
+        // rides one stacked forward.
+        let live: Vec<usize> = (0..reqs.len()).filter(|&i| !reqs[i].0.is_empty()).collect();
+        let mut out: Vec<Vec<f32>> =
+            reqs.iter().map(|&(_, cands)| vec![0.0; cands.len()]).collect();
+        if live.is_empty() {
+            return out;
+        }
+        let contexts: Vec<&[usize]> = live.iter().map(|&i| clip_context(reqs[i].0)).collect();
+        let logits = self.seq_logits_batch(&contexts);
+        for (row, &i) in live.iter().enumerate() {
+            let all = logits.row_slice(row);
+            out[i] = reqs[i].1.iter().map(|&c| all[c]).collect();
+        }
+        out
     }
 }
 
@@ -542,6 +598,64 @@ mod tests {
             assert_eq!(scores.len(), 5);
             assert!(scores.iter().all(|s| s.is_finite()), "{}", m.name());
         }
+    }
+
+    #[test]
+    fn batched_scoring_is_bit_exact_with_serial() {
+        let n = 6;
+        let (g, texts, sessions) = cyclic_world(n);
+        let mut cfg = quick_cfg();
+        cfg.train.epochs = 2;
+        let m = IntelliTag::train(&g, &texts, &sessions, cfg);
+        // Mixed lengths, duplicates, an empty context, an over-long context
+        // (clipped to MAX_CTX), and differing candidate pools.
+        let long: Vec<usize> = (0..MAX_CTX + 4).map(|i| i % n).collect();
+        let contexts: Vec<Vec<usize>> =
+            vec![vec![0, 1], vec![3], vec![0, 1], vec![], vec![2, 3, 4, 5], long];
+        let pools: Vec<Vec<usize>> = vec![
+            (0..n).collect(),
+            vec![5, 0, 2],
+            vec![1],
+            (0..n).collect(),
+            vec![4, 4, 1],
+            (0..n).rev().collect(),
+        ];
+        let reqs: Vec<(&[usize], &[usize])> =
+            contexts.iter().zip(&pools).map(|(c, p)| (c.as_slice(), p.as_slice())).collect();
+        let batched = m.score_candidates_batch(&reqs);
+        for (i, &(ctx, pool)) in reqs.iter().enumerate() {
+            let serial = m.score_candidates(ctx, pool);
+            // Bitwise equality, not approximate: the serving front treats the
+            // two paths as interchangeable.
+            assert_eq!(batched[i], serial, "request {i} diverged");
+        }
+    }
+
+    #[test]
+    fn batched_scoring_without_contextual_attention_matches_serial() {
+        let (g, texts, sessions) = cyclic_world(5);
+        let mut cfg = quick_cfg();
+        cfg.train.epochs = 2;
+        let m = IntelliTag::train(&g, &texts, &sessions, cfg.without_contextual_attention());
+        let contexts: Vec<Vec<usize>> = vec![vec![1, 2], vec![4], vec![0, 1, 2, 3]];
+        let pool: Vec<usize> = (0..5).collect();
+        let reqs: Vec<(&[usize], &[usize])> =
+            contexts.iter().map(|c| (c.as_slice(), pool.as_slice())).collect();
+        let batched = m.score_candidates_batch(&reqs);
+        for (i, &(ctx, pool)) in reqs.iter().enumerate() {
+            assert_eq!(batched[i], m.score_candidates(ctx, pool), "request {i} diverged");
+        }
+    }
+
+    #[test]
+    fn batched_scoring_all_empty_contexts_is_zero() {
+        let (g, texts, sessions) = cyclic_world(4);
+        let mut cfg = quick_cfg();
+        cfg.train.epochs = 1;
+        let m = IntelliTag::train(&g, &texts, &sessions, cfg);
+        let pool = [0usize, 2];
+        let reqs: Vec<(&[usize], &[usize])> = vec![(&[], &pool), (&[], &pool)];
+        assert_eq!(m.score_candidates_batch(&reqs), vec![vec![0.0; 2]; 2]);
     }
 
     #[test]

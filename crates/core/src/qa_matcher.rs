@@ -6,6 +6,8 @@
 //! with a bilinear form, trained on (paraphrase, RQ) pairs with in-batch
 //! negatives.
 
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::time::Instant;
 
 use intellitag_nn::Embedding;
@@ -39,12 +41,25 @@ impl Default for QaMatcherConfig {
 }
 
 /// A trained question↔RQ matcher.
+///
+/// Inference-side candidate encodings are memoized: an RQ text is encoded
+/// once (typically at [`QaMatcher::prewarm`] time) and every later
+/// [`QaMatcher::rerank`]/[`QaMatcher::score`] reuses the cached vector, so
+/// the question path no longer re-encodes the KB per request.
 pub struct QaMatcher {
     vocab: Vocab,
     emb: Embedding,
     /// Bilinear interaction matrix (`dim x dim`).
     w: Param,
     dim: usize,
+    /// Memoized candidate-side encodings (`1 x dim`, `None` = all-UNK text).
+    /// Keyed by exact text; bounded in practice by the KB the matcher serves.
+    encodings: RefCell<HashMap<String, Option<Matrix>>>,
+    /// Inference-path embedding forwards actually run (cache misses +
+    /// query-side encodes). Training encodes are not counted.
+    encode_calls: Cell<u64>,
+    /// Candidate encodings served from the memo instead of re-encoded.
+    cache_hits: Cell<u64>,
 }
 
 impl QaMatcher {
@@ -75,7 +90,15 @@ impl QaMatcher {
         let mut params = ParamSet::new(cfg.train.lr);
         let emb = Embedding::new("qam.emb", vocab.len(), cfg.dim, &mut params, &mut rng);
         let w = params.register(Param::new("qam.w", Matrix::eye(cfg.dim)));
-        let model = QaMatcher { vocab, emb, w, dim: cfg.dim };
+        let model = QaMatcher {
+            vocab,
+            emb,
+            w,
+            dim: cfg.dim,
+            encodings: RefCell::new(HashMap::new()),
+            encode_calls: Cell::new(0),
+            cache_hits: Cell::new(0),
+        };
 
         let tc = &cfg.train;
         params.total_steps = Some((pairs.len() * tc.epochs).div_ceil(tc.batch_size.max(1)).max(1));
@@ -136,28 +159,132 @@ impl QaMatcher {
         Some(self.emb.forward(tape, &ids).mean_rows().tanh())
     }
 
+    /// Runs one inference-side encode (`1 x dim` matrix), counted in
+    /// [`QaMatcher::encode_calls`]. Used for query texts (which vary per
+    /// request) and for candidate cache misses.
+    fn encode_value(&self, text: &str) -> Option<Matrix> {
+        self.encode_calls.set(self.encode_calls.get() + 1);
+        let tape = Tape::new();
+        self.encode(&tape, text).map(|t| t.value())
+    }
+
+    /// Candidate-side encoding through the memo: encoded once per distinct
+    /// text, served from the cache thereafter.
+    fn encode_candidate(&self, text: &str) -> Option<Matrix> {
+        if let Some(cached) = self.encodings.borrow().get(text) {
+            self.cache_hits.set(self.cache_hits.get() + 1);
+            return cached.clone();
+        }
+        let enc = self.encode_value(text);
+        self.encodings.borrow_mut().insert(text.to_string(), enc.clone());
+        enc
+    }
+
+    /// Encodes `texts` into the candidate memo up front — call with the KB's
+    /// RQ texts at server build time so no request pays for a first-touch
+    /// encode.
+    pub fn prewarm<'a>(&self, texts: impl IntoIterator<Item = &'a str>) {
+        for text in texts {
+            if !self.encodings.borrow().contains_key(text) {
+                let enc = self.encode_value(text);
+                self.encodings.borrow_mut().insert(text.to_string(), enc);
+            }
+        }
+    }
+
+    /// Inference-path embedding forwards run so far (query encodes plus
+    /// candidate cache misses) — the quantity the "no per-request KB
+    /// re-encode" tests pin.
+    pub fn encode_calls(&self) -> u64 {
+        self.encode_calls.get()
+    }
+
+    /// Candidate encodings served from the memo instead of re-encoded.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.get()
+    }
+
+    /// The query side of the bilinear form, computed once per request:
+    /// `q · W` (`1 x dim`). `None` when the question has no known tokens.
+    fn project_query(&self, question: &str) -> Option<Matrix> {
+        Some(self.encode_value(question)?.matmul(&self.w.value()))
+    }
+
+    /// Scores one cached candidate against a projected query. Associates as
+    /// `(q · W) · rᵀ`, exactly the order the tensor-graph scorer used.
+    fn score_projected(projected: Option<&Matrix>, candidate: Option<&Matrix>) -> f32 {
+        match (projected, candidate) {
+            (Some(p), Some(r)) => p.matmul_nt(r).get(0, 0),
+            _ => f32::NEG_INFINITY,
+        }
+    }
+
     /// Match score between a user question and an RQ text (higher = better).
     /// Returns `f32::NEG_INFINITY` when either text has no known tokens.
     pub fn score(&self, question: &str, rq_text: &str) -> f32 {
-        let tape = Tape::new();
-        let (Some(q), Some(r)) = (self.encode(&tape, question), self.encode(&tape, rq_text)) else {
-            return f32::NEG_INFINITY;
-        };
-        q.matmul(&tape.param(&self.w)).matmul(&r.transpose()).scalar()
+        Self::score_projected(
+            self.project_query(question).as_ref(),
+            self.encode_candidate(rq_text).as_ref(),
+        )
+    }
+
+    /// Scores candidates with one query encode + projection, candidates
+    /// served from the encoding memo.
+    fn score_candidates<'a>(
+        &self,
+        question: &str,
+        candidates: impl IntoIterator<Item = (usize, &'a str)>,
+    ) -> Vec<(usize, f32)> {
+        let projected = self.project_query(question);
+        candidates
+            .into_iter()
+            .map(|(id, text)| {
+                (
+                    id,
+                    Self::score_projected(projected.as_ref(), self.encode_candidate(text).as_ref()),
+                )
+            })
+            .collect()
     }
 
     /// Re-ranks candidate `(id, text)` pairs by match score, descending.
+    /// The question is encoded and projected once for the whole candidate
+    /// set, not once per candidate.
     pub fn rerank<'a>(
         &self,
         question: &str,
         candidates: impl IntoIterator<Item = (usize, &'a str)>,
     ) -> Vec<usize> {
-        let mut scored: Vec<(usize, f32)> =
-            candidates.into_iter().map(|(id, text)| (id, self.score(question, text))).collect();
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
-        });
+        let mut scored = self.score_candidates(question, candidates);
+        scored.sort_by(Self::rank_order);
         scored.into_iter().map(|(id, _)| id).collect()
+    }
+
+    /// The best-matching candidate id — what [`Self::rerank`]`.first()`
+    /// returns, without sorting or collecting the full candidate vec.
+    pub fn rerank_top1<'a>(
+        &self,
+        question: &str,
+        candidates: impl IntoIterator<Item = (usize, &'a str)>,
+    ) -> Option<usize> {
+        let mut best: Option<(usize, f32)> = None;
+        for cand in self.score_candidates(question, candidates) {
+            let replace = match &best {
+                // Strictly-less keeps the earliest of rank-order ties, like
+                // the stable sort in `rerank`.
+                Some(b) => Self::rank_order(&cand, b) == std::cmp::Ordering::Less,
+                None => true,
+            };
+            if replace {
+                best = Some(cand);
+            }
+        }
+        best.map(|(id, _)| id)
+    }
+
+    /// `rerank`'s comparator: score descending, id ascending on ties.
+    fn rank_order(a: &(usize, f32), b: &(usize, f32)) -> std::cmp::Ordering {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
     }
 
     /// Embedding width.
@@ -227,6 +354,57 @@ mod tests {
         let (_, pairs, corpus) = training_setup();
         let matcher = QaMatcher::train(&pairs[..50], &corpus, QaMatcherConfig::default());
         assert_eq!(matcher.score("zzzz qqqq", &corpus[0]), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn rerank_top1_matches_full_rerank() {
+        let (world, pairs, corpus) = training_setup();
+        let matcher = QaMatcher::train(&pairs[..50], &corpus, QaMatcherConfig::default());
+        let mut rng = StdRng::seed_from_u64(4);
+        for i in 0..20 {
+            let rq = (i * 3) % world.rqs.len();
+            let q = world.paraphrase_question(rq, &mut rng);
+            let cands: Vec<(usize, &str)> =
+                (0..corpus.len()).step_by(2).map(|j| (j, corpus[j].as_str())).collect();
+            assert_eq!(
+                matcher.rerank_top1(&q, cands.clone()),
+                matcher.rerank(&q, cands).first().copied(),
+                "top1 diverged from rerank for query {i}"
+            );
+        }
+        // All-unknown query: every score is NEG_INFINITY, ties break by id.
+        let cands: Vec<(usize, &str)> = vec![(7, corpus[0].as_str()), (2, corpus[1].as_str())];
+        assert_eq!(matcher.rerank_top1("zzzz qqqq", cands.clone()), Some(2));
+        assert_eq!(matcher.rerank("zzzz qqqq", cands)[0], 2);
+        assert_eq!(matcher.rerank_top1("zzzz", Vec::new()), None);
+    }
+
+    #[test]
+    fn candidate_encodings_are_memoized() {
+        let (_, pairs, corpus) = training_setup();
+        let matcher = QaMatcher::train(&pairs[..30], &corpus, QaMatcherConfig::default());
+        assert_eq!(matcher.encode_calls(), 0, "training encodes are not counted");
+        matcher.prewarm(corpus.iter().take(10).map(String::as_str));
+        assert_eq!(matcher.encode_calls(), 10);
+        // Re-prewarming the same texts is free.
+        matcher.prewarm(corpus.iter().take(10).map(String::as_str));
+        assert_eq!(matcher.encode_calls(), 10);
+
+        let cands: Vec<(usize, &str)> =
+            corpus.iter().take(10).enumerate().map(|(i, t)| (i, t.as_str())).collect();
+        for round in 1..=3u64 {
+            let _ = matcher.rerank("how to change password", cands.clone());
+            // One query-side encode per rerank; all 10 candidates hit cache.
+            assert_eq!(matcher.encode_calls(), 10 + round);
+            assert_eq!(matcher.cache_hits(), 10 * round);
+        }
+
+        // Scores served from the cache equal freshly-encoded scores.
+        let cold = QaMatcher::train(&pairs[..30], &corpus, QaMatcherConfig::default());
+        assert_eq!(
+            matcher.rerank("how to change password", cands.clone()),
+            cold.rerank("how to change password", cands)
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ use intellitag_baselines::SequenceRecommender;
 use intellitag_obs::{
     Counter, Histogram, HistogramSnapshot, MetricsRegistry, SampleRing, SpanTimer,
 };
-use intellitag_search::KbWarehouse;
+use intellitag_search::{Hit, KbWarehouse};
 
 use crate::cache::ResponseCache;
 use crate::qa_matcher::QaMatcher;
@@ -253,8 +253,11 @@ impl<M: SequenceRecommender> ModelServer<M> {
     }
 
     /// Attaches a trained Q&A matcher; question recall is then re-ranked by
-    /// match score instead of raw BM25 order.
+    /// match score instead of raw BM25 order. The KB's RQ texts are encoded
+    /// into the matcher's memo here, once — no request pays a first-touch
+    /// encode, and the question path never re-encodes the KB.
     pub fn with_qa_matcher(mut self, matcher: QaMatcher) -> Self {
+        matcher.prewarm((0..self.kb.len()).map(|rq| self.kb.pair(rq).question.as_str()));
         self.qa_matcher = Some(matcher);
         self
     }
@@ -303,7 +306,13 @@ impl<M: SequenceRecommender> ModelServer<M> {
     /// through here, so the counter reconciles exactly against whatever
     /// front (gateway, sharded queue) is driving this server.
     fn finish_request(&self, timer: SpanTimer, path: &Histogram) -> u64 {
-        let us = timer.elapsed_us();
+        self.finish_request_us(timer.elapsed_us(), path)
+    }
+
+    /// [`Self::finish_request`] for callers that already measured the
+    /// latency — the batched click path finishes many requests off one
+    /// shared timer.
+    fn finish_request_us(&self, us: u64, path: &Histogram) -> u64 {
         path.record(us);
         self.obs.request_latency.record(us);
         self.obs.requests.inc();
@@ -371,12 +380,13 @@ impl<M: SequenceRecommender> ModelServer<M> {
                 let recall = self.kb.recall_for_tenant(question, tenant, 10);
                 recall_span.finish();
                 let rerank_span = self.obs.stage_rerank.span();
-                let reranked = matcher.rerank(
+                // Only the top match is served, so skip the full sort.
+                let top = matcher.rerank_top1(
                     question,
                     recall.iter().map(|h| (h.doc, self.kb.pair(h.doc).question.as_str())),
                 );
                 rerank_span.finish();
-                reranked.first().map(|&rq| (rq, self.kb.pair(rq)))
+                top.map(|rq| (rq, self.kb.pair(rq)))
             }
             None => {
                 let recall_span = self.obs.stage_recall.span();
@@ -463,45 +473,24 @@ impl<M: SequenceRecommender> ModelServer<M> {
 
         // One sorted lookup set per request: membership checks drop from
         // O(clicks) scans per candidate to O(log clicks).
-        let mut click_set = clicks.to_vec();
-        click_set.sort_unstable();
-        let clicked = |t: usize| click_set.binary_search(&t).is_ok();
+        let click_set = sorted_click_set(clicks);
 
         // --- next-tag recommendation (model scoring stage) ----------------
         let pool = &self.tenant_tags[tenant];
         let score_span = self.obs.stage_score.span();
         let scores = self.model.score_candidates(clicks, pool);
         score_span.finish();
-        let mut ranked: Vec<(usize, f32)> =
-            pool.iter().copied().zip(scores).filter(|&(t, _)| !clicked(t)).collect();
-        ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
-        });
-        let recommended_tags: Vec<usize> =
-            ranked.into_iter().take(self.tags_per_response).map(|(t, _)| t).collect();
+        let recommended_tags = self.recommend_from_scores(&click_set, pool, scores);
 
         // --- predicted questions (recall stage + overlap rerank stage) ----
         // Query = concatenated clicked-tag texts (paper: "the user's
         // successive clicked tags are composed as a query").
-        let query: String =
-            clicks.iter().map(|&t| self.tag_texts[t].as_str()).collect::<Vec<_>>().join(" ");
+        let query = self.click_query(clicks);
         let recall_span = self.obs.stage_recall.span();
         let recall = self.kb.recall_for_tenant(&query, tenant, 20);
         recall_span.finish();
         let rerank_span = self.obs.stage_rerank.span();
-        let max_bm25 = recall.first().map_or(1.0, |h| h.score.max(1e-6));
-        let mut rescored: Vec<(usize, f32)> = recall
-            .into_iter()
-            .map(|h| {
-                let overlap = self.rq_tags[h.doc].iter().filter(|&&t| clicked(t)).count() as f32;
-                (h.doc, h.score / max_bm25 + 2.0 * overlap)
-            })
-            .collect();
-        rescored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
-        });
-        let predicted_questions: Vec<usize> =
-            rescored.into_iter().take(self.questions_per_response).map(|(q, _)| q).collect();
+        let predicted_questions = self.rerank_recall(&click_set, &recall);
         rerank_span.finish();
 
         let latency_us = self.finish_request(timer, &self.obs.click_latency);
@@ -511,6 +500,172 @@ impl<M: SequenceRecommender> ModelServer<M> {
         }
         resp
     }
+
+    /// The ES query for a click history: concatenated clicked-tag texts
+    /// (paper: "the user's successive clicked tags are composed as a query").
+    fn click_query(&self, clicks: &[usize]) -> String {
+        clicks.iter().map(|&t| self.tag_texts[t].as_str()).collect::<Vec<_>>().join(" ")
+    }
+
+    /// Ranks a candidate pool by model score, dropping already-clicked tags.
+    /// Shared by the serial and batched click paths so both rank identically.
+    fn recommend_from_scores(
+        &self,
+        click_set: &[usize],
+        pool: &[usize],
+        scores: Vec<f32>,
+    ) -> Vec<usize> {
+        let clicked = |t: usize| click_set.binary_search(&t).is_ok();
+        let mut ranked: Vec<(usize, f32)> =
+            pool.iter().copied().zip(scores).filter(|&(t, _)| !clicked(t)).collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        ranked.into_iter().take(self.tags_per_response).map(|(t, _)| t).collect()
+    }
+
+    /// Overlap-reranks BM25 recall for a click history (§V-A). Shared by
+    /// the serial and batched click paths so both rerank identically.
+    fn rerank_recall(&self, click_set: &[usize], recall: &[Hit]) -> Vec<usize> {
+        let clicked = |t: usize| click_set.binary_search(&t).is_ok();
+        let max_bm25 = recall.first().map_or(1.0, |h| h.score.max(1e-6));
+        let mut rescored: Vec<(usize, f32)> = recall
+            .iter()
+            .map(|h| {
+                let overlap = self.rq_tags[h.doc].iter().filter(|&&t| clicked(t)).count() as f32;
+                (h.doc, h.score / max_bm25 + 2.0 * overlap)
+            })
+            .collect();
+        rescored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        rescored.into_iter().take(self.questions_per_response).map(|(q, _)| q).collect()
+    }
+
+    /// Handles a micro-batch of tag clicks with one batched score call.
+    ///
+    /// Per request this is bit-exact with [`Self::handle_tag_click`]
+    /// (`same_content`-identical responses): validation, cache lookups and
+    /// ranking run per request exactly as in the serial path, while the
+    /// model forward is issued once via
+    /// [`SequenceRecommender::score_candidates_batch`] over the deduplicated
+    /// `(tenant, clicks)` set and BM25 recall is shared across requests that
+    /// produce the same query. Per-request counters and the per-path
+    /// histograms tick once per request, so registry reconciliation
+    /// (`serving.requests` == requests served) is unchanged; stage
+    /// histograms record the amortized per-request share of the shared
+    /// stages.
+    pub fn handle_tag_click_batch(&self, reqs: &[(usize, Vec<usize>)]) -> Vec<TagClickResponse> {
+        use std::collections::HashMap;
+
+        struct Pending {
+            idx: usize,
+            tenant: usize,
+            clicks: Vec<usize>,
+            timer: SpanTimer,
+            score_row: usize,
+        }
+
+        let mut out: Vec<Option<TagClickResponse>> = reqs.iter().map(|_| None).collect();
+        let mut pending: Vec<Pending> = Vec::new();
+        // Identical (tenant, clicks) requests share one scored row: the
+        // forward is deterministic, so one row serves them all.
+        let mut score_rows: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
+        let mut uniq: Vec<(usize, Vec<usize>)> = Vec::new();
+
+        // --- per-request validation + cache, exactly as the serial path ---
+        for (idx, (tenant, raw_clicks)) in reqs.iter().enumerate() {
+            let tenant = *tenant;
+            let timer = SpanTimer::start();
+            self.obs.tenant_requests(tenant).inc();
+            if raw_clicks.is_empty() {
+                self.obs.err_empty_clicks.inc();
+                out[idx] = Some(self.degraded_click_response(timer));
+                continue;
+            }
+            if tenant >= self.tenant_tags.len() {
+                self.obs.err_bad_tenant.inc();
+                out[idx] = Some(self.degraded_click_response(timer));
+                continue;
+            }
+            let valid: Vec<usize> =
+                raw_clicks.iter().copied().filter(|&t| t < self.tag_texts.len()).collect();
+            if valid.len() < raw_clicks.len() {
+                self.obs.err_bad_tag.add((raw_clicks.len() - valid.len()) as u64);
+                if valid.is_empty() {
+                    out[idx] = Some(self.degraded_click_response(timer));
+                    continue;
+                }
+            }
+            if let Some(cache) = &self.cache {
+                let cache_span = self.obs.stage_cache.span();
+                let cached = cache.get(&(tenant, valid.clone()));
+                cache_span.finish();
+                if let Some(mut resp) = cached {
+                    self.obs.cache_hit.inc();
+                    resp.latency_us = self.finish_request(timer, &self.obs.click_latency);
+                    out[idx] = Some(resp);
+                    continue;
+                }
+                self.obs.cache_miss.inc();
+            }
+            let score_row = *score_rows.entry((tenant, valid.clone())).or_insert_with(|| {
+                uniq.push((tenant, valid.clone()));
+                uniq.len() - 1
+            });
+            pending.push(Pending { idx, tenant, clicks: valid, timer, score_row });
+        }
+
+        // --- one batched forward over every unique (clicks, pool) ---------
+        let mut uniq_scores: Vec<Vec<f32>> = Vec::new();
+        if !pending.is_empty() {
+            let score_timer = SpanTimer::start();
+            let batch: Vec<(&[usize], &[usize])> = uniq
+                .iter()
+                .map(|(tenant, clicks)| (clicks.as_slice(), self.tenant_tags[*tenant].as_slice()))
+                .collect();
+            uniq_scores = self.model.score_candidates_batch(&batch);
+            let share = score_timer.elapsed_us() / pending.len() as u64;
+            for _ in &pending {
+                self.obs.stage_score.record(share);
+            }
+        }
+
+        // --- assemble responses, sharing recall across equal queries ------
+        let mut recall_memo: HashMap<(usize, String), Vec<Hit>> = HashMap::new();
+        for p in pending {
+            let click_set = sorted_click_set(&p.clicks);
+            let pool = &self.tenant_tags[p.tenant];
+            let recommended_tags =
+                self.recommend_from_scores(&click_set, pool, uniq_scores[p.score_row].clone());
+
+            let query = self.click_query(&p.clicks);
+            let recall_span = self.obs.stage_recall.span();
+            let recall =
+                recall_memo.entry((p.tenant, query)).or_insert_with_key(|(tenant, query)| {
+                    self.kb.recall_for_tenant(query, *tenant, 20)
+                });
+            recall_span.finish();
+            let rerank_span = self.obs.stage_rerank.span();
+            let predicted_questions = self.rerank_recall(&click_set, recall);
+            rerank_span.finish();
+
+            let latency_us = self.finish_request(p.timer, &self.obs.click_latency);
+            let resp = TagClickResponse { recommended_tags, predicted_questions, latency_us };
+            if let Some(cache) = &self.cache {
+                cache.put((p.tenant, p.clicks), resp.clone());
+            }
+            out[p.idx] = Some(resp);
+        }
+        out.into_iter().map(|r| r.expect("every request produced a response")).collect()
+    }
+}
+
+/// Sorted click list for O(log n) membership checks during ranking.
+fn sorted_click_set(clicks: &[usize]) -> Vec<usize> {
+    let mut set = clicks.to_vec();
+    set.sort_unstable();
+    set
 }
 
 impl<M: SequenceRecommender> TagService for ModelServer<M> {
@@ -658,6 +813,95 @@ mod tests {
         assert!(r.answer.unwrap().contains("security"));
         // The rerank stage ran and was timed.
         assert_eq!(s.metrics().histogram("serving.stage.rerank_us").count(), 1);
+    }
+
+    #[test]
+    fn batched_clicks_match_serial_responses() {
+        // Same server, same requests: the batched path must produce
+        // `same_content`-identical responses to one-at-a-time serving,
+        // including degraded requests mixed into the batch.
+        let reqs: Vec<(usize, Vec<usize>)> = vec![
+            (0, vec![0, 1]),
+            (1, vec![4]),
+            (0, vec![]),       // degraded: empty clicks
+            (99, vec![0]),     // degraded: bad tenant
+            (0, vec![1, 999]), // bad tag dropped, still served
+            (0, vec![0, 1]),   // duplicate of the first request
+            (0, vec![999]),    // degraded: all clicks invalid
+            (1, vec![5, 4]),
+        ];
+        let serial_server = server();
+        let serial: Vec<TagClickResponse> =
+            reqs.iter().map(|(t, c)| serial_server.handle_tag_click(*t, c)).collect();
+        let batch_server = server();
+        let batched = batch_server.handle_tag_click_batch(&reqs);
+        assert_eq!(batched.len(), serial.len());
+        for (i, (b, s)) in batched.iter().zip(&serial).enumerate() {
+            assert!(b.same_content(s), "request {i}: batched {b:?} != serial {s:?}");
+        }
+        // Request accounting is per-request, not per-batch.
+        assert_eq!(counter_value(&batch_server, "serving.requests"), reqs.len() as u64);
+        assert_eq!(
+            batch_server.metrics().histogram("serving.tag_click_us").count(),
+            reqs.len() as u64
+        );
+        assert_eq!(counter_value(&batch_server, "serving.error.empty_clicks"), 1);
+        assert_eq!(counter_value(&batch_server, "serving.error.bad_tenant"), 1);
+        assert_eq!(counter_value(&batch_server, "serving.error.bad_tag"), 2);
+        // Served (non-degraded) requests each tick the shared stages.
+        assert_eq!(batch_server.metrics().histogram("serving.stage.score_us").count(), 5);
+        assert_eq!(batch_server.metrics().histogram("serving.stage.recall_us").count(), 5);
+        assert_eq!(batch_server.metrics().histogram("serving.stage.rerank_us").count(), 5);
+    }
+
+    #[test]
+    fn batched_clicks_with_cache_hit_and_fill() {
+        let s = server().with_cache(16);
+        let warm = s.handle_tag_click(0, &[0, 1]);
+        let batched = s.handle_tag_click_batch(&[(0, vec![0, 1]), (0, vec![2])]);
+        // First request hits the warm cache entry; second misses and fills.
+        assert!(batched[0].same_content(&warm));
+        assert_eq!(counter_value(&s, "serving.cache.hit"), 1);
+        assert_eq!(counter_value(&s, "serving.cache.miss"), 2);
+        let again = s.handle_tag_click(0, &[2]);
+        assert!(again.same_content(&batched[1]), "batch-computed responses are cached");
+        assert_eq!(counter_value(&s, "serving.cache.hit"), 2);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let s = server();
+        assert!(s.handle_tag_click_batch(&[]).is_empty());
+        assert_eq!(counter_value(&s, "serving.requests"), 0);
+        assert_eq!(s.metrics().histogram("serving.stage.score_us").count(), 0);
+    }
+
+    #[test]
+    fn question_path_does_not_reencode_kb_per_request() {
+        use crate::qa_matcher::{QaMatcher, QaMatcherConfig};
+        let corpus = vec![
+            "how to change password".to_string(),
+            "how to apply for etc card".to_string(),
+            "where to cancel the order".to_string(),
+        ];
+        let pairs = vec![
+            ("change my password now".to_string(), corpus[0].clone()),
+            ("apply etc card".to_string(), corpus[1].clone()),
+            ("cancel order please".to_string(), corpus[2].clone()),
+        ];
+        let matcher = QaMatcher::train(&pairs, &corpus, QaMatcherConfig::default());
+        let s = server().with_qa_matcher(matcher);
+        // with_qa_matcher prewarmed all 3 KB RQs.
+        let prewarmed = s.qa_matcher.as_ref().unwrap().encode_calls();
+        assert_eq!(prewarmed, 3);
+        let questions = 5u64;
+        for i in 0..questions {
+            let _ = s.handle_question(0, &format!("change password please {i}"));
+        }
+        // Exactly one encode per question (the query side); the KB candidates
+        // all come from the memo.
+        assert_eq!(s.qa_matcher.as_ref().unwrap().encode_calls(), prewarmed + questions);
+        assert!(s.qa_matcher.as_ref().unwrap().cache_hits() > 0);
     }
 
     #[test]

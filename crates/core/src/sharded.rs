@@ -128,6 +128,10 @@ struct WorkerMetrics {
     depth: Arc<AtomicI64>,
     depth_gauge: Arc<Gauge>,
     batch_sizes: Arc<Histogram>,
+    /// Effective rows per batched score call — the size of each drain's
+    /// tag-click partition (`sharded.batch_rows{shard=..}`). Mean > 1 means
+    /// the one-forward-per-drain path is actually amortizing forwards.
+    batch_rows: Arc<Histogram>,
     processed: Arc<Counter>,
 }
 
@@ -190,6 +194,7 @@ impl ShardedServer {
                 depth,
                 depth_gauge: Arc::clone(&shard.depth_gauge),
                 batch_sizes: registry.histogram_labeled("sharded.batch", &labels),
+                batch_rows: registry.histogram_labeled("sharded.batch_rows", &labels),
                 processed: registry.counter_labeled("sharded.processed", &labels),
             };
             let (factory, registry, ready_tx) =
@@ -464,9 +469,15 @@ impl Drop for ShardedServer {
 
 /// The worker loop: block for one request, then drain up to `batch_max - 1`
 /// more without blocking, record the batch size, and serve the batch
-/// through the shard's replica. Exits when every client handle is gone and
-/// the queue is empty — `std::sync::mpsc` delivers buffered messages after
-/// sender drop, which is what makes shutdown drain instead of abort.
+/// through the shard's replica. Each drain is partitioned: questions and
+/// cold starts are answered inline, while the drain's tag clicks ride one
+/// batched score call (`ModelServer::handle_tag_click_batch`) — one model
+/// forward per drain instead of one per click, with the effective batch
+/// size recorded in `sharded.batch_rows{shard=..}`. Batched and serial
+/// scoring are bit-exact, so this changes latency only, never answers.
+/// Exits when every client handle is gone and the queue is empty —
+/// `std::sync::mpsc` delivers buffered messages after sender drop, which is
+/// what makes shutdown drain instead of abort.
 fn worker_loop<M: SequenceRecommender>(
     server: ModelServer<M>,
     rx: Receiver<Job>,
@@ -486,13 +497,14 @@ fn worker_loop<M: SequenceRecommender>(
             metrics.depth.fetch_sub(batch.len() as i64, Ordering::Relaxed) - batch.len() as i64;
         metrics.depth_gauge.set(remaining.max(0) as f64);
         metrics.batch_sizes.record(batch.len() as u64);
+        // `processed` is incremented before each reply is released so that
+        // once a client holds a response, the counter already reflects it —
+        // registry reconciliation never lags behind the clients' own
+        // accounting. A send error means the client gave up on the reply
+        // (e.g. a shed-and-retry harness); the request was still served.
+        let mut click_reqs: Vec<(usize, Vec<usize>)> = Vec::new();
+        let mut click_replies: Vec<mpsc::Sender<TagClickResponse>> = Vec::new();
         for job in batch.drain(..) {
-            // `processed` is incremented before the reply is released so
-            // that once a client holds a response, the counter already
-            // reflects it — registry reconciliation never lags behind the
-            // clients' own accounting. A send error means the client gave
-            // up on the reply (e.g. a shed-and-retry harness); the request
-            // was still served.
             match job {
                 Job::Question { tenant, text, reply } => {
                     let resp = server.handle_question(tenant, &text);
@@ -500,9 +512,8 @@ fn worker_loop<M: SequenceRecommender>(
                     let _ = reply.send(resp);
                 }
                 Job::TagClick { tenant, clicks, reply } => {
-                    let resp = server.handle_tag_click(tenant, &clicks);
-                    metrics.processed.inc();
-                    let _ = reply.send(resp);
+                    click_reqs.push((tenant, clicks));
+                    click_replies.push(reply);
                 }
                 Job::ColdStart { tenant, reply } => {
                     let resp = server.cold_start_tags(tenant);
@@ -511,6 +522,28 @@ fn worker_loop<M: SequenceRecommender>(
                 }
             }
         }
+        match click_reqs.len() {
+            0 => {}
+            1 => {
+                // A lone click skips the batch plumbing — with `batch_max`
+                // of 1 this is exactly the pre-batching worker.
+                metrics.batch_rows.record(1);
+                let (tenant, clicks) = click_reqs.pop().expect("one click request");
+                let resp = server.handle_tag_click(tenant, &clicks);
+                metrics.processed.inc();
+                let _ = click_replies[0].send(resp);
+            }
+            rows => {
+                metrics.batch_rows.record(rows as u64);
+                let responses = server.handle_tag_click_batch(&click_reqs);
+                click_reqs.clear();
+                for (resp, reply) in responses.into_iter().zip(&click_replies) {
+                    metrics.processed.inc();
+                    let _ = reply.send(resp);
+                }
+            }
+        }
+        click_replies.clear();
     }
 }
 
@@ -623,6 +656,151 @@ mod tests {
         let batches = registry.histogram_labeled("sharded.batch", &[("shard", "0")]).snapshot();
         assert!(batches.count >= 1);
         assert!(batches.max <= 4, "batch exceeded batch_max: {}", batches.max);
+    }
+
+    /// Runs one `worker_loop` to completion over a preloaded queue on the
+    /// current thread — deterministic drain composition, no racing worker.
+    fn run_worker(jobs: Vec<Job>, batch_max: usize) -> MetricsRegistry {
+        let registry = MetricsRegistry::new();
+        let server = replica().with_metrics(registry.clone());
+        let (tx, rx) = mpsc::sync_channel(jobs.len().max(1));
+        for job in jobs {
+            tx.try_send(job).expect("preload fits the queue");
+        }
+        drop(tx);
+        let labels = [("shard", "0")];
+        let metrics = WorkerMetrics {
+            depth: Arc::new(AtomicI64::new(0)),
+            depth_gauge: registry.gauge_labeled("sharded.queue_depth", &labels),
+            batch_sizes: registry.histogram_labeled("sharded.batch", &labels),
+            batch_rows: registry.histogram_labeled("sharded.batch_rows", &labels),
+            processed: registry.counter_labeled("sharded.processed", &labels),
+        };
+        worker_loop(server, rx, metrics, batch_max);
+        registry
+    }
+
+    #[test]
+    fn full_drain_scores_clicks_as_one_batch() {
+        // A queue preloaded with 5 clicks drains as one batch of 5: one
+        // batch_rows record, answers identical to a single-process server.
+        let single = replica();
+        let clicks: Vec<Vec<usize>> = vec![vec![0], vec![1, 0], vec![2], vec![0], vec![3, 2]];
+        let (jobs, replies): (Vec<Job>, Vec<_>) = clicks
+            .iter()
+            .map(|c| {
+                let (tx, rx) = mpsc::channel();
+                (Job::TagClick { tenant: 0, clicks: c.clone(), reply: tx }, rx)
+            })
+            .unzip();
+        let registry = run_worker(jobs, 8);
+        for (c, rx) in clicks.iter().zip(replies) {
+            let resp = rx.recv().expect("drained");
+            assert!(resp.same_content(&single.handle_tag_click(0, c)), "clicks {c:?} diverged");
+        }
+        let rows = registry.histogram_labeled("sharded.batch_rows", &[("shard", "0")]).snapshot();
+        assert_eq!(rows.count, 1, "5 preloaded clicks must drain as one batch");
+        assert_eq!(rows.max, 5);
+        assert_eq!(registry.counter_labeled("sharded.processed", &[("shard", "0")]).get(), 5);
+        // One batched score call served 4 unique click histories; stage
+        // accounting stays per-request.
+        assert_eq!(registry.histogram("serving.stage.score_us").count(), 5);
+    }
+
+    #[test]
+    fn all_question_drain_records_no_batch_rows() {
+        // A drain that is 100% questions has an empty click partition: the
+        // batched path must not run (no batch_rows samples, no empty-batch
+        // score call) and every question still answers.
+        let single = replica();
+        let questions = ["how to change password", "how to apply for etc card"];
+        let (jobs, replies): (Vec<Job>, Vec<_>) = questions
+            .iter()
+            .map(|q| {
+                let (tx, rx) = mpsc::channel();
+                (Job::Question { tenant: 0, text: q.to_string(), reply: tx }, rx)
+            })
+            .unzip();
+        let registry = run_worker(jobs, 8);
+        for (q, rx) in questions.iter().zip(replies) {
+            assert!(rx.recv().expect("drained").same_content(&single.handle_question(0, q)));
+        }
+        let rows = registry.histogram_labeled("sharded.batch_rows", &[("shard", "0")]).snapshot();
+        assert_eq!(rows.count, 0, "question-only drains must not tick batch_rows");
+        assert_eq!(registry.histogram("serving.stage.score_us").count(), 0);
+    }
+
+    #[test]
+    fn batch_max_one_disables_batching() {
+        let single = replica();
+        let (front, registry) = front(ShardConfig {
+            shards: 1,
+            batch_max: 1,
+            queue_capacity: 64,
+            ..Default::default()
+        });
+        for i in 0..6usize {
+            let c = front.handle_tag_click(0, &[i % 4]);
+            assert!(c.same_content(&single.handle_tag_click(0, &[i % 4])));
+        }
+        front.shutdown();
+        let batches = registry.histogram_labeled("sharded.batch", &[("shard", "0")]).snapshot();
+        assert_eq!(batches.max, 1, "batch_max=1 must never drain more than one");
+        let rows = registry.histogram_labeled("sharded.batch_rows", &[("shard", "0")]).snapshot();
+        assert!(rows.count >= 1);
+        assert_eq!(rows.max, 1);
+    }
+
+    #[test]
+    fn mixed_drain_with_degraded_and_oversized_requests() {
+        // Force one drain holding questions, cold starts, valid clicks,
+        // degraded clicks, and an oversized click history — the partitioned
+        // worker must answer each exactly like the single-process server.
+        let single = replica();
+        let (front, _) = front(ShardConfig {
+            shards: 1,
+            batch_max: 16,
+            queue_capacity: 64,
+            ..Default::default()
+        });
+        let oversized: Vec<usize> = (0..40).map(|i| i % 4).collect();
+        let (q_tx, q_rx) = mpsc::channel();
+        front
+            .try_send(0, Job::Question { tenant: 0, text: "cancel the order".into(), reply: q_tx })
+            .unwrap();
+        let (cs_tx, cs_rx) = mpsc::channel();
+        front.try_send(0, Job::ColdStart { tenant: 1, reply: cs_tx }).unwrap();
+        let click_cases: Vec<(usize, Vec<usize>)> = vec![
+            (0, vec![0, 1]),
+            (0, vec![]),    // degraded: empty
+            (99, vec![0]),  // degraded: bad tenant
+            (0, vec![999]), // degraded: bad tag
+            (0, oversized.clone()),
+            (1, vec![4, 5]),
+        ];
+        let click_replies: Vec<_> = click_cases
+            .iter()
+            .map(|(tenant, clicks)| {
+                let (tx, rx) = mpsc::channel();
+                front
+                    .try_send(
+                        0,
+                        Job::TagClick { tenant: *tenant, clicks: clicks.clone(), reply: tx },
+                    )
+                    .unwrap();
+                rx
+            })
+            .collect();
+        assert!(q_rx.recv().unwrap().same_content(&single.handle_question(0, "cancel the order")));
+        assert_eq!(cs_rx.recv().unwrap(), single.cold_start_tags(1));
+        for ((tenant, clicks), rx) in click_cases.iter().zip(click_replies) {
+            let resp = rx.recv().expect("drained");
+            assert!(
+                resp.same_content(&single.handle_tag_click(*tenant, clicks)),
+                "tenant {tenant} clicks {clicks:?} diverged"
+            );
+        }
+        front.shutdown();
     }
 
     #[test]

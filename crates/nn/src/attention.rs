@@ -44,8 +44,31 @@ impl MultiHeadAttention {
     /// Self-attention; returns the output and per-head attention matrices
     /// (`N x N`, rows = query positions) for inspection (Fig. 5c/d).
     pub fn forward_with_attn(&self, tape: &Tape, x: &Tensor) -> (Tensor, Vec<Matrix>) {
+        self.forward_inner(tape, x, None)
+    }
+
+    /// Self-attention with an additive score mask (`N x N`): `0.0` where a
+    /// query may attend, `-inf` where it may not. With a block-diagonal mask
+    /// this makes a row-stacked batch of independent sequences bit-identical
+    /// to running each sequence through [`Self::forward`] on its own: adding
+    /// `0.0` leaves finite scores untouched, `exp(-inf)` contributes exactly
+    /// `0.0` to softmax sums, and the zero-skipping matmul keeps the
+    /// probs-times-values accumulation order per block unchanged.
+    pub fn forward_masked(&self, tape: &Tape, x: &Tensor, mask: &Tensor) -> Tensor {
+        self.forward_inner(tape, x, Some(mask)).0
+    }
+
+    fn forward_inner(
+        &self,
+        tape: &Tape,
+        x: &Tensor,
+        mask: Option<&Tensor>,
+    ) -> (Tensor, Vec<Matrix>) {
         assert_eq!(x.cols(), self.dim, "input width mismatch");
         let n = x.rows();
+        if let Some(m) = mask {
+            assert_eq!(m.shape(), (n, n), "mask must be N x N");
+        }
         let dh = self.dim / self.heads;
         let q = self.wq.forward(tape, x);
         let k = self.wk.forward(tape, x);
@@ -59,7 +82,10 @@ impl MultiHeadAttention {
             let qh = q.slice_cols(lo, hi);
             let kh = k.slice_cols(lo, hi);
             let vh = v.slice_cols(lo, hi);
-            let scores = qh.matmul(&kh.transpose()).scale(scale); // N x N
+            let mut scores = qh.matmul(&kh.transpose()).scale(scale); // N x N
+            if let Some(m) = mask {
+                scores = scores.add(m);
+            }
             let probs = scores.softmax_rows();
             head_attn.push(probs.value());
             let probs = probs.dropout(self.attn_dropout);

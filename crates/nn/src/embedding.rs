@@ -89,6 +89,20 @@ impl PositionEmbedding {
         self.inner.forward(tape, &ids)
     }
 
+    /// Position embeddings for arbitrary position ids, as a
+    /// `len(ids) x dim` tensor. Lets a row-stacked batch of sequences gather
+    /// each sequence's `0..=n_i` positions in one lookup.
+    pub fn forward_ids(&self, tape: &Tape, ids: &[usize]) -> Tensor {
+        for &id in ids {
+            assert!(
+                id < self.inner.vocab(),
+                "position {id} exceeds max positions {}",
+                self.inner.vocab()
+            );
+        }
+        self.inner.forward(tape, ids)
+    }
+
     /// Maximum supported sequence length.
     pub fn max_len(&self) -> usize {
         self.inner.vocab()
@@ -136,6 +150,32 @@ mod tests {
         let tape = Tape::new();
         assert_eq!(pos.forward(&tape, 5).shape(), (5, 4));
         assert_eq!(pos.max_len(), 8);
+    }
+
+    #[test]
+    fn position_embedding_forward_ids_matches_ranges() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ps = ParamSet::new(1e-3);
+        let pos = PositionEmbedding::new("p", 8, 4, &mut ps, &mut rng);
+        let tape = Tape::new();
+        // Two stacked sequences' worth of positions in one gather.
+        let batched = pos.forward_ids(&tape, &[0, 1, 2, 0, 1]).value();
+        let a = pos.forward(&tape, 3).value();
+        let b = pos.forward(&tape, 2).value();
+        assert_eq!(batched.row_slice(0), a.row_slice(0));
+        assert_eq!(batched.row_slice(2), a.row_slice(2));
+        assert_eq!(batched.row_slice(3), b.row_slice(0));
+        assert_eq!(batched.row_slice(4), b.row_slice(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max positions")]
+    fn position_embedding_ids_overflow_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ps = ParamSet::new(1e-3);
+        let pos = PositionEmbedding::new("p", 4, 2, &mut ps, &mut rng);
+        let tape = Tape::new();
+        let _ = pos.forward_ids(&tape, &[0, 4]);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! user's question, or the concatenated clicked tags) and receives a ranked
 //! recall set of representative questions.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A scored search hit.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,8 +112,12 @@ impl InvertedIndex {
         let avg = self.avg_doc_len().max(1e-6);
         let mut scores: HashMap<usize, f32> = HashMap::new();
         // Deduplicate query terms but keep multiplicity as a weight, which is
-        // what ES does for repeated terms in a bool/match query.
-        let mut q_counts: HashMap<&str, f32> = HashMap::new();
+        // what ES does for repeated terms in a bool/match query. Terms must
+        // accumulate in a deterministic order: summing f32 contributions in
+        // HashMap order (which varies per thread via RandomState) shifts
+        // scores by an ulp and flips near-ties, breaking response parity
+        // between single-process servers and worker-thread replicas.
+        let mut q_counts: BTreeMap<&str, f32> = BTreeMap::new();
         for t in query {
             *q_counts.entry(t.as_str()).or_default() += 1.0;
         }
@@ -203,6 +207,34 @@ mod tests {
         let hits = ix.search(&toks("x"), 2);
         assert_eq!(hits[0].doc, 0);
         assert_eq!(hits[1].doc, 1);
+    }
+
+    #[test]
+    fn scores_are_bitwise_identical_across_threads_and_clones() {
+        // Replica-per-shard serving searches cloned indexes from worker
+        // threads; scores must not depend on which thread computes them
+        // (per-thread hash seeds must never reorder f32 accumulation).
+        let ix = index(&[
+            "reset my account password please",
+            "reset password for my account now",
+            "cancel my order please",
+            "account password reset steps",
+        ]);
+        let query = toks("please reset my account password now");
+        let baseline = ix.search(&query, 4);
+        assert_eq!(baseline.len(), 4);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (ix, query, baseline) = (ix.clone(), &query, &baseline);
+                scope.spawn(move || {
+                    let hits = ix.search(query, 4);
+                    assert_eq!(&hits, baseline, "BM25 ranking diverged across threads");
+                    for (a, b) in hits.iter().zip(baseline) {
+                        assert_eq!(a.score.to_bits(), b.score.to_bits());
+                    }
+                });
+            }
+        });
     }
 
     #[test]

@@ -365,6 +365,39 @@ impl Matrix {
         out
     }
 
+    /// Copy of arbitrary rows, in the given order (batched embedding
+    /// lookup: one gather turns a batch of indices into one matrix).
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &r in indices {
+            assert!(r < self.rows, "gather_rows: row {r} out of range ({} rows)", self.rows);
+            data.extend_from_slice(self.row_slice(r));
+        }
+        Matrix { rows: indices.len(), cols: self.cols, data }
+    }
+
+    /// Additive block-diagonal attention mask for a row-stacked batch of
+    /// sequences: `0.0` inside each `block_lens[i] x block_lens[i]` diagonal
+    /// block, `-inf` everywhere else. Added to pre-softmax attention scores,
+    /// it confines attention to each sequence's own rows, which is what
+    /// makes one stacked forward bit-exact with per-sequence forwards
+    /// (masked entries contribute exactly-zero probability mass).
+    pub fn block_diag_mask(block_lens: &[usize]) -> Matrix {
+        let total: usize = block_lens.iter().sum();
+        let mut m = Matrix::full(total, total, f32::NEG_INFINITY);
+        let mut start = 0;
+        for &len in block_lens {
+            for r in start..start + len {
+                m.row_slice_mut(r)[start..start + len].fill(0.0);
+            }
+            start += len;
+        }
+        m
+    }
+
     /// Copy of rows `[start, end)`.
     pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
         assert!(start <= end && end <= self.rows, "slice_rows out of range");
@@ -530,6 +563,33 @@ mod tests {
         assert_eq!(c.shape(), (2, 3));
         assert_eq!(c.slice_cols(0, 1), a);
         assert_eq!(c.slice_cols(1, 3), b);
+    }
+
+    #[test]
+    fn gather_rows_selects_in_order() {
+        let m = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let g = m.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.shape(), (3, 2));
+        assert_eq!(g.data(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        assert_eq!(m.gather_rows(&[]).shape(), (0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gather_rows_rejects_bad_index() {
+        let _ = Matrix::zeros(2, 2).gather_rows(&[2]);
+    }
+
+    #[test]
+    fn block_diag_mask_zeros_blocks_only() {
+        let m = Matrix::block_diag_mask(&[2, 1]);
+        assert_eq!(m.shape(), (3, 3));
+        for (r, c) in [(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)] {
+            assert_eq!(m.get(r, c), 0.0, "in-block ({r},{c})");
+        }
+        for (r, c) in [(0, 2), (1, 2), (2, 0), (2, 1)] {
+            assert_eq!(m.get(r, c), f32::NEG_INFINITY, "cross-block ({r},{c})");
+        }
     }
 
     #[test]

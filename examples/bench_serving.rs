@@ -1,0 +1,217 @@
+//! Serial vs batched tag-click serving on the real IntelliTag model.
+//!
+//! Trains one deterministic IntelliTag checkpoint twice (identical seeds →
+//! identical weights, so each phase gets its own isolated metrics registry),
+//! replays the same click workload through `handle_tag_click` one request at
+//! a time and through `handle_tag_click_batch` in micro-batches, verifies
+//! the responses are byte-identical, and reports throughput plus per-stage
+//! p50/p90/p99 from the serving histograms.
+//!
+//! ```sh
+//! cargo run --release --example bench_serving            # full run
+//! cargo run --release --example bench_serving -- --json  # + BENCH_serving.json
+//! cargo run --release --example bench_serving -- --smoke # small CI-sized run
+//! ```
+
+use std::time::Instant;
+
+use intellitag::core::TagClickResponse;
+use intellitag::prelude::*;
+
+/// Splitmix64: a tiny deterministic workload mixer.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Retrain the same IntelliTag checkpoint (fixed seeds make this an exact
+/// reload) and wrap it in a fresh `ModelServer` with its own registry.
+fn build_server(world: &World) -> ModelServer<IntelliTag> {
+    let graph = world.build_graph();
+    let texts: Vec<String> = world.tags.iter().map(|t| t.text()).collect();
+    let train: Vec<Vec<usize>> = world.sessions.iter().map(|s| s.clicks.clone()).collect();
+    let cfg = TagRecConfig {
+        dim: 16,
+        heads: 2,
+        seq_layers: 1,
+        neighbor_cap: 4,
+        train: TrainConfig {
+            epochs: 1,
+            lr: 0.01,
+            batch_size: 16,
+            seed: 7,
+            mask_prob: 0.0,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let model = IntelliTag::train(&graph, &texts, &train, cfg);
+    ModelServer::new(
+        model,
+        world.build_kb(),
+        texts,
+        world.rqs.iter().map(|r| r.tags.clone()).collect(),
+        (0..world.tenants.len()).map(|t| world.tenant_tag_pool(t)).collect(),
+        world.click_frequency(),
+    )
+}
+
+/// A clicks-only workload: 1-3 clicks from the tenant's pool, with every
+/// 16th request an oversized 24-click history (forces context clipping).
+fn workload(world: &World, seed: u64, len: usize) -> Vec<(usize, Vec<usize>)> {
+    let mut rng = Rng(seed);
+    (0..len)
+        .map(|i| {
+            let tenant = rng.below(world.tenants.len());
+            let pool = world.tenant_tag_pool(tenant);
+            let n = if i % 16 == 15 { 24 } else { 1 + rng.below(3.min(pool.len().max(1))) };
+            (tenant, (0..n).map(|_| pool[rng.below(pool.len())]).collect())
+        })
+        .collect()
+}
+
+struct Quantiles {
+    p50: u64,
+    p90: u64,
+    p99: u64,
+}
+
+fn quantiles(h: &Histogram) -> Quantiles {
+    let s = h.snapshot();
+    Quantiles { p50: s.quantile(0.50), p90: s.quantile(0.90), p99: s.quantile(0.99) }
+}
+
+struct PhaseReport {
+    name: &'static str,
+    wall_us: u64,
+    throughput_rps: f64,
+    stages: Vec<(&'static str, Quantiles)>,
+}
+
+fn phase_report(
+    name: &'static str,
+    server: &ModelServer<IntelliTag>,
+    wall_us: u64,
+    requests: usize,
+) -> PhaseReport {
+    let m = server.metrics();
+    let stages = vec![
+        ("tag_click_us", quantiles(&m.histogram("serving.tag_click_us"))),
+        ("score_us", quantiles(&m.histogram("serving.stage.score_us"))),
+        ("recall_us", quantiles(&m.histogram("serving.stage.recall_us"))),
+        ("rerank_us", quantiles(&m.histogram("serving.stage.rerank_us"))),
+    ];
+    let throughput_rps = requests as f64 / (wall_us as f64 / 1e6);
+    PhaseReport { name, wall_us, throughput_rps, stages }
+}
+
+fn print_report(r: &PhaseReport, requests: usize) {
+    println!(
+        "\n== {} ==  {} requests in {:.1} ms  ->  {:.0} req/s",
+        r.name,
+        requests,
+        r.wall_us as f64 / 1e3,
+        r.throughput_rps
+    );
+    println!("  {:<14} {:>8} {:>8} {:>8}", "stage", "p50 us", "p90 us", "p99 us");
+    for (stage, q) in &r.stages {
+        println!("  {:<14} {:>8} {:>8} {:>8}", stage, q.p50, q.p90, q.p99);
+    }
+}
+
+fn json_report(r: &PhaseReport) -> String {
+    let stages: Vec<String> = r
+        .stages
+        .iter()
+        .map(|(stage, q)| {
+            format!(
+                "      \"{stage}\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                q.p50, q.p90, q.p99
+            )
+        })
+        .collect();
+    format!(
+        "  \"{}\": {{\n    \"wall_us\": {},\n    \"throughput_rps\": {:.1},\n    \"stages\": {{\n{}\n    }}\n  }}",
+        r.name,
+        r.wall_us,
+        r.throughput_rps,
+        stages.join(",\n")
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let json = std::env::args().any(|a| a == "--json");
+    let requests = if smoke { 240 } else { 2_000 };
+    let batch_max = 8usize;
+
+    let world = World::generate(WorldConfig::tiny(71));
+    let reqs = workload(&world, 909, requests);
+
+    println!("training IntelliTag checkpoint for the serial phase ...");
+    let serial_server = build_server(&world);
+    println!("training the identical checkpoint for the batched phase ...");
+    let batched_server = build_server(&world);
+
+    // ---- serial: one forward per request ---------------------------------
+    let t = Instant::now();
+    let serial_responses: Vec<TagClickResponse> = reqs
+        .iter()
+        .map(|(tenant, clicks)| serial_server.handle_tag_click(*tenant, clicks))
+        .collect();
+    let serial_wall = t.elapsed().as_micros() as u64;
+
+    // ---- batched: one stacked forward per micro-batch --------------------
+    let t = Instant::now();
+    let batched_responses: Vec<TagClickResponse> = reqs
+        .chunks(batch_max)
+        .flat_map(|chunk| batched_server.handle_tag_click_batch(chunk))
+        .collect();
+    let batched_wall = t.elapsed().as_micros() as u64;
+
+    // Parity first: speed means nothing if the answers moved.
+    assert_eq!(serial_responses.len(), batched_responses.len());
+    for (i, (a, b)) in serial_responses.iter().zip(&batched_responses).enumerate() {
+        assert!(a.same_content(b), "batched response {i} diverged from serial");
+    }
+    println!("parity: all {requests} batched responses byte-identical to serial");
+
+    let serial = phase_report("serial", &serial_server, serial_wall, requests);
+    let batched = phase_report("batched", &batched_server, batched_wall, requests);
+    print_report(&serial, requests);
+    print_report(&batched, requests);
+
+    let speedup = batched.throughput_rps / serial.throughput_rps;
+    println!("\nbatched/serial throughput: {speedup:.2}x (batch_max = {batch_max})");
+    assert!(
+        batched.throughput_rps > serial.throughput_rps,
+        "batched throughput ({:.0} req/s) must beat serial ({:.0} req/s)",
+        batched.throughput_rps,
+        serial.throughput_rps
+    );
+
+    if json {
+        let body = format!(
+            "{{\n  \"bench\": \"serving\",\n  \"mode\": \"{}\",\n  \"model\": \"intellitag\",\n  \"requests\": {},\n  \"batch_max\": {},\n{},\n{},\n  \"speedup\": {:.3}\n}}\n",
+            if smoke { "smoke" } else { "full" },
+            requests,
+            batch_max,
+            json_report(&serial),
+            json_report(&batched),
+            speedup
+        );
+        std::fs::write("BENCH_serving.json", &body).expect("write BENCH_serving.json");
+        println!("wrote BENCH_serving.json");
+    }
+}

@@ -1,7 +1,12 @@
 //! Load-generate against the HTTP gateway over a real TCP socket: a
-//! 4-shard `ShardedServer` behind `Gateway`, hammered by N client threads
-//! of mixed traffic, with a mid-run `/metrics` scrape and a wire-level
-//! latency report (p50/p90/p99 from the shared obs histograms).
+//! sharded `ShardedServer` of real IntelliTag replicas behind `Gateway`,
+//! hammered by N client threads of click-heavy mixed traffic, with a
+//! mid-run `/metrics` scrape and a wire-level latency report
+//! (p50/p90/p99 from the shared obs histograms).
+//!
+//! Because IntelliTag forwards cost real time, concurrent clients outpace
+//! the workers and micro-batch drains actually fill: the run asserts the
+//! merged `sharded.batch_rows` mean lands above 1 (amortized forwards).
 //!
 //! Every request is accounted for: answered + shed == sent, or the run
 //! fails. Shed responses (`503`) are load management, not loss.
@@ -35,26 +40,51 @@ impl Rng {
     }
 }
 
+/// Retrain the deterministic IntelliTag checkpoint (fixed seeds → identical
+/// weights per replica) and wrap it in a fresh `ModelServer`.
+fn build_replica(world: &World) -> ModelServer<IntelliTag> {
+    let graph = world.build_graph();
+    let texts: Vec<String> = world.tags.iter().map(|t| t.text()).collect();
+    let train: Vec<Vec<usize>> = world.sessions.iter().map(|s| s.clicks.clone()).collect();
+    let cfg = TagRecConfig {
+        dim: 16,
+        heads: 2,
+        seq_layers: 1,
+        neighbor_cap: 4,
+        train: TrainConfig {
+            epochs: 1,
+            lr: 0.01,
+            batch_size: 16,
+            seed: 7,
+            mask_prob: 0.0,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let model = IntelliTag::train(&graph, &texts, &train, cfg);
+    ModelServer::new(
+        model,
+        world.build_kb(),
+        texts,
+        world.rqs.iter().map(|r| r.tags.clone()).collect(),
+        (0..world.tenants.len()).map(|t| world.tenant_tag_pool(t)).collect(),
+        world.click_frequency(),
+    )
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let (clients, per_client) = if smoke { (3usize, 30usize) } else { (8usize, 200usize) };
+    let (clients, per_client) = if smoke { (8usize, 40usize) } else { (8usize, 200usize) };
 
-    // ---- the stack: world -> 4-shard front -> HTTP gateway ---------------
-    let world = World::generate(WorldConfig::tiny(77));
+    // ---- the stack: world -> sharded IntelliTag front -> HTTP gateway ----
+    let world = Arc::new(World::generate(WorldConfig::tiny(77)));
     let tenants = world.tenants.len();
     let questions: Vec<String> = world.rqs.iter().take(12).map(|r| r.text()).collect();
 
-    let kb = world.build_kb();
-    let tag_texts: Vec<String> = world.tags.iter().map(|t| t.text()).collect();
-    let rq_tags: Vec<Vec<usize>> = world.rqs.iter().map(|r| r.tags.clone()).collect();
-    let tenant_tags: Vec<Vec<usize>> = (0..tenants).map(|t| world.tenant_tag_pool(t)).collect();
-    let counts = world.click_frequency();
-    let train: Vec<Vec<usize>> = world.sessions.iter().map(|s| s.clicks.clone()).collect();
-    let model = Popularity::from_sessions(&train, world.tags.len());
-
     let registry = MetricsRegistry::new();
-    let shards = 4usize;
-    println!("spawning a {shards}-shard front (power-of-two-choices routing) ...");
+    let shards = if smoke { 2usize } else { 4usize };
+    println!("spawning a {shards}-shard IntelliTag front (power-of-two-choices routing) ...");
+    let factory_world = Arc::clone(&world);
     let front = Arc::new(ShardedServer::spawn(
         ShardConfig {
             shards,
@@ -64,22 +94,19 @@ fn main() {
         },
         registry.clone(),
         move |shard| {
-            println!("  shard {shard}: replica built");
-            ModelServer::new(
-                model.clone(),
-                kb.clone(),
-                tag_texts.clone(),
-                rq_tags.clone(),
-                tenant_tags.clone(),
-                counts.clone(),
-            )
+            let server = build_replica(&factory_world);
+            println!("  shard {shard}: IntelliTag replica trained");
+            server
         },
     ));
 
     let share = Arc::clone(&front);
     let gateway = Gateway::spawn(
         "127.0.0.1:0",
-        GatewayConfig { workers: 4, ..Default::default() },
+        // One gateway worker per client: the gateway must not be the
+        // concurrency bottleneck, or shard queues never build depth and
+        // micro-batches stay singletons.
+        GatewayConfig { workers: clients, ..Default::default() },
         &registry,
         move |_worker| Arc::clone(&share),
     )
@@ -106,21 +133,24 @@ fn main() {
                 let wire = registry.histogram("loadgen.wire_us");
                 for _ in 0..per_client {
                     let tenant = rng.below(tenants);
-                    let req = match rng.below(3) {
+                    // Click-heavy mix (4/6 clicks): the tag-click path is the
+                    // one the workers micro-batch, so it carries the load.
+                    let req = match rng.below(6) {
                         0 => RecommendRequest {
                             tenant,
                             question: Some(questions[rng.below(questions.len())].clone()),
                             clicks: vec![],
                         },
-                        1 => {
+                        1 => RecommendRequest { tenant, question: None, clicks: vec![] },
+                        _ => {
                             let pool = world.tenant_tag_pool(tenant);
+                            let n = 1 + rng.below(3.min(pool.len().max(1)));
                             RecommendRequest {
                                 tenant,
                                 question: None,
-                                clicks: vec![pool[rng.below(pool.len())]],
+                                clicks: (0..n).map(|_| pool[rng.below(pool.len())]).collect(),
                             }
                         }
-                        _ => RecommendRequest { tenant, question: None, clicks: vec![] },
                     };
                     let timer = SpanTimer::start();
                     let result =
@@ -209,6 +239,20 @@ fn main() {
             h.quantile(0.99)
         );
     }
+
+    // ---- micro-batch fill: the whole point of the batched path -----------
+    let drains = registry.merged_histogram("sharded.batch");
+    let rows = registry.merged_histogram("sharded.batch_rows");
+    let rows_mean = rows.mean();
+    println!(
+        "\nmicro-batching: {} drains | {} click batches | rows mean {:.2} | rows max {}",
+        drains.count, rows.count, rows_mean, rows.max
+    );
+    assert!(
+        rows_mean > 1.0,
+        "click batches never filled: sharded.batch_rows mean {rows_mean:.2} <= 1 \
+         (clients should outpace IntelliTag forwards)"
+    );
 
     println!("\ngateway route counters:");
     for line in registry.render_prometheus().lines() {

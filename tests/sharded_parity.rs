@@ -63,11 +63,18 @@ fn request_stream(world: &World, seed: u64, len: usize) -> Vec<Request> {
                 Request::TagClick { tenant, clicks }
             }
             8 => Request::ColdStart { tenant },
-            // Degraded traffic: bad tenants, empty clicks, bogus tag ids.
-            _ => match i % 3 {
+            // Degraded and edge traffic: bad tenants, empty clicks, bogus
+            // tag ids, and oversized click histories (longer than the
+            // model's context window — must clip identically on both paths).
+            _ => match i % 4 {
                 0 => Request::Question { tenant: tenants + 7, text: "lost".into() },
                 1 => Request::TagClick { tenant, clicks: vec![] },
-                _ => Request::TagClick { tenant, clicks: vec![usize::MAX / 2, 1_000_000] },
+                2 => Request::TagClick { tenant, clicks: vec![usize::MAX / 2, 1_000_000] },
+                _ => {
+                    let pool = world.tenant_tag_pool(tenant);
+                    let clicks = (0..24).map(|_| pool[rng.below(pool.len())]).collect();
+                    Request::TagClick { tenant, clicks }
+                }
             },
         };
         stream.push(req);
@@ -203,6 +210,170 @@ fn same_content_parity_holds_per_response() {
         }
     }
     front.shutdown();
+}
+
+/// A `ModelServer` over the real IntelliTag model, retrained from scratch.
+///
+/// IntelliTag holds `Rc`-based parameters, so replicas cannot be cloned
+/// across worker threads; each shard's factory retrains deterministically
+/// from the same world — which is also the sharded deployment story for
+/// the real model (same checkpoint loaded per replica).
+fn build_intellitag_server(world: &World) -> ModelServer<IntelliTag> {
+    let graph = world.build_graph();
+    let texts: Vec<String> = world.tags.iter().map(|t| t.text()).collect();
+    let train: Vec<Vec<usize>> = world.sessions.iter().map(|s| s.clicks.clone()).collect();
+    let cfg = TagRecConfig {
+        dim: 16,
+        heads: 2,
+        seq_layers: 1,
+        neighbor_cap: 4,
+        train: TrainConfig {
+            epochs: 1,
+            lr: 0.01,
+            batch_size: 16,
+            seed: 7,
+            mask_prob: 0.0,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let model = IntelliTag::train(&graph, &texts, &train, cfg);
+    ModelServer::new(
+        model,
+        world.build_kb(),
+        texts,
+        world.rqs.iter().map(|r| r.tags.clone()).collect(),
+        (0..world.tenants.len()).map(|t| world.tenant_tag_pool(t)).collect(),
+        world.click_frequency(),
+    )
+}
+
+#[test]
+fn intellitag_replicas_match_single_process_across_knobs() {
+    // The batched scoring path runs one stacked transformer forward per
+    // drain; parity here pins that the real model — contextual attention,
+    // context clipping at MAX_CTX (the stream includes 24-click histories),
+    // z-table gathers — returns byte-identical responses through the
+    // sharded front at every batch knob.
+    let world = World::generate(WorldConfig::tiny(61));
+    let stream = request_stream(&world, 4242, 60);
+    let single = build_intellitag_server(&world);
+    let expected = replay(&single, &stream);
+    assert!(expected
+        .iter()
+        .any(|a| matches!(a, Answer::TagClick { tags, .. } if !tags.is_empty())));
+
+    let world = std::sync::Arc::new(world);
+    for shards in [1usize, 2] {
+        for batch_max in [1usize, 8] {
+            let registry = MetricsRegistry::new();
+            let cfg = ShardConfig { shards, batch_max, queue_capacity: 64, ..Default::default() };
+            let w = std::sync::Arc::clone(&world);
+            let front =
+                ShardedServer::spawn(cfg, registry, move |_shard| build_intellitag_server(&w));
+            let got = replay(&front, &stream);
+            assert_eq!(
+                got, expected,
+                "IntelliTag parity broke at shards={shards} batch_max={batch_max}"
+            );
+            front.shutdown();
+        }
+    }
+}
+
+#[test]
+fn concurrent_clients_keep_parity_and_fill_batches() {
+    // Serial replay hands the worker one job at a time, so every drain is a
+    // singleton. Real batching only happens under concurrent submission:
+    // interleaved client threads must still get byte-identical responses,
+    // and at least one drain must carry multiple click rows through
+    // `handle_tag_click_batch`.
+    let world = World::generate(WorldConfig::tiny(23));
+    let parts = ServerParts::from_world(&world);
+    let single = parts.build();
+    // Clicks-only stream so every request takes the batched tag-click path.
+    let stream: Vec<Request> = request_stream(&world, 313, 600)
+        .into_iter()
+        .filter(|r| matches!(r, Request::TagClick { .. }))
+        .collect();
+    let expected = replay(&single, &stream);
+
+    // Multi-row drains under concurrency are overwhelmingly likely but not
+    // guaranteed on any single run; retry a few rounds (parity must hold on
+    // every round regardless).
+    let mut max_rows = 0;
+    for _round in 0..5 {
+        let registry = MetricsRegistry::new();
+        let factory_parts = parts.clone();
+        let front = ShardedServer::spawn(
+            ShardConfig { shards: 1, batch_max: 8, queue_capacity: 256, ..Default::default() },
+            registry.clone(),
+            move |_shard| factory_parts.build(),
+        );
+        let clients = 6;
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let (front, stream, expected) = (&front, &stream, &expected);
+                scope.spawn(move || {
+                    for (i, req) in stream.iter().enumerate().skip(c).step_by(clients) {
+                        let Request::TagClick { tenant, clicks } = req else { unreachable!() };
+                        let got = TagService::handle_tag_click(front, *tenant, clicks);
+                        let Answer::TagClick { tags, questions } = &expected[i] else {
+                            unreachable!()
+                        };
+                        assert_eq!(&got.recommended_tags, tags, "tags diverged at request {i}");
+                        assert_eq!(
+                            &got.predicted_questions, questions,
+                            "questions diverged at request {i}"
+                        );
+                    }
+                });
+            }
+        });
+        front.shutdown();
+        let rows = registry.histogram_labeled("sharded.batch_rows", &[("shard", "0")]).snapshot();
+        assert_eq!(rows.sum, stream.len() as u64, "every click scored in exactly one drain");
+        max_rows = max_rows.max(rows.max);
+        if max_rows >= 2 {
+            break;
+        }
+    }
+    assert!(max_rows >= 2, "concurrent clients never produced a multi-row drain");
+}
+
+#[test]
+fn all_question_stream_records_no_click_batches() {
+    // A 100%-question stream through a batched front: full response parity,
+    // and the click-batch machinery must stay completely idle.
+    let world = World::generate(WorldConfig::tiny(9));
+    let parts = ServerParts::from_world(&world);
+    let single = parts.build();
+    let stream: Vec<Request> = world
+        .rqs
+        .iter()
+        .take(40)
+        .enumerate()
+        .map(|(i, rq)| Request::Question { tenant: i % world.tenants.len(), text: rq.text() })
+        .collect();
+    let expected = replay(&single, &stream);
+    assert!(expected.iter().any(|a| matches!(a, Answer::Question { rq: Some(_), .. })));
+
+    let shards = 2usize;
+    let registry = MetricsRegistry::new();
+    let factory_parts = parts.clone();
+    let front = ShardedServer::spawn(
+        ShardConfig { shards, batch_max: 8, queue_capacity: 64, ..Default::default() },
+        registry.clone(),
+        move |_shard| factory_parts.build(),
+    );
+    assert_eq!(replay(&front, &stream), expected);
+    front.shutdown();
+    for shard in 0..shards {
+        let rows = registry
+            .histogram_labeled("sharded.batch_rows", &[("shard", &shard.to_string())])
+            .snapshot();
+        assert_eq!(rows.count, 0, "question-only traffic ticked batch_rows on shard {shard}");
+    }
 }
 
 #[test]
