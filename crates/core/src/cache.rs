@@ -114,6 +114,117 @@ where
     }
 }
 
+/// A small bounded LRU map with hit/miss accounting, used by the model
+/// server's cross-drain score-row cache. Unlike [`ResponseCache`], recency
+/// matters here: hot tenants repeat the same short click prefixes across
+/// consecutive micro-batch drains, and evicting the oldest *insertion*
+/// would throw away exactly those rows. Recency is tracked with a
+/// monotonically increasing touch tick; eviction scans for the minimum
+/// tick, which is O(n) but n is a small fixed capacity on a path that just
+/// skipped a transformer forward.
+pub struct LruCache<K, V> {
+    inner: Mutex<LruInner<K, V>>,
+    capacity: usize,
+}
+
+struct LruInner<K, V> {
+    map: HashMap<K, (V, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K, V> LruCache<K, V>
+where
+    K: std::hash::Hash + Eq + Clone,
+    V: Clone,
+{
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruCache {
+            inner: Mutex::new(LruInner {
+                map: HashMap::with_capacity(capacity),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Looks up a key, refreshing its recency and counting the hit or miss.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some((v, last_used)) => {
+                *last_used = tick;
+                let v = v.clone();
+                inner.hits += 1;
+                Some(v)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a value, evicting the least-recently-used entry when full.
+    /// Re-inserting an existing key refreshes both value and recency.
+    pub fn put(&self, key: K, value: V) {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.insert(key, (value, tick)).is_none() && inner.map.len() > self.capacity {
+            if let Some(lru) = inner.map.iter().min_by_key(|(_, (_, t))| *t).map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&lru);
+            }
+        }
+    }
+
+    /// Current number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.hits, inner.misses)
+    }
+
+    /// Hit rate in `[0, 1]`; 0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = self.stats();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Drops every entry (e.g. after a T+1 model refresh) and resets stats.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.tick = 0;
+        inner.hits = 0;
+        inner.misses = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +283,49 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _: ResponseCache<u32, u32> = ResponseCache::new(0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_not_oldest() {
+        let c: LruCache<u32, u32> = LruCache::new(2);
+        c.put(1, 10);
+        c.put(2, 20);
+        let _ = c.get(&1); // 1 is now more recent than 2
+        c.put(3, 30); // evicts 2, not 1
+        assert_eq!(c.get(&1), Some(10));
+        assert!(c.get(&2).is_none());
+        assert_eq!(c.get(&3), Some(30));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lru_reinsert_refreshes_value_and_recency() {
+        let c: LruCache<u32, u32> = LruCache::new(2);
+        c.put(1, 10);
+        c.put(2, 20);
+        c.put(1, 11); // refresh, no growth, 1 now most recent
+        assert_eq!(c.len(), 2);
+        c.put(3, 30); // evicts 2
+        assert_eq!(c.get(&1), Some(11));
+        assert!(c.get(&2).is_none());
+    }
+
+    #[test]
+    fn lru_stats_and_clear() {
+        let c: LruCache<u32, u32> = LruCache::new(4);
+        c.put(1, 1);
+        let _ = c.get(&1); // hit
+        let _ = c.get(&2); // miss
+        assert_eq!(c.stats(), (1, 1));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats(), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn lru_zero_capacity_rejected() {
+        let _: LruCache<u32, u32> = LruCache::new(0);
     }
 }

@@ -36,7 +36,7 @@ mod serving;
 mod sharded;
 mod simulator;
 
-pub use cache::ResponseCache;
+pub use cache::{LruCache, ResponseCache};
 pub use config::{TagRecConfig, TrainConfig};
 pub use experiment::{evaluate_offline, ProtocolConfig};
 pub use graph_layers::GraphLayers;

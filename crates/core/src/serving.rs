@@ -18,7 +18,7 @@ use intellitag_obs::{
 };
 use intellitag_search::{Hit, KbWarehouse};
 
-use crate::cache::ResponseCache;
+use crate::cache::{LruCache, ResponseCache};
 use crate::qa_matcher::QaMatcher;
 
 /// How many recent raw latency samples the server retains for
@@ -152,6 +152,10 @@ struct ServerMetrics {
     stage_cache: Arc<Histogram>,
     cache_hit: Arc<Counter>,
     cache_miss: Arc<Counter>,
+    /// Cross-drain score-row LRU accounting
+    /// (`serving.score_lru.{hits,misses}`).
+    score_lru_hit: Arc<Counter>,
+    score_lru_miss: Arc<Counter>,
     cold_start: Arc<Counter>,
     err_bad_tenant: Arc<Counter>,
     err_bad_tag: Arc<Counter>,
@@ -160,6 +164,10 @@ struct ServerMetrics {
 
 impl ServerMetrics {
     fn bind(registry: MetricsRegistry) -> Self {
+        // Publish the tensor compute-pool size so scrapes show what the
+        // kernels under this server are configured to use (a pure
+        // performance knob: pooled kernels are bit-identical to serial).
+        registry.gauge("tensor.pool_threads").set(intellitag_tensor::pool_threads() as f64);
         ServerMetrics {
             requests: registry.counter("serving.requests"),
             request_latency: registry.histogram("serving.request_us"),
@@ -172,6 +180,8 @@ impl ServerMetrics {
             stage_cache: registry.histogram("serving.stage.cache_us"),
             cache_hit: registry.counter("serving.cache.hit"),
             cache_miss: registry.counter("serving.cache.miss"),
+            score_lru_hit: registry.counter("serving.score_lru.hits"),
+            score_lru_miss: registry.counter("serving.score_lru.misses"),
             cold_start: registry.counter("serving.cold_start_fallback"),
             err_bad_tenant: registry.counter("serving.error.bad_tenant"),
             err_bad_tag: registry.counter("serving.error.bad_tag"),
@@ -184,6 +194,9 @@ impl ServerMetrics {
         self.registry.counter(&format!("serving.requests.tenant_{tenant}"))
     }
 }
+
+/// Score rows memoized across drains, keyed by `(tenant, clicks)`.
+type ScoreLru = LruCache<(usize, Vec<usize>), Vec<f32>>;
 
 /// The model server: one recommender + the searchable KB + per-tenant
 /// metadata, fully instrumented through a shared [`MetricsRegistry`].
@@ -210,6 +223,13 @@ pub struct ModelServer<M: SequenceRecommender> {
     /// future-work extension ("cache high-frequency data to decrease system
     /// latency").
     cache: Option<ResponseCache<(usize, Vec<usize>), TagClickResponse>>,
+    /// Optional cross-drain score-row LRU keyed by `(tenant, clicks)`.
+    /// Distinct from the response cache: it memoizes the *model scoring
+    /// stage only* (the score row over the tenant's candidate pool), so a
+    /// hot tenant repeating the same click prefix across consecutive
+    /// micro-batch drains skips the transformer forward while recall and
+    /// rerank still run fresh per request.
+    score_lru: Option<ScoreLru>,
     /// Optional Q&A matching model re-ranking question recall (the deployed
     /// system's RoBERTa matcher, §V-A).
     qa_matcher: Option<QaMatcher>,
@@ -240,6 +260,7 @@ impl<M: SequenceRecommender> ModelServer<M> {
             recent_latencies: SampleRing::new(RECENT_LATENCY_WINDOW),
             obs: ServerMetrics::bind(MetricsRegistry::new()),
             cache: None,
+            score_lru: None,
             qa_matcher: None,
         }
     }
@@ -270,9 +291,25 @@ impl<M: SequenceRecommender> ModelServer<M> {
         self
     }
 
+    /// Enables the cross-drain score-row LRU. Scores are a deterministic
+    /// function of `(tenant, clicks)` for a fixed checkpoint, so serving a
+    /// cached row is bit-identical to recomputing it — repeat click
+    /// prefixes from hot tenants skip the model forward entirely. Like the
+    /// response cache, a model refresh must recreate the server (or call
+    /// the LRU's `clear`) since rows embed model output.
+    pub fn with_score_lru(mut self, capacity: usize) -> Self {
+        self.score_lru = Some(LruCache::new(capacity));
+        self
+    }
+
     /// Cache hit rate so far, if the cache is enabled.
     pub fn cache_hit_rate(&self) -> Option<f64> {
         self.cache.as_ref().map(ResponseCache::hit_rate)
+    }
+
+    /// `(hits, misses)` of the score-row LRU, if enabled.
+    pub fn score_lru_stats(&self) -> Option<(u64, u64)> {
+        self.score_lru.as_ref().map(LruCache::stats)
     }
 
     /// The wrapped recommender.
@@ -478,7 +515,7 @@ impl<M: SequenceRecommender> ModelServer<M> {
         // --- next-tag recommendation (model scoring stage) ----------------
         let pool = &self.tenant_tags[tenant];
         let score_span = self.obs.stage_score.span();
-        let scores = self.model.score_candidates(clicks, pool);
+        let scores = self.scored_row(tenant, clicks, pool);
         score_span.finish();
         let recommended_tags = self.recommend_from_scores(&click_set, pool, scores);
 
@@ -499,6 +536,24 @@ impl<M: SequenceRecommender> ModelServer<M> {
             cache.put((tenant, clicks.to_vec()), resp.clone());
         }
         resp
+    }
+
+    /// One score row for `(tenant, clicks)` over the tenant's pool, via the
+    /// score-row LRU when enabled. Scores are deterministic for a fixed
+    /// checkpoint, so a cached row is bit-identical to a fresh forward.
+    fn scored_row(&self, tenant: usize, clicks: &[usize], pool: &[usize]) -> Vec<f32> {
+        let Some(lru) = &self.score_lru else {
+            return self.model.score_candidates(clicks, pool);
+        };
+        let key = (tenant, clicks.to_vec());
+        if let Some(row) = lru.get(&key) {
+            self.obs.score_lru_hit.inc();
+            return row;
+        }
+        self.obs.score_lru_miss.inc();
+        let row = self.model.score_candidates(clicks, pool);
+        lru.put(key, row.clone());
+        row
     }
 
     /// The ES query for a click history: concatenated clicked-tag texts
@@ -617,14 +672,41 @@ impl<M: SequenceRecommender> ModelServer<M> {
         }
 
         // --- one batched forward over every unique (clicks, pool) ---------
-        let mut uniq_scores: Vec<Vec<f32>> = Vec::new();
+        // The score-row LRU is consulted first: rows remembered from earlier
+        // drains (or the serial path — both forwards are bit-identical) drop
+        // out of the stacked forward entirely, so a hot tenant repeating its
+        // click prefix shrinks the batch instead of re-deriving known rows.
+        let mut uniq_scores: Vec<Option<Vec<f32>>> = vec![None; uniq.len()];
         if !pending.is_empty() {
             let score_timer = SpanTimer::start();
-            let batch: Vec<(&[usize], &[usize])> = uniq
-                .iter()
-                .map(|(tenant, clicks)| (clicks.as_slice(), self.tenant_tags[*tenant].as_slice()))
-                .collect();
-            uniq_scores = self.model.score_candidates_batch(&batch);
+            if let Some(lru) = &self.score_lru {
+                for (row, key) in uniq.iter().enumerate() {
+                    if let Some(scores) = lru.get(key) {
+                        self.obs.score_lru_hit.inc();
+                        uniq_scores[row] = Some(scores);
+                    } else {
+                        self.obs.score_lru_miss.inc();
+                    }
+                }
+            }
+            let missing: Vec<usize> =
+                (0..uniq.len()).filter(|&r| uniq_scores[r].is_none()).collect();
+            if !missing.is_empty() {
+                let batch: Vec<(&[usize], &[usize])> = missing
+                    .iter()
+                    .map(|&r| {
+                        let (tenant, clicks) = &uniq[r];
+                        (clicks.as_slice(), self.tenant_tags[*tenant].as_slice())
+                    })
+                    .collect();
+                let fresh = self.model.score_candidates_batch(&batch);
+                for (&r, row) in missing.iter().zip(fresh) {
+                    if let Some(lru) = &self.score_lru {
+                        lru.put(uniq[r].clone(), row.clone());
+                    }
+                    uniq_scores[r] = Some(row);
+                }
+            }
             let share = score_timer.elapsed_us() / pending.len() as u64;
             for _ in &pending {
                 self.obs.stage_score.record(share);
@@ -636,8 +718,10 @@ impl<M: SequenceRecommender> ModelServer<M> {
         for p in pending {
             let click_set = sorted_click_set(&p.clicks);
             let pool = &self.tenant_tags[p.tenant];
-            let recommended_tags =
-                self.recommend_from_scores(&click_set, pool, uniq_scores[p.score_row].clone());
+            let scores = uniq_scores[p.score_row]
+                .clone()
+                .expect("every pending request's score row was resolved");
+            let recommended_tags = self.recommend_from_scores(&click_set, pool, scores);
 
             let query = self.click_query(&p.clicks);
             let recall_span = self.obs.stage_recall.span();
@@ -902,6 +986,128 @@ mod tests {
         // all come from the memo.
         assert_eq!(s.qa_matcher.as_ref().unwrap().encode_calls(), prewarmed + questions);
         assert!(s.qa_matcher.as_ref().unwrap().cache_hits() > 0);
+    }
+
+    /// Popularity wrapper that counts how many rows the model actually
+    /// scored — the quantity the score-row LRU exists to reduce.
+    struct CountingModel {
+        inner: Popularity,
+        scored_rows: std::cell::Cell<usize>,
+    }
+
+    impl CountingModel {
+        fn new(inner: Popularity) -> Self {
+            CountingModel { inner, scored_rows: std::cell::Cell::new(0) }
+        }
+    }
+
+    impl intellitag_baselines::SequenceRecommender for CountingModel {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+
+        fn score_all(&self, context: &[usize]) -> Vec<f32> {
+            self.inner.score_all(context)
+        }
+
+        fn score_candidates(&self, context: &[usize], candidates: &[usize]) -> Vec<f32> {
+            self.scored_rows.set(self.scored_rows.get() + 1);
+            self.inner.score_candidates(context, candidates)
+        }
+
+        fn score_candidates_batch(&self, reqs: &[(&[usize], &[usize])]) -> Vec<Vec<f32>> {
+            self.scored_rows.set(self.scored_rows.get() + reqs.len());
+            self.inner.score_candidates_batch(reqs)
+        }
+    }
+
+    fn counting_server() -> ModelServer<CountingModel> {
+        let plain = server();
+        let mut kb = KbWarehouse::new();
+        kb.add_pair("how to change password", "settings > security", 0);
+        kb.add_pair("how to apply for etc card", "apply in the etc menu", 0);
+        kb.add_pair("where to cancel the order", "orders > cancel", 1);
+        let clicks = vec![5, 9, 3, 7, 2, 4];
+        ModelServer::new(
+            CountingModel::new(Popularity::from_counts(&clicks)),
+            kb,
+            plain.tag_texts.clone(),
+            plain.rq_tags.clone(),
+            plain.tenant_tags.clone(),
+            clicks,
+        )
+    }
+
+    #[test]
+    fn score_lru_skips_repeat_forwards_across_drains() {
+        // Hot-tenant skew: one tenant repeats the same short click prefixes
+        // drain after drain. With the score-row LRU, the second drain's
+        // stacked forward must shrink to only the unseen rows.
+        let hot: Vec<(usize, Vec<usize>)> =
+            vec![(0, vec![0, 1]), (0, vec![1]), (0, vec![0, 1]), (1, vec![4]), (0, vec![1])];
+        let s = counting_server().with_score_lru(16);
+
+        let first = s.handle_tag_click_batch(&hot);
+        let after_first = s.model().scored_rows.get();
+        assert_eq!(after_first, 3, "first drain scores each unique (tenant, clicks) once");
+        assert_eq!(s.score_lru_stats(), Some((0, 3)));
+
+        let second = s.handle_tag_click_batch(&hot);
+        let after_second = s.model().scored_rows.get();
+        assert_eq!(after_second, after_first, "repeat drain must not re-run any forward");
+        assert_eq!(s.score_lru_stats(), Some((3, 3)));
+        assert_eq!(s.metrics().counter("serving.score_lru.hits").get(), 3);
+        assert_eq!(s.metrics().counter("serving.score_lru.misses").get(), 3);
+
+        // Cached rows must not change the answers.
+        for (i, (a, b)) in first.iter().zip(&second).enumerate() {
+            assert!(a.same_content(b), "request {i} diverged when served from the score LRU");
+        }
+
+        // A drain mixing old and new prefixes scores only the new ones.
+        let mixed: Vec<(usize, Vec<usize>)> = vec![(0, vec![0, 1]), (0, vec![2]), (1, vec![5])];
+        let _ = s.handle_tag_click_batch(&mixed);
+        assert_eq!(s.model().scored_rows.get(), after_second + 2, "only unseen rows forwarded");
+    }
+
+    #[test]
+    fn score_lru_serves_serial_path_and_matches_uncached() {
+        let cached = counting_server().with_score_lru(8);
+        let plain = counting_server();
+        let a1 = cached.handle_tag_click(0, &[0, 1]);
+        let a2 = cached.handle_tag_click(0, &[0, 1]);
+        let b1 = plain.handle_tag_click(0, &[0, 1]);
+        let b2 = plain.handle_tag_click(0, &[0, 1]);
+        assert!(a1.same_content(&a2));
+        assert!(a1.same_content(&b1), "LRU-served response must match the uncached server");
+        assert!(a2.same_content(&b2));
+        assert_eq!(cached.model().scored_rows.get(), 1, "second click reused the cached row");
+        assert_eq!(plain.model().scored_rows.get(), 2, "without the LRU every repeat re-scores");
+        assert_eq!(cached.score_lru_stats(), Some((1, 1)));
+        // Serial and batched paths share one LRU: a batch drain containing
+        // the same prefix also skips its forward.
+        let _ = cached.handle_tag_click_batch(&[(0, vec![0, 1])]);
+        assert_eq!(cached.model().scored_rows.get(), 1);
+    }
+
+    #[test]
+    fn score_lru_disabled_by_default() {
+        let s = counting_server();
+        let _ = s.handle_tag_click(0, &[0, 1]);
+        let _ = s.handle_tag_click(0, &[0, 1]);
+        assert_eq!(s.score_lru_stats(), None);
+        assert_eq!(s.model().scored_rows.get(), 2);
+        assert_eq!(s.metrics().counter("serving.score_lru.hits").get(), 0);
+    }
+
+    #[test]
+    fn pool_threads_gauge_is_published() {
+        let s = server();
+        let rendered = s.metrics().render_prometheus();
+        assert!(
+            rendered.contains("tensor_pool_threads"),
+            "tensor.pool_threads gauge missing from scrape:\n{rendered}"
+        );
     }
 
     #[test]

@@ -70,6 +70,15 @@ pub struct ShardConfig {
     pub queue_capacity: usize,
     /// Shard selection policy (default: static `tenant % shards`).
     pub routing: RoutingPolicy,
+    /// Tensor compute-pool threads *per process* (`0` = leave the global
+    /// setting alone — env override or `available_parallelism`). The pool is
+    /// process-global, so all shards share it: a front running S shards with
+    /// a P-thread pool can have up to `S × P` runnable threads. Size so that
+    /// `shards × pool_threads ≤ cores`, or keep the default serial pool
+    /// (`pool_threads = 1`) when the shard count already covers the cores.
+    /// Pool size never changes answers (kernels are bit-identical across
+    /// pool sizes), so this is a pure latency/throughput knob.
+    pub pool_threads: usize,
 }
 
 impl Default for ShardConfig {
@@ -79,6 +88,7 @@ impl Default for ShardConfig {
             batch_max: 8,
             queue_capacity: 256,
             routing: RoutingPolicy::TenantHash,
+            pool_threads: 0,
         }
     }
 }
@@ -174,6 +184,9 @@ impl ShardedServer {
         assert!(cfg.shards >= 1, "need at least one shard");
         assert!(cfg.batch_max >= 1, "batch_max must be at least 1");
         assert!(cfg.queue_capacity >= 1, "queue_capacity must be at least 1");
+        if cfg.pool_threads != 0 {
+            intellitag_tensor::set_pool_threads(cfg.pool_threads);
+        }
         let factory = Arc::new(factory);
         let (ready_tx, ready_rx) = mpsc::channel::<String>();
         let mut shards = Vec::with_capacity(cfg.shards);
@@ -852,6 +865,27 @@ mod tests {
             }
         }
         front.shards[0].depth.store(0, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn pool_threads_knob_applies_globally_and_keeps_parity() {
+        // `pool_threads` sets the process-global tensor pool; answers must
+        // not change (pool size is a pure perf knob — kernels are pinned
+        // bit-identical across sizes by the tensor/nn parity suites).
+        let single = replica();
+        let (pooled, _) = front(ShardConfig { shards: 2, pool_threads: 2, ..Default::default() });
+        assert_eq!(intellitag_tensor::pool_threads(), 2);
+        for tenant in 0..2 {
+            let c = pooled.handle_tag_click(tenant, &[4 * tenant, 4 * tenant + 1]);
+            assert!(c.same_content(&single.handle_tag_click(tenant, &[4 * tenant, 4 * tenant + 1])));
+        }
+        pooled.shutdown();
+        intellitag_tensor::set_pool_threads(0);
+        // `pool_threads: 0` leaves the global setting untouched.
+        let before = intellitag_tensor::pool_threads();
+        let (front2, _) = front(ShardConfig { shards: 1, ..Default::default() });
+        assert_eq!(intellitag_tensor::pool_threads(), before);
+        front2.shutdown();
     }
 
     #[test]

@@ -82,7 +82,11 @@ impl MultiHeadAttention {
             let qh = q.slice_cols(lo, hi);
             let kh = k.slice_cols(lo, hi);
             let vh = v.slice_cols(lo, hi);
-            let mut scores = qh.matmul(&kh.transpose()).scale(scale); // N x N
+            // Fused Q*K^T: one kernel, no materialized transpose. Score rows
+            // (and the softmax under them) run on the tensor compute pool;
+            // per-row accumulation stays serial, so pool size never changes
+            // the bits.
+            let mut scores = qh.matmul_nt(&kh).scale(scale); // N x N
             if let Some(m) = mask {
                 scores = scores.add(m);
             }

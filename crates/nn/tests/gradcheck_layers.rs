@@ -73,3 +73,30 @@ fn gru_grads_match_numeric() {
         loss.scalar()
     });
 }
+
+#[test]
+fn transformer_grads_match_numeric_under_multithread_pool() {
+    // Same check as above, but with the tensor compute pool forced on so
+    // the masked-attention backward runs its kernels across 4 workers.
+    // Pooled kernels are bit-identical to serial ones, so flipping the
+    // global knobs cannot disturb tests running concurrently.
+    intellitag_tensor::set_pool_threads(4);
+    intellitag_tensor::set_par_threshold(1);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut ps = ParamSet::new(1e-3);
+    let enc = TransformerEncoder::new("t", 1, 4, 2, &mut ps, &mut rng);
+    let x = Matrix::uniform(5, 4, 1.0, &mut rng);
+    let mask = Matrix::block_diag_mask(&[3, 2]);
+    let params: Vec<_> = ps.params().to_vec();
+    assert_grads_match(&params, 5e-2, || {
+        let tape = Tape::new();
+        let xt = tape.constant(x.clone());
+        let mt = tape.constant(mask.clone());
+        let y = enc.forward_masked(&tape, &xt, &mt);
+        let loss = y.mul(&y).mean_all();
+        loss.backward();
+        loss.scalar()
+    });
+    intellitag_tensor::set_pool_threads(0);
+    intellitag_tensor::set_par_threshold(intellitag_tensor::DEFAULT_PAR_THRESHOLD);
+}

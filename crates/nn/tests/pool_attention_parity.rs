@@ -1,0 +1,114 @@
+//! Bitwise parity of attention and the full encoder across pool sizes.
+//!
+//! `pool_threads` must be a pure performance knob all the way up the nn
+//! stack: masked multi-head attention and the transformer encoder must emit
+//! byte-identical activations for pool sizes {1, 2, 4}, including stacked
+//! batches whose row counts don't divide evenly across workers.
+
+use intellitag_nn::{MultiHeadAttention, TransformerEncoder};
+use intellitag_tensor::{
+    set_par_threshold, set_pool_threads, Matrix, ParamSet, Tape, DEFAULT_PAR_THRESHOLD,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+static KNOBS: Mutex<()> = Mutex::new(());
+
+fn across_pool_sizes<T>(mut f: impl FnMut() -> T) -> Vec<T> {
+    let _g = KNOBS.lock().unwrap_or_else(|e| e.into_inner());
+    set_par_threshold(1);
+    let out = [1usize, 2, 4]
+        .iter()
+        .map(|&threads| {
+            set_pool_threads(threads);
+            f()
+        })
+        .collect();
+    set_pool_threads(0);
+    set_par_threshold(DEFAULT_PAR_THRESHOLD);
+    out
+}
+
+fn assert_all_bit_identical(results: &[Matrix], what: &str) {
+    let bits = |m: &Matrix| -> Vec<u32> { m.data().iter().map(|v| v.to_bits()).collect() };
+    let first = bits(&results[0]);
+    for (i, m) in results.iter().enumerate().skip(1) {
+        assert_eq!(bits(m), first, "{what}: bits drifted at pool size index {i}");
+    }
+}
+
+#[test]
+fn masked_attention_is_bit_identical_across_pool_sizes() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut ps = ParamSet::new(1e-3);
+    let mha = MultiHeadAttention::new("a", 8, 2, &mut ps, &mut rng);
+    // 7 stacked rows (3 + 4): odd against 2 workers, non-divisible by 4.
+    let x = Matrix::uniform(7, 8, 1.0, &mut rng);
+    let mask = Matrix::block_diag_mask(&[3, 4]);
+    let results = across_pool_sizes(|| {
+        let tape = Tape::new();
+        let xt = tape.constant(x.clone());
+        let mt = tape.constant(mask.clone());
+        mha.forward_masked(&tape, &xt, &mt).value()
+    });
+    assert_all_bit_identical(&results, "forward_masked");
+}
+
+#[test]
+fn unmasked_attention_and_probs_are_bit_identical_across_pool_sizes() {
+    let mut rng = StdRng::seed_from_u64(43);
+    let mut ps = ParamSet::new(1e-3);
+    let mha = MultiHeadAttention::new("a", 8, 4, &mut ps, &mut rng);
+    let x = Matrix::uniform(5, 8, 1.0, &mut rng);
+    let outputs = across_pool_sizes(|| {
+        let tape = Tape::new();
+        let xt = tape.constant(x.clone());
+        let (y, attn) = mha.forward_with_attn(&tape, &xt);
+        (y.value(), attn)
+    });
+    let ys: Vec<Matrix> = outputs.iter().map(|(y, _)| y.clone()).collect();
+    assert_all_bit_identical(&ys, "forward_with_attn output");
+    for h in 0..4 {
+        let probs: Vec<Matrix> = outputs.iter().map(|(_, attn)| attn[h].clone()).collect();
+        assert_all_bit_identical(&probs, &format!("head {h} attention probs"));
+    }
+}
+
+#[test]
+fn encoder_backward_gradients_are_bit_identical_across_pool_sizes() {
+    let mut rng = StdRng::seed_from_u64(47);
+    let mut ps = ParamSet::new(1e-3);
+    let enc = TransformerEncoder::new("t", 2, 8, 2, &mut ps, &mut rng);
+    let x = Matrix::uniform(6, 8, 1.0, &mut rng);
+    let params: Vec<_> = ps.params().to_vec();
+    let _g = KNOBS.lock().unwrap_or_else(|e| e.into_inner());
+    set_par_threshold(1);
+    let mut per_size: Vec<Vec<Vec<u32>>> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        set_pool_threads(threads);
+        for p in &params {
+            p.zero_grad();
+        }
+        let tape = Tape::new();
+        let xt = tape.constant(x.clone());
+        let y = enc.forward(&tape, &xt);
+        let loss = y.mul(&y).mean_all();
+        loss.backward();
+        per_size.push(
+            params.iter().map(|p| p.grad().data().iter().map(|v| v.to_bits()).collect()).collect(),
+        );
+    }
+    set_pool_threads(0);
+    set_par_threshold(DEFAULT_PAR_THRESHOLD);
+    for (i, grads) in per_size.iter().enumerate().skip(1) {
+        for (p, (got, want)) in grads.iter().zip(&per_size[0]).enumerate() {
+            assert_eq!(
+                got,
+                want,
+                "gradient of {} drifted at pool size index {i}",
+                params[p].name()
+            );
+        }
+    }
+}

@@ -14,6 +14,9 @@
 //!   configuration, §VI-A4).
 //! * [`gradcheck`] — numeric gradient checking used throughout the test
 //!   suites.
+//! * [`pool`] — a std-only persistent worker pool behind the hot kernels.
+//!   Parallelism is row-wise only, so results are bit-identical to the
+//!   serial kernels for every pool size (see [`pool::par_rows`]).
 //!
 //! ## Example
 //!
@@ -45,8 +48,13 @@ mod param;
 mod tape;
 
 pub mod gradcheck;
+pub mod pool;
 
 pub use io::{read_matrix, write_matrix, Snapshot};
 pub use matrix::{dot, softmax_in_place, Matrix};
 pub use param::{Param, ParamSet};
+pub use pool::{
+    par_rows, par_rows_mut, par_threshold, pool_threads, set_par_threshold, set_pool_threads,
+    DEFAULT_PAR_THRESHOLD,
+};
 pub use tape::{Tape, Tensor};

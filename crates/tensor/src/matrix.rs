@@ -201,7 +201,10 @@ impl Matrix {
     /// Matrix product `self * other`.
     ///
     /// Uses an i-k-j loop order so the inner loop runs over contiguous rows of
-    /// both the output and `other`, which lets LLVM vectorize it.
+    /// both the output and `other`, which lets LLVM vectorize it. Output rows
+    /// are computed pool-parallel ([`crate::pool::par_rows_mut`]); each row's
+    /// k-ascending accumulation happens entirely on one thread, so the result
+    /// is bit-identical for every pool size.
     ///
     /// # Panics
     /// Panics if `self.cols != other.rows`.
@@ -213,64 +216,92 @@ impl Matrix {
         );
         let mut out = vec![0.0f32; self.rows * other.cols];
         let n = other.cols;
-        for i in 0..self.rows {
-            let a_row = self.row_slice(i);
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let work = self.rows * self.cols * n;
+        crate::pool::par_rows_mut(&mut out, n.max(1), work, |i0, rows_chunk| {
+            for (d, out_row) in rows_chunk.chunks_exact_mut(n).enumerate() {
+                let a_row = self.row_slice(i0 + d);
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[k * n..(k + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         Matrix { rows: self.rows, cols: other.cols, data: out }
     }
 
     /// Matrix product `self^T * other` without materializing the transpose.
+    ///
+    /// Row-parallel over the *output* rows (= columns of `self`): each worker
+    /// owns an `i`-range and iterates `k` ascending with the same
+    /// zero-skip as the serial k-outer kernel, so every output element keeps
+    /// its exact serial accumulation order — bit-identical across pool sizes.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
         let mut out = vec![0.0f32; self.cols * other.cols];
         let n = other.cols;
-        for k in 0..self.rows {
-            let a_row = self.row_slice(k);
-            let b_row = other.row_slice(k);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let work = self.rows * self.cols * n;
+        crate::pool::par_rows_mut(&mut out, n.max(1), work, |i0, rows_chunk| {
+            for (d, out_row) in rows_chunk.chunks_exact_mut(n).enumerate() {
+                let i = i0 + d;
+                for k in 0..self.rows {
+                    let a = self.data[k * self.cols + i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = other.row_slice(k);
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         Matrix { rows: self.cols, cols: other.cols, data: out }
     }
 
     /// Matrix product `self * other^T` without materializing the transpose.
+    ///
+    /// Output rows are computed pool-parallel; each element is one serial
+    /// [`dot`], so results are bit-identical across pool sizes.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
         let mut out = vec![0.0f32; self.rows * other.rows];
-        for i in 0..self.rows {
-            let a_row = self.row_slice(i);
-            let out_row = &mut out[i * other.rows..(i + 1) * other.rows];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = other.row_slice(j);
-                *o = dot(a_row, b_row);
+        let n = other.rows;
+        let work = self.rows * self.cols * n;
+        crate::pool::par_rows_mut(&mut out, n.max(1), work, |i0, rows_chunk| {
+            for (d, out_row) in rows_chunk.chunks_exact_mut(n).enumerate() {
+                let a_row = self.row_slice(i0 + d);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    *o = dot(a_row, other.row_slice(j));
+                }
             }
-        }
+        });
         Matrix { rows: self.rows, cols: other.rows, data: out }
     }
 
     /// Transposed copy.
+    ///
+    /// Works in 32x32 blocks so both the read and the write side stay within
+    /// a few cache lines per tile; the naive row-major read / column-stride
+    /// write walk touches `rows` distinct cache lines per input row and
+    /// thrashes on large matrices. A parity test pins this against the naive
+    /// walk (pure element moves — no arithmetic, so identity is exact).
     pub fn transpose(&self) -> Matrix {
+        const B: usize = 32;
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        for rb in (0..self.rows).step_by(B) {
+            let r_end = (rb + B).min(self.rows);
+            for cb in (0..self.cols).step_by(B) {
+                let c_end = (cb + B).min(self.cols);
+                for r in rb..r_end {
+                    for c in cb..c_end {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
             }
         }
         out
@@ -315,11 +346,24 @@ impl Matrix {
     }
 
     /// Row-wise softmax, numerically stabilized by subtracting the row max.
+    ///
+    /// Rows are independent, so batches run pool-parallel; each row is still
+    /// one serial [`softmax_in_place`], keeping results bit-identical across
+    /// pool sizes.
     pub fn softmax_rows(&self) -> Matrix {
         let mut out = self.clone();
-        for r in 0..self.rows {
-            softmax_in_place(out.row_slice_mut(r));
+        if self.cols == 0 {
+            return out;
         }
+        let (rows, cols) = (self.rows, self.cols);
+        // exp + div per element is far heavier than a fused multiply-add;
+        // weight the work estimate accordingly.
+        let work = rows * cols * 8;
+        crate::pool::par_rows_mut(&mut out.data, cols, work, |_, rows_chunk| {
+            for row in rows_chunk.chunks_exact_mut(cols) {
+                softmax_in_place(row);
+            }
+        });
         out
     }
 
@@ -521,6 +565,22 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let a = Matrix::uniform(3, 7, 1.0, &mut rng);
         assert_eq!(a, a.transpose().transpose());
+    }
+
+    #[test]
+    fn blocked_transpose_matches_naive_walk() {
+        let mut rng = StdRng::seed_from_u64(17);
+        // Shapes straddling the 32-wide block boundary, plus degenerate ones.
+        for (rows, cols) in [(1, 1), (3, 7), (31, 33), (32, 32), (65, 40), (1, 100), (100, 1)] {
+            let a = Matrix::uniform(rows, cols, 1.0, &mut rng);
+            let mut naive = Matrix::zeros(cols, rows);
+            for r in 0..rows {
+                for c in 0..cols {
+                    naive.set(c, r, a.get(r, c));
+                }
+            }
+            assert_eq!(a.transpose(), naive, "{rows}x{cols}");
+        }
     }
 
     #[test]

@@ -39,6 +39,47 @@ fn grad_matmul_chain() {
 }
 
 #[test]
+fn grad_matmul_nt() {
+    // C = A B^T: dA = g B, dB = g^T A.
+    let a = p("a", 3, 4, 24);
+    let b = p("b", 5, 4, 25);
+    let w = p("w", 5, 1, 26);
+    assert_grads_match(&[a.clone(), b.clone(), w.clone()], 1e-2, || {
+        let tape = Tape::new();
+        let loss = tape.param(&a).matmul_nt(&tape.param(&b)).matmul(&tape.param(&w)).mean_all();
+        loss.backward();
+        loss.scalar()
+    });
+}
+
+#[test]
+fn grad_pooled_kernels_match_numeric_under_multithread_pool() {
+    // The whole matmul/matmul_nt/softmax/layer-norm chain, numeric-checked
+    // with the pool forced on (4 threads, threshold 1): the analytic
+    // backward must stay correct when every kernel dispatches across
+    // workers. Pool sizes are bit-identical by construction, so this does
+    // not disturb concurrently running tests.
+    intellitag_tensor::set_pool_threads(4);
+    intellitag_tensor::set_par_threshold(1);
+    let a = p("a", 5, 6, 27);
+    let b = p("b", 6, 6, 28);
+    let gamma = p("gamma", 1, 6, 29);
+    let beta = p("beta", 1, 6, 30);
+    assert_grads_match(&[a.clone(), b.clone(), gamma.clone(), beta.clone()], 2e-2, || {
+        let tape = Tape::new();
+        let x = tape.param(&a);
+        let y = tape.param(&b);
+        let h = x.matmul(&y).layer_norm(&tape.param(&gamma), &tape.param(&beta), 1e-5);
+        let scores = h.matmul_nt(&h).softmax_rows();
+        let loss = scores.matmul(&h).mul(&h).mean_all();
+        loss.backward();
+        loss.scalar()
+    });
+    intellitag_tensor::set_pool_threads(0);
+    intellitag_tensor::set_par_threshold(intellitag_tensor::DEFAULT_PAR_THRESHOLD);
+}
+
+#[test]
 fn grad_activations() {
     let a = p("a", 2, 4, 6);
     for act in ["relu", "leaky", "sigmoid", "tanh", "gelu"] {

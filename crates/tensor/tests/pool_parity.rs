@@ -1,0 +1,149 @@
+//! Bitwise parity of the pooled kernels across pool sizes.
+//!
+//! The compute pool's contract is that `pool_threads` is a pure performance
+//! knob: every kernel must produce **byte-identical** output for pool sizes
+//! {1, 2, 4}, including row counts that do not divide evenly across workers.
+//! These tests force the pooled path (`set_par_threshold(1)`) so even tiny
+//! matrices exercise real cross-thread dispatch.
+//!
+//! The knobs are process-global, so every test here serializes through one
+//! mutex and restores the defaults on exit.
+
+use intellitag_tensor::{set_par_threshold, set_pool_threads, Matrix, DEFAULT_PAR_THRESHOLD};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+static KNOBS: Mutex<()> = Mutex::new(());
+
+/// Runs `f` once per pool size in {1, 2, 4} with the pooled path forced,
+/// returning the per-size results for comparison.
+fn across_pool_sizes<T>(mut f: impl FnMut() -> T) -> Vec<T> {
+    let _g = KNOBS.lock().unwrap_or_else(|e| e.into_inner());
+    set_par_threshold(1);
+    let out = [1usize, 2, 4]
+        .iter()
+        .map(|&threads| {
+            set_pool_threads(threads);
+            f()
+        })
+        .collect();
+    set_pool_threads(0);
+    set_par_threshold(DEFAULT_PAR_THRESHOLD);
+    out
+}
+
+fn assert_all_bit_identical(results: &[Matrix], what: &str) {
+    let bits = |m: &Matrix| -> Vec<u32> { m.data().iter().map(|v| v.to_bits()).collect() };
+    let first = bits(&results[0]);
+    for (i, m) in results.iter().enumerate().skip(1) {
+        assert_eq!(m.shape(), results[0].shape(), "{what}: shape drifted at pool size index {i}");
+        assert_eq!(bits(m), first, "{what}: bits drifted at pool size index {i}");
+    }
+}
+
+/// Shapes chosen so rows hit every divisibility class against 2 and 4
+/// workers (1, odd, 4k+2, 4k+3, exact multiples) plus skinny extremes.
+const SHAPES: &[(usize, usize, usize)] =
+    &[(1, 8, 8), (3, 5, 7), (6, 16, 9), (7, 3, 11), (8, 8, 8), (37, 16, 24), (64, 1, 40)];
+
+#[test]
+fn matmul_is_bit_identical_across_pool_sizes() {
+    for &(m, k, n) in SHAPES {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Matrix::uniform(m, k, 1.0, &mut rng);
+        let b = Matrix::uniform(k, n, 1.0, &mut rng);
+        let results = across_pool_sizes(|| a.matmul(&b));
+        assert_all_bit_identical(&results, &format!("matmul {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn matmul_with_zero_skip_is_bit_identical_across_pool_sizes() {
+    // The zero-skip branch changes accumulation patterns; make sure the
+    // pooled split preserves them by feeding a sparse left operand.
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut a = Matrix::uniform(37, 16, 1.0, &mut rng);
+    for (i, v) in a.data_mut().iter_mut().enumerate() {
+        if i % 3 == 0 {
+            *v = 0.0;
+        }
+    }
+    let b = Matrix::uniform(16, 24, 1.0, &mut rng);
+    let results = across_pool_sizes(|| a.matmul(&b));
+    assert_all_bit_identical(&results, "sparse matmul");
+}
+
+#[test]
+fn matmul_tn_is_bit_identical_across_pool_sizes() {
+    for &(m, k, n) in SHAPES {
+        // matmul_tn contracts over rows: A is k x m, output m x n.
+        let mut rng = StdRng::seed_from_u64(17);
+        let a = Matrix::uniform(k, m, 1.0, &mut rng);
+        let b = Matrix::uniform(k, n, 1.0, &mut rng);
+        let results = across_pool_sizes(|| a.matmul_tn(&b));
+        assert_all_bit_identical(&results, &format!("matmul_tn {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn matmul_tn_row_parallel_rewrite_matches_serial_scatter() {
+    // The row-parallel matmul_tn must also equal the historical k-outer
+    // scatter kernel bit-for-bit (same k-ascending order per element).
+    let mut rng = StdRng::seed_from_u64(19);
+    let a = Matrix::uniform(23, 37, 1.0, &mut rng);
+    let b = Matrix::uniform(23, 12, 1.0, &mut rng);
+    let mut scatter = vec![0.0f32; 37 * 12];
+    for k in 0..23 {
+        for i in 0..37 {
+            let av = a.get(k, i);
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..12 {
+                scatter[i * 12 + j] += av * b.get(k, j);
+            }
+        }
+    }
+    let results = across_pool_sizes(|| a.matmul_tn(&b));
+    for m in &results {
+        let bits: Vec<u32> = m.data().iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u32> = scatter.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, want, "pooled matmul_tn diverged from the serial scatter kernel");
+    }
+}
+
+#[test]
+fn matmul_nt_is_bit_identical_across_pool_sizes() {
+    for &(m, k, n) in SHAPES {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = Matrix::uniform(m, k, 1.0, &mut rng);
+        let b = Matrix::uniform(n, k, 1.0, &mut rng);
+        let results = across_pool_sizes(|| a.matmul_nt(&b));
+        assert_all_bit_identical(&results, &format!("matmul_nt {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn softmax_rows_is_bit_identical_across_pool_sizes() {
+    for &rows in &[1usize, 3, 7, 37] {
+        let mut rng = StdRng::seed_from_u64(29);
+        let x = Matrix::uniform(rows, 19, 4.0, &mut rng);
+        let results = across_pool_sizes(|| x.softmax_rows());
+        assert_all_bit_identical(&results, &format!("softmax_rows {rows}x19"));
+    }
+}
+
+#[test]
+fn softmax_rows_with_neg_inf_mask_is_bit_identical() {
+    // Masked attention feeds -inf scores; exp(-inf) must stay exactly 0.0
+    // on every pool size.
+    let mut rng = StdRng::seed_from_u64(31);
+    let mask = Matrix::block_diag_mask(&[3, 2, 4]);
+    let x = Matrix::uniform(9, 9, 2.0, &mut rng).add(&mask);
+    let results = across_pool_sizes(|| x.softmax_rows());
+    assert_all_bit_identical(&results, "masked softmax_rows");
+    for (r, c) in [(0, 4), (4, 0), (8, 2)] {
+        assert_eq!(results[0].get(r, c), 0.0, "masked prob ({r},{c}) must be exactly zero");
+    }
+}

@@ -1,0 +1,231 @@
+//! Serial vs pooled GEMM throughput at model-realistic shapes.
+//!
+//! Times the tensor crate's `matmul` / `matmul_nt` kernels with the compute
+//! pool off (`pool_threads = 1`) and on (one thread per hardware core),
+//! verifies the pooled outputs are byte-identical to serial (the pool's
+//! headline guarantee), and reports GFLOP/s per shape.
+//!
+//! Shapes mirror the serving stack: a 17-row context window and a 136-row
+//! micro-batch through a dim-64 projection, the batched scoring GEMM
+//! against a 400-tag candidate pool, the attention `Q·Kᵀ` product, and a
+//! square 256³ reference point.
+//!
+//! The ≥2x pooled-speedup assertion only arms on machines with at least 4
+//! hardware threads — on smaller hosts (including 1-core CI runners) the
+//! bench still runs, still checks parity, and records the speedup it saw.
+//!
+//! ```sh
+//! cargo run --release --example bench_gemm            # full run
+//! cargo run --release --example bench_gemm -- --json  # + BENCH_gemm.json
+//! cargo run --release --example bench_gemm -- --smoke # small CI-sized run
+//! ```
+
+use std::time::Instant;
+
+use intellitag::prelude::*;
+use intellitag::tensor::Matrix;
+
+/// Which kernel a shape exercises.
+#[derive(Clone, Copy)]
+enum Kernel {
+    /// `C = A·B` with A `m x k`, B `k x n`.
+    MatMul,
+    /// `C = A·Bᵀ` with A `m x k`, B `n x k` (attention scores).
+    MatMulNt,
+}
+
+struct Shape {
+    name: &'static str,
+    kernel: Kernel,
+    m: usize,
+    k: usize,
+    n: usize,
+    /// Whether the ≥2x speedup assertion covers this shape (large shapes
+    /// only; tiny GEMMs are fork/join-bound and excluded by design).
+    assert_speedup: bool,
+}
+
+const SHAPES: &[Shape] = &[
+    Shape {
+        name: "ctx17_proj64",
+        kernel: Kernel::MatMul,
+        m: 17,
+        k: 64,
+        n: 64,
+        assert_speedup: false,
+    },
+    Shape {
+        name: "batch136_proj64",
+        kernel: Kernel::MatMul,
+        m: 136,
+        k: 64,
+        n: 64,
+        assert_speedup: false,
+    },
+    Shape {
+        name: "score136_pool400",
+        kernel: Kernel::MatMul,
+        m: 136,
+        k: 64,
+        n: 400,
+        assert_speedup: true,
+    },
+    Shape {
+        name: "attn_qkt_136x16",
+        kernel: Kernel::MatMulNt,
+        m: 136,
+        k: 16,
+        n: 136,
+        assert_speedup: false,
+    },
+    Shape {
+        name: "square_256",
+        kernel: Kernel::MatMul,
+        m: 256,
+        k: 256,
+        n: 256,
+        assert_speedup: true,
+    },
+];
+
+/// Deterministic pseudo-random fill so serial and pooled phases see the
+/// exact same operands.
+fn fill(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed;
+    let mut m = Matrix::zeros(rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((state >> 40) & 0xFFFF) as f32 / 65536.0;
+            m.set(i, j, u - 0.5);
+        }
+    }
+    m
+}
+
+fn run_kernel(shape: &Shape, a: &Matrix, b: &Matrix) -> Matrix {
+    match shape.kernel {
+        Kernel::MatMul => a.matmul(b),
+        Kernel::MatMulNt => a.matmul_nt(b),
+    }
+}
+
+/// GFLOP/s over `iters` repetitions (2·m·k·n flops per GEMM), plus one
+/// representative output for the parity check.
+fn time_kernel(shape: &Shape, a: &Matrix, b: &Matrix, iters: usize) -> (f64, Matrix) {
+    let out = run_kernel(shape, a, b); // warm-up + parity sample
+    let t = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(run_kernel(
+            std::hint::black_box(shape),
+            std::hint::black_box(a),
+            std::hint::black_box(b),
+        ));
+    }
+    let secs = t.elapsed().as_secs_f64().max(1e-9);
+    let flops = 2.0 * shape.m as f64 * shape.k as f64 * shape.n as f64 * iters as f64;
+    (flops / secs / 1e9, out)
+}
+
+struct ShapeReport {
+    name: &'static str,
+    dims: (usize, usize, usize),
+    serial_gflops: f64,
+    pooled_gflops: f64,
+    speedup: f64,
+    asserted: bool,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let json = std::env::args().any(|a| a == "--json");
+    let hw_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let pooled_threads = hw_threads.min(8);
+    let assert_armed = hw_threads >= 4;
+    println!(
+        "hardware threads: {hw_threads}  pooled run uses {pooled_threads}  \
+         speedup assertion {}",
+        if assert_armed { "ARMED (>= 4 threads)" } else { "disarmed (< 4 threads)" }
+    );
+
+    let mut reports = Vec::new();
+    for shape in SHAPES {
+        let iters = {
+            let work = shape.m * shape.k * shape.n;
+            let budget = if smoke { 40_000_000 } else { 1_200_000_000 };
+            (budget / work).clamp(3, 4_000)
+        };
+        let a = fill(shape.m, shape.k, 0xA5A5 ^ shape.m as u64);
+        let b = match shape.kernel {
+            Kernel::MatMul => fill(shape.k, shape.n, 0x5A5A ^ shape.n as u64),
+            Kernel::MatMulNt => fill(shape.n, shape.k, 0x5A5A ^ shape.n as u64),
+        };
+
+        set_pool_threads(1);
+        let (serial_gflops, serial_out) = time_kernel(shape, &a, &b, iters);
+        set_pool_threads(pooled_threads);
+        let (pooled_gflops, pooled_out) = time_kernel(shape, &a, &b, iters);
+        set_pool_threads(0);
+
+        // Parity first: speed means nothing if the bits moved.
+        let same = serial_out
+            .data()
+            .iter()
+            .zip(pooled_out.data())
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(same, "{}: pooled output is not bit-identical to serial", shape.name);
+
+        let speedup = pooled_gflops / serial_gflops;
+        let asserted = assert_armed && shape.assert_speedup;
+        println!(
+            "  {:<20} {:>4}x{:<4}x{:<4} {:>7.2} -> {:>7.2} GFLOP/s  ({speedup:.2}x{})",
+            shape.name,
+            shape.m,
+            shape.k,
+            shape.n,
+            serial_gflops,
+            pooled_gflops,
+            if asserted { ", asserted" } else { "" }
+        );
+        if asserted {
+            assert!(
+                speedup >= 2.0,
+                "{}: pooled GEMM must be >= 2x serial at {pooled_threads} threads, got {speedup:.2}x",
+                shape.name
+            );
+        }
+        reports.push(ShapeReport {
+            name: shape.name,
+            dims: (shape.m, shape.k, shape.n),
+            serial_gflops,
+            pooled_gflops,
+            speedup,
+            asserted,
+        });
+    }
+    println!("parity: every pooled output bit-identical to serial");
+
+    if json {
+        let shapes: Vec<String> = reports
+            .iter()
+            .map(|r| {
+                format!(
+                    "    \"{}\": {{\"m\": {}, \"k\": {}, \"n\": {}, \"serial_gflops\": {:.3}, \"pooled_gflops\": {:.3}, \"speedup\": {:.3}, \"speedup_asserted\": {}}}",
+                    r.name, r.dims.0, r.dims.1, r.dims.2, r.serial_gflops, r.pooled_gflops,
+                    r.speedup, r.asserted
+                )
+            })
+            .collect();
+        let body = format!(
+            "{{\n  \"bench\": \"gemm\",\n  \"mode\": \"{}\",\n  \"hw_threads\": {},\n  \"pooled_threads\": {},\n  \"par_threshold\": {},\n  \"speedup_assert_armed\": {},\n  \"shapes\": {{\n{}\n  }}\n}}\n",
+            if smoke { "smoke" } else { "full" },
+            hw_threads,
+            pooled_threads,
+            par_threshold(),
+            assert_armed,
+            shapes.join(",\n")
+        );
+        std::fs::write("BENCH_gemm.json", &body).expect("write BENCH_gemm.json");
+        println!("wrote BENCH_gemm.json");
+    }
+}

@@ -8,9 +8,11 @@
 //! p50/p90/p99 from the serving histograms.
 //!
 //! ```sh
-//! cargo run --release --example bench_serving            # full run
-//! cargo run --release --example bench_serving -- --json  # + BENCH_serving.json
-//! cargo run --release --example bench_serving -- --smoke # small CI-sized run
+//! cargo run --release --example bench_serving                  # full run
+//! cargo run --release --example bench_serving -- --json        # + BENCH_serving.json
+//! cargo run --release --example bench_serving -- --smoke       # small CI-sized run
+//! cargo run --release --example bench_serving -- --pool 4      # 4-thread compute pool
+//! cargo run --release --example bench_serving -- --pool-parity # byte-parity across pools, then exit
 //! ```
 
 use std::time::Instant;
@@ -150,14 +152,55 @@ fn json_report(r: &PhaseReport) -> String {
     )
 }
 
+/// `--pool-parity`: replay the workload through `handle_tag_click_batch`
+/// under compute-pool sizes {1, 4} with the parallel threshold forced to 1
+/// and assert the responses are byte-identical — the smoke-level proof that
+/// `pool_threads` is a pure performance knob all the way up the stack.
+fn pool_parity(world: &World, reqs: &[(usize, Vec<usize>)], batch_max: usize) {
+    set_par_threshold(1);
+    let mut per_size: Vec<Vec<TagClickResponse>> = Vec::new();
+    for threads in [1usize, 4] {
+        set_pool_threads(threads);
+        println!("training checkpoint under pool_threads = {threads} ...");
+        let server = build_server(world);
+        per_size.push(
+            reqs.chunks(batch_max).flat_map(|chunk| server.handle_tag_click_batch(chunk)).collect(),
+        );
+    }
+    set_pool_threads(0);
+    set_par_threshold(DEFAULT_PAR_THRESHOLD);
+    let (a, b) = (&per_size[0], &per_size[1]);
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(x.same_content(y), "response {i} diverged between pool sizes 1 and 4");
+    }
+    println!("pool parity: all {} responses byte-identical across pool sizes 1 and 4", a.len());
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let json = std::env::args().any(|a| a == "--json");
-    let requests = if smoke { 240 } else { 2_000 };
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json = args.iter().any(|a| a == "--json");
+    let parity_only = args.iter().any(|a| a == "--pool-parity");
+    let pool = args
+        .iter()
+        .position(|a| a == "--pool")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<usize>().expect("--pool takes a thread count"));
+    let requests = if smoke || parity_only { 240 } else { 2_000 };
     let batch_max = 8usize;
 
     let world = World::generate(WorldConfig::tiny(71));
     let reqs = workload(&world, 909, requests);
+
+    if parity_only {
+        pool_parity(&world, &reqs, batch_max);
+        return;
+    }
+    if let Some(threads) = pool {
+        set_pool_threads(threads);
+        println!("compute pool: {} threads", intellitag::prelude::pool_threads());
+    }
 
     println!("training IntelliTag checkpoint for the serial phase ...");
     let serial_server = build_server(&world);
@@ -203,10 +246,12 @@ fn main() {
 
     if json {
         let body = format!(
-            "{{\n  \"bench\": \"serving\",\n  \"mode\": \"{}\",\n  \"model\": \"intellitag\",\n  \"requests\": {},\n  \"batch_max\": {},\n{},\n{},\n  \"speedup\": {:.3}\n}}\n",
+            "{{\n  \"bench\": \"serving\",\n  \"mode\": \"{}\",\n  \"model\": \"intellitag\",\n  \"requests\": {},\n  \"batch_max\": {},\n  \"pool_threads\": {},\n  \"par_threshold\": {},\n{},\n{},\n  \"speedup\": {:.3}\n}}\n",
             if smoke { "smoke" } else { "full" },
             requests,
             batch_max,
+            intellitag::prelude::pool_threads(),
+            par_threshold(),
             json_report(&serial),
             json_report(&batched),
             speedup

@@ -91,6 +91,7 @@ fn main() {
             batch_max: 8,
             queue_capacity: 256,
             routing: RoutingPolicy::PowerOfTwoChoices,
+            ..Default::default()
         },
         registry.clone(),
         move |shard| {

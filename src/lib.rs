@@ -84,4 +84,7 @@ pub mod prelude {
         MetricsRegistry, SpanTimer,
     };
     pub use intellitag_search::KbWarehouse;
+    pub use intellitag_tensor::{
+        par_threshold, pool_threads, set_par_threshold, set_pool_threads, DEFAULT_PAR_THRESHOLD,
+    };
 }

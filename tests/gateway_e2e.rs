@@ -227,6 +227,7 @@ fn gateway_over_sharded_front_reconciles_under_concurrency() {
             batch_max: 4,
             queue_capacity: 64,
             routing: RoutingPolicy::PowerOfTwoChoices,
+            ..Default::default()
         },
         registry.clone(),
         move |_shard| factory_parts.build(),

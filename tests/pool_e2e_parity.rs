@@ -1,0 +1,109 @@
+//! End-to-end bitwise parity of the serving stack across compute-pool sizes.
+//!
+//! The compute pool parallelizes GEMM, softmax, layer-norm and attention
+//! across *output rows* only; each row's f32 accumulation stays on one
+//! thread in serial order, so every kernel is bit-identical across pool
+//! sizes by construction. This test pins that guarantee at the top of the
+//! stack: training IntelliTag from scratch and replaying a mixed
+//! serial + batched click workload must produce byte-identical responses
+//! for `pool_threads` in {1, 2, 4} — including batch shapes that don't
+//! divide evenly across workers.
+
+use intellitag::prelude::*;
+
+/// A seeded click workload over the world's tenants: short and long
+/// histories, repeats, and a couple of degraded requests.
+fn click_stream(world: &World, len: usize) -> Vec<(usize, Vec<usize>)> {
+    let mut state = 0xD1CEu64;
+    let mut next = move |n: usize| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) % n.max(1) as u64) as usize
+    };
+    let tenants = world.tenants.len();
+    (0..len)
+        .map(|i| {
+            let tenant = next(tenants);
+            let pool = world.tenant_tag_pool(tenant);
+            match i % 9 {
+                7 => (tenant, Vec::new()), // degraded: empty
+                8 => (tenant, (0..24).map(|_| pool[next(pool.len())]).collect()), // oversized
+                _ => {
+                    let n = 1 + next(3.min(pool.len()));
+                    (tenant, (0..n).map(|_| pool[next(pool.len())]).collect())
+                }
+            }
+        })
+        .collect()
+}
+
+fn build_server(world: &World) -> ModelServer<IntelliTag> {
+    let graph = world.build_graph();
+    let texts: Vec<String> = world.tags.iter().map(|t| t.text()).collect();
+    let train: Vec<Vec<usize>> = world.sessions.iter().map(|s| s.clicks.clone()).collect();
+    let cfg = TagRecConfig {
+        dim: 16,
+        heads: 2,
+        seq_layers: 1,
+        neighbor_cap: 4,
+        train: intellitag::core::TrainConfig {
+            epochs: 1,
+            lr: 0.01,
+            batch_size: 16,
+            seed: 7,
+            mask_prob: 0.0,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let model = IntelliTag::train(&graph, &texts, &train, cfg);
+    ModelServer::new(
+        model,
+        world.build_kb(),
+        texts,
+        world.rqs.iter().map(|r| r.tags.clone()).collect(),
+        (0..world.tenants.len()).map(|t| world.tenant_tag_pool(t)).collect(),
+        world.click_frequency(),
+    )
+}
+
+#[test]
+fn train_and_serve_are_bit_identical_across_pool_sizes() {
+    let world = World::generate(WorldConfig::tiny(73));
+    let stream = click_stream(&world, 27);
+
+    // Force every kernel through the pool so small serving shapes exercise
+    // the parallel path rather than the serial-fallback threshold.
+    set_par_threshold(1);
+    let mut per_size: Vec<Vec<(Vec<usize>, Vec<usize>)>> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        set_pool_threads(threads);
+        let server = build_server(&world);
+        let mut answers = Vec::new();
+        // Serial path: one request at a time.
+        for (tenant, clicks) in stream.iter().take(9) {
+            let r = server.handle_tag_click(*tenant, clicks);
+            answers.push((r.recommended_tags, r.predicted_questions));
+        }
+        // Batched path: the whole stream as micro-batch drains, including a
+        // 27-row drain that doesn't divide across 2 or 4 workers.
+        for drain in stream.chunks(13) {
+            for r in server.handle_tag_click_batch(drain) {
+                answers.push((r.recommended_tags, r.predicted_questions));
+            }
+        }
+        per_size.push(answers);
+    }
+    set_pool_threads(0);
+    set_par_threshold(DEFAULT_PAR_THRESHOLD);
+
+    assert!(
+        per_size[0].iter().any(|(tags, _)| !tags.is_empty()),
+        "workload never produced recommendations"
+    );
+    for (i, answers) in per_size.iter().enumerate().skip(1) {
+        assert_eq!(
+            answers, &per_size[0],
+            "end-to-end responses drifted at pool size index {i} (sizes are 1, 2, 4)"
+        );
+    }
+}
