@@ -14,7 +14,8 @@ use std::sync::Arc;
 
 use intellitag_baselines::SequenceRecommender;
 use intellitag_obs::{
-    Counter, Histogram, HistogramSnapshot, MetricsRegistry, SampleRing, SpanTimer,
+    tenant_tier, Counter, Histogram, HistogramSnapshot, MetricsRegistry, SampleRing, SpanTimer,
+    TraceHandle, SLO_LATENCY_METRIC, SLO_TIER_LABEL,
 };
 use intellitag_search::{Hit, KbWarehouse};
 
@@ -49,6 +50,31 @@ pub trait TagService {
 
     /// The served policy's (model's) name, as printed in the paper's tables.
     fn policy(&self) -> String;
+
+    /// [`TagService::handle_question`] with request tracing: fronts that
+    /// support per-stage spans record them into `trace`. The default ignores
+    /// the trace and delegates, so existing fronts keep working untraced.
+    fn handle_question_traced(
+        &self,
+        tenant: usize,
+        question: &str,
+        trace: &TraceHandle,
+    ) -> QuestionResponse {
+        let _ = trace;
+        self.handle_question(tenant, question)
+    }
+
+    /// [`TagService::handle_tag_click`] with request tracing (see
+    /// [`TagService::handle_question_traced`]).
+    fn handle_tag_click_traced(
+        &self,
+        tenant: usize,
+        clicks: &[usize],
+        trace: &TraceHandle,
+    ) -> TagClickResponse {
+        let _ = trace;
+        self.handle_tag_click(tenant, clicks)
+    }
 }
 
 /// Shared ownership serves transparently: a `Send + Sync` front (e.g.
@@ -79,6 +105,24 @@ impl<S: TagService> TagService for Arc<S> {
 
     fn policy(&self) -> String {
         (**self).policy()
+    }
+
+    fn handle_question_traced(
+        &self,
+        tenant: usize,
+        question: &str,
+        trace: &TraceHandle,
+    ) -> QuestionResponse {
+        (**self).handle_question_traced(tenant, question, trace)
+    }
+
+    fn handle_tag_click_traced(
+        &self,
+        tenant: usize,
+        clicks: &[usize],
+        trace: &TraceHandle,
+    ) -> TagClickResponse {
+        (**self).handle_tag_click_traced(tenant, clicks, trace)
     }
 }
 
@@ -160,6 +204,10 @@ struct ServerMetrics {
     err_bad_tenant: Arc<Counter>,
     err_bad_tag: Arc<Counter>,
     err_empty_clicks: Arc<Counter>,
+    /// Per-tenant-tier latency series (`slo.latency_us{tenant_tier=..}`),
+    /// indexed by `tenant % 3` to match [`tenant_tier`]. Bound once so the
+    /// hot path never formats a labeled name.
+    slo_latency: [Arc<Histogram>; 3],
 }
 
 impl ServerMetrics {
@@ -186,12 +234,20 @@ impl ServerMetrics {
             err_bad_tenant: registry.counter("serving.error.bad_tenant"),
             err_bad_tag: registry.counter("serving.error.bad_tag"),
             err_empty_clicks: registry.counter("serving.error.empty_clicks"),
+            slo_latency: [0u64, 1, 2].map(|t| {
+                registry.histogram_labeled(SLO_LATENCY_METRIC, &[(SLO_TIER_LABEL, tenant_tier(t))])
+            }),
             registry,
         }
     }
 
     fn tenant_requests(&self, tenant: usize) -> Arc<Counter> {
         self.registry.counter(&format!("serving.requests.tenant_{tenant}"))
+    }
+
+    /// The SLO latency series for a tenant's tier.
+    fn slo_latency(&self, tenant: usize) -> &Histogram {
+        &self.slo_latency[tenant % 3]
     }
 }
 
@@ -342,16 +398,17 @@ impl<M: SequenceRecommender> ModelServer<M> {
     /// handler exit — including degraded and empty responses — funnels
     /// through here, so the counter reconciles exactly against whatever
     /// front (gateway, sharded queue) is driving this server.
-    fn finish_request(&self, timer: SpanTimer, path: &Histogram) -> u64 {
-        self.finish_request_us(timer.elapsed_us(), path)
+    fn finish_request(&self, tenant: usize, timer: SpanTimer, path: &Histogram) -> u64 {
+        self.finish_request_us(tenant, timer.elapsed_us(), path)
     }
 
     /// [`Self::finish_request`] for callers that already measured the
     /// latency — the batched click path finishes many requests off one
     /// shared timer.
-    fn finish_request_us(&self, us: u64, path: &Histogram) -> u64 {
+    fn finish_request_us(&self, tenant: usize, us: u64, path: &Histogram) -> u64 {
         path.record(us);
         self.obs.request_latency.record(us);
+        self.obs.slo_latency(tenant).record(us);
         self.obs.requests.inc();
         self.recent_latencies.push(us);
         us
@@ -368,7 +425,7 @@ impl<M: SequenceRecommender> ModelServer<M> {
         let timer = SpanTimer::start();
         self.obs.tenant_requests(tenant).inc();
         let tags = self.cold_start_inner(tenant);
-        self.finish_request(timer, &self.obs.cold_start_latency);
+        self.finish_request(tenant, timer, &self.obs.cold_start_latency);
         tags
     }
 
@@ -399,11 +456,30 @@ impl<M: SequenceRecommender> ModelServer<M> {
     /// Q&A matcher attached, the BM25 recall set is re-ranked by match score
     /// (recall-then-rerank, exactly the deployed §V-A pipeline).
     pub fn handle_question(&self, tenant: usize, question: &str) -> QuestionResponse {
+        self.handle_question_inner(tenant, question, None)
+    }
+
+    /// [`Self::handle_question`] recording per-stage spans into `trace`.
+    pub fn handle_question_traced(
+        &self,
+        tenant: usize,
+        question: &str,
+        trace: &TraceHandle,
+    ) -> QuestionResponse {
+        self.handle_question_inner(tenant, question, Some(trace))
+    }
+
+    fn handle_question_inner(
+        &self,
+        tenant: usize,
+        question: &str,
+        trace: Option<&TraceHandle>,
+    ) -> QuestionResponse {
         let timer = SpanTimer::start();
         self.obs.tenant_requests(tenant).inc();
         if tenant >= self.tenant_tags.len() {
             self.obs.err_bad_tenant.inc();
-            let latency_us = self.finish_request(timer, &self.obs.question_latency);
+            let latency_us = self.finish_request(tenant, timer, &self.obs.question_latency);
             return QuestionResponse {
                 rq: None,
                 answer: None,
@@ -414,20 +490,24 @@ impl<M: SequenceRecommender> ModelServer<M> {
         let best = match &self.qa_matcher {
             Some(matcher) => {
                 let recall_span = self.obs.stage_recall.span();
-                let recall = self.kb.recall_for_tenant(question, tenant, 10);
+                let recall = trace_stage(trace, "recall", || {
+                    self.kb.recall_for_tenant(question, tenant, 10)
+                });
                 recall_span.finish();
                 let rerank_span = self.obs.stage_rerank.span();
                 // Only the top match is served, so skip the full sort.
-                let top = matcher.rerank_top1(
-                    question,
-                    recall.iter().map(|h| (h.doc, self.kb.pair(h.doc).question.as_str())),
-                );
+                let top = trace_stage(trace, "rerank", || {
+                    matcher.rerank_top1(
+                        question,
+                        recall.iter().map(|h| (h.doc, self.kb.pair(h.doc).question.as_str())),
+                    )
+                });
                 rerank_span.finish();
                 top.map(|rq| (rq, self.kb.pair(rq)))
             }
             None => {
                 let recall_span = self.obs.stage_recall.span();
-                let best = self.kb.best_match(question, tenant);
+                let best = trace_stage(trace, "recall", || self.kb.best_match(question, tenant));
                 recall_span.finish();
                 best
             }
@@ -450,14 +530,14 @@ impl<M: SequenceRecommender> ModelServer<M> {
             }
             None => (None, None, self.cold_start_inner(tenant)),
         };
-        let latency_us = self.finish_request(timer, &self.obs.question_latency);
+        let latency_us = self.finish_request(tenant, timer, &self.obs.question_latency);
         QuestionResponse { rq, answer, recommended_tags, latency_us }
     }
 
     /// An empty tag-click response for degraded requests (bad tenant, no
     /// usable clicks) — the serving path never panics on malformed input.
-    fn degraded_click_response(&self, timer: SpanTimer) -> TagClickResponse {
-        let latency_us = self.finish_request(timer, &self.obs.click_latency);
+    fn degraded_click_response(&self, tenant: usize, timer: SpanTimer) -> TagClickResponse {
+        let latency_us = self.finish_request(tenant, timer, &self.obs.click_latency);
         TagClickResponse {
             recommended_tags: Vec::new(),
             predicted_questions: Vec::new(),
@@ -473,15 +553,34 @@ impl<M: SequenceRecommender> ModelServer<M> {
     /// tenants and unknown tag ids produce an empty response (and error
     /// counters) rather than a panic in the hot serving path.
     pub fn handle_tag_click(&self, tenant: usize, clicks: &[usize]) -> TagClickResponse {
+        self.handle_tag_click_inner(tenant, clicks, None)
+    }
+
+    /// [`Self::handle_tag_click`] recording per-stage spans into `trace`.
+    pub fn handle_tag_click_traced(
+        &self,
+        tenant: usize,
+        clicks: &[usize],
+        trace: &TraceHandle,
+    ) -> TagClickResponse {
+        self.handle_tag_click_inner(tenant, clicks, Some(trace))
+    }
+
+    fn handle_tag_click_inner(
+        &self,
+        tenant: usize,
+        clicks: &[usize],
+        trace: Option<&TraceHandle>,
+    ) -> TagClickResponse {
         let timer = SpanTimer::start();
         self.obs.tenant_requests(tenant).inc();
         if clicks.is_empty() {
             self.obs.err_empty_clicks.inc();
-            return self.degraded_click_response(timer);
+            return self.degraded_click_response(tenant, timer);
         }
         if tenant >= self.tenant_tags.len() {
             self.obs.err_bad_tenant.inc();
-            return self.degraded_click_response(timer);
+            return self.degraded_click_response(tenant, timer);
         }
         // Unknown tag ids can't be looked up in the tag-text table; drop
         // them (counted) and serve from the remaining clicks.
@@ -490,7 +589,7 @@ impl<M: SequenceRecommender> ModelServer<M> {
         if valid.len() < clicks.len() {
             self.obs.err_bad_tag.add((clicks.len() - valid.len()) as u64);
             if valid.is_empty() {
-                return self.degraded_click_response(timer);
+                return self.degraded_click_response(tenant, timer);
             }
         }
         let clicks = &valid[..];
@@ -498,11 +597,11 @@ impl<M: SequenceRecommender> ModelServer<M> {
         if let Some(cache) = &self.cache {
             let cache_span = self.obs.stage_cache.span();
             let key = (tenant, clicks.to_vec());
-            let cached = cache.get(&key);
+            let cached = trace_stage(trace, "cache", || cache.get(&key));
             cache_span.finish();
             if let Some(mut resp) = cached {
                 self.obs.cache_hit.inc();
-                resp.latency_us = self.finish_request(timer, &self.obs.click_latency);
+                resp.latency_us = self.finish_request(tenant, timer, &self.obs.click_latency);
                 return resp;
             }
             self.obs.cache_miss.inc();
@@ -515,7 +614,7 @@ impl<M: SequenceRecommender> ModelServer<M> {
         // --- next-tag recommendation (model scoring stage) ----------------
         let pool = &self.tenant_tags[tenant];
         let score_span = self.obs.stage_score.span();
-        let scores = self.scored_row(tenant, clicks, pool);
+        let scores = trace_stage(trace, "score", || self.scored_row(tenant, clicks, pool));
         score_span.finish();
         let recommended_tags = self.recommend_from_scores(&click_set, pool, scores);
 
@@ -524,13 +623,14 @@ impl<M: SequenceRecommender> ModelServer<M> {
         // successive clicked tags are composed as a query").
         let query = self.click_query(clicks);
         let recall_span = self.obs.stage_recall.span();
-        let recall = self.kb.recall_for_tenant(&query, tenant, 20);
+        let recall = trace_stage(trace, "recall", || self.kb.recall_for_tenant(&query, tenant, 20));
         recall_span.finish();
         let rerank_span = self.obs.stage_rerank.span();
-        let predicted_questions = self.rerank_recall(&click_set, &recall);
+        let predicted_questions =
+            trace_stage(trace, "rerank", || self.rerank_recall(&click_set, &recall));
         rerank_span.finish();
 
-        let latency_us = self.finish_request(timer, &self.obs.click_latency);
+        let latency_us = self.finish_request(tenant, timer, &self.obs.click_latency);
         let resp = TagClickResponse { recommended_tags, predicted_questions, latency_us };
         if let Some(cache) = &self.cache {
             cache.put((tenant, clicks.to_vec()), resp.clone());
@@ -611,6 +711,27 @@ impl<M: SequenceRecommender> ModelServer<M> {
     /// histograms record the amortized per-request share of the shared
     /// stages.
     pub fn handle_tag_click_batch(&self, reqs: &[(usize, Vec<usize>)]) -> Vec<TagClickResponse> {
+        self.handle_tag_click_batch_inner(reqs, &[])
+    }
+
+    /// [`Self::handle_tag_click_batch`] with per-request tracing: `traces`
+    /// runs parallel to `reqs` (missing/short entries mean "untraced").
+    /// Traced requests get per-stage spans; the shared batched forward is
+    /// recorded per request as its amortized share, mirroring the
+    /// `serving.stage.score_us` accounting.
+    pub fn handle_tag_click_batch_traced(
+        &self,
+        reqs: &[(usize, Vec<usize>)],
+        traces: &[Option<TraceHandle>],
+    ) -> Vec<TagClickResponse> {
+        self.handle_tag_click_batch_inner(reqs, traces)
+    }
+
+    fn handle_tag_click_batch_inner(
+        &self,
+        reqs: &[(usize, Vec<usize>)],
+        traces: &[Option<TraceHandle>],
+    ) -> Vec<TagClickResponse> {
         use std::collections::HashMap;
 
         struct Pending {
@@ -619,8 +740,10 @@ impl<M: SequenceRecommender> ModelServer<M> {
             clicks: Vec<usize>,
             timer: SpanTimer,
             score_row: usize,
+            trace: Option<TraceHandle>,
         }
 
+        let trace_for = |idx: usize| traces.get(idx).and_then(Option::as_ref);
         let mut out: Vec<Option<TagClickResponse>> = reqs.iter().map(|_| None).collect();
         let mut pending: Vec<Pending> = Vec::new();
         // Identical (tenant, clicks) requests share one scored row: the
@@ -635,12 +758,12 @@ impl<M: SequenceRecommender> ModelServer<M> {
             self.obs.tenant_requests(tenant).inc();
             if raw_clicks.is_empty() {
                 self.obs.err_empty_clicks.inc();
-                out[idx] = Some(self.degraded_click_response(timer));
+                out[idx] = Some(self.degraded_click_response(tenant, timer));
                 continue;
             }
             if tenant >= self.tenant_tags.len() {
                 self.obs.err_bad_tenant.inc();
-                out[idx] = Some(self.degraded_click_response(timer));
+                out[idx] = Some(self.degraded_click_response(tenant, timer));
                 continue;
             }
             let valid: Vec<usize> =
@@ -648,17 +771,18 @@ impl<M: SequenceRecommender> ModelServer<M> {
             if valid.len() < raw_clicks.len() {
                 self.obs.err_bad_tag.add((raw_clicks.len() - valid.len()) as u64);
                 if valid.is_empty() {
-                    out[idx] = Some(self.degraded_click_response(timer));
+                    out[idx] = Some(self.degraded_click_response(tenant, timer));
                     continue;
                 }
             }
             if let Some(cache) = &self.cache {
                 let cache_span = self.obs.stage_cache.span();
-                let cached = cache.get(&(tenant, valid.clone()));
+                let cached =
+                    trace_stage(trace_for(idx), "cache", || cache.get(&(tenant, valid.clone())));
                 cache_span.finish();
                 if let Some(mut resp) = cached {
                     self.obs.cache_hit.inc();
-                    resp.latency_us = self.finish_request(timer, &self.obs.click_latency);
+                    resp.latency_us = self.finish_request(tenant, timer, &self.obs.click_latency);
                     out[idx] = Some(resp);
                     continue;
                 }
@@ -668,7 +792,14 @@ impl<M: SequenceRecommender> ModelServer<M> {
                 uniq.push((tenant, valid.clone()));
                 uniq.len() - 1
             });
-            pending.push(Pending { idx, tenant, clicks: valid, timer, score_row });
+            pending.push(Pending {
+                idx,
+                tenant,
+                clicks: valid,
+                timer,
+                score_row,
+                trace: trace_for(idx).cloned(),
+            });
         }
 
         // --- one batched forward over every unique (clicks, pool) ---------
@@ -679,6 +810,10 @@ impl<M: SequenceRecommender> ModelServer<M> {
         let mut uniq_scores: Vec<Option<Vec<f32>>> = vec![None; uniq.len()];
         if !pending.is_empty() {
             let score_timer = SpanTimer::start();
+            // Per-trace origin offsets at the start of the shared forward;
+            // each member's "score" span covers its amortized share.
+            let trace_starts: Vec<Option<u64>> =
+                pending.iter().map(|p| p.trace.as_ref().map(TraceHandle::now_us)).collect();
             if let Some(lru) = &self.score_lru {
                 for (row, key) in uniq.iter().enumerate() {
                     if let Some(scores) = lru.get(key) {
@@ -708,8 +843,11 @@ impl<M: SequenceRecommender> ModelServer<M> {
                 }
             }
             let share = score_timer.elapsed_us() / pending.len() as u64;
-            for _ in &pending {
+            for (p, start) in pending.iter().zip(trace_starts) {
                 self.obs.stage_score.record(share);
+                if let (Some(trace), Some(t0)) = (&p.trace, start) {
+                    trace.record("score", t0, t0 + share);
+                }
             }
         }
 
@@ -725,16 +863,18 @@ impl<M: SequenceRecommender> ModelServer<M> {
 
             let query = self.click_query(&p.clicks);
             let recall_span = self.obs.stage_recall.span();
-            let recall =
+            let recall = trace_stage(p.trace.as_ref(), "recall", || {
                 recall_memo.entry((p.tenant, query)).or_insert_with_key(|(tenant, query)| {
                     self.kb.recall_for_tenant(query, *tenant, 20)
-                });
+                })
+            });
             recall_span.finish();
             let rerank_span = self.obs.stage_rerank.span();
-            let predicted_questions = self.rerank_recall(&click_set, recall);
+            let predicted_questions =
+                trace_stage(p.trace.as_ref(), "rerank", || self.rerank_recall(&click_set, recall));
             rerank_span.finish();
 
-            let latency_us = self.finish_request(p.timer, &self.obs.click_latency);
+            let latency_us = self.finish_request(p.tenant, p.timer, &self.obs.click_latency);
             let resp = TagClickResponse { recommended_tags, predicted_questions, latency_us };
             if let Some(cache) = &self.cache {
                 cache.put((p.tenant, p.clicks), resp.clone());
@@ -750,6 +890,20 @@ fn sorted_click_set(clicks: &[usize]) -> Vec<usize> {
     let mut set = clicks.to_vec();
     set.sort_unstable();
     set
+}
+
+/// Runs `f`, recording it as a named span on `trace` when one is attached.
+/// The untraced path pays a single `Option` branch — no clock reads.
+fn trace_stage<R>(trace: Option<&TraceHandle>, name: &'static str, f: impl FnOnce() -> R) -> R {
+    match trace {
+        None => f(),
+        Some(t) => {
+            let t0 = t.now_us();
+            let out = f();
+            t.record(name, t0, t.now_us());
+            out
+        }
+    }
 }
 
 impl<M: SequenceRecommender> TagService for ModelServer<M> {
@@ -775,6 +929,24 @@ impl<M: SequenceRecommender> TagService for ModelServer<M> {
 
     fn policy(&self) -> String {
         self.model.name().to_string()
+    }
+
+    fn handle_question_traced(
+        &self,
+        tenant: usize,
+        question: &str,
+        trace: &TraceHandle,
+    ) -> QuestionResponse {
+        ModelServer::handle_question_traced(self, tenant, question, trace)
+    }
+
+    fn handle_tag_click_traced(
+        &self,
+        tenant: usize,
+        clicks: &[usize],
+        trace: &TraceHandle,
+    ) -> TagClickResponse {
+        ModelServer::handle_tag_click_traced(self, tenant, clicks, trace)
     }
 }
 
@@ -1098,6 +1270,81 @@ mod tests {
         assert_eq!(s.score_lru_stats(), None);
         assert_eq!(s.model().scored_rows.get(), 2);
         assert_eq!(s.metrics().counter("serving.score_lru.hits").get(), 0);
+    }
+
+    #[test]
+    fn traced_click_records_stage_spans_and_matches_untraced() {
+        use intellitag_obs::TraceHandle;
+        let s = server().with_cache(8);
+        let trace = TraceHandle::new(0xfeed);
+        let traced = s.handle_tag_click_traced(0, &[0, 1], &trace);
+        let plain = s.handle_tag_click(0, &[0, 1]);
+        assert!(traced.same_content(&plain), "tracing must not change the answer");
+        let done = trace.finish();
+        assert_eq!(done.trace_id, 0xfeed);
+        let names: Vec<&str> = done.spans.iter().map(|sp| sp.name).collect();
+        assert_eq!(names, vec!["cache", "score", "recall", "rerank"]);
+        for sp in &done.spans {
+            assert!(sp.end_us >= sp.start_us);
+        }
+        // Span durations sum to no more than the request wall time.
+        let span_sum: u64 = done.spans.iter().map(|sp| sp.duration_us()).sum();
+        assert!(span_sum <= traced.latency_us.max(done.total_us) + 1);
+    }
+
+    #[test]
+    fn traced_question_records_recall_span() {
+        use intellitag_obs::TraceHandle;
+        let s = server();
+        let trace = TraceHandle::new(1);
+        let traced = s.handle_question_traced(0, "change password", &trace);
+        let plain = s.handle_question(0, "change password");
+        assert!(traced.same_content(&plain));
+        let names: Vec<&str> = trace.finish().spans.iter().map(|sp| sp.name).collect();
+        assert_eq!(names, vec!["recall"]);
+    }
+
+    #[test]
+    fn traced_batch_records_amortized_score_spans() {
+        use intellitag_obs::TraceHandle;
+        let reqs: Vec<(usize, Vec<usize>)> = vec![(0, vec![0, 1]), (1, vec![4]), (0, vec![2])];
+        let traces: Vec<Option<TraceHandle>> =
+            (0..reqs.len()).map(|i| Some(TraceHandle::new(i as u64 + 1))).collect();
+        let batch_server = server();
+        let batched = batch_server.handle_tag_click_batch_traced(&reqs, &traces);
+        let serial_server = server();
+        for (i, (b, (t, c))) in batched.iter().zip(&reqs).enumerate() {
+            assert!(
+                b.same_content(&serial_server.handle_tag_click(*t, c)),
+                "request {i} diverged under tracing"
+            );
+            let done = traces[i].as_ref().unwrap().finish();
+            let names: Vec<&str> = done.spans.iter().map(|sp| sp.name).collect();
+            assert_eq!(names, vec!["score", "recall", "rerank"], "request {i}: {names:?}");
+        }
+        // Untraced requests in a traced drain are fine (short traces slice).
+        let out = batch_server.handle_tag_click_batch_traced(&reqs, &[]);
+        assert_eq!(out.len(), reqs.len());
+    }
+
+    #[test]
+    fn slo_series_record_per_tier_latency() {
+        use intellitag_obs::SloReport;
+        let s = server();
+        let _ = s.handle_tag_click(0, &[0]); // tenant 0 -> gold
+        let _ = s.handle_tag_click(1, &[4]); // tenant 1 -> silver
+        let _ = s.handle_question(0, "change password"); // gold again
+        let gold =
+            s.metrics().histogram_labeled("slo.latency_us", &[("tenant_tier", "gold")]).snapshot();
+        assert_eq!(gold.count, 2);
+        let silver = s
+            .metrics()
+            .histogram_labeled("slo.latency_us", &[("tenant_tier", "silver")])
+            .snapshot();
+        assert_eq!(silver.count, 1);
+        let report = SloReport::from_registry(s.metrics(), 150_000);
+        let tiers: Vec<&str> = report.tiers.iter().map(|t| t.tier.as_str()).collect();
+        assert!(tiers.contains(&"gold") && tiers.contains(&"silver"), "{tiers:?}");
     }
 
     #[test]

@@ -38,6 +38,14 @@ impl std::fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
+/// The trace id the gateway echoed in the `X-Trace-Id` response header.
+fn echoed_trace_id(resp: &ParsedResponse) -> Option<u64> {
+    resp.headers
+        .iter()
+        .find(|(k, _)| k == "x-trace-id")
+        .and_then(|(_, v)| intellitag_obs::parse_trace_id(v))
+}
+
 struct Conn {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
@@ -75,25 +83,60 @@ impl GatewayClient {
     /// `POST /v1/recommend` — question path when `question` is set,
     /// cold-start otherwise.
     pub fn recommend(&mut self, req: &RecommendRequest) -> Result<RecommendResponse, ClientError> {
-        let resp = self.post_json("/v1/recommend", &req.to_json())?;
+        let resp = self.post_json("/v1/recommend", &req.to_json(), None)?;
         RecommendResponse::from_json(&resp.body).map_err(ClientError::Decode)
     }
 
     /// `POST /v1/click` — the TagRec path.
     pub fn click(&mut self, req: &RecommendRequest) -> Result<RecommendResponse, ClientError> {
-        let resp = self.post_json("/v1/click", &req.to_json())?;
+        let resp = self.post_json("/v1/click", &req.to_json(), None)?;
         RecommendResponse::from_json(&resp.body).map_err(ClientError::Decode)
+    }
+
+    /// [`Self::recommend`] with a caller-supplied trace id sent as
+    /// `X-Trace-Id`; returns the response plus the trace id the gateway
+    /// echoed back (which matches the retained trace in `/debug/traces`).
+    pub fn recommend_traced(
+        &mut self,
+        req: &RecommendRequest,
+        trace_id: u64,
+    ) -> Result<(RecommendResponse, Option<u64>), ClientError> {
+        let resp = self.post_json("/v1/recommend", &req.to_json(), Some(trace_id))?;
+        let echoed = echoed_trace_id(&resp);
+        let wire = RecommendResponse::from_json(&resp.body).map_err(ClientError::Decode)?;
+        Ok((wire, echoed))
+    }
+
+    /// [`Self::click`] with a caller-supplied trace id sent as
+    /// `X-Trace-Id`; returns the response plus the echoed trace id.
+    pub fn click_traced(
+        &mut self,
+        req: &RecommendRequest,
+        trace_id: u64,
+    ) -> Result<(RecommendResponse, Option<u64>), ClientError> {
+        let resp = self.post_json("/v1/click", &req.to_json(), Some(trace_id))?;
+        let echoed = echoed_trace_id(&resp);
+        let wire = RecommendResponse::from_json(&resp.body).map_err(ClientError::Decode)?;
+        Ok((wire, echoed))
+    }
+
+    /// `GET /debug/traces`: the gateway's retained request traces as JSON
+    /// lines (one object per trace).
+    pub fn debug_traces(&mut self) -> Result<String, ClientError> {
+        let resp = self.send("GET", "/debug/traces", None, None)?;
+        String::from_utf8(resp.body)
+            .map_err(|_| ClientError::Decode("trace body is not UTF-8".into()))
     }
 
     /// `GET /healthz`, returning the raw body on success.
     pub fn healthz(&mut self) -> Result<String, ClientError> {
-        let resp = self.send("GET", "/healthz", None)?;
+        let resp = self.send("GET", "/healthz", None, None)?;
         Ok(String::from_utf8_lossy(&resp.body).into_owned())
     }
 
     /// `GET /metrics`: one live Prometheus scrape of the shared registry.
     pub fn scrape_metrics(&mut self) -> Result<String, ClientError> {
-        let resp = self.send("GET", "/metrics", None)?;
+        let resp = self.send("GET", "/metrics", None, None)?;
         String::from_utf8(resp.body)
             .map_err(|_| ClientError::Decode("metrics body is not UTF-8".into()))
     }
@@ -103,8 +146,13 @@ impl GatewayClient {
         self.conn = None;
     }
 
-    fn post_json(&mut self, path: &str, body: &str) -> Result<ParsedResponse, ClientError> {
-        self.send("POST", path, Some(body.as_bytes()))
+    fn post_json(
+        &mut self,
+        path: &str,
+        body: &str,
+        trace_id: Option<u64>,
+    ) -> Result<ParsedResponse, ClientError> {
+        self.send("POST", path, Some(body.as_bytes()), trace_id)
     }
 
     fn send(
@@ -112,15 +160,16 @@ impl GatewayClient {
         method: &str,
         path: &str,
         body: Option<&[u8]>,
+        trace_id: Option<u64>,
     ) -> Result<ParsedResponse, ClientError> {
         // First attempt may ride a pooled connection; if that connection
         // turns out stale (server closed it between requests), retry once
         // on a fresh one. A fresh connection's failure is real.
         let reused = self.conn.as_ref().is_some_and(|c| c.used);
-        match self.round_trip(method, path, body) {
+        match self.round_trip(method, path, body, trace_id) {
             Err(ClientError::Http(e)) if reused && e.is_stale_connection() => {
                 self.conn = None;
-                self.round_trip(method, path, body)
+                self.round_trip(method, path, body, trace_id)
             }
             other => other,
         }
@@ -138,6 +187,7 @@ impl GatewayClient {
         method: &str,
         path: &str,
         body: Option<&[u8]>,
+        trace_id: Option<u64>,
     ) -> Result<ParsedResponse, ClientError> {
         if self.conn.is_none() {
             let stream = TcpStream::connect(self.addr)
@@ -151,6 +201,9 @@ impl GatewayClient {
         }
         let conn = self.conn.as_mut().expect("just ensured");
         let mut head = format!("{method} {path} HTTP/1.1\r\nhost: intellitag-gateway\r\n");
+        if let Some(id) = trace_id {
+            head.push_str(&format!("x-trace-id: {}\r\n", intellitag_obs::format_trace_id(id)));
+        }
         let body = body.unwrap_or(&[]);
         if !body.is_empty() {
             head.push_str("content-type: application/json\r\n");

@@ -272,12 +272,21 @@ pub struct Response {
     pub body: Vec<u8>,
     /// `Allow` header value, emitted with `405` responses.
     pub allow: Option<&'static str>,
+    /// Trace id echoed back as an `X-Trace-Id` header, so clients can
+    /// correlate a response with its retained trace in `/debug/traces`.
+    pub trace_id: Option<u64>,
 }
 
 impl Response {
     /// A JSON response.
     pub fn json(status: u16, body: String) -> Self {
-        Response { status, content_type: "application/json", body: body.into_bytes(), allow: None }
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            allow: None,
+            trace_id: None,
+        }
     }
 
     /// A plain-text response.
@@ -287,7 +296,14 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: body.into(),
             allow: None,
+            trace_id: None,
         }
+    }
+
+    /// Attaches the trace id echoed in the `X-Trace-Id` response header.
+    pub fn with_trace_id(mut self, id: u64) -> Self {
+        self.trace_id = Some(id);
+        self
     }
 
     /// A `405 Method Not Allowed` naming the methods the route supports.
@@ -304,10 +320,13 @@ impl Response {
         // avoids the write-write-read pattern that trips Nagle + delayed
         // ACK (~40 ms per request on an otherwise idle connection).
         let conn = if keep_alive { "keep-alive" } else { "close" };
-        let allow = match self.allow {
+        let mut allow = match self.allow {
             Some(methods) => format!("Allow: {methods}\r\n"),
             None => String::new(),
         };
+        if let Some(id) = self.trace_id {
+            allow.push_str(&format!("X-Trace-Id: {id:016x}\r\n"));
+        }
         let head = format!(
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{allow}Connection: {conn}\r\n\r\n",
             self.status,

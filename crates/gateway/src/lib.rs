@@ -18,9 +18,16 @@
 //!
 //! Routes: `POST /v1/recommend` (question path, or cold-start when no
 //! question is given), `POST /v1/click` (TagRec path), `GET /healthz`,
-//! and `GET /metrics`, which serves a live Prometheus rendering of the
+//! `GET /metrics`, which serves a live Prometheus rendering of the
 //! shared [`MetricsRegistry`](intellitag_obs::MetricsRegistry) — wire,
-//! routing and model stages in one scrape.
+//! routing and model stages in one scrape — and `GET /debug/traces`,
+//! the retained end-to-end request traces as JSON lines.
+//!
+//! Every model route is traced: a client-supplied `X-Trace-Id` header (or
+//! a freshly minted id) names the request's trace, the id is echoed back
+//! in the response, and the finished trace — gateway, shard-queue, drain
+//! and per-stage model spans — lands in the gateway's tail-retaining
+//! [`TraceCollector`](intellitag_obs::TraceCollector).
 //!
 //! ```no_run
 //! use intellitag_gateway::{Gateway, GatewayClient, GatewayConfig, RecommendRequest};

@@ -26,7 +26,10 @@ use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use intellitag_core::TagService;
-use intellitag_obs::{MetricsRegistry, SpanTimer};
+use intellitag_obs::{
+    parse_trace_id, MetricsRegistry, SpanTimer, TraceCollector, TraceConfig, TraceHandle,
+    TraceIdGen,
+};
 
 use crate::http::{read_request, HttpLimits, Request, Response};
 use crate::json::{RecommendRequest, RecommendResponse};
@@ -67,6 +70,11 @@ struct GatewayMetrics {
     conns_total: Arc<intellitag_obs::Counter>,
     pending: Arc<intellitag_obs::Gauge>,
     shed: Arc<intellitag_obs::Counter>,
+    /// Tail-based retention of finished request traces, served at
+    /// `GET /debug/traces` as JSON lines.
+    traces: TraceCollector,
+    /// Trace ids minted for requests arriving without an `X-Trace-Id`.
+    trace_ids: TraceIdGen,
 }
 
 impl GatewayMetrics {
@@ -77,6 +85,8 @@ impl GatewayMetrics {
             conns_total: registry.counter("gateway.connections_total"),
             pending: registry.gauge("gateway.pending_connections"),
             shed: registry.counter("gateway.shed"),
+            traces: TraceCollector::new(registry, TraceConfig::default()),
+            trace_ids: TraceIdGen::new(0x17e1_117a_6000_0001),
         }
     }
 
@@ -351,8 +361,12 @@ fn handle<S: TagService>(
     request: &Request,
 ) -> (&'static str, Response) {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/recommend") => ("recommend", recommend(service, request)),
-        ("POST", "/v1/click") => ("click", click(service, request)),
+        ("POST", "/v1/recommend") => {
+            ("recommend", traced(metrics, request, |t| recommend(service, request, t)))
+        }
+        ("POST", "/v1/click") => {
+            ("click", traced(metrics, request, |t| click(service, request, t)))
+        }
         ("GET", "/healthz") => (
             "healthz",
             Response::json(
@@ -367,12 +381,44 @@ fn handle<S: TagService>(
             let body = metrics.registry.render_prometheus();
             ("metrics", Response::text(200, &body))
         }
+        ("GET", "/debug/traces") => {
+            // Retained traces (K slowest per window + 1-in-N sample, plus
+            // the still-open window) as JSON lines.
+            let body = metrics.traces.export_json_lines();
+            ("debug_traces", Response::text(200, &body))
+        }
         // Known path, wrong method (any method, not just the two we
         // speak): 405 naming the allowed method, never a misleading 404.
         (_, "/v1/recommend" | "/v1/click") => ("invalid", Response::method_not_allowed("POST")),
-        (_, "/healthz" | "/metrics") => ("invalid", Response::method_not_allowed("GET")),
+        (_, "/healthz" | "/metrics" | "/debug/traces") => {
+            ("invalid", Response::method_not_allowed("GET"))
+        }
         _ => ("invalid", Response::json(404, "{\"error\":\"no such route\"}".into())),
     }
+}
+
+/// Runs a model route with end-to-end tracing: the request's `X-Trace-Id`
+/// (or a freshly minted id) becomes the trace, the whole handler runs under
+/// a `gateway` span, the finished trace is offered to the collector, and
+/// the id is echoed back in the response's `X-Trace-Id` header.
+fn traced(
+    metrics: &GatewayMetrics,
+    request: &Request,
+    f: impl FnOnce(&TraceHandle) -> Response,
+) -> Response {
+    let trace = match request.header("x-trace-id") {
+        Some(raw) => match parse_trace_id(raw) {
+            Some(id) => TraceHandle::new(id),
+            None => return bad_request(&format!("bad x-trace-id `{raw}`")),
+        },
+        None => TraceHandle::new(metrics.trace_ids.next_id()),
+    };
+    let response = f(&trace);
+    trace.record("gateway", 0, trace.now_us());
+    let finished = trace.finish();
+    let id = finished.trace_id;
+    metrics.traces.offer(finished);
+    response.with_trace_id(id)
 }
 
 fn bad_request(msg: &str) -> Response {
@@ -384,18 +430,20 @@ fn bad_request(msg: &str) -> Response {
 
 /// `POST /v1/recommend`: with a `question`, the Q&A dialogue path; without
 /// one, the tenant's cold-start tags (§V-B of the paper).
-fn recommend<S: TagService>(service: &S, request: &Request) -> Response {
+fn recommend<S: TagService>(service: &S, request: &Request, trace: &TraceHandle) -> Response {
     let req = match RecommendRequest::from_json(&request.body) {
         Ok(r) => r,
         Err(e) => return bad_request(&e),
     };
     let wire = match &req.question {
-        Some(question) => {
-            RecommendResponse::from_question(&service.handle_question(req.tenant, question))
-        }
+        Some(question) => RecommendResponse::from_question(
+            &service.handle_question_traced(req.tenant, question, trace),
+        ),
         None => {
             let timer = SpanTimer::start();
+            let t0 = trace.now_us();
             let tags = service.cold_start_tags(req.tenant);
+            trace.record("cold_start", t0, trace.now_us());
             RecommendResponse::from_cold_start(tags, timer.elapsed_us())
         }
     };
@@ -403,11 +451,15 @@ fn recommend<S: TagService>(service: &S, request: &Request) -> Response {
 }
 
 /// `POST /v1/click`: the TagRec path over the clicked-tag trail.
-fn click<S: TagService>(service: &S, request: &Request) -> Response {
+fn click<S: TagService>(service: &S, request: &Request, trace: &TraceHandle) -> Response {
     let req = match RecommendRequest::from_json(&request.body) {
         Ok(r) => r,
         Err(e) => return bad_request(&e),
     };
-    let wire = RecommendResponse::from_click(&service.handle_tag_click(req.tenant, &req.clicks));
+    let wire = RecommendResponse::from_click(&service.handle_tag_click_traced(
+        req.tenant,
+        &req.clicks,
+        trace,
+    ));
     Response::json(200, wire.to_json())
 }

@@ -5,7 +5,7 @@
 //! the exact [`MetricSample`]s, which the tests use for round-trip checks
 //! and the dashboard example uses to post-process snapshots.
 
-use crate::histogram::HistogramSnapshot;
+use crate::histogram::{bucket_bounds, bucket_index_for_value, HistogramSnapshot, SUB_BUCKETS};
 
 /// A point-in-time sample of one named metric.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,9 +128,10 @@ fn label_block(body: Option<&str>, extra: Option<&str>) -> String {
 /// series: the base name is sanitized, the label block passes through, and a
 /// family's `# TYPE` header is emitted once no matter how many labeled
 /// series it has. Histograms emit cumulative `_bucket{le="..."}` lines for
-/// their non-empty log2 buckets (inclusive upper bounds) plus the mandatory
-/// `+Inf` bucket, `_sum` and `_count`, with `le` merged into any existing
-/// labels.
+/// their non-empty HDR buckets (inclusive upper bounds, which always lie
+/// inside the bucket they bound so the parser can invert them) plus the
+/// mandatory `+Inf` bucket, `_sum` and `_count`, with `le` merged into any
+/// existing labels.
 pub fn render_prometheus(samples: &[MetricSample]) -> String {
     let mut out = String::new();
     let mut typed: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
@@ -156,10 +157,10 @@ pub fn render_prometheus(samples: &[MetricSample]) -> String {
                 let mut cum = 0u64;
                 for &(i, c) in &snapshot.buckets {
                     cum += c;
-                    if i >= 64 {
-                        continue; // covered by the +Inf bucket
-                    }
                     let le = HistogramSnapshot::bucket_upper_bound(i);
+                    if le == u64::MAX {
+                        continue; // terminal bucket: covered by +Inf
+                    }
                     let block = label_block(labels, Some(&format!("le=\"{le}\"")));
                     out.push_str(&format!("{n}_bucket{block} {cum}\n"));
                 }
@@ -227,14 +228,6 @@ fn canonical_name(base: &str, pairs: &[(String, String)]) -> String {
     labeled(base, &borrowed)
 }
 
-fn bucket_lo(i: usize) -> u64 {
-    if i == 0 {
-        0
-    } else {
-        1u64 << (i - 1)
-    }
-}
-
 /// Splits a sample line into `(name-with-labels, value)`. The label block's
 /// closing brace is located with an escape- and quote-aware scan so label
 /// values containing `{`, `}` or spaces don't derail the parse.
@@ -297,12 +290,12 @@ impl PendingHistogram {
         }
         if count > prev {
             // Samples beyond the last finite bound live in the terminal
-            // bucket (the renderer folds indices >= 64 into +Inf).
-            buckets.push((64, count - prev));
+            // bucket (the renderer folds it into +Inf).
+            buckets.push((crate::histogram::NUM_BUCKETS - 1, count - prev));
         }
         let (min, max) = match (buckets.first(), buckets.last()) {
             (Some(&(lo, _)), Some(&(hi, _))) => {
-                (bucket_lo(lo), HistogramSnapshot::bucket_upper_bound(hi))
+                (bucket_bounds(lo).0, HistogramSnapshot::bucket_upper_bound(hi))
             }
             _ => (0, 0),
         };
@@ -375,9 +368,13 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<MetricSample>, String> {
                     if le == "+Inf" {
                         h.total = Some(cum);
                     } else {
+                        // Rendered `le` bounds lie inside their own bucket,
+                        // so the value->index map recovers the bucket index.
+                        // (The pre-HDR renderer's `2^k - 1` bounds are each
+                        // the last sub-bucket of their power of two, so old
+                        // exposition text still lands on the right bucket.)
                         let bound = parse_u64(&le).map_err(fail)?;
-                        let idx = if bound == 0 { 0 } else { 64 - bound.leading_zeros() as usize };
-                        h.cum.push((idx, cum));
+                        h.cum.push((bucket_index_for_value(bound), cum));
                     }
                 }
                 "_sum" => h.sum = Some(parse_u64(value_part).map_err(fail)?),
@@ -460,8 +457,12 @@ pub fn render_json_lines(samples: &[MetricSample]) -> String {
             MetricSample::Histogram { name, snapshot } => {
                 let buckets: Vec<String> =
                     snapshot.buckets.iter().map(|(i, c)| format!("[{i},{c}]")).collect();
+                // `hdr` records the sub-bucket resolution the indices were
+                // computed under; the parser refuses mismatched layouts so
+                // stale pre-HDR snapshots can't be silently misread.
                 out.push_str(&format!(
-                    "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}\n",
+                    "{{\"type\":\"histogram\",\"hdr\":{},\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}\n",
+                    SUB_BUCKETS,
                     escape_json(name),
                     snapshot.count,
                     snapshot.sum,
@@ -622,6 +623,7 @@ pub fn parse_json_lines(text: &str) -> Result<Vec<MetricSample>, String> {
         let mut kind = None;
         let mut name = None;
         let mut value_raw = None;
+        let mut hdr = None;
         let (mut count, mut sum, mut min, mut max) = (0u64, 0u64, 0u64, 0u64);
         let mut buckets = Vec::new();
         for field in split_fields(body) {
@@ -632,6 +634,7 @@ pub fn parse_json_lines(text: &str) -> Result<Vec<MetricSample>, String> {
                     "type" => kind = Some(parse_quoted(raw)?),
                     "name" => name = Some(parse_quoted(raw)?),
                     "value" => value_raw = Some(raw.to_string()),
+                    "hdr" => hdr = Some(parse_u64(raw)?),
                     "count" => count = parse_u64(raw)?,
                     "sum" => sum = parse_u64(raw)?,
                     "min" => min = parse_u64(raw)?,
@@ -644,6 +647,15 @@ pub fn parse_json_lines(text: &str) -> Result<Vec<MetricSample>, String> {
             res.map_err(|e| format!("line {}: {e}", lineno + 1))?;
         }
         let name = name.ok_or_else(|| format!("line {}: missing name", lineno + 1))?;
+        if kind.as_deref() == Some("histogram") && hdr != Some(SUB_BUCKETS as u64) {
+            return Err(format!(
+                "line {}: histogram `{name}` uses bucket layout hdr={:?}, expected hdr={} \
+                 (pre-HDR snapshots lack the marker and must be re-captured)",
+                lineno + 1,
+                hdr,
+                SUB_BUCKETS
+            ));
+        }
         let sample = match kind.as_deref() {
             Some("counter") => MetricSample::Counter {
                 name,
@@ -688,11 +700,13 @@ mod tests {
         assert!(text.contains("# TYPE serving_cache_hit counter\nserving_cache_hit 7\n"));
         assert!(text.contains("# TYPE online_macro_ctr gauge\nonline_macro_ctr 0.4375\n"));
         assert!(text.contains("# TYPE serving_stage_recall_us histogram\n"));
-        // Cumulative buckets: 0 -> 1, le="1" -> 2, le="3" -> 3, ...
+        // Cumulative buckets: sub-16 values get exact buckets; 900 lands in
+        // the HDR sub-bucket [896, 927] and 1_000_000 in [983040, 1015807].
         assert!(text.contains("serving_stage_recall_us_bucket{le=\"0\"} 1\n"));
         assert!(text.contains("serving_stage_recall_us_bucket{le=\"1\"} 2\n"));
         assert!(text.contains("serving_stage_recall_us_bucket{le=\"3\"} 3\n"));
-        assert!(text.contains("serving_stage_recall_us_bucket{le=\"1023\"} 4\n"));
+        assert!(text.contains("serving_stage_recall_us_bucket{le=\"927\"} 4\n"));
+        assert!(text.contains("serving_stage_recall_us_bucket{le=\"1015807\"} 5\n"));
         assert!(text.contains("serving_stage_recall_us_bucket{le=\"+Inf\"} 5\n"));
         assert!(text.contains("serving_stage_recall_us_sum 1000904\n"));
         assert!(text.contains("serving_stage_recall_us_count 5\n"));
@@ -834,6 +848,23 @@ mod tests {
         assert!(parse_json_lines("not json").is_err());
         assert!(parse_json_lines("{\"type\":\"widget\",\"name\":\"x\"}").is_err());
         assert!(parse_json_lines("{\"type\":\"counter\",\"value\":1}").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_pre_hdr_histogram_snapshots() {
+        // A histogram line without the `hdr` marker (pre-HDR format) must be
+        // refused with a clear error, not silently misinterpreted.
+        let old = "{\"type\":\"histogram\",\"name\":\"lat\",\"count\":2,\"sum\":10,\
+                   \"min\":1,\"max\":9,\"buckets\":[[1,1],[4,1]]}";
+        let err = parse_json_lines(old).unwrap_err();
+        assert!(err.contains("bucket layout"), "unexpected error: {err}");
+        assert!(err.contains("hdr"), "unexpected error: {err}");
+        // Wrong resolution is rejected too.
+        let wrong = "{\"type\":\"histogram\",\"hdr\":8,\"name\":\"lat\",\"count\":0,\
+                     \"sum\":0,\"min\":0,\"max\":0,\"buckets\":[]}";
+        assert!(parse_json_lines(wrong).is_err());
+        // Counters and gauges are unaffected by the marker rule.
+        assert!(parse_json_lines("{\"type\":\"counter\",\"name\":\"c\",\"value\":1}").is_ok());
     }
 
     #[test]

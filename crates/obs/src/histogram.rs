@@ -1,42 +1,63 @@
-//! Fixed-bucket log2 latency histogram with O(1) record and bounded memory,
-//! plus span timers that record stage durations into it.
+//! Fixed-bucket HDR-style latency histogram with O(1) record and bounded
+//! memory, plus span timers that record stage durations into it.
+//!
+//! Values below [`SUB_BUCKETS`] get one exact bucket each; every power of
+//! two above that is split into [`SUB_BUCKETS`] linear sub-buckets, so the
+//! relative bucket width — and therefore the worst-case quantile error —
+//! is `1/SUB_BUCKETS` (6.25%) across the whole `u64` range.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-/// Number of log2 buckets: bucket 0 holds the value `0`, bucket `i ≥ 1`
-/// holds values in `[2^(i-1), 2^i - 1]`, so bucket 64 ends at `u64::MAX`.
-pub const NUM_BUCKETS: usize = 65;
+/// Linear sub-buckets per power of two (the HDR resolution knob).
+pub const SUB_BUCKETS: usize = 16;
 
-/// Bucket index for a value (O(1): one `leading_zeros`).
+/// Number of buckets: values `0..16` get one exact bucket each, then each
+/// power-of-two range `[2^m, 2^(m+1))` for `m` in `4..=63` is split into 16
+/// linear sub-buckets of width `2^(m-4)`. The final bucket (index 975) ends
+/// at `u64::MAX`.
+pub const NUM_BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BUCKETS.trailing_zeros() as usize) * 16;
+
+/// Bucket index for a value (O(1): one `leading_zeros` and some shifts).
+///
+/// Public so exporters and scrape parsers can map rendered bucket bounds
+/// back to indices without re-encoding the layout.
 #[inline]
-fn bucket_index(v: u64) -> usize {
-    if v == 0 {
-        0
+pub fn bucket_index_for_value(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        v as usize
     } else {
-        64 - v.leading_zeros() as usize
+        let major = 63 - v.leading_zeros() as usize; // >= 4
+        let sub = ((v >> (major - 4)) & 15) as usize;
+        SUB_BUCKETS + (major - 4) * 16 + sub
     }
 }
 
-/// Inclusive `[lo, hi]` value range of a bucket.
-fn bucket_bounds(i: usize) -> (u64, u64) {
-    if i == 0 {
-        (0, 0)
+/// Inclusive `[lo, hi]` value range of a bucket. The terminal bucket's upper
+/// bound is `u64::MAX` (rendered as `+Inf` by the Prometheus exporter).
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < NUM_BUCKETS, "bucket index {i} out of range");
+    if i < SUB_BUCKETS {
+        (i as u64, i as u64)
     } else {
-        let lo = 1u64 << (i - 1);
-        let hi = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+        let rel = i - SUB_BUCKETS;
+        let major = 4 + rel / 16;
+        let sub = (rel % 16) as u64;
+        let width = 1u64 << (major - 4);
+        let lo = (1u64 << major) + sub * width;
+        let hi = lo.saturating_add(width - 1);
         (lo, hi)
     }
 }
 
 /// A concurrent latency histogram over `u64` samples (microseconds by
-/// convention) with 65 log2 buckets.
+/// convention) with HDR-style sub-bucketed buckets.
 ///
 /// `record` is a handful of relaxed atomic ops — safe to call from every
 /// request thread — and memory stays constant no matter how many samples
 /// arrive, unlike the unbounded `Vec<u64>` it replaces. Quantiles are exact
-/// up to bucket resolution (a factor of two), refined by linear
-/// interpolation inside the bucket.
+/// up to bucket resolution (at most 1/16 = 6.25% relative error), refined
+/// by linear interpolation inside the bucket.
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; NUM_BUCKETS],
@@ -66,7 +87,7 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&self, v: u64) {
-        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket_index_for_value(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         // Saturating sum: wrapping would corrupt the mean on pathological
         // inputs (e.g. u64::MAX sentinel samples).
@@ -164,7 +185,10 @@ impl HistogramSnapshot {
     /// Quantile estimate (`q` clamped to `[0, 1]`): walks the cumulative
     /// bucket counts to the target rank, then linearly interpolates inside
     /// the bucket's `[lo, hi]` range. Monotone in `q` by construction and
-    /// never off by more than one bucket width (a factor of two).
+    /// never off by more than one bucket width, i.e. at most 6.25% relative
+    /// error; values below [`SUB_BUCKETS`] are exact. The estimate is
+    /// clamped into `[min, max]`, so the quantiles of a constant stream are
+    /// exactly that constant, never a bucket edge.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -177,13 +201,29 @@ impl HistogramSnapshot {
                 let (lo, hi) = bucket_bounds(i);
                 let frac = (target - cum) as f64 / c as f64;
                 let est = lo as f64 + (hi - lo) as f64 * frac;
-                // Clamp into the observed range so estimates never exceed
-                // the true extremes.
-                return (est as u64).clamp(self.min, self.max);
+                // Round (not truncate) inside the bucket, then clamp into
+                // the observed range so estimates never exceed the true
+                // extremes.
+                return (est.round() as u64).clamp(self.min, self.max);
             }
             cum += c;
         }
         self.max
+    }
+
+    /// Fraction of recorded samples whose bucket lies strictly above
+    /// `threshold` (`0.0` when empty). Conservative at bucket resolution: a
+    /// sample counts as above only if its whole bucket is above, so the
+    /// result is a lower bound within one bucket width of the true
+    /// fraction. Used by SLO reports to estimate threshold violations.
+    pub fn fraction_above(&self, threshold: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let first_above = bucket_index_for_value(threshold) + 1;
+        let above: u64 =
+            self.buckets.iter().filter(|&&(i, _)| i >= first_above).map(|&(_, c)| c).sum();
+        above as f64 / self.count as f64
     }
 
     /// Inclusive upper bound of a bucket index (for Prometheus `le` labels).
@@ -307,18 +347,46 @@ mod tests {
 
     #[test]
     fn bucket_boundaries() {
-        assert_eq!(bucket_index(0), 0);
-        assert_eq!(bucket_index(1), 1);
-        assert_eq!(bucket_index(2), 2);
-        assert_eq!(bucket_index(3), 2);
-        assert_eq!(bucket_index(4), 3);
-        assert_eq!(bucket_index(1023), 10);
-        assert_eq!(bucket_index(1024), 11);
-        assert_eq!(bucket_index(u64::MAX), 64);
-        assert_eq!(bucket_bounds(0), (0, 0));
-        assert_eq!(bucket_bounds(1), (1, 1));
-        assert_eq!(bucket_bounds(2), (2, 3));
-        assert_eq!(bucket_bounds(64).1, u64::MAX);
+        // Exact buckets below SUB_BUCKETS.
+        for v in 0..16u64 {
+            assert_eq!(bucket_index_for_value(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+        // First sub-bucketed major stays continuous with the exact range.
+        assert_eq!(bucket_index_for_value(16), 16);
+        assert_eq!(bucket_index_for_value(31), 31);
+        assert_eq!(bucket_index_for_value(32), 32);
+        assert_eq!(bucket_bounds(32), (32, 33));
+        // 1023 lands in the last sub-bucket of major 9: [992, 1023].
+        assert_eq!(bucket_index_for_value(1023), 111);
+        assert_eq!(bucket_bounds(111), (992, 1023));
+        assert_eq!(bucket_index_for_value(1024), 112);
+        assert_eq!(bucket_index_for_value(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_bounds(NUM_BUCKETS - 1).1, u64::MAX);
+        assert_eq!(NUM_BUCKETS, 976);
+    }
+
+    #[test]
+    fn every_value_lands_inside_its_bucket_bounds() {
+        let mut x = 0x0123_4567_89AB_CDEF_u64;
+        for _ in 0..20_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Exercise every magnitude, not just the xorshift high range.
+            let v = x >> (x % 64);
+            let i = bucket_index_for_value(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "value {v} outside bucket {i} [{lo}, {hi}]");
+            // Relative bucket width is the advertised 6.25% bound.
+            if lo >= 16 {
+                assert!((hi - lo) as f64 <= lo as f64 / 16.0, "bucket {i} too wide");
+            }
+        }
+        // Buckets tile the axis: each hi + 1 is the next lo.
+        for i in 0..NUM_BUCKETS - 1 {
+            assert_eq!(bucket_bounds(i).1 + 1, bucket_bounds(i + 1).0, "gap after bucket {i}");
+        }
     }
 
     #[test]
@@ -331,7 +399,7 @@ mod tests {
         assert_eq!(s.count, 3);
         assert_eq!(s.min, 0);
         assert_eq!(s.max, u64::MAX);
-        assert_eq!(s.buckets, vec![(0, 1), (1, 1), (64, 1)]);
+        assert_eq!(s.buckets, vec![(0, 1), (1, 1), (NUM_BUCKETS - 1, 1)]);
         // Saturating sum must not wrap past u64::MAX.
         assert_eq!(s.sum, u64::MAX);
     }
@@ -374,10 +442,61 @@ mod tests {
         for v in 1..=1000u64 {
             h.record(v);
         }
-        // True p50 is 500; bucket resolution guarantees a factor of two.
+        // True p50 is 500; HDR sub-buckets guarantee 6.25% relative error.
         let p50 = h.quantile(0.5);
-        assert!((250..=1000).contains(&p50), "p50 estimate {p50}");
+        assert!((469..=531).contains(&p50), "p50 estimate {p50}");
         assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_stream_quantiles_equal_the_constant() {
+        // Satellite fix: a constant stream must report the constant at every
+        // quantile, not the upper edge of its (16-wide) bucket.
+        let h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(907);
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(s.quantile(q), 907, "q={q}");
+        }
+        // Small constants sit in exact buckets even when mixed with
+        // outliers: the p50 of 99 fives and one large value is exactly 5.
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(5);
+        }
+        h.record(10_000);
+        assert_eq!(h.quantile(0.5), 5);
+    }
+
+    #[test]
+    fn quantiles_stay_within_advertised_relative_error() {
+        // Synthetic long-tailed distribution with an exact reference: every
+        // quantile estimate must land within 6.25% of the true order
+        // statistic (acceptance criterion for the HDR upgrade).
+        let h = Histogram::new();
+        let mut samples = Vec::new();
+        let mut x = 0x9E37_79B9u64;
+        for _ in 0..50_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Skewed tail: squares of a uniform draw up to ~10^8.
+            let v = (x % 10_000) * (x % 10_000);
+            samples.push(v);
+            h.record(v);
+        }
+        samples.sort_unstable();
+        let s = h.snapshot();
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let target = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let truth = samples[target - 1];
+            let est = s.quantile(q);
+            let err = (est as f64 - truth as f64).abs();
+            let bound = (truth as f64 / 16.0).max(1.0);
+            assert!(err <= bound, "q={q}: est {est} vs true {truth} (err {err} > {bound})");
+        }
     }
 
     #[test]

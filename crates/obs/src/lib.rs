@@ -11,9 +11,9 @@
 //! cheap enough for hot paths:
 //!
 //! * [`Counter`] / [`Gauge`] — lock-free atomics.
-//! * [`Histogram`] — fixed log2 buckets: O(1) record, bounded memory
-//!   (65 buckets regardless of sample count), p50/p90/p99 estimates with
-//!   intra-bucket linear interpolation.
+//! * [`Histogram`] — HDR-style buckets (16 linear sub-buckets per power of
+//!   two): O(1) record, bounded memory ([`NUM_BUCKETS`] buckets regardless
+//!   of sample count), p50/p90/p99 estimates within 6.25% relative error.
 //! * [`SpanTimer`] / [`Span`] — per-stage wall-clock timing that records
 //!   into a histogram on drop.
 //! * [`SampleRing`] — bounded ring of recent raw samples, replacing the
@@ -27,6 +27,13 @@
 //!   label sets; [`parse_prometheus`] is the scrape-side inverse and
 //!   [`HistogramSnapshot::merge`] aggregates per-shard histograms into a
 //!   whole-server view.
+//! * Request tracing — [`TraceCtx`] / [`TraceHandle`] carry a per-request
+//!   span list (stage name + start/end micros + shard/batch annotations)
+//!   through the whole serving spine; [`TraceCollector`] retains the K
+//!   slowest traces per window plus a 1-in-N sample and exports JSON lines.
+//! * SLO accounting — per-tenant-tier labeled series
+//!   (`slo.latency_us{tenant_tier="gold"}`) folded into an [`SloReport`]
+//!   with per-tier p50/p99, shed fraction and error-budget burn.
 
 #![warn(missing_docs)]
 
@@ -35,11 +42,23 @@ mod histogram;
 mod metric;
 mod registry;
 mod ring;
+mod slo;
+mod trace;
 
 pub use export::{
     labeled, parse_json_lines, parse_prometheus, render_json_lines, render_prometheus, MetricSample,
 };
-pub use histogram::{Histogram, HistogramSnapshot, Span, SpanTimer, NUM_BUCKETS};
+pub use histogram::{
+    bucket_bounds, bucket_index_for_value, Histogram, HistogramSnapshot, Span, SpanTimer,
+    NUM_BUCKETS, SUB_BUCKETS,
+};
 pub use metric::{Counter, Gauge};
 pub use registry::{Metric, MetricsRegistry};
 pub use ring::SampleRing;
+pub use slo::{
+    tenant_tier, SloReport, TierSlo, SLO_LATENCY_METRIC, SLO_SHED_METRIC, SLO_TIER_LABEL,
+};
+pub use trace::{
+    format_trace_id, parse_trace_id, FinishedTrace, TraceCollector, TraceConfig, TraceCtx,
+    TraceHandle, TraceIdGen, TraceSpan,
+};

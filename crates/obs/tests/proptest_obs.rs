@@ -1,10 +1,11 @@
 //! Property tests for the observability primitives: histogram quantile
-//! monotonicity, merge-equals-concat recording, and Prometheus-export
-//! round-trips on arbitrary sample sets.
+//! monotonicity and HDR relative-error bounds, merge-equals-concat
+//! recording, and Prometheus/JSON-export round-trips on arbitrary sample
+//! sets (including rejection of pre-HDR snapshot formats).
 
 use intellitag_obs::{
     labeled, parse_json_lines, parse_prometheus, render_json_lines, render_prometheus, Histogram,
-    MetricSample, MetricsRegistry,
+    MetricSample,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -120,5 +121,40 @@ proptest! {
         prop_assert!(back.is_ok(), "parse failed: {:?}", back.err());
         // JSON lines are the lossless format: exact equality, labels and all.
         prop_assert_eq!(back.unwrap(), samples);
+    }
+
+    #[test]
+    fn hdr_quantiles_stay_within_relative_error(samples in vec(0u64..50_000_000, 1..400),
+                                                raw_q in 0.0f64..1.0) {
+        // The advertised HDR guarantee: every quantile estimate is within
+        // 6.25% (1/SUB_BUCKETS) of the true order statistic — and survives
+        // record -> snapshot -> merge of a split recording.
+        let q = raw_q.clamp(0.001, 0.999);
+        let mid = samples.len() / 2;
+        let mut merged = hist_from(&samples[..mid]).snapshot();
+        merged.merge(&hist_from(&samples[mid..]).snapshot());
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let est = merged.quantile(q);
+        let err = est.abs_diff(truth) as f64;
+        prop_assert!(err <= (truth as f64 / 16.0).max(1.0),
+                     "q={q}: est {est} vs truth {truth} (err {err})");
+    }
+
+    #[test]
+    fn old_format_json_histograms_are_rejected(count in 1u64..100, idx in 0usize..64) {
+        // Pre-HDR snapshots have no `hdr` marker; silently reinterpreting
+        // their log2 bucket indices under the HDR layout would corrupt every
+        // quantile, so the parser must refuse them with a clear error.
+        let old = format!(
+            "{{\"type\":\"histogram\",\"name\":\"lat\",\"count\":{count},\"sum\":0,\
+             \"min\":0,\"max\":0,\"buckets\":[[{idx},{count}]]}}"
+        );
+        let err = parse_json_lines(&old);
+        prop_assert!(err.is_err());
+        let msg = err.unwrap_err();
+        prop_assert!(msg.contains("hdr"), "error not explanatory: {msg}");
     }
 }

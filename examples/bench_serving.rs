@@ -244,9 +244,14 @@ fn main() {
         serial.throughput_rps
     );
 
+    // Per-tenant-tier SLO view of the batched phase, against the paper's
+    // 150 ms budget (Table VI).
+    let slo = SloReport::from_registry(batched_server.metrics(), 150_000);
+    println!("\n{}", slo.render_text());
+
     if json {
         let body = format!(
-            "{{\n  \"bench\": \"serving\",\n  \"mode\": \"{}\",\n  \"model\": \"intellitag\",\n  \"requests\": {},\n  \"batch_max\": {},\n  \"pool_threads\": {},\n  \"par_threshold\": {},\n{},\n{},\n  \"speedup\": {:.3}\n}}\n",
+            "{{\n  \"bench\": \"serving\",\n  \"mode\": \"{}\",\n  \"model\": \"intellitag\",\n  \"requests\": {},\n  \"batch_max\": {},\n  \"pool_threads\": {},\n  \"par_threshold\": {},\n{},\n{},\n  \"slo\": {},\n  \"speedup\": {:.3}\n}}\n",
             if smoke { "smoke" } else { "full" },
             requests,
             batch_max,
@@ -254,6 +259,7 @@ fn main() {
             par_threshold(),
             json_report(&serial),
             json_report(&batched),
+            slo.to_json(),
             speedup
         );
         std::fs::write("BENCH_serving.json", &body).expect("write BENCH_serving.json");

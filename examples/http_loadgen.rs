@@ -72,6 +72,29 @@ fn build_replica(world: &World) -> ModelServer<IntelliTag> {
     )
 }
 
+/// Pull `(name, duration_us)` out of one `/debug/traces` JSON line.
+fn span_durations(trace_line: &str) -> Vec<(String, u64)> {
+    let field = |obj: &str, key: &str| -> Option<u64> {
+        let pat = format!("\"{key}\":");
+        let at = obj.find(&pat)? + pat.len();
+        let rest = &obj[at..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        rest[..end].trim().parse().ok()
+    };
+    let spans_at = trace_line.find("\"spans\":[").expect("spans array") + "\"spans\":[".len();
+    let body = &trace_line[spans_at..trace_line.rfind(']').expect("array close")];
+    body.split("},")
+        .filter(|s| !s.trim().is_empty())
+        .map(|obj| {
+            let name_at = obj.find("\"name\":\"").expect("span name") + "\"name\":\"".len();
+            let name = obj[name_at..].split('"').next().expect("name close").to_string();
+            let start = field(obj, "start_us").expect("start_us");
+            let end = field(obj, "end_us").expect("end_us");
+            (name, end - start)
+        })
+        .collect()
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (clients, per_client) = if smoke { (8usize, 40usize) } else { (8usize, 200usize) };
@@ -261,6 +284,50 @@ fn main() {
             println!("  {line}");
         }
     }
+
+    // ---- per-tenant-tier SLO view, against the paper's 150 ms budget ------
+    let slo = SloReport::from_registry(&registry, 150_000);
+    println!("\n{}", slo.render_text());
+
+    // ---- trace e2e: one traced click, then read it back off the wire -----
+    // A client-supplied X-Trace-Id must come back in /debug/traces with a
+    // span decomposition that fits inside the measured wire latency.
+    let mut prober = GatewayClient::new(addr).with_timeout(Duration::from_millis(10_000));
+    let probe_id = 0x10ad_6e11u64;
+    let pool = world.tenant_tag_pool(0);
+    let probe = RecommendRequest { tenant: 0, question: None, clicks: vec![pool[0]] };
+    let timer = SpanTimer::start();
+    let (_, echoed) = prober.click_traced(&probe, probe_id).expect("traced probe answered");
+    let wall_us = timer.elapsed_us().max(1);
+    assert_eq!(echoed, Some(probe_id), "gateway must echo the client's X-Trace-Id");
+    let traces = prober.debug_traces().expect("debug traces served");
+    let retained = traces.lines().count();
+    assert!(retained >= 1, "/debug/traces retained no traces after the run");
+    let wanted = format!("\"trace_id\":\"{}\"", format_trace_id(probe_id));
+    let line = traces
+        .lines()
+        .find(|l| l.contains(&wanted))
+        .expect("probe trace retained (tail-based retention keeps the newest window)");
+    let spans = span_durations(line);
+    let dur = |name: &str| {
+        spans.iter().find(|(n, _)| n == name).map(|(_, d)| *d).unwrap_or_else(|| {
+            panic!("span `{name}` missing from probe trace: {spans:?}");
+        })
+    };
+    // shard.queue + drain partition the in-front time; both they and the
+    // gateway span must fit inside what the client measured on the wire.
+    let decomposed = dur("shard.queue") + dur("drain");
+    assert!(
+        decomposed <= wall_us && dur("gateway") <= wall_us,
+        "trace spans exceed wire latency: queue+drain {decomposed} us, \
+         gateway {} us, wire {wall_us} us",
+        dur("gateway")
+    );
+    println!(
+        "trace e2e: {retained} retained traces | probe {} | queue+drain {decomposed} us \
+         <= wire {wall_us} us",
+        format_trace_id(probe_id)
+    );
 
     gateway.shutdown();
     drop(front);

@@ -3,7 +3,8 @@
 //! stage-by-stage latency picture the paper summarises in Table VI —
 //! p50/p90/p99 per serving stage (ES recall, matcher rerank, model scoring,
 //! cache lookup) plus cache-hit, cold-start and error counters — and finally
-//! the same registry in both export formats (Prometheus text + JSON lines).
+//! the same registry in both export formats (Prometheus text + JSON lines),
+//! and the top-5 slowest retained request traces as per-stage waterfalls.
 //!
 //! ```sh
 //! cargo run --release --example metrics_dashboard
@@ -21,6 +22,33 @@ fn stage_row(name: &str, snap: &HistogramSnapshot) {
         snap.quantile(0.99),
         snap.mean(),
     );
+}
+
+/// One trace as a per-stage waterfall: each span drawn as a bar positioned
+/// at its start/end offsets on a shared time axis scaled to the trace total.
+fn waterfall(trace: &FinishedTrace) {
+    const WIDTH: u64 = 48;
+    let total = trace.total_us.max(1);
+    println!(
+        "trace {}  total {} us  ({} spans)",
+        format_trace_id(trace.trace_id),
+        trace.total_us,
+        trace.spans.len()
+    );
+    for span in &trace.spans {
+        let s = (span.start_us * WIDTH / total).min(WIDTH - 1) as usize;
+        let e = ((span.end_us * WIDTH).div_ceil(total) as usize).clamp(s + 1, WIDTH as usize);
+        let bar: String =
+            (0..WIDTH as usize).map(|i| if (s..e).contains(&i) { '#' } else { '·' }).collect();
+        let mut notes = String::new();
+        if let Some(shard) = span.shard {
+            notes.push_str(&format!("  shard {shard}"));
+        }
+        if let Some(rows) = span.batch_rows {
+            notes.push_str(&format!("  rows {rows}"));
+        }
+        println!("  {:<10} {bar} {:>6} us{notes}", span.name, span.end_us - span.start_us);
+    }
 }
 
 fn main() {
@@ -44,12 +72,29 @@ fn main() {
     .with_metrics(registry.clone());
 
     // Plain traffic: every session replayed as incremental tag clicks, plus
-    // the underlying question. Repeated prefixes exercise the cache.
+    // the underlying question. Repeated prefixes exercise the cache. Every
+    // request is traced; the collector tail-retains the slowest per window.
+    let traces = TraceCollector::new(&registry, TraceConfig::default());
+    let trace_ids = TraceIdGen::new(0xda5b_0a2d_0000_0001);
+    let trace_request = |f: &mut dyn FnMut(&TraceHandle)| {
+        let t = TraceHandle::new(trace_ids.next_id());
+        f(&t);
+        t.record("request", 0, t.now_us());
+        traces.offer(t.finish());
+    };
     println!("serving {} sessions ...", world.sessions.len());
     for session in &world.sessions {
-        let _ = server.handle_question(session.tenant, &world.rqs[session.intent_rq].text());
+        trace_request(&mut |t| {
+            let _ = server.handle_question_traced(
+                session.tenant,
+                &world.rqs[session.intent_rq].text(),
+                t,
+            );
+        });
         for len in 1..=session.clicks.len() {
-            let _ = server.handle_tag_click(session.tenant, &session.clicks[..len]);
+            trace_request(&mut |t| {
+                let _ = server.handle_tag_click_traced(session.tenant, &session.clicks[..len], t);
+            });
         }
     }
 
@@ -96,5 +141,16 @@ fn main() {
         if line.contains("\"counter\"") || line.contains("\"gauge\"") {
             println!("{line}");
         }
+    }
+
+    // The tail the collector kept: the 5 slowest retained traces, each as a
+    // per-stage waterfall on a shared time axis.
+    println!(
+        "\n== top-5 slowest retained traces ({} offered, {} retained) ==",
+        traces.seen(),
+        traces.traces().len()
+    );
+    for trace in traces.slowest(5) {
+        waterfall(&trace);
     }
 }

@@ -80,8 +80,9 @@ pub mod prelude {
         evaluate_extractor, Extractor, MinerConfig, MiningTask, RuleFilter, TagMiner,
     };
     pub use intellitag_obs::{
-        parse_prometheus, render_json_lines, render_prometheus, Histogram, HistogramSnapshot,
-        MetricsRegistry, SpanTimer,
+        format_trace_id, parse_prometheus, parse_trace_id, render_json_lines, render_prometheus,
+        tenant_tier, FinishedTrace, Histogram, HistogramSnapshot, MetricsRegistry, SloReport,
+        SpanTimer, TraceCollector, TraceConfig, TraceHandle, TraceIdGen,
     };
     pub use intellitag_search::KbWarehouse;
     pub use intellitag_tensor::{

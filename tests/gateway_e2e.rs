@@ -355,6 +355,144 @@ fn gateway_over_sharded_front_reconciles_under_concurrency() {
     drop(front);
 }
 
+/// A minimal reader for `/debug/traces` JSON lines: the spans of one trace
+/// as `(name, duration_us, shard, batch_rows)` tuples.
+fn spans_of(trace_line: &str) -> Vec<(String, u64, Option<u64>, Option<u64>)> {
+    let field = |obj: &str, key: &str| -> Option<u64> {
+        let pat = format!("\"{key}\":");
+        let at = obj.find(&pat)? + pat.len();
+        let rest = &obj[at..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        rest[..end].trim().parse().ok()
+    };
+    let spans_at = trace_line.find("\"spans\":[").expect("spans array") + "\"spans\":[".len();
+    let body = &trace_line[spans_at..trace_line.rfind(']').expect("array close")];
+    body.split("},")
+        .filter(|s| !s.trim().is_empty())
+        .map(|obj| {
+            let name_at = obj.find("\"name\":\"").expect("span name") + "\"name\":\"".len();
+            let name = obj[name_at..].split('"').next().expect("name close").to_string();
+            let start = field(obj, "start_us").expect("start_us");
+            let end = field(obj, "end_us").expect("end_us");
+            (name, end - start, field(obj, "shard"), field(obj, "batch_rows"))
+        })
+        .collect()
+}
+
+#[test]
+fn client_trace_ids_round_trip_with_full_span_decomposition() {
+    let world = World::generate(WorldConfig::tiny(83));
+    let parts = ServerParts::from_world(&world);
+    let registry = MetricsRegistry::new();
+    // One shard with room to batch: concurrent clicks below pile up behind
+    // the worker, so some drains carry several requests.
+    let factory_parts = parts.clone();
+    let front = Arc::new(ShardedServer::spawn(
+        ShardConfig { shards: 1, batch_max: 8, queue_capacity: 64, ..Default::default() },
+        registry.clone(),
+        move |_shard| factory_parts.build(),
+    ));
+    let share = Arc::clone(&front);
+    let handle = Gateway::spawn(
+        "127.0.0.1:0",
+        GatewayConfig { workers: 3, ..Default::default() },
+        &registry,
+        move |_worker| Arc::clone(&share),
+    )
+    .expect("gateway binds");
+    let addr = handle.addr();
+
+    // 1. A client-supplied X-Trace-Id round-trips end to end.
+    let mut client = GatewayClient::new(addr);
+    let click = RecommendRequest { tenant: 0, question: None, clicks: vec![0] };
+    let wall = std::time::Instant::now();
+    let (resp, echoed) = client.click_traced(&click, 0xabc123).expect("traced click");
+    let wall_us = wall.elapsed().as_micros() as u64;
+    assert!(!resp.recommended_tags.is_empty() || !resp.predicted_questions.is_empty());
+    assert_eq!(echoed, Some(0xabc123), "gateway must echo the client's trace id");
+
+    let traces = client.debug_traces().expect("debug traces");
+    let line = traces
+        .lines()
+        .find(|l| l.contains("\"trace_id\":\"0000000000abc123\""))
+        .unwrap_or_else(|| panic!("trace 0xabc123 not in /debug/traces:\n{traces}"));
+    let spans = spans_of(line);
+    let names: Vec<&str> = spans.iter().map(|(n, ..)| n.as_str()).collect();
+    // Gateway, shard-queue, drain, and per-stage model spans all present.
+    for expected in ["gateway", "shard.queue", "drain", "score"] {
+        assert!(names.contains(&expected), "missing span {expected}: {names:?}");
+    }
+    let queue = spans.iter().find(|(n, ..)| n == "shard.queue").expect("queue span");
+    assert_eq!(queue.2, Some(0), "queue span must name the serving shard");
+    // The disjoint server-side stages (queue wait + drain processing) sum
+    // to within the client's measured wall time; the `gateway` span nests
+    // them and itself fits the wall time.
+    let server_side: u64 =
+        spans.iter().filter(|(n, ..)| n == "shard.queue" || n == "drain").map(|s| s.1).sum();
+    let gateway_us = spans.iter().find(|(n, ..)| n == "gateway").expect("gateway span").1;
+    assert!(server_side <= wall_us, "queue+drain {server_side}us exceeds wall {wall_us}us");
+    assert!(gateway_us <= wall_us, "gateway span {gateway_us}us exceeds wall {wall_us}us");
+    // Model stages run inside the drain: their sum cannot exceed it.
+    let stages: u64 = spans
+        .iter()
+        .filter(|(n, ..)| ["recall", "rerank", "score", "cache"].contains(&n.as_str()))
+        .map(|s| s.1)
+        .sum();
+    let drain_us = spans.iter().find(|(n, ..)| n == "drain").expect("drain span").1;
+    assert!(stages <= drain_us, "stage spans {stages}us exceed their drain {drain_us}us");
+
+    // 2. Batched drains: hammer the single shard from several threads
+    // until a multi-request drain happens, then check that a trace from a
+    // batched drain carries the drain size on its drain span.
+    let batch_hist =
+        || registry.histogram_labeled("sharded.batch_rows", &[("shard", "0")]).snapshot().max;
+    let mut next_id = 0xba7c_0001u64;
+    for _attempt in 0..50 {
+        if batch_hist() >= 2 {
+            break;
+        }
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let base = next_id + t * 100;
+                scope.spawn(move || {
+                    let mut c = GatewayClient::new(addr);
+                    let req = RecommendRequest { tenant: 0, question: None, clicks: vec![0] };
+                    for i in 0..8 {
+                        let _ = c.click_traced(&req, base + i);
+                    }
+                });
+            }
+        });
+        next_id += 1000;
+    }
+    assert!(batch_hist() >= 2, "no multi-request drain after 50 concurrent bursts");
+    let traces = client.debug_traces().expect("debug traces after burst");
+    let batched = traces.lines().find_map(|l| {
+        if !l.contains("\"trace_id\"") {
+            return None;
+        }
+        let spans = spans_of(l);
+        spans
+            .iter()
+            .any(|(n, _, _, rows)| n == "drain" && rows.is_some_and(|r| r >= 2))
+            .then_some(spans)
+    });
+    let spans = batched.expect("a retained trace from a multi-request drain");
+    let names: Vec<&str> = spans.iter().map(|(n, ..)| n.as_str()).collect();
+    for expected in ["gateway", "shard.queue", "drain", "score"] {
+        assert!(names.contains(&expected), "batched trace missing {expected}: {names:?}");
+    }
+
+    // 3. The SLO series saw every completed request, split by tier.
+    let report = SloReport::from_registry(&registry, 150_000);
+    assert!(!report.tiers.is_empty(), "slo.latency_us series missing");
+    let total: u64 = report.tiers.iter().map(|t| t.count).sum();
+    assert_eq!(total, registry.counter("serving.requests").get());
+
+    handle.shutdown();
+    drop(front);
+}
+
 #[test]
 fn gateway_error_paths_are_clean_json_statuses() {
     let world = World::generate(WorldConfig::tiny(7));
