@@ -43,7 +43,8 @@ pub use graph_layers::GraphLayers;
 pub use model::IntelliTag;
 pub use qa_matcher::{QaMatcher, QaMatcherConfig};
 pub use serving::{
-    ModelServer, QuestionResponse, TagClickResponse, TagService, RECENT_LATENCY_WINDOW,
+    ModelServer, PendingReply, Poll, QuestionResponse, Submission, TagClickResponse, TagService,
+    RECENT_LATENCY_WINDOW,
 };
 pub use sharded::{RoutingPolicy, ShardConfig, ShardedServer, ShedReason};
 pub use simulator::{simulate_online, DayMetrics, SimConfig, SimOutcome};

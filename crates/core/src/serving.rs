@@ -27,6 +27,86 @@ use crate::qa_matcher::QaMatcher;
 /// bounded histograms; the ring only serves debugging and the benches.
 pub const RECENT_LATENCY_WINDOW: usize = 1024;
 
+/// The outcome of polling a [`PendingReply`].
+#[derive(Debug)]
+pub enum Poll<T> {
+    /// The reply arrived.
+    Ready(T),
+    /// Still in flight — poll again later.
+    NotYet,
+    /// The serving worker dropped the reply channel (the front died or was
+    /// torn down mid-request); the reply will never arrive.
+    Lost,
+}
+
+/// A reply that has been accepted by a front but not produced yet: the
+/// receiving half of the front's per-request reply channel, plus an optional
+/// client-observed-latency hook recorded when the reply lands. This is what
+/// lets a caller keep many correlated requests in flight against a
+/// concurrent front (e.g. the gateway's pipelined binary connections) and
+/// collect completions out of order.
+#[derive(Debug)]
+pub struct PendingReply<T> {
+    rx: std::sync::mpsc::Receiver<T>,
+    /// `(histogram, timer)` recorded once on completion — the sharded front
+    /// uses this to keep `sharded.request_us{shard=..}` accurate for
+    /// submitted (non-blocking-wait) requests too.
+    latency: Option<(Arc<Histogram>, SpanTimer)>,
+}
+
+impl<T> PendingReply<T> {
+    /// Wraps a raw reply receiver.
+    pub fn new(rx: std::sync::mpsc::Receiver<T>) -> Self {
+        PendingReply { rx, latency: None }
+    }
+
+    /// Records the client-observed latency into `hist` when the reply lands.
+    pub fn with_latency(mut self, hist: Arc<Histogram>, timer: SpanTimer) -> Self {
+        self.latency = Some((hist, timer));
+        self
+    }
+
+    fn complete(&mut self, value: T) -> T {
+        if let Some((hist, timer)) = self.latency.take() {
+            hist.record(timer.elapsed_us());
+        }
+        value
+    }
+
+    /// Non-blocking poll.
+    pub fn try_take(&mut self) -> Poll<T> {
+        match self.rx.try_recv() {
+            Ok(v) => Poll::Ready(self.complete(v)),
+            Err(std::sync::mpsc::TryRecvError::Empty) => Poll::NotYet,
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => Poll::Lost,
+        }
+    }
+
+    /// Blocking poll with a deadline: waits up to `timeout` for the reply.
+    pub fn take_timeout(&mut self, timeout: std::time::Duration) -> Poll<T> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(v) => Poll::Ready(self.complete(v)),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Poll::NotYet,
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Poll::Lost,
+        }
+    }
+}
+
+/// What a front did with a submitted (fire-now, collect-later) request.
+#[derive(Debug)]
+pub enum Submission<T> {
+    /// The front answered inline (single-process fronts have no queue to
+    /// park the request in, so the answer is already here).
+    Ready(T),
+    /// The request was accepted; the reply will arrive on the pending
+    /// channel — possibly out of order with other submissions.
+    Pending(PendingReply<T>),
+    /// The front refused the request without serving it (queue full →
+    /// [`crate::ShedReason::Overloaded`], worker gone →
+    /// [`crate::ShedReason::ShuttingDown`]).
+    Rejected(crate::ShedReason),
+}
+
 /// The request surface shared by every serving front — the single-process
 /// [`ModelServer`] and the sharded/batched [`crate::ShardedServer`] alike.
 /// The simulator, benches and examples drive traffic through this trait, so
@@ -75,6 +155,43 @@ pub trait TagService {
         let _ = trace;
         self.handle_tag_click(tenant, clicks)
     }
+
+    /// Submits a question without waiting for the answer. The default
+    /// answers inline (synchronous fronts have nowhere to park a request);
+    /// concurrent fronts override this to enqueue and return
+    /// [`Submission::Pending`], so one caller thread can keep many requests
+    /// in flight and collect replies out of order.
+    fn submit_question(
+        &self,
+        tenant: usize,
+        question: &str,
+        trace: Option<&TraceHandle>,
+    ) -> Submission<QuestionResponse> {
+        Submission::Ready(match trace {
+            Some(t) => self.handle_question_traced(tenant, question, t),
+            None => self.handle_question(tenant, question),
+        })
+    }
+
+    /// Submits a tag click without waiting (see
+    /// [`TagService::submit_question`]).
+    fn submit_tag_click(
+        &self,
+        tenant: usize,
+        clicks: &[usize],
+        trace: Option<&TraceHandle>,
+    ) -> Submission<TagClickResponse> {
+        Submission::Ready(match trace {
+            Some(t) => self.handle_tag_click_traced(tenant, clicks, t),
+            None => self.handle_tag_click(tenant, clicks),
+        })
+    }
+
+    /// Submits a cold-start lookup without waiting (see
+    /// [`TagService::submit_question`]).
+    fn submit_cold_start(&self, tenant: usize) -> Submission<Vec<usize>> {
+        Submission::Ready(self.cold_start_tags(tenant))
+    }
 }
 
 /// Shared ownership serves transparently: a `Send + Sync` front (e.g.
@@ -114,6 +231,28 @@ impl<S: TagService> TagService for Arc<S> {
         trace: &TraceHandle,
     ) -> QuestionResponse {
         (**self).handle_question_traced(tenant, question, trace)
+    }
+
+    fn submit_question(
+        &self,
+        tenant: usize,
+        question: &str,
+        trace: Option<&TraceHandle>,
+    ) -> Submission<QuestionResponse> {
+        (**self).submit_question(tenant, question, trace)
+    }
+
+    fn submit_tag_click(
+        &self,
+        tenant: usize,
+        clicks: &[usize],
+        trace: Option<&TraceHandle>,
+    ) -> Submission<TagClickResponse> {
+        (**self).submit_tag_click(tenant, clicks, trace)
+    }
+
+    fn submit_cold_start(&self, tenant: usize) -> Submission<Vec<usize>> {
+        (**self).submit_cold_start(tenant)
     }
 
     fn handle_tag_click_traced(

@@ -39,7 +39,9 @@ use intellitag_obs::{
     TraceHandle, SLO_SHED_METRIC, SLO_TIER_LABEL,
 };
 
-use crate::serving::{ModelServer, QuestionResponse, TagClickResponse, TagService};
+use crate::serving::{
+    ModelServer, PendingReply, QuestionResponse, Submission, TagClickResponse, TagService,
+};
 
 /// How the front picks a shard for each request. Every shard owns a full
 /// deterministic replica, so the policy changes latency and load balance,
@@ -576,6 +578,83 @@ impl ShardedServer {
         self.try_handle_tag_click_inner(tenant, clicks, Some(trace))
     }
 
+    /// Submits a question without waiting for the reply: the job rides the
+    /// routed shard's queue exactly like [`Self::handle_question`], but the
+    /// caller gets the reply channel back as a [`PendingReply`] instead of
+    /// blocking on it. A full queue sheds ([`Submission::Rejected`]) rather
+    /// than stalling the submitter — the contract the gateway's pipelined
+    /// binary connections need to keep many correlated requests in flight.
+    /// Each job carries its own reply channel, so replies stay correlated
+    /// with their requests no matter how drains batch or reorder work.
+    pub fn submit_question(
+        &self,
+        tenant: usize,
+        question: &str,
+        trace: Option<&TraceHandle>,
+    ) -> Submission<QuestionResponse> {
+        let timer = SpanTimer::start();
+        let shard = self.route(tenant);
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = Job::Question {
+            tenant,
+            text: question.to_string(),
+            reply: reply_tx,
+            trace: job_trace(trace),
+        };
+        self.submission(shard, tenant, job, reply_rx, timer)
+    }
+
+    /// Submits a tag click without waiting (see [`Self::submit_question`]).
+    pub fn submit_tag_click(
+        &self,
+        tenant: usize,
+        clicks: &[usize],
+        trace: Option<&TraceHandle>,
+    ) -> Submission<TagClickResponse> {
+        let timer = SpanTimer::start();
+        let shard = self.route(tenant);
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = Job::TagClick {
+            tenant,
+            clicks: clicks.to_vec(),
+            reply: reply_tx,
+            trace: job_trace(trace),
+        };
+        self.submission(shard, tenant, job, reply_rx, timer)
+    }
+
+    /// Submits a cold-start lookup without waiting (see
+    /// [`Self::submit_question`]).
+    pub fn submit_cold_start(&self, tenant: usize) -> Submission<Vec<usize>> {
+        let timer = SpanTimer::start();
+        let shard = self.route(tenant);
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.submission(shard, tenant, Job::ColdStart { tenant, reply: reply_tx }, reply_rx, timer)
+    }
+
+    /// Shared tail of the `submit_*` family: non-blocking enqueue, shed
+    /// accounting on rejection, and a [`PendingReply`] that records the
+    /// shard's client-observed latency when the reply finally lands.
+    fn submission<T>(
+        &self,
+        shard: usize,
+        tenant: usize,
+        job: Job,
+        reply_rx: Receiver<T>,
+        timer: SpanTimer,
+    ) -> Submission<T> {
+        match self.try_send(shard, job) {
+            Ok(()) => Submission::Pending(
+                PendingReply::new(reply_rx)
+                    .with_latency(Arc::clone(&self.shards[shard].front_latency), timer),
+            ),
+            Err(reason) => {
+                self.record_shed(tenant, reason);
+                Submission::Rejected(reason)
+            }
+        }
+    }
+
     fn try_handle_tag_click_inner(
         &self,
         tenant: usize,
@@ -628,6 +707,28 @@ impl TagService for ShardedServer {
 
     fn cold_start_tags(&self, tenant: usize) -> Vec<usize> {
         ShardedServer::cold_start_tags(self, tenant)
+    }
+
+    fn submit_question(
+        &self,
+        tenant: usize,
+        question: &str,
+        trace: Option<&TraceHandle>,
+    ) -> Submission<QuestionResponse> {
+        ShardedServer::submit_question(self, tenant, question, trace)
+    }
+
+    fn submit_tag_click(
+        &self,
+        tenant: usize,
+        clicks: &[usize],
+        trace: Option<&TraceHandle>,
+    ) -> Submission<TagClickResponse> {
+        ShardedServer::submit_tag_click(self, tenant, clicks, trace)
+    }
+
+    fn submit_cold_start(&self, tenant: usize) -> Submission<Vec<usize>> {
+        ShardedServer::submit_cold_start(self, tenant)
     }
 
     fn metrics(&self) -> &MetricsRegistry {
@@ -1231,6 +1332,97 @@ mod tests {
         assert!(silver.get() >= 1, "silver slo.shed not ticked");
         let gold = registry.counter_labeled(SLO_SHED_METRIC, &[(SLO_TIER_LABEL, "gold")]);
         assert_eq!(gold.get(), 0);
+        drop(parked);
+        front.shutdown();
+    }
+
+    #[test]
+    fn submitted_requests_complete_with_correct_correlation_and_latency() {
+        use crate::serving::{Poll, Submission};
+        let single = replica();
+        let (front, registry) = front(ShardConfig { shards: 2, ..Default::default() });
+        // Submit a burst without waiting, then collect out-of-band: each
+        // pending reply must resolve to the same answer the single-process
+        // server gives for *its own* request (correlation survives drains).
+        let cases: Vec<(usize, Vec<usize>)> =
+            vec![(0, vec![0]), (1, vec![4, 5]), (0, vec![1, 0]), (1, vec![5]), (0, vec![2])];
+        let mut pending = Vec::new();
+        for (tenant, clicks) in &cases {
+            match front.submit_tag_click(*tenant, clicks, None) {
+                Submission::Pending(p) => pending.push(p),
+                other => panic!("submit with room in the queue must pend, got {other:?}"),
+            }
+        }
+        for ((tenant, clicks), mut p) in cases.iter().zip(pending) {
+            let resp = loop {
+                match p.try_take() {
+                    Poll::Ready(r) => break r,
+                    Poll::NotYet => std::thread::yield_now(),
+                    Poll::Lost => panic!("reply lost for tenant {tenant}"),
+                }
+            };
+            assert!(
+                resp.same_content(&single.handle_tag_click(*tenant, clicks)),
+                "submitted reply diverged for tenant {tenant} clicks {clicks:?}"
+            );
+        }
+        // Completion recorded the client-observed front latency.
+        assert_eq!(front.front_latency_snapshot().count, cases.len() as u64);
+        // Question and cold-start submissions resolve too.
+        let q = match front.submit_question(0, "how to change password", None) {
+            Submission::Pending(mut p) => loop {
+                match p.take_timeout(std::time::Duration::from_secs(5)) {
+                    Poll::Ready(r) => break r,
+                    Poll::NotYet => continue,
+                    Poll::Lost => panic!("question reply lost"),
+                }
+            },
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(q.same_content(&single.handle_question(0, "how to change password")));
+        let cs = match front.submit_cold_start(1) {
+            Submission::Pending(mut p) => loop {
+                match p.take_timeout(std::time::Duration::from_secs(5)) {
+                    Poll::Ready(r) => break r,
+                    Poll::NotYet => continue,
+                    Poll::Lost => panic!("cold-start reply lost"),
+                }
+            },
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(cs, single.cold_start_tags(1));
+        front.shutdown();
+        let _ = registry;
+    }
+
+    #[test]
+    fn submit_sheds_on_a_full_queue_instead_of_blocking() {
+        use crate::serving::Submission;
+        let (front, registry) =
+            front(ShardConfig { shards: 1, batch_max: 1, queue_capacity: 1, ..Default::default() });
+        // Park raw sends until the queue is full, then a submit must shed
+        // (never block) and tick the tenant tier's slo.shed counter.
+        let mut parked = Vec::new();
+        let mut shed = false;
+        for _ in 0..10_000 {
+            loop {
+                let (tx, rx) = mpsc::channel();
+                let job = Job::TagClick { tenant: 1, clicks: vec![0], reply: tx, trace: None };
+                match front.try_send(0, job) {
+                    Ok(()) => parked.push(rx),
+                    Err(_) => break,
+                }
+            }
+            if let Submission::Rejected(ShedReason::Overloaded) =
+                front.submit_tag_click(1, &[0], None)
+            {
+                shed = true;
+                break;
+            }
+        }
+        assert!(shed, "no shed observed after 10k full-queue submits");
+        let silver = registry.counter_labeled(SLO_SHED_METRIC, &[(SLO_TIER_LABEL, "silver")]);
+        assert!(silver.get() >= 1, "submit shed must tick the tier's slo.shed");
         drop(parked);
         front.shutdown();
     }

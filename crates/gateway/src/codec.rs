@@ -1,0 +1,801 @@
+//! The binary wire codec for the gateway's hot paths.
+//!
+//! JSON-over-HTTP is the gateway's lingua franca, but parsing headers and
+//! escaping strings costs more than the sharded front spends serving a
+//! popularity lookup. This module defines a length-prefixed, schema-
+//! versioned frame format for `/v1/recommend` and `/v1/click` that shares
+//! the gateway port with HTTP (the server sniffs the first byte) and lets
+//! a pipelined client keep many correlated requests in flight per socket.
+//!
+//! ## Frame layout (all fixed fields little-endian)
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 0 | 2 | magic `0xB1 0x7A` |
+//! | 2 | 1 | version (`0x01`) |
+//! | 3 | 1 | frame type |
+//! | 4 | 8 | correlation id (u64) |
+//! | 12 | 8 | trace id (u64, `0` = none) |
+//! | 20 | 4 | payload length (u32) |
+//! | 24 | n | payload |
+//!
+//! Frame types: `0x01` Recommend, `0x02` Click, `0x81` Response, `0x7F`
+//! Error. Payload integers are LEB128 varints (7 data bits per byte, high
+//! bit = continuation, at most 10 bytes — anything longer is malformed).
+//! Strings are a varint byte length followed by UTF-8 bytes; lists are a
+//! varint count followed by that many varints.
+//!
+//! The correlation id is chosen by the client and echoed verbatim — the
+//! server *never* mints one, so replies always map back to the request
+//! that caused them, even when the sharded front completes them out of
+//! order. The trace id is the binary equivalent of the `X-Trace-Id`
+//! header: propagated when non-zero, minted by the server when zero.
+//!
+//! ## Error posture
+//!
+//! * **Fatal** (`decode_frame` returns [`Decoded::Fatal`]): wrong magic or
+//!   a payload length above the limit. The stream has no trustworthy next
+//!   frame boundary, so the server sends one error frame (correlation 0)
+//!   and closes.
+//! * **Rejected** ([`Decoded::Rejected`]): the header framed correctly but
+//!   the frame is unusable (unknown version or type, malformed payload).
+//!   The frame is skipped in full, an error frame echoing its correlation
+//!   id goes back, and the connection keeps serving.
+
+use crate::json::{RecommendRequest, RecommendResponse};
+
+/// First magic byte. Deliberately non-ASCII so HTTP sniffing is unambiguous.
+pub const MAGIC0: u8 = 0xB1;
+/// Second magic byte.
+pub const MAGIC1: u8 = 0x7A;
+/// The only schema version this build speaks.
+pub const VERSION: u8 = 0x01;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 24;
+/// Longest accepted varint encoding (enough for any `u64`).
+pub const MAX_VARINT_LEN: usize = 10;
+/// Default cap on a single frame's payload, matching the HTTP body limit.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// What a frame is carrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameType {
+    /// Client → server: `/v1/recommend` semantics (question or cold-start).
+    Recommend,
+    /// Client → server: `/v1/click` semantics (TagRec path).
+    Click,
+    /// Server → client: a successful [`RecommendResponse`].
+    Response,
+    /// Server → client: a typed [`ErrorFrame`].
+    Error,
+}
+
+impl FrameType {
+    /// The wire byte for this frame type.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            FrameType::Recommend => 0x01,
+            FrameType::Click => 0x02,
+            FrameType::Response => 0x81,
+            FrameType::Error => 0x7F,
+        }
+    }
+
+    /// Parses a wire byte, `None` for unknown types.
+    pub fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0x01 => Some(FrameType::Recommend),
+            0x02 => Some(FrameType::Click),
+            0x81 => Some(FrameType::Response),
+            0x7F => Some(FrameType::Error),
+            _ => None,
+        }
+    }
+}
+
+/// Why a frame (or stream) was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The first two bytes are not the protocol magic.
+    BadMagic(u8, u8),
+    /// Unknown schema version byte.
+    BadVersion(u8),
+    /// Unknown frame-type byte.
+    BadFrameType(u8),
+    /// Declared payload length exceeds the limit.
+    Oversized(usize),
+    /// The payload did not decode (varint overflow, truncation, bad UTF-8,
+    /// trailing bytes…).
+    Malformed(String),
+}
+
+impl WireError {
+    /// The `kind` label used for `gateway.wire_err{kind=..}` counters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WireError::BadMagic(..) => "bad_magic",
+            WireError::BadVersion(_) => "bad_version",
+            WireError::BadFrameType(_) => "bad_frame_type",
+            WireError::Oversized(_) => "oversized",
+            WireError::Malformed(_) => "malformed",
+        }
+    }
+
+    /// The matching wire error code for an error frame.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            WireError::BadMagic(..) => ErrorCode::BadMagic,
+            WireError::BadVersion(_) => ErrorCode::BadVersion,
+            WireError::BadFrameType(_) => ErrorCode::BadFrameType,
+            WireError::Oversized(_) => ErrorCode::Oversized,
+            WireError::Malformed(_) => ErrorCode::BadPayload,
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(a, b) => write!(f, "bad magic 0x{a:02x}{b:02x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported version 0x{v:02x}"),
+            WireError::BadFrameType(t) => write!(f, "unknown frame type 0x{t:02x}"),
+            WireError::Oversized(n) => write!(f, "payload of {n} bytes exceeds limit"),
+            WireError::Malformed(msg) => write!(f, "malformed payload: {msg}"),
+        }
+    }
+}
+
+/// Typed error codes carried in an error frame's payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Stream-fatal: first bytes were not the magic.
+    BadMagic,
+    /// Unknown schema version.
+    BadVersion,
+    /// Unknown frame type.
+    BadFrameType,
+    /// Payload failed to decode.
+    BadPayload,
+    /// Stream-fatal: declared payload too large.
+    Oversized,
+    /// The sharded front shed the request under overload.
+    Shed,
+    /// The server is draining; the request was not served.
+    ShuttingDown,
+    /// The service failed internally.
+    Internal,
+    /// A code minted by a newer peer; preserved for forward compatibility.
+    Unknown(u64),
+}
+
+impl ErrorCode {
+    /// The wire value.
+    pub fn to_u64(self) -> u64 {
+        match self {
+            ErrorCode::BadMagic => 1,
+            ErrorCode::BadVersion => 2,
+            ErrorCode::BadFrameType => 3,
+            ErrorCode::BadPayload => 4,
+            ErrorCode::Oversized => 5,
+            ErrorCode::Shed => 6,
+            ErrorCode::ShuttingDown => 7,
+            ErrorCode::Internal => 8,
+            ErrorCode::Unknown(n) => n,
+        }
+    }
+
+    /// Parses a wire value, mapping unassigned codes to [`Self::Unknown`].
+    pub fn from_u64(n: u64) -> Self {
+        match n {
+            1 => ErrorCode::BadMagic,
+            2 => ErrorCode::BadVersion,
+            3 => ErrorCode::BadFrameType,
+            4 => ErrorCode::BadPayload,
+            5 => ErrorCode::Oversized,
+            6 => ErrorCode::Shed,
+            7 => ErrorCode::ShuttingDown,
+            8 => ErrorCode::Internal,
+            other => ErrorCode::Unknown(other),
+        }
+    }
+}
+
+/// The decoded payload of an error frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorFrame {
+    /// What went wrong.
+    pub code: ErrorCode,
+    /// Human-readable detail (may be empty).
+    pub message: String,
+}
+
+/// A fully parsed frame: header fields plus raw payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the payload contains.
+    pub frame_type: FrameType,
+    /// Client-chosen correlation id, echoed verbatim in the reply.
+    pub corr_id: u64,
+    /// Trace id (`0` = none; the server mints one and echoes it back).
+    pub trace_id: u64,
+    /// The undecoded payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Result of one incremental [`decode_frame`] step over a byte buffer.
+#[derive(Debug)]
+pub enum Decoded {
+    /// The buffer does not yet hold a complete frame; read more bytes.
+    NeedMore,
+    /// One well-formed frame; `consumed` bytes of the buffer were eaten.
+    Frame(Frame, usize),
+    /// A complete frame arrived but is unusable (bad version / unknown
+    /// type). The whole frame was skipped (`consumed` bytes); reply with
+    /// an error frame echoing `corr_id` and keep the connection.
+    Rejected {
+        /// The frame's correlation id, for the error reply.
+        corr_id: u64,
+        /// The frame's trace id (0 = none).
+        trace_id: u64,
+        /// Why it was refused.
+        error: WireError,
+        /// Bytes to drop from the buffer.
+        consumed: usize,
+    },
+    /// Unrecoverable framing damage (bad magic, oversized length): no
+    /// trustworthy next-frame boundary exists. Close the connection.
+    Fatal(WireError),
+}
+
+// ---------------------------------------------------------------------------
+// Varints
+// ---------------------------------------------------------------------------
+
+/// Appends `n` as a LEB128 varint.
+pub fn write_varint(out: &mut Vec<u8>, mut n: u64) {
+    loop {
+        let byte = (n & 0x7F) as u8;
+        n >>= 7;
+        if n == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint from `buf[*pos..]`, advancing `pos`.
+///
+/// Rejects encodings longer than [`MAX_VARINT_LEN`] bytes and 10-byte
+/// encodings whose final byte overflows 64 bits.
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    for i in 0..MAX_VARINT_LEN {
+        let byte =
+            *buf.get(*pos + i).ok_or_else(|| WireError::Malformed("varint truncated".into()))?;
+        let bits = (byte & 0x7F) as u64;
+        if shift == 63 && bits > 1 {
+            return Err(WireError::Malformed("varint overflows u64".into()));
+        }
+        value |= bits << shift;
+        if byte & 0x80 == 0 {
+            *pos += i + 1;
+            return Ok(value);
+        }
+        shift += 7;
+    }
+    Err(WireError::Malformed("varint longer than 10 bytes".into()))
+}
+
+fn read_len(buf: &[u8], pos: &mut usize, what: &str) -> Result<usize, WireError> {
+    let n = read_varint(buf, pos)?;
+    // A declared length can never exceed the bytes left in the payload
+    // (strings are 1 byte/char minimum, list items 1 byte/varint minimum),
+    // so bounding by the remainder blocks allocation bombs for free.
+    let remaining = buf.len() - *pos;
+    if n as usize > remaining {
+        return Err(WireError::Malformed(format!(
+            "{what} length {n} exceeds {remaining} remaining payload bytes"
+        )));
+    }
+    Ok(n as usize)
+}
+
+fn write_string(out: &mut Vec<u8>, s: &str) {
+    write_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_string(buf: &[u8], pos: &mut usize, what: &str) -> Result<String, WireError> {
+    let len = read_len(buf, pos, what)?;
+    let raw = &buf[*pos..*pos + len];
+    *pos += len;
+    std::str::from_utf8(raw)
+        .map(str::to_string)
+        .map_err(|_| WireError::Malformed(format!("{what} is not valid UTF-8")))
+}
+
+fn write_id_list(out: &mut Vec<u8>, ids: &[usize]) {
+    write_varint(out, ids.len() as u64);
+    for &id in ids {
+        write_varint(out, id as u64);
+    }
+}
+
+fn read_id_list(buf: &[u8], pos: &mut usize, what: &str) -> Result<Vec<usize>, WireError> {
+    let count = read_len(buf, pos, what)?;
+    let mut ids = Vec::with_capacity(count);
+    for _ in 0..count {
+        ids.push(read_varint(buf, pos)? as usize);
+    }
+    Ok(ids)
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+// ---------------------------------------------------------------------------
+
+const FLAG_QUESTION: u8 = 0b0000_0001;
+const FLAG_RQ: u8 = 0b0000_0001;
+const FLAG_ANSWER: u8 = 0b0000_0010;
+
+/// Encodes a request payload (for [`FrameType::Recommend`] /
+/// [`FrameType::Click`] frames).
+pub fn encode_request_payload(req: &RecommendRequest) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + req.question.as_deref().map_or(0, str::len));
+    out.push(if req.question.is_some() { FLAG_QUESTION } else { 0 });
+    write_varint(&mut out, req.tenant as u64);
+    if let Some(q) = &req.question {
+        write_string(&mut out, q);
+    }
+    write_id_list(&mut out, &req.clicks);
+    out
+}
+
+/// Decodes a request payload, rejecting unknown flags and trailing bytes.
+pub fn decode_request_payload(buf: &[u8]) -> Result<RecommendRequest, WireError> {
+    let mut pos = 0;
+    let flags =
+        *buf.get(pos).ok_or_else(|| WireError::Malformed("empty request payload".into()))?;
+    pos += 1;
+    if flags & !FLAG_QUESTION != 0 {
+        return Err(WireError::Malformed(format!("unknown request flags 0x{flags:02x}")));
+    }
+    let tenant = read_varint(buf, &mut pos)? as usize;
+    let question = if flags & FLAG_QUESTION != 0 {
+        Some(read_string(buf, &mut pos, "question")?)
+    } else {
+        None
+    };
+    let clicks = read_id_list(buf, &mut pos, "clicks")?;
+    if pos != buf.len() {
+        return Err(WireError::Malformed(format!(
+            "{} trailing bytes after request",
+            buf.len() - pos
+        )));
+    }
+    Ok(RecommendRequest { tenant, question, clicks })
+}
+
+/// Encodes a response payload (for [`FrameType::Response`] frames).
+pub fn encode_response_payload(resp: &RecommendResponse) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + resp.answer.as_deref().map_or(0, str::len));
+    let mut flags = 0u8;
+    if resp.rq.is_some() {
+        flags |= FLAG_RQ;
+    }
+    if resp.answer.is_some() {
+        flags |= FLAG_ANSWER;
+    }
+    out.push(flags);
+    if let Some(rq) = resp.rq {
+        write_varint(&mut out, rq as u64);
+    }
+    if let Some(a) = &resp.answer {
+        write_string(&mut out, a);
+    }
+    write_id_list(&mut out, &resp.recommended_tags);
+    write_id_list(&mut out, &resp.predicted_questions);
+    write_varint(&mut out, resp.latency_us);
+    out
+}
+
+/// Decodes a response payload, rejecting unknown flags and trailing bytes.
+pub fn decode_response_payload(buf: &[u8]) -> Result<RecommendResponse, WireError> {
+    let mut pos = 0;
+    let flags =
+        *buf.get(pos).ok_or_else(|| WireError::Malformed("empty response payload".into()))?;
+    pos += 1;
+    if flags & !(FLAG_RQ | FLAG_ANSWER) != 0 {
+        return Err(WireError::Malformed(format!("unknown response flags 0x{flags:02x}")));
+    }
+    let rq = if flags & FLAG_RQ != 0 { Some(read_varint(buf, &mut pos)? as usize) } else { None };
+    let answer =
+        if flags & FLAG_ANSWER != 0 { Some(read_string(buf, &mut pos, "answer")?) } else { None };
+    let recommended_tags = read_id_list(buf, &mut pos, "recommended_tags")?;
+    let predicted_questions = read_id_list(buf, &mut pos, "predicted_questions")?;
+    let latency_us = read_varint(buf, &mut pos)?;
+    if pos != buf.len() {
+        return Err(WireError::Malformed(format!(
+            "{} trailing bytes after response",
+            buf.len() - pos
+        )));
+    }
+    Ok(RecommendResponse { rq, answer, recommended_tags, predicted_questions, latency_us })
+}
+
+/// Encodes an error-frame payload.
+pub fn encode_error_payload(code: ErrorCode, message: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + message.len());
+    write_varint(&mut out, code.to_u64());
+    write_string(&mut out, message);
+    out
+}
+
+/// Decodes an error-frame payload.
+pub fn decode_error_payload(buf: &[u8]) -> Result<ErrorFrame, WireError> {
+    let mut pos = 0;
+    let code = ErrorCode::from_u64(read_varint(buf, &mut pos)?);
+    let message = read_string(buf, &mut pos, "error message")?;
+    if pos != buf.len() {
+        return Err(WireError::Malformed(format!(
+            "{} trailing bytes after error",
+            buf.len() - pos
+        )));
+    }
+    Ok(ErrorFrame { code, message })
+}
+
+// ---------------------------------------------------------------------------
+// Frame encode / incremental decode
+// ---------------------------------------------------------------------------
+
+/// Serializes one complete frame.
+pub fn encode_frame(frame_type: FrameType, corr_id: u64, trace_id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.push(MAGIC0);
+    out.push(MAGIC1);
+    out.push(VERSION);
+    out.push(frame_type.to_byte());
+    out.extend_from_slice(&corr_id.to_le_bytes());
+    out.extend_from_slice(&trace_id.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Serializes a request frame ([`FrameType::Click`] when the request
+/// carries clicks and no question, [`FrameType::Recommend`] otherwise —
+/// mirroring the HTTP route split).
+pub fn encode_request_frame(corr_id: u64, trace_id: u64, req: &RecommendRequest) -> Vec<u8> {
+    let ftype = if req.question.is_none() && !req.clicks.is_empty() {
+        FrameType::Click
+    } else {
+        FrameType::Recommend
+    };
+    encode_frame(ftype, corr_id, trace_id, &encode_request_payload(req))
+}
+
+/// Serializes a response frame.
+pub fn encode_response_frame(corr_id: u64, trace_id: u64, resp: &RecommendResponse) -> Vec<u8> {
+    encode_frame(FrameType::Response, corr_id, trace_id, &encode_response_payload(resp))
+}
+
+/// Serializes an error frame.
+pub fn encode_error_frame(corr_id: u64, trace_id: u64, code: ErrorCode, message: &str) -> Vec<u8> {
+    encode_frame(FrameType::Error, corr_id, trace_id, &encode_error_payload(code, message))
+}
+
+/// Attempts to decode one frame from the front of `buf`.
+///
+/// The caller owns the buffer: on [`Decoded::Frame`] / [`Decoded::Rejected`]
+/// it must drop the reported `consumed` bytes before the next call. Magic
+/// is checked as soon as bytes exist (garbage fails fast without waiting
+/// for a full header); version/type problems wait for the complete frame
+/// so the stream can skip it and keep its framing.
+pub fn decode_frame(buf: &[u8], max_payload: usize) -> Decoded {
+    if !buf.is_empty() && buf[0] != MAGIC0 {
+        return Decoded::Fatal(WireError::BadMagic(buf[0], buf.get(1).copied().unwrap_or(0)));
+    }
+    if buf.len() >= 2 && buf[1] != MAGIC1 {
+        return Decoded::Fatal(WireError::BadMagic(buf[0], buf[1]));
+    }
+    if buf.len() < HEADER_LEN {
+        return Decoded::NeedMore;
+    }
+    let version = buf[2];
+    let type_byte = buf[3];
+    let corr_id = u64::from_le_bytes(buf[4..12].try_into().expect("8 bytes"));
+    let trace_id = u64::from_le_bytes(buf[12..20].try_into().expect("8 bytes"));
+    let payload_len = u32::from_le_bytes(buf[20..24].try_into().expect("4 bytes")) as usize;
+    if payload_len > max_payload {
+        return Decoded::Fatal(WireError::Oversized(payload_len));
+    }
+    let total = HEADER_LEN + payload_len;
+    if buf.len() < total {
+        return Decoded::NeedMore;
+    }
+    if version != VERSION {
+        return Decoded::Rejected {
+            corr_id,
+            trace_id,
+            error: WireError::BadVersion(version),
+            consumed: total,
+        };
+    }
+    let frame_type = match FrameType::from_byte(type_byte) {
+        Some(t) => t,
+        None => {
+            return Decoded::Rejected {
+                corr_id,
+                trace_id,
+                error: WireError::BadFrameType(type_byte),
+                consumed: total,
+            }
+        }
+    };
+    let payload = buf[HEADER_LEN..total].to_vec();
+    Decoded::Frame(Frame { frame_type, corr_id, trace_id, payload }, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<RecommendRequest> {
+        vec![
+            RecommendRequest { tenant: 0, question: None, clicks: vec![] },
+            RecommendRequest { tenant: 3, question: Some("how to pay?".into()), clicks: vec![] },
+            RecommendRequest { tenant: 7, question: None, clicks: vec![5, 1, 5, 0] },
+            RecommendRequest {
+                tenant: usize::MAX,
+                question: Some("tabs\t\"q\"\n \u{1F600}".into()),
+                clicks: vec![usize::MAX, 0],
+            },
+        ]
+    }
+
+    #[test]
+    fn varint_round_trips_edges() {
+        for n in [0u64, 1, 127, 128, 129, 16383, 16384, u32::MAX as u64, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, n);
+            assert!(buf.len() <= MAX_VARINT_LEN);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), n);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overflow_and_overlength() {
+        // 10 continuation bytes: longer than any u64 encoding.
+        let long = [0x80u8; 10];
+        assert!(read_varint(&long, &mut 0).is_err());
+        // 10 bytes whose final byte pushes past 64 bits.
+        let mut over = vec![0xFFu8; 9];
+        over.push(0x02);
+        assert!(read_varint(&over, &mut 0).is_err());
+        // u64::MAX itself is fine: 9 × 0xFF + 0x01.
+        let mut max = vec![0xFFu8; 9];
+        max.push(0x01);
+        let mut pos = 0;
+        assert_eq!(read_varint(&max, &mut pos).unwrap(), u64::MAX);
+        // Truncated.
+        assert!(read_varint(&[0x80], &mut 0).is_err());
+        assert!(read_varint(&[], &mut 0).is_err());
+    }
+
+    #[test]
+    fn request_payload_round_trips() {
+        for req in sample_requests() {
+            let bytes = encode_request_payload(&req);
+            assert_eq!(decode_request_payload(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_payload_round_trips() {
+        let cases = vec![
+            RecommendResponse {
+                rq: None,
+                answer: None,
+                recommended_tags: vec![],
+                predicted_questions: vec![],
+                latency_us: 0,
+            },
+            RecommendResponse {
+                rq: Some(7),
+                answer: Some("settings > security".into()),
+                recommended_tags: vec![1, 3, 0],
+                predicted_questions: vec![2, 9],
+                latency_us: u64::MAX,
+            },
+        ];
+        for resp in cases {
+            let bytes = encode_response_payload(&resp);
+            assert_eq!(decode_response_payload(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn error_payload_round_trips() {
+        for code in [
+            ErrorCode::BadVersion,
+            ErrorCode::Shed,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Internal,
+            ErrorCode::Unknown(99),
+        ] {
+            let bytes = encode_error_payload(code, "why");
+            let back = decode_error_payload(&bytes).unwrap();
+            assert_eq!(back, ErrorFrame { code, message: "why".into() });
+        }
+    }
+
+    #[test]
+    fn payload_decoders_reject_damage() {
+        assert!(decode_request_payload(&[]).is_err());
+        // Unknown flag bits.
+        assert!(decode_request_payload(&[0x80, 0x00, 0x00]).is_err());
+        // Trailing bytes.
+        let mut ok =
+            encode_request_payload(&RecommendRequest { tenant: 1, question: None, clicks: vec![] });
+        ok.push(0);
+        assert!(decode_request_payload(&ok).is_err());
+        // String length beyond payload: flags=has_question, tenant=0, qlen=200.
+        assert!(decode_request_payload(&[0x01, 0x00, 0xC8, 0x01]).is_err());
+        // List count beyond payload.
+        assert!(decode_request_payload(&[0x00, 0x00, 0x7F]).is_err());
+        // Invalid UTF-8 question.
+        assert!(decode_request_payload(&[0x01, 0x00, 0x02, 0xFF, 0xFE, 0x00]).is_err());
+        assert!(decode_response_payload(&[]).is_err());
+        assert!(decode_response_payload(&[0x04]).is_err(), "unknown response flag");
+        assert!(decode_error_payload(&[]).is_err());
+    }
+
+    #[test]
+    fn frame_round_trips_and_prefixes_need_more() {
+        let req = RecommendRequest { tenant: 5, question: Some("q".into()), clicks: vec![9] };
+        let wire = encode_request_frame(77, 0xABCD, &req);
+        // Every strict prefix asks for more bytes — never errors or panics.
+        for cut in 0..wire.len() {
+            match decode_frame(&wire[..cut], MAX_PAYLOAD) {
+                Decoded::NeedMore => {}
+                other => panic!("prefix of {cut} bytes gave {other:?}"),
+            }
+        }
+        match decode_frame(&wire, MAX_PAYLOAD) {
+            Decoded::Frame(frame, consumed) => {
+                assert_eq!(consumed, wire.len());
+                assert_eq!(frame.frame_type, FrameType::Recommend);
+                assert_eq!(frame.corr_id, 77);
+                assert_eq!(frame.trace_id, 0xABCD);
+                assert_eq!(decode_request_payload(&frame.payload).unwrap(), req);
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn click_requests_use_the_click_frame_type() {
+        let req = RecommendRequest { tenant: 1, question: None, clicks: vec![4, 2] };
+        let wire = encode_request_frame(1, 0, &req);
+        match decode_frame(&wire, MAX_PAYLOAD) {
+            Decoded::Frame(frame, _) => assert_eq!(frame.frame_type, FrameType::Click),
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_frames_in_one_buffer_decode_in_order() {
+        let a = encode_request_frame(
+            1,
+            0,
+            &RecommendRequest { tenant: 0, question: None, clicks: vec![] },
+        );
+        let b = encode_request_frame(
+            2,
+            0,
+            &RecommendRequest { tenant: 1, question: None, clicks: vec![3] },
+        );
+        let mut buf = a.clone();
+        buf.extend_from_slice(&b);
+        let (f1, c1) = match decode_frame(&buf, MAX_PAYLOAD) {
+            Decoded::Frame(f, c) => (f, c),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(f1.corr_id, 1);
+        assert_eq!(c1, a.len());
+        let (f2, c2) = match decode_frame(&buf[c1..], MAX_PAYLOAD) {
+            Decoded::Frame(f, c) => (f, c),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(f2.corr_id, 2);
+        assert_eq!(c1 + c2, buf.len());
+    }
+
+    #[test]
+    fn bad_magic_is_fatal_even_on_one_byte() {
+        match decode_frame(b"P", MAX_PAYLOAD) {
+            Decoded::Fatal(WireError::BadMagic(..)) => {}
+            other => panic!("{other:?}"),
+        }
+        match decode_frame(&[MAGIC0, 0x00], MAX_PAYLOAD) {
+            Decoded::Fatal(WireError::BadMagic(..)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_fatal() {
+        let mut wire = encode_request_frame(
+            9,
+            0,
+            &RecommendRequest { tenant: 0, question: None, clicks: vec![] },
+        );
+        wire[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
+        match decode_frame(&wire, MAX_PAYLOAD) {
+            Decoded::Fatal(WireError::Oversized(n)) => assert_eq!(n, u32::MAX as usize),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_version_and_type_are_rejected_with_corr_id() {
+        let req = RecommendRequest { tenant: 0, question: None, clicks: vec![] };
+        let mut wire = encode_request_frame(42, 7, &req);
+        wire[2] = 0x02; // future version
+        match decode_frame(&wire, MAX_PAYLOAD) {
+            Decoded::Rejected { corr_id, trace_id, error: WireError::BadVersion(2), consumed } => {
+                assert_eq!(corr_id, 42);
+                assert_eq!(trace_id, 7);
+                assert_eq!(consumed, wire.len());
+            }
+            other => panic!("{other:?}"),
+        }
+        let mut wire = encode_request_frame(43, 0, &req);
+        wire[3] = 0x55; // unknown type
+        match decode_frame(&wire, MAX_PAYLOAD) {
+            Decoded::Rejected {
+                corr_id, error: WireError::BadFrameType(0x55), consumed, ..
+            } => {
+                assert_eq!(corr_id, 43);
+                assert_eq!(consumed, wire.len());
+            }
+            other => panic!("{other:?}"),
+        }
+        // A valid frame after the rejected one still decodes.
+        let mut buf = {
+            let mut w = encode_request_frame(1, 0, &req);
+            w[2] = 0x09;
+            w
+        };
+        let good = encode_request_frame(2, 0, &req);
+        buf.extend_from_slice(&good);
+        let consumed = match decode_frame(&buf, MAX_PAYLOAD) {
+            Decoded::Rejected { consumed, .. } => consumed,
+            other => panic!("{other:?}"),
+        };
+        match decode_frame(&buf[consumed..], MAX_PAYLOAD) {
+            Decoded::Frame(f, _) => assert_eq!(f.corr_id, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_error_kinds_cover_all_variants() {
+        let kinds: Vec<&str> = [
+            WireError::BadMagic(0, 0),
+            WireError::BadVersion(0),
+            WireError::BadFrameType(0),
+            WireError::Oversized(0),
+            WireError::Malformed(String::new()),
+        ]
+        .iter()
+        .map(WireError::kind)
+        .collect();
+        assert_eq!(kinds, ["bad_magic", "bad_version", "bad_frame_type", "oversized", "malformed"]);
+    }
+}

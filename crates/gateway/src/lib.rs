@@ -52,11 +52,15 @@
 //! [`TagService`]: intellitag_core::TagService
 
 pub mod client;
+pub mod codec;
 pub mod http;
 pub mod json;
+pub mod pipeline;
 pub mod server;
 
 pub use client::{ClientError, GatewayClient};
+pub use codec::{ErrorCode, ErrorFrame, Frame, FrameType, WireError};
 pub use http::{HttpError, HttpLimits, Request, Response};
 pub use json::{JsonValue, RecommendRequest, RecommendResponse};
+pub use pipeline::{Completion, PipelineError, PipelinedClient, ReplyPayload};
 pub use server::{Gateway, GatewayConfig, GatewayHandle};

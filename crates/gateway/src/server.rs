@@ -10,14 +10,23 @@
 //! queue unboundedly — the same explicit-shed discipline the sharded
 //! front uses.
 //!
+//! The same port also speaks the binary frame protocol of
+//! [`crate::codec`]: the worker sniffs the first byte of each accepted
+//! connection (the frame magic `0xB1` collides with no HTTP method), and
+//! binary connections get a pipelined serve loop that dispatches request
+//! frames through [`TagService::submit_question`]-family calls and
+//! completes replies **out of order** as the sharded front drains them,
+//! matched to their requests by the client-chosen correlation id.
+//!
 //! Everything the gateway observes lands in the shared
 //! [`MetricsRegistry`]: `gateway.requests{route=..,status=..}` counters,
 //! `gateway.request_us{route=..}` handling-latency histograms,
-//! `gateway.connections` / `gateway.pending_connections` gauges and the
-//! `gateway.shed` counter, so one `/metrics` scrape shows the wire,
-//! routing and model stages side by side.
+//! `gateway.connections` / `gateway.pending_connections` gauges, the
+//! `gateway.shed` counter and the `gateway.wire_err{kind=..}` frame-error
+//! counters, so one `/metrics` scrape shows the wire, routing and model
+//! stages side by side.
 
-use std::io::{self, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
@@ -25,12 +34,15 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use intellitag_core::TagService;
+use intellitag_core::{
+    PendingReply, Poll, QuestionResponse, ShedReason, Submission, TagClickResponse, TagService,
+};
 use intellitag_obs::{
     parse_trace_id, MetricsRegistry, SpanTimer, TraceCollector, TraceConfig, TraceHandle,
     TraceIdGen,
 };
 
+use crate::codec::{self, Decoded, ErrorCode, FrameType};
 use crate::http::{read_request, HttpLimits, Request, Response};
 use crate::json::{RecommendRequest, RecommendResponse};
 
@@ -47,8 +59,12 @@ pub struct GatewayConfig {
     pub read_timeout: Duration,
     /// Per-connection socket write deadline.
     pub write_timeout: Duration,
-    /// HTTP parser size limits.
+    /// HTTP parser size limits (`max_body_bytes` also caps binary frame
+    /// payloads).
     pub limits: HttpLimits,
+    /// Most request frames a single binary connection may have in flight
+    /// before the serve loop stops reading and applies backpressure.
+    pub binary_inflight: usize,
 }
 
 impl Default for GatewayConfig {
@@ -59,6 +75,7 @@ impl Default for GatewayConfig {
             read_timeout: Duration::from_millis(2_000),
             write_timeout: Duration::from_millis(2_000),
             limits: HttpLimits::default(),
+            binary_inflight: 128,
         }
     }
 }
@@ -100,6 +117,11 @@ impl GatewayMetrics {
         self.registry
             .histogram_labeled("gateway.request_us", &[("route", route)])
             .record(latency_us);
+    }
+
+    /// Counts one refused/damaged binary frame under its error kind.
+    fn wire_err(&self, kind: &str) {
+        self.registry.counter_labeled("gateway.wire_err", &[("kind", kind)]).inc();
     }
 }
 
@@ -302,7 +324,10 @@ fn worker_loop<S: TagService>(
     }
 }
 
-/// Serves one keep-alive connection until the client closes, an error
+/// Serves one connection. The first byte decides the protocol: the frame
+/// magic (`0xB1`, not a byte any HTTP method starts with) routes to the
+/// pipelined binary loop, anything else to the HTTP/1.1 loop. HTTP
+/// connections are served keep-alive until the client closes, an error
 /// occurs, or shutdown is requested (in-flight request still completes,
 /// answered with `Connection: close`).
 fn serve_connection<S: TagService>(
@@ -321,6 +346,21 @@ fn serve_connection<S: TagService>(
         }
     };
     let mut reader = BufReader::new(stream);
+    // Sniff without consuming: the bytes stay buffered for whichever
+    // protocol loop takes over.
+    let first = match reader.fill_buf() {
+        Ok(b) if !b.is_empty() => b[0],
+        _ => {
+            // EOF before any bytes, or the idle deadline expired.
+            metrics.conns_active.add(-1.0);
+            return;
+        }
+    };
+    if first == codec::MAGIC0 {
+        serve_binary_connection(service, reader, writer, metrics, shutdown, cfg);
+        metrics.conns_active.add(-1.0);
+        return;
+    }
     loop {
         let request = match read_request(&mut reader, &cfg.limits) {
             Ok(r) => r,
@@ -351,6 +391,366 @@ fn serve_connection<S: TagService>(
         }
     }
     metrics.conns_active.add(-1.0);
+}
+
+/// How often the binary loop re-sweeps its in-flight replies while the
+/// socket is quiet.
+const BINARY_SWEEP_POLL: Duration = Duration::from_millis(1);
+
+/// One accepted-but-unanswered binary request: everything needed to emit
+/// its reply frame when the front completes it, in whatever order that
+/// happens.
+struct Inflight {
+    corr_id: u64,
+    trace_id: u64,
+    route: &'static str,
+    trace: TraceHandle,
+    timer: SpanTimer,
+    reply: BinReply,
+}
+
+/// The three reply shapes a request frame can park on.
+enum BinReply {
+    Question(PendingReply<QuestionResponse>),
+    Click(PendingReply<TagClickResponse>),
+    Cold(PendingReply<Vec<usize>>),
+}
+
+impl Inflight {
+    fn poll(&mut self) -> Poll<RecommendResponse> {
+        let elapsed = self.timer.elapsed_us();
+        match &mut self.reply {
+            BinReply::Question(p) => match p.try_take() {
+                Poll::Ready(r) => Poll::Ready(RecommendResponse::from_question(&r)),
+                Poll::NotYet => Poll::NotYet,
+                Poll::Lost => Poll::Lost,
+            },
+            BinReply::Click(p) => match p.try_take() {
+                Poll::Ready(r) => Poll::Ready(RecommendResponse::from_click(&r)),
+                Poll::NotYet => Poll::NotYet,
+                Poll::Lost => Poll::Lost,
+            },
+            BinReply::Cold(p) => match p.try_take() {
+                Poll::Ready(tags) => Poll::Ready(RecommendResponse::from_cold_start(tags, elapsed)),
+                Poll::NotYet => Poll::NotYet,
+                Poll::Lost => Poll::Lost,
+            },
+        }
+    }
+
+    fn poll_timeout(&mut self, timeout: Duration) -> Poll<RecommendResponse> {
+        let elapsed = self.timer.elapsed_us();
+        match &mut self.reply {
+            BinReply::Question(p) => match p.take_timeout(timeout) {
+                Poll::Ready(r) => Poll::Ready(RecommendResponse::from_question(&r)),
+                Poll::NotYet => Poll::NotYet,
+                Poll::Lost => Poll::Lost,
+            },
+            BinReply::Click(p) => match p.take_timeout(timeout) {
+                Poll::Ready(r) => Poll::Ready(RecommendResponse::from_click(&r)),
+                Poll::NotYet => Poll::NotYet,
+                Poll::Lost => Poll::Lost,
+            },
+            BinReply::Cold(p) => match p.take_timeout(timeout) {
+                Poll::Ready(tags) => Poll::Ready(RecommendResponse::from_cold_start(tags, elapsed)),
+                Poll::NotYet => Poll::NotYet,
+                Poll::Lost => Poll::Lost,
+            },
+        }
+    }
+
+    /// Closes out the request's trace and offers it to the collector.
+    fn finish_trace(self, metrics: &GatewayMetrics) {
+        self.trace.record("gateway", 0, self.trace.now_us());
+        metrics.traces.offer(self.trace.finish());
+    }
+}
+
+fn write_frame(writer: &mut TcpStream, bytes: &[u8]) -> bool {
+    writer.write_all(bytes).and_then(|_| writer.flush()).is_ok()
+}
+
+/// Writes every buffered reply frame in one syscall. Reply frames are
+/// accumulated per loop pass rather than written one at a time: on a
+/// pipelined connection the dispatch loop answers whole bursts of inline
+/// requests, and one `write` per burst is a large share of the binary
+/// path's throughput edge over HTTP.
+fn flush_out(writer: &mut TcpStream, out: &mut Vec<u8>) -> bool {
+    if out.is_empty() {
+        return true;
+    }
+    let ok = writer.write_all(out).and_then(|_| writer.flush()).is_ok();
+    out.clear();
+    ok
+}
+
+/// Serves one binary-framed connection: request frames are decoded off an
+/// accumulator buffer, dispatched through the `submit_*` surface (so the
+/// sharded front's queue admission — and its shedding — applies per
+/// frame), and their replies are swept out **in completion order**, each
+/// matched to its request by the echoed correlation id. At most
+/// `cfg.binary_inflight` frames ride in flight; beyond that the loop stops
+/// reading, which is ordinary TCP backpressure.
+fn serve_binary_connection<S: TagService>(
+    service: &S,
+    mut reader: BufReader<TcpStream>,
+    mut writer: TcpStream,
+    metrics: &GatewayMetrics,
+    shutdown: &AtomicBool,
+    cfg: &GatewayConfig,
+) {
+    let mut buf: Vec<u8> = Vec::with_capacity(4 * 1024);
+    let mut out: Vec<u8> = Vec::with_capacity(4 * 1024);
+    let mut inflight: Vec<Inflight> = Vec::new();
+    let max_payload = cfg.limits.max_body_bytes;
+    'conn: loop {
+        // 1. Sweep: emit every reply that has completed, in whatever order
+        // the front finished them.
+        let mut i = 0;
+        while i < inflight.len() {
+            match inflight[i].poll() {
+                Poll::NotYet => i += 1,
+                Poll::Ready(resp) => {
+                    let fl = inflight.swap_remove(i);
+                    let frame = codec::encode_response_frame(fl.corr_id, fl.trace_id, &resp);
+                    metrics.request(fl.route, 200, fl.timer.elapsed_us());
+                    fl.finish_trace(metrics);
+                    out.extend_from_slice(&frame);
+                }
+                Poll::Lost => {
+                    // The serving worker dropped the reply channel — the
+                    // front is tearing down under us.
+                    let fl = inflight.swap_remove(i);
+                    metrics.request(fl.route, 503, fl.timer.elapsed_us());
+                    let frame = codec::encode_error_frame(
+                        fl.corr_id,
+                        fl.trace_id,
+                        ErrorCode::ShuttingDown,
+                        "service reply lost",
+                    );
+                    out.extend_from_slice(&frame);
+                }
+            }
+        }
+        if !flush_out(&mut writer, &mut out) {
+            break 'conn;
+        }
+
+        // 2. Drain on shutdown: every in-flight frame gets its reply or a
+        // typed ShuttingDown error — bounded, never a hang.
+        if shutdown.load(Ordering::SeqCst) {
+            drain_inflight(inflight, &mut writer, metrics, cfg);
+            return;
+        }
+
+        // 3. Backpressure: at the in-flight cap, stop reading and let the
+        // sweep catch up.
+        if inflight.len() >= cfg.binary_inflight {
+            thread::sleep(BINARY_SWEEP_POLL);
+            continue;
+        }
+
+        // 4. Decode and dispatch every complete frame in the buffer.
+        // Replies accumulate on `out` and hit the socket in one write.
+        loop {
+            match codec::decode_frame(&buf, max_payload) {
+                Decoded::NeedMore => break,
+                Decoded::Fatal(err) => {
+                    // No trustworthy frame boundary remains: report, answer
+                    // what we already accepted, and close.
+                    metrics.wire_err(err.kind());
+                    metrics.request("invalid_bin", 400, 0);
+                    let frame = codec::encode_error_frame(0, 0, err.code(), &err.to_string());
+                    out.extend_from_slice(&frame);
+                    let _ = flush_out(&mut writer, &mut out);
+                    drain_inflight(inflight, &mut writer, metrics, cfg);
+                    return;
+                }
+                Decoded::Rejected { corr_id, trace_id, error, consumed } => {
+                    buf.drain(..consumed);
+                    metrics.wire_err(error.kind());
+                    metrics.request("invalid_bin", 400, 0);
+                    let frame = codec::encode_error_frame(
+                        corr_id,
+                        trace_id,
+                        error.code(),
+                        &error.to_string(),
+                    );
+                    out.extend_from_slice(&frame);
+                }
+                Decoded::Frame(frame, consumed) => {
+                    buf.drain(..consumed);
+                    dispatch_frame(service, frame, metrics, &mut out, &mut inflight);
+                    if inflight.len() >= cfg.binary_inflight {
+                        break;
+                    }
+                }
+            }
+        }
+        if !flush_out(&mut writer, &mut out) {
+            break 'conn;
+        }
+
+        // 5. Read more bytes. With replies in flight the deadline is a
+        // short poll so the sweep stays responsive; idle connections get
+        // the ordinary read timeout, after which they are closed just like
+        // an idle HTTP keep-alive.
+        let timeout = if inflight.is_empty() { cfg.read_timeout } else { BINARY_SWEEP_POLL };
+        let _ = reader.get_ref().set_read_timeout(Some(timeout));
+        let consumed = match reader.fill_buf() {
+            Ok([]) => {
+                // Clean EOF: the client is done sending; answer the rest.
+                drain_inflight(inflight, &mut writer, metrics, cfg);
+                return;
+            }
+            Ok(chunk) => {
+                buf.extend_from_slice(chunk);
+                chunk.len()
+            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if inflight.is_empty() {
+                    // Idle past the deadline with nothing owed: close.
+                    return;
+                }
+                0
+            }
+            Err(_) => break 'conn,
+        };
+        reader.consume(consumed);
+    }
+    // Broken pipe mid-conversation: nothing more can be written, but the
+    // trace/latency accounting for completed work already happened.
+}
+
+/// Answers every in-flight request before the connection closes: replies
+/// that complete within the read deadline are sent as response frames,
+/// anything still pending (or lost) gets a typed `ShuttingDown` error
+/// frame. Bounded by `read_timeout` per request, so drain never hangs.
+fn drain_inflight(
+    inflight: Vec<Inflight>,
+    writer: &mut TcpStream,
+    metrics: &GatewayMetrics,
+    cfg: &GatewayConfig,
+) {
+    for mut fl in inflight {
+        match fl.poll_timeout(cfg.read_timeout) {
+            Poll::Ready(resp) => {
+                let frame = codec::encode_response_frame(fl.corr_id, fl.trace_id, &resp);
+                metrics.request(fl.route, 200, fl.timer.elapsed_us());
+                fl.finish_trace(metrics);
+                let _ = write_frame(writer, &frame);
+            }
+            Poll::NotYet | Poll::Lost => {
+                metrics.request(fl.route, 503, fl.timer.elapsed_us());
+                let frame = codec::encode_error_frame(
+                    fl.corr_id,
+                    fl.trace_id,
+                    ErrorCode::ShuttingDown,
+                    "server draining",
+                );
+                let _ = write_frame(writer, &frame);
+            }
+        }
+    }
+}
+
+/// Decodes and dispatches one well-formed request frame. Inline answers
+/// and rejections append their reply frames to `out` (flushed by the
+/// caller in one write per burst); accepted submissions join the
+/// in-flight set.
+fn dispatch_frame<S: TagService>(
+    service: &S,
+    frame: codec::Frame,
+    metrics: &GatewayMetrics,
+    out: &mut Vec<u8>,
+    inflight: &mut Vec<Inflight>,
+) {
+    let route = match frame.frame_type {
+        FrameType::Recommend => "recommend_bin",
+        FrameType::Click => "click_bin",
+        // Response/Error frames flow server → client only.
+        FrameType::Response | FrameType::Error => {
+            metrics.wire_err("unexpected_type");
+            metrics.request("invalid_bin", 400, 0);
+            let reply = codec::encode_error_frame(
+                frame.corr_id,
+                frame.trace_id,
+                ErrorCode::BadFrameType,
+                "server accepts request frames only",
+            );
+            out.extend_from_slice(&reply);
+            return;
+        }
+    };
+    let req = match codec::decode_request_payload(&frame.payload) {
+        Ok(r) => r,
+        Err(e) => {
+            metrics.wire_err(e.kind());
+            metrics.request("invalid_bin", 400, 0);
+            let reply = codec::encode_error_frame(
+                frame.corr_id,
+                frame.trace_id,
+                ErrorCode::BadPayload,
+                &e.to_string(),
+            );
+            out.extend_from_slice(&reply);
+            return;
+        }
+    };
+    // Propagate the client's trace id, mint only when absent (zero) — the
+    // binary twin of the X-Trace-Id header rule.
+    let trace_id = if frame.trace_id != 0 { frame.trace_id } else { metrics.trace_ids.next_id() };
+    let trace = TraceHandle::new(trace_id);
+    let timer = SpanTimer::start();
+    let corr_id = frame.corr_id;
+
+    enum Outcome {
+        Done(RecommendResponse),
+        Parked(BinReply),
+        Shed(ShedReason),
+    }
+    let outcome = match frame.frame_type {
+        FrameType::Click => match service.submit_tag_click(req.tenant, &req.clicks, Some(&trace)) {
+            Submission::Ready(r) => Outcome::Done(RecommendResponse::from_click(&r)),
+            Submission::Pending(p) => Outcome::Parked(BinReply::Click(p)),
+            Submission::Rejected(reason) => Outcome::Shed(reason),
+        },
+        _ => match &req.question {
+            Some(q) => match service.submit_question(req.tenant, q, Some(&trace)) {
+                Submission::Ready(r) => Outcome::Done(RecommendResponse::from_question(&r)),
+                Submission::Pending(p) => Outcome::Parked(BinReply::Question(p)),
+                Submission::Rejected(reason) => Outcome::Shed(reason),
+            },
+            None => match service.submit_cold_start(req.tenant) {
+                Submission::Ready(tags) => {
+                    Outcome::Done(RecommendResponse::from_cold_start(tags, timer.elapsed_us()))
+                }
+                Submission::Pending(p) => Outcome::Parked(BinReply::Cold(p)),
+                Submission::Rejected(reason) => Outcome::Shed(reason),
+            },
+        },
+    };
+    match outcome {
+        Outcome::Done(resp) => {
+            metrics.request(route, 200, timer.elapsed_us());
+            let frame = codec::encode_response_frame(corr_id, trace_id, &resp);
+            trace.record("gateway", 0, trace.now_us());
+            metrics.traces.offer(trace.finish());
+            out.extend_from_slice(&frame);
+        }
+        Outcome::Parked(reply) => {
+            inflight.push(Inflight { corr_id, trace_id, route, trace, timer, reply });
+        }
+        Outcome::Shed(reason) => {
+            metrics.request(route, 503, timer.elapsed_us());
+            let (code, msg) = match reason {
+                ShedReason::ShuttingDown => (ErrorCode::ShuttingDown, "server draining"),
+                _ => (ErrorCode::Shed, "overloaded"),
+            };
+            let reply = codec::encode_error_frame(corr_id, trace_id, code, msg);
+            out.extend_from_slice(&reply);
+        }
+    }
 }
 
 /// Routes one parsed request; returns the route label (for metrics) and

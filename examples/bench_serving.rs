@@ -1,4 +1,5 @@
-//! Serial vs batched tag-click serving on the real IntelliTag model.
+//! Serial vs batched tag-click serving on the real IntelliTag model, plus
+//! a wire-codec phase over a live gateway.
 //!
 //! Trains one deterministic IntelliTag checkpoint twice (identical seeds →
 //! identical weights, so each phase gets its own isolated metrics registry),
@@ -6,6 +7,14 @@
 //! a time and through `handle_tag_click_batch` in micro-batches, verifies
 //! the responses are byte-identical, and reports throughput plus per-stage
 //! p50/p90/p99 from the serving histograms.
+//!
+//! The wire phase then puts a real TCP gateway over a lightweight 4-shard
+//! front (Popularity-backed, so codec cost dominates the measurement) and
+//! replays the same request mix three ways — blocking JSON/HTTP, blocking
+//! binary frames, and the pipelined binary client with 16 frames in
+//! flight — recording client-observed p50/p90/p99 per codec. The run
+//! asserts binary p50 strictly beats JSON p50 and pipelined throughput is
+//! ≥ 1.5× the blocking JSON client.
 //!
 //! ```sh
 //! cargo run --release --example bench_serving                  # full run
@@ -15,7 +24,9 @@
 //! cargo run --release --example bench_serving -- --pool-parity # byte-parity across pools, then exit
 //! ```
 
-use std::time::Instant;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
 
 use intellitag::core::TagClickResponse;
 use intellitag::prelude::*;
@@ -152,6 +163,253 @@ fn json_report(r: &PhaseReport) -> String {
     )
 }
 
+// ---------------------------------------------------------------------------
+// Wire phase: JSON/HTTP vs binary frames vs pipelined binary, over real TCP.
+// ---------------------------------------------------------------------------
+
+/// Everything a Popularity replica needs, cloneable into the gateway's
+/// per-worker factory. The wire phase deliberately serves the cheapest
+/// model in the stack: when a forward costs microseconds, the codec is
+/// what the round trip measures.
+#[derive(Clone)]
+struct WireParts {
+    kb: KbWarehouse,
+    tag_texts: Vec<String>,
+    rq_tags: Vec<Vec<usize>>,
+    tenant_tags: Vec<Vec<usize>>,
+    counts: Vec<usize>,
+    model: Popularity,
+}
+
+impl WireParts {
+    fn from_world(world: &World) -> Self {
+        let train: Vec<Vec<usize>> = world.sessions.iter().map(|s| s.clicks.clone()).collect();
+        WireParts {
+            kb: world.build_kb(),
+            tag_texts: world.tags.iter().map(|t| t.text()).collect(),
+            rq_tags: world.rqs.iter().map(|r| r.tags.clone()).collect(),
+            tenant_tags: (0..world.tenants.len()).map(|t| world.tenant_tag_pool(t)).collect(),
+            counts: world.click_frequency(),
+            model: Popularity::from_sessions(&train, world.tags.len()),
+        }
+    }
+
+    fn build(&self) -> ModelServer<Popularity> {
+        ModelServer::new(
+            self.model.clone(),
+            self.kb.clone(),
+            self.tag_texts.clone(),
+            self.rq_tags.clone(),
+            self.tenant_tags.clone(),
+            self.counts.clone(),
+        )
+    }
+}
+
+/// Untimed leading requests that open connections and warm both stacks.
+const WIRE_WARMUP: usize = 32;
+
+struct WireReport {
+    name: &'static str,
+    wall_us: u64,
+    throughput_rps: f64,
+    q: Quantiles,
+}
+
+fn wire_result(name: &'static str, wall_us: u64, n: usize, h: &Histogram) -> WireReport {
+    WireReport {
+        name,
+        wall_us,
+        throughput_rps: n as f64 / (wall_us.max(1) as f64 / 1e6),
+        q: quantiles(h),
+    }
+}
+
+/// The blocking JSON/HTTP baseline: one `POST /v1/click` at a time over a
+/// pooled keep-alive connection.
+fn wire_json_blocking(
+    addr: SocketAddr,
+    reqs: &[RecommendRequest],
+) -> (WireReport, Vec<RecommendResponse>) {
+    let mut gw = GatewayClient::new(addr).with_timeout(Duration::from_secs(10));
+    for req in reqs.iter().take(WIRE_WARMUP) {
+        gw.click(req).expect("json warmup answered");
+    }
+    let hist = Histogram::new();
+    let t = Instant::now();
+    let responses: Vec<RecommendResponse> = reqs
+        .iter()
+        .map(|req| {
+            let t0 = Instant::now();
+            let resp = gw.click(req).expect("json click answered");
+            hist.record(t0.elapsed().as_micros() as u64);
+            resp
+        })
+        .collect();
+    (wire_result("json_blocking", t.elapsed().as_micros() as u64, reqs.len(), &hist), responses)
+}
+
+/// The same mix as binary frames, still one round trip at a time — the
+/// apples-to-apples codec comparison the p50 assertion rides on.
+fn wire_binary_blocking(
+    addr: SocketAddr,
+    reqs: &[RecommendRequest],
+) -> (WireReport, Vec<RecommendResponse>) {
+    let mut client = PipelinedClient::new(addr, 1, 1).with_timeout(Duration::from_secs(10));
+    let answer = |c: Completion| match c.payload {
+        ReplyPayload::Response(resp) => resp,
+        ReplyPayload::Error(e) => panic!("binary round trip refused: {:?} `{}`", e.code, e.message),
+    };
+    for req in reqs.iter().take(WIRE_WARMUP) {
+        answer(client.round_trip(req, 0).expect("binary warmup"));
+    }
+    let hist = Histogram::new();
+    let t = Instant::now();
+    let responses: Vec<RecommendResponse> = reqs
+        .iter()
+        .map(|req| {
+            let t0 = Instant::now();
+            let resp = answer(client.round_trip(req, 0).expect("binary round trip"));
+            hist.record(t0.elapsed().as_micros() as u64);
+            resp
+        })
+        .collect();
+    (wire_result("binary_blocking", t.elapsed().as_micros() as u64, reqs.len(), &hist), responses)
+}
+
+/// The pipelined binary client: `pool` sockets × `in_flight` correlated
+/// frames each, replies absorbed as they complete. Per-request latency here
+/// includes in-flight queueing — the throughput column is the headline.
+fn wire_binary_pipelined(
+    addr: SocketAddr,
+    reqs: &[RecommendRequest],
+    pool: usize,
+    in_flight: usize,
+) -> WireReport {
+    let mut client =
+        PipelinedClient::new(addr, pool, in_flight).with_timeout(Duration::from_secs(10));
+    for req in reqs.iter().take(WIRE_WARMUP) {
+        client.round_trip(req, 0).expect("pipelined warmup");
+    }
+    let hist = Histogram::new();
+    let mut started: HashMap<u64, Instant> = HashMap::new();
+    let mut answered = 0usize;
+    let absorb = |c: Completion, started: &HashMap<u64, Instant>| {
+        let t0 = started.get(&c.corr_id).expect("completion maps to a submitted frame");
+        match c.payload {
+            ReplyPayload::Response(_) => hist.record(t0.elapsed().as_micros() as u64),
+            ReplyPayload::Error(e) => {
+                panic!("pipelined frame refused: {:?} `{}`", e.code, e.message)
+            }
+        }
+    };
+    let cap = pool * in_flight;
+    let t = Instant::now();
+    for req in reqs {
+        let corr = client.submit(req, 0).expect("submit");
+        started.insert(corr, Instant::now());
+        while client.in_flight() >= cap {
+            absorb(client.next_completion().expect("completion"), &started);
+            answered += 1;
+        }
+    }
+    for c in client.drain().expect("drain") {
+        absorb(c, &started);
+        answered += 1;
+    }
+    let wall_us = t.elapsed().as_micros() as u64;
+    assert_eq!(answered, reqs.len(), "every pipelined frame must come back answered");
+    wire_result("binary_pipelined", wall_us, reqs.len(), &hist)
+}
+
+fn print_wire(r: &WireReport) {
+    println!(
+        "  {:<18} {:>9.1} ms {:>8.0} req/s {:>7} {:>7} {:>7}",
+        r.name,
+        r.wall_us as f64 / 1e3,
+        r.throughput_rps,
+        r.q.p50,
+        r.q.p90,
+        r.q.p99
+    );
+}
+
+fn wire_json(r: &WireReport) -> String {
+    format!(
+        "    \"{}\": {{\"wall_us\": {}, \"throughput_rps\": {:.1}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+        r.name, r.wall_us, r.throughput_rps, r.q.p50, r.q.p90, r.q.p99
+    )
+}
+
+/// Drives the same click mix through all three clients against one live
+/// gateway (4 workers, each its own Popularity replica, answering inline)
+/// and asserts the tentpole's two wire-level claims: binary p50 strictly
+/// under JSON p50, and pipelined throughput ≥ 1.5× the blocking JSON
+/// client.
+fn wire_phase(world: &World, reqs: &[(usize, Vec<usize>)]) -> [WireReport; 3] {
+    let wire_reqs: Vec<RecommendRequest> = reqs
+        .iter()
+        .map(|(tenant, clicks)| RecommendRequest {
+            tenant: *tenant,
+            question: None,
+            clicks: clicks.clone(),
+        })
+        .collect();
+    let parts = WireParts::from_world(world);
+    let registry = MetricsRegistry::new();
+    let gateway = Gateway::spawn(
+        "127.0.0.1:0",
+        // Binary connections hold their worker for the connection's
+        // lifetime; 4 covers the pipelined pool plus a keep-alive JSON
+        // socket that has not yet hit its idle deadline.
+        GatewayConfig { workers: 4, ..Default::default() },
+        &registry,
+        move |_worker| parts.build(),
+    )
+    .expect("gateway binds an ephemeral port");
+    let addr = gateway.addr();
+
+    let (json_r, json_responses) = wire_json_blocking(addr, &wire_reqs);
+    let (bin_r, bin_responses) = wire_binary_blocking(addr, &wire_reqs);
+    let piped_r = wire_binary_pipelined(addr, &wire_reqs, 1, 64);
+    gateway.shutdown();
+
+    // Codec parity before codec speed: both wire encodings must carry the
+    // exact same answers.
+    assert_eq!(json_responses.len(), bin_responses.len());
+    for (i, (a, b)) in json_responses.iter().zip(&bin_responses).enumerate() {
+        assert!(a.same_content(b), "wire response {i} diverged between JSON and binary");
+    }
+
+    println!("\n== wire codecs ==  {} requests per codec, 4 gateway workers", wire_reqs.len());
+    println!(
+        "  {:<18} {:>12} {:>14} {:>7} {:>7} {:>7}",
+        "codec", "wall", "throughput", "p50", "p90", "p99"
+    );
+    for r in [&json_r, &bin_r, &piped_r] {
+        print_wire(r);
+    }
+
+    assert!(
+        bin_r.q.p50 < json_r.q.p50,
+        "binary round-trip p50 ({} us) must be strictly below JSON p50 ({} us)",
+        bin_r.q.p50,
+        json_r.q.p50
+    );
+    let ratio = piped_r.throughput_rps / json_r.throughput_rps;
+    println!(
+        "\nbinary/json p50: {} us vs {} us | pipelined/json throughput: {ratio:.2}x",
+        bin_r.q.p50, json_r.q.p50
+    );
+    assert!(
+        ratio >= 1.5,
+        "pipelined binary throughput ({:.0} req/s) must be >= 1.5x blocking JSON ({:.0} req/s)",
+        piped_r.throughput_rps,
+        json_r.throughput_rps
+    );
+    [json_r, bin_r, piped_r]
+}
+
 /// `--pool-parity`: replay the workload through `handle_tag_click_batch`
 /// under compute-pool sizes {1, 4} with the parallel threshold forced to 1
 /// and assert the responses are byte-identical — the smoke-level proof that
@@ -249,9 +507,26 @@ fn main() {
     let slo = SloReport::from_registry(batched_server.metrics(), 150_000);
     println!("\n{}", slo.render_text());
 
+    // The same click mix shape, now over real TCP: blocking JSON vs
+    // blocking binary frames vs the pipelined binary client. Wire round
+    // trips are microseconds, so the phase gets a larger request count
+    // than the model phases to keep the wall-clock numbers out of the
+    // noise.
+    let wire_requests = if smoke { 1_200 } else { 4_000 };
+    let wire = wire_phase(&world, &workload(&world, 4242, wire_requests));
+
     if json {
+        let wire_body = format!(
+            "  \"wire\": {{\n    \"requests\": {},\n{},\n{},\n{},\n    \"binary_vs_json_p50\": {:.3},\n    \"pipelined_vs_json_throughput\": {:.3}\n  }}",
+            wire_requests,
+            wire_json(&wire[0]),
+            wire_json(&wire[1]),
+            wire_json(&wire[2]),
+            wire[1].q.p50 as f64 / wire[0].q.p50.max(1) as f64,
+            wire[2].throughput_rps / wire[0].throughput_rps,
+        );
         let body = format!(
-            "{{\n  \"bench\": \"serving\",\n  \"mode\": \"{}\",\n  \"model\": \"intellitag\",\n  \"requests\": {},\n  \"batch_max\": {},\n  \"pool_threads\": {},\n  \"par_threshold\": {},\n{},\n{},\n  \"slo\": {},\n  \"speedup\": {:.3}\n}}\n",
+            "{{\n  \"bench\": \"serving\",\n  \"mode\": \"{}\",\n  \"model\": \"intellitag\",\n  \"requests\": {},\n  \"batch_max\": {},\n  \"pool_threads\": {},\n  \"par_threshold\": {},\n{},\n{},\n  \"slo\": {},\n{},\n  \"speedup\": {:.3}\n}}\n",
             if smoke { "smoke" } else { "full" },
             requests,
             batch_max,
@@ -260,6 +535,7 @@ fn main() {
             json_report(&serial),
             json_report(&batched),
             slo.to_json(),
+            wire_body,
             speedup
         );
         std::fs::write("BENCH_serving.json", &body).expect("write BENCH_serving.json");

@@ -1,21 +1,30 @@
-//! Load-generate against the HTTP gateway over a real TCP socket: a
-//! sharded `ShardedServer` of real IntelliTag replicas behind `Gateway`,
-//! hammered by N client threads of click-heavy mixed traffic, with a
-//! mid-run `/metrics` scrape and a wire-level latency report
-//! (p50/p90/p99 from the shared obs histograms).
+//! Load-generate against the gateway over a real TCP socket: a sharded
+//! `ShardedServer` of real IntelliTag replicas behind `Gateway`, hammered
+//! by N client threads of click-heavy mixed traffic, with a mid-run
+//! `/metrics` scrape and a wire-level latency report (p50/p90/p99 from
+//! the shared obs histograms).
+//!
+//! `--binary` switches the client threads from the blocking JSON
+//! `GatewayClient` to the pipelined binary `PipelinedClient` (16
+//! correlated frames in flight per socket); the mid-run scrape and the
+//! end-of-run traced probe still ride HTTP on the same port, proving the
+//! sniffer serves both protocols side by side.
 //!
 //! Because IntelliTag forwards cost real time, concurrent clients outpace
 //! the workers and micro-batch drains actually fill: the run asserts the
 //! merged `sharded.batch_rows` mean lands above 1 (amortized forwards).
 //!
 //! Every request is accounted for: answered + shed == sent, or the run
-//! fails. Shed responses (`503`) are load management, not loss.
+//! fails. Shed responses (`503` / shed error frames) are load management,
+//! not loss.
 //!
 //! ```sh
-//! cargo run --release --example http_loadgen            # 8 clients, full run
-//! cargo run --release --example http_loadgen -- --smoke # small CI-sized run
+//! cargo run --release --example http_loadgen                      # 8 JSON clients
+//! cargo run --release --example http_loadgen -- --smoke           # small CI-sized run
+//! cargo run --release --example http_loadgen -- --binary --smoke  # pipelined binary clients
 //! ```
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -97,7 +106,9 @@ fn span_durations(trace_line: &str) -> Vec<(String, u64)> {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let binary = std::env::args().any(|a| a == "--binary");
     let (clients, per_client) = if smoke { (8usize, 40usize) } else { (8usize, 200usize) };
+    let in_flight = 16usize;
 
     // ---- the stack: world -> sharded IntelliTag front -> HTTP gateway ----
     let world = Arc::new(World::generate(WorldConfig::tiny(77)));
@@ -129,14 +140,19 @@ fn main() {
         "127.0.0.1:0",
         // One gateway worker per client: the gateway must not be the
         // concurrency bottleneck, or shard queues never build depth and
-        // micro-batches stay singletons.
-        GatewayConfig { workers: clients, ..Default::default() },
+        // micro-batches stay singletons. A binary connection holds its
+        // worker for the connection's lifetime, so binary mode adds two
+        // spares for the mid-run HTTP scraper and the traced probe.
+        GatewayConfig { workers: if binary { clients + 2 } else { clients }, ..Default::default() },
         &registry,
         move |_worker| Arc::clone(&share),
     )
     .expect("gateway binds an ephemeral port");
     let addr = gateway.addr();
-    println!("gateway listening on http://{addr} ({clients} clients x {per_client} requests)\n");
+    println!(
+        "gateway listening on http://{addr} ({clients} {} clients x {per_client} requests)\n",
+        if binary { "pipelined binary" } else { "blocking JSON" }
+    );
 
     // ---- drive mixed traffic over the wire -------------------------------
     let answered = AtomicU64::new(0);
@@ -153,41 +169,79 @@ fn main() {
             let (answered, shed) = (&answered, &shed);
             scope.spawn(move || {
                 let mut rng = Rng((client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x10AD);
-                let mut gw = GatewayClient::new(addr).with_timeout(Duration::from_millis(10_000));
                 let wire = registry.histogram("loadgen.wire_us");
-                for _ in 0..per_client {
-                    let tenant = rng.below(tenants);
-                    // Click-heavy mix (4/6 clicks): the tag-click path is the
-                    // one the workers micro-batch, so it carries the load.
-                    let req = match rng.below(6) {
-                        0 => RecommendRequest {
-                            tenant,
-                            question: Some(questions[rng.below(questions.len())].clone()),
-                            clicks: vec![],
-                        },
-                        1 => RecommendRequest { tenant, question: None, clicks: vec![] },
-                        _ => {
-                            let pool = world.tenant_tag_pool(tenant);
-                            let n = 1 + rng.below(3.min(pool.len().max(1)));
-                            RecommendRequest {
+                // Click-heavy mix (4/6 clicks): the tag-click path is the
+                // one the workers micro-batch, so it carries the load.
+                let reqs: Vec<RecommendRequest> = (0..per_client)
+                    .map(|_| {
+                        let tenant = rng.below(tenants);
+                        match rng.below(6) {
+                            0 => RecommendRequest {
                                 tenant,
-                                question: None,
-                                clicks: (0..n).map(|_| pool[rng.below(pool.len())]).collect(),
+                                question: Some(questions[rng.below(questions.len())].clone()),
+                                clicks: vec![],
+                            },
+                            1 => RecommendRequest { tenant, question: None, clicks: vec![] },
+                            _ => {
+                                let pool = world.tenant_tag_pool(tenant);
+                                let n = 1 + rng.below(3.min(pool.len().max(1)));
+                                RecommendRequest {
+                                    tenant,
+                                    question: None,
+                                    clicks: (0..n).map(|_| pool[rng.below(pool.len())]).collect(),
+                                }
+                            }
+                        }
+                    })
+                    .collect();
+                if binary {
+                    // Pipelined binary frames: up to `in_flight` correlated
+                    // requests ride one socket, completing out of order.
+                    let mut gw = PipelinedClient::new(addr, 1, in_flight)
+                        .with_timeout(Duration::from_secs(10));
+                    let mut started: HashMap<u64, Instant> = HashMap::new();
+                    let absorb = |c: Completion, started: &HashMap<u64, Instant>| {
+                        let t0 = started[&c.corr_id];
+                        match &c.payload {
+                            ReplyPayload::Response(_) => {
+                                wire.record(t0.elapsed().as_micros() as u64);
+                                answered.fetch_add(1, Ordering::Relaxed);
+                            }
+                            _ if c.payload.is_shed() => {
+                                shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            ReplyPayload::Error(e) => {
+                                panic!("client {client}: frame lost: {:?} `{}`", e.code, e.message)
                             }
                         }
                     };
-                    let timer = SpanTimer::start();
-                    let result =
-                        if req.clicks.is_empty() { gw.recommend(&req) } else { gw.click(&req) };
-                    match result {
-                        Ok(_) => {
-                            wire.record(timer.elapsed_us());
-                            answered.fetch_add(1, Ordering::Relaxed);
+                    for req in &reqs {
+                        let corr = gw.submit(req, 0).expect("submit");
+                        started.insert(corr, Instant::now());
+                        while gw.in_flight() >= in_flight {
+                            absorb(gw.next_completion().expect("completion"), &started);
                         }
-                        Err(ClientError::Shed) => {
-                            shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    for c in gw.drain().expect("drain") {
+                        absorb(c, &started);
+                    }
+                } else {
+                    let mut gw =
+                        GatewayClient::new(addr).with_timeout(Duration::from_millis(10_000));
+                    for req in &reqs {
+                        let timer = SpanTimer::start();
+                        let result =
+                            if req.clicks.is_empty() { gw.recommend(req) } else { gw.click(req) };
+                        match result {
+                            Ok(_) => {
+                                wire.record(timer.elapsed_us());
+                                answered.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(ClientError::Shed) => {
+                                shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => panic!("client {client}: request lost: {e}"),
                         }
-                        Err(e) => panic!("client {client}: request lost: {e}"),
                     }
                 }
             });
@@ -234,9 +288,26 @@ fn main() {
         sent,
         "lost requests: answered {answered} + shed {shed_seen} != sent {sent}"
     );
-    // Every shed the gateway counted is one a client observed — load
-    // traffic or the scraper, nothing unaccounted.
-    assert_eq!(registry.counter("gateway.shed").get(), shed_seen + scrape_shed);
+    if binary {
+        // Frame-level accounting: every 200/503 the gateway counted on the
+        // binary routes is one a client absorbed as a completion.
+        let count = |route: &str, status: &str| {
+            registry
+                .counter_labeled("gateway.requests", &[("route", route), ("status", status)])
+                .get()
+        };
+        let served_srv = count("recommend_bin", "200") + count("click_bin", "200");
+        let shed_srv = count("recommend_bin", "503") + count("click_bin", "503");
+        assert_eq!(served_srv, answered, "gateway 200 counters must match answered frames");
+        assert_eq!(shed_srv, shed_seen, "gateway 503 counters must match shed frames");
+        // Queue sheds ride error frames, not the accept path, so the only
+        // accept-level sheds possible here are the scraper's.
+        assert_eq!(registry.counter("gateway.shed").get(), scrape_shed);
+    } else {
+        // Every shed the gateway counted is one a client observed — load
+        // traffic or the scraper, nothing unaccounted.
+        assert_eq!(registry.counter("gateway.shed").get(), shed_seen + scrape_shed);
+    }
     println!(
         "\nsent {sent} | answered {answered} | shed {shed_seen} | zero lost | {:.0} req/s",
         answered as f64 / elapsed.as_secs_f64()

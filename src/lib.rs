@@ -65,15 +65,17 @@ pub mod prelude {
         SrGnn, TrainConfig,
     };
     pub use intellitag_core::{
-        evaluate_offline, simulate_online, IntelliTag, ModelServer, ProtocolConfig, RoutingPolicy,
-        ShardConfig, ShardedServer, ShedReason, SimConfig, TagRecConfig, TagService,
+        evaluate_offline, simulate_online, IntelliTag, ModelServer, PendingReply, ProtocolConfig,
+        RoutingPolicy, ShardConfig, ShardedServer, ShedReason, SimConfig, Submission, TagRecConfig,
+        TagService,
     };
     pub use intellitag_datagen::{
         labeled_sentences, sequence_examples, split_sessions, UserModel, World, WorldConfig,
     };
     pub use intellitag_eval::{RankingAccumulator, RankingReport};
     pub use intellitag_gateway::{
-        Gateway, GatewayClient, GatewayConfig, GatewayHandle, RecommendRequest, RecommendResponse,
+        Completion, ErrorCode, ErrorFrame, Gateway, GatewayClient, GatewayConfig, GatewayHandle,
+        PipelinedClient, RecommendRequest, RecommendResponse, ReplyPayload,
     };
     pub use intellitag_graph::{HetGraph, Metapath, ALL_METAPATHS};
     pub use intellitag_mining::{

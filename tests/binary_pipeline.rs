@@ -1,0 +1,368 @@
+//! Stress and drain tests for the binary wire protocol end to end: 8
+//! pipelined clients × 16 in-flight correlated frames against a 4-shard
+//! front with shedding enabled, a mid-pipeline server shutdown, and the
+//! blocking client's stale-connection retry.
+//!
+//! The invariants pinned here are the ones the pipelining layer exists to
+//! uphold:
+//!
+//! * **conservation** — answered + shed == sent, client-side counts and
+//!   the gateway's `gateway.requests{route=..,status=..}` counters agree;
+//! * **correlation** — every reply maps back (by the echoed correlation
+//!   id) to exactly the request that caused it, verified against
+//!   precomputed direct answers;
+//! * **out-of-order completion** — the whole point of pipelining: at
+//!   least one reply overtakes an earlier submission;
+//! * **bounded drain** — frames in flight when the server shuts down get
+//!   replies or typed `ShuttingDown` errors (or a clean EOF), never a
+//!   hang.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use intellitag::prelude::*;
+
+/// Splitmix64 — deterministic stream generator, no external crates.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Everything a `ModelServer` replica needs, cloneable into factories.
+#[derive(Clone)]
+struct ServerParts {
+    kb: KbWarehouse,
+    tag_texts: Vec<String>,
+    rq_tags: Vec<Vec<usize>>,
+    tenant_tags: Vec<Vec<usize>>,
+    counts: Vec<usize>,
+    model: Popularity,
+}
+
+impl ServerParts {
+    fn from_world(world: &World) -> Self {
+        let train: Vec<Vec<usize>> = world.sessions.iter().map(|s| s.clicks.clone()).collect();
+        ServerParts {
+            kb: world.build_kb(),
+            tag_texts: world.tags.iter().map(|t| t.text()).collect(),
+            rq_tags: world.rqs.iter().map(|r| r.tags.clone()).collect(),
+            tenant_tags: (0..world.tenants.len()).map(|t| world.tenant_tag_pool(t)).collect(),
+            counts: world.click_frequency(),
+            model: Popularity::from_sessions(&train, world.tags.len()),
+        }
+    }
+
+    fn build(&self) -> ModelServer<Popularity> {
+        ModelServer::new(
+            self.model.clone(),
+            self.kb.clone(),
+            self.tag_texts.clone(),
+            self.rq_tags.clone(),
+            self.tenant_tags.clone(),
+            self.counts.clone(),
+        )
+    }
+}
+
+/// A seeded mixed request stream: questions, click trails and cold starts.
+fn request_stream(world: &World, seed: u64, len: usize) -> Vec<RecommendRequest> {
+    let mut rng = Rng(seed);
+    let tenants = world.tenants.len();
+    (0..len)
+        .map(|_| {
+            let tenant = rng.below(tenants);
+            match rng.below(5) {
+                0 | 1 => {
+                    let rq = &world.rqs[rng.below(world.rqs.len())];
+                    RecommendRequest { tenant, question: Some(rq.text()), clicks: vec![] }
+                }
+                2 | 3 => {
+                    let pool = world.tenant_tag_pool(tenant);
+                    let n = 1 + rng.below(3.min(pool.len().max(1)));
+                    let clicks = (0..n).map(|_| pool[rng.below(pool.len())]).collect();
+                    RecommendRequest { tenant, question: None, clicks }
+                }
+                _ => RecommendRequest { tenant, question: None, clicks: vec![] },
+            }
+        })
+        .collect()
+}
+
+/// The direct (no wire) answer for one request, mirroring the server's
+/// frame-type routing: clicks without a question → TagRec path, question →
+/// dialogue path, neither → cold start.
+fn direct_answer<S: TagService>(service: &S, req: &RecommendRequest) -> RecommendResponse {
+    if req.question.is_none() && !req.clicks.is_empty() {
+        RecommendResponse::from_click(&service.handle_tag_click(req.tenant, &req.clicks))
+    } else {
+        match &req.question {
+            Some(q) => RecommendResponse::from_question(&service.handle_question(req.tenant, q)),
+            None => RecommendResponse::from_cold_start(service.cold_start_tags(req.tenant), 0),
+        }
+    }
+}
+
+/// 8 pipelined clients × 16 in-flight frames each, hammering a 4-shard
+/// front with small queues so shedding genuinely happens. Conservation,
+/// correlation and out-of-order completion are all asserted.
+#[test]
+fn pipelined_clients_saturate_a_shedding_sharded_front_and_reconcile() {
+    let world = World::generate(WorldConfig::tiny(83));
+    let parts = ServerParts::from_world(&world);
+    let direct = parts.build();
+
+    let registry = MetricsRegistry::new();
+    let factory_parts = parts.clone();
+    let front = Arc::new(ShardedServer::spawn(
+        ShardConfig {
+            shards: 4,
+            batch_max: 4,
+            // Small queues: 8 clients × 16 in flight = 128 outstanding
+            // against 4×8 queue slots, so overload shedding must trigger.
+            queue_capacity: 8,
+            routing: RoutingPolicy::TenantHash,
+            ..Default::default()
+        },
+        registry.clone(),
+        move |_shard| factory_parts.build(),
+    ));
+    let share = Arc::clone(&front);
+    let handle = Gateway::spawn(
+        "127.0.0.1:0",
+        // One worker per client: a binary connection holds its worker for
+        // the connection's lifetime.
+        GatewayConfig { workers: 8, ..Default::default() },
+        &registry,
+        move |_worker| Arc::clone(&share),
+    )
+    .expect("gateway binds");
+    let addr = handle.addr();
+
+    let clients = 8usize;
+    let in_flight = 16usize;
+    let per_client = 150usize;
+    // Precompute expected answers on this thread (`ModelServer` replicas
+    // are not `Send`); client threads only compare.
+    let plans: Vec<Vec<(RecommendRequest, RecommendResponse)>> = (0..clients)
+        .map(|c| {
+            request_stream(&world, 0xB17A ^ ((c as u64) << 17), per_client)
+                .into_iter()
+                .map(|req| {
+                    let want = direct_answer(&direct, &req);
+                    (req, want)
+                })
+                .collect()
+        })
+        .collect();
+
+    struct ClientOutcome {
+        sent: u64,
+        answered: u64,
+        shed: u64,
+        inversions: u64,
+        mismatches: Vec<String>,
+    }
+
+    let outcomes: Vec<ClientOutcome> = thread::scope(|scope| {
+        let handles: Vec<_> = plans
+            .iter()
+            .map(|plan| {
+                scope.spawn(move || {
+                    let mut client = PipelinedClient::new(addr, 1, in_flight)
+                        .with_timeout(Duration::from_secs(30));
+                    let mut by_corr: HashMap<u64, usize> = HashMap::new();
+                    let mut completions = Vec::new();
+                    for (i, (req, _)) in plan.iter().enumerate() {
+                        let corr = client.submit(req, 0).expect("submit");
+                        assert!(by_corr.insert(corr, i).is_none(), "correlation id {corr} reused");
+                        // Absorb whatever completed while submitting.
+                        while client.in_flight() >= in_flight {
+                            completions.push(client.next_completion().expect("completion"));
+                        }
+                    }
+                    completions.extend(client.drain().expect("drain"));
+
+                    let mut answered = 0u64;
+                    let mut shed = 0u64;
+                    let mut mismatches = Vec::new();
+                    for c in &completions {
+                        let &idx = by_corr
+                            .get(&c.corr_id)
+                            .unwrap_or_else(|| panic!("unknown correlation id {}", c.corr_id));
+                        match &c.payload {
+                            ReplyPayload::Response(resp) => {
+                                answered += 1;
+                                let (req, want) = &plan[idx];
+                                if !resp.same_content(want) {
+                                    mismatches.push(format!(
+                                        "corr {} for {req:?}: got {resp:?} want {want:?}",
+                                        c.corr_id
+                                    ));
+                                }
+                            }
+                            ReplyPayload::Error(e) if c.payload.is_shed() => {
+                                let _ = e;
+                                shed += 1;
+                            }
+                            ReplyPayload::Error(e) => {
+                                mismatches.push(format!(
+                                    "corr {}: unexpected error {:?} `{}`",
+                                    c.corr_id, e.code, e.message
+                                ));
+                            }
+                        }
+                    }
+                    // Completions arrive ordered by complete_seq (that is
+                    // how the client numbers them); an inversion is any
+                    // adjacent pair whose submit order disagrees.
+                    let inversions = completions
+                        .windows(2)
+                        .filter(|w| w[0].submit_seq > w[1].submit_seq)
+                        .count() as u64;
+                    assert_eq!(
+                        completions.len(),
+                        plan.len(),
+                        "every submission must complete exactly once"
+                    );
+                    ClientOutcome {
+                        sent: plan.len() as u64,
+                        answered,
+                        shed,
+                        inversions,
+                        mismatches,
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+
+    let sent: u64 = outcomes.iter().map(|o| o.sent).sum();
+    let answered: u64 = outcomes.iter().map(|o| o.answered).sum();
+    let shed: u64 = outcomes.iter().map(|o| o.shed).sum();
+    let inversions: u64 = outcomes.iter().map(|o| o.inversions).sum();
+    let mismatches: Vec<&String> = outcomes.iter().flat_map(|o| &o.mismatches).collect();
+
+    assert!(mismatches.is_empty(), "correlation/content failures:\n{mismatches:#?}");
+    assert_eq!(answered + shed, sent, "conservation: answered + shed must equal sent");
+    assert!(answered > 0, "the front must have served some of the load");
+    assert!(shed > 0, "the tiny queues must have shed under 128 in-flight frames");
+    assert!(
+        inversions >= 1,
+        "pipelining across 4 shards must complete at least one reply out of order"
+    );
+
+    // Server-side accounting agrees with the clients' view.
+    let count = |route: &str, status: &str| {
+        registry.counter_labeled("gateway.requests", &[("route", route), ("status", status)]).get()
+    };
+    let served_srv = count("recommend_bin", "200") + count("click_bin", "200");
+    let shed_srv = count("recommend_bin", "503") + count("click_bin", "503");
+    assert_eq!(served_srv, answered, "gateway 200 counters must match client-observed answers");
+    assert_eq!(shed_srv, shed, "gateway 503 counters must match client-observed sheds");
+
+    handle.shutdown();
+}
+
+/// Shutting the gateway down with frames in flight must resolve every one
+/// of them — a real reply, a typed `ShuttingDown` error frame, or a clean
+/// EOF mapped to the same — within a bounded drain, never a hang.
+#[test]
+fn mid_pipeline_shutdown_drains_inflight_without_hanging() {
+    let world = World::generate(WorldConfig::tiny(97));
+    let parts = ServerParts::from_world(&world);
+
+    let registry = MetricsRegistry::new();
+    let factory_parts = parts.clone();
+    let front = Arc::new(ShardedServer::spawn(
+        ShardConfig { shards: 2, batch_max: 2, queue_capacity: 64, ..Default::default() },
+        registry.clone(),
+        move |_shard| factory_parts.build(),
+    ));
+    let share = Arc::clone(&front);
+    let handle = Gateway::spawn(
+        "127.0.0.1:0",
+        GatewayConfig { workers: 2, ..Default::default() },
+        &registry,
+        move |_worker| Arc::clone(&share),
+    )
+    .expect("gateway binds");
+    let addr = handle.addr();
+
+    let stream = request_stream(&world, 0xD_8A14, 48);
+    let mut client = PipelinedClient::new(addr, 1, 48).with_timeout(Duration::from_secs(10));
+    for req in &stream {
+        client.submit(req, 0).expect("submit");
+    }
+    // Shut down while those frames ride the pipeline. `shutdown()` blocks
+    // until workers drained, so run it on a side thread while the client
+    // collects.
+    let shutter = thread::spawn(move || handle.shutdown());
+
+    let completions = client.drain().expect("drain must resolve, not hang");
+    assert_eq!(completions.len(), stream.len(), "every in-flight frame must resolve");
+    let mut served = 0u64;
+    let mut drained = 0u64;
+    for c in &completions {
+        match &c.payload {
+            ReplyPayload::Response(_) => served += 1,
+            ReplyPayload::Error(e)
+                if matches!(e.code, ErrorCode::ShuttingDown | ErrorCode::Shed) =>
+            {
+                drained += 1
+            }
+            ReplyPayload::Error(e) => {
+                panic!("corr {}: unexpected error {:?} `{}`", c.corr_id, e.code, e.message)
+            }
+        }
+    }
+    assert_eq!(served + drained, stream.len() as u64);
+    shutter.join().expect("shutdown thread");
+}
+
+/// The blocking JSON client must survive the server closing its pooled
+/// keep-alive connection between requests (stale-connection retry).
+#[test]
+fn gateway_client_retries_a_stale_pooled_connection() {
+    let world = World::generate(WorldConfig::tiny(31));
+    let parts = ServerParts::from_world(&world);
+    let registry = MetricsRegistry::new();
+    let factory_parts = parts.clone();
+    let handle = Gateway::spawn(
+        "127.0.0.1:0",
+        GatewayConfig {
+            workers: 1,
+            // Aggressively short idle deadline so the server hangs up on
+            // the pooled connection between our two requests.
+            read_timeout: Duration::from_millis(100),
+            ..Default::default()
+        },
+        &registry,
+        move |_worker| factory_parts.build(),
+    )
+    .expect("gateway binds");
+
+    let mut client = GatewayClient::new(handle.addr());
+    let req = RecommendRequest { tenant: 0, question: None, clicks: vec![] };
+    let first = client.recommend(&req).expect("first request");
+    // Let the server's idle deadline close the pooled connection.
+    thread::sleep(Duration::from_millis(400));
+    let second = client
+        .recommend(&req)
+        .expect("client must transparently retry its stale pooled connection");
+    assert!(first.same_content(&second), "cold-start answers are deterministic");
+    handle.shutdown();
+}
