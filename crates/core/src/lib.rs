@@ -18,6 +18,11 @@
 //!   threads each owning a `ModelServer` replica, bounded request queues
 //!   with overload shedding, per-shard labeled metrics, and response parity
 //!   with the single-process server (pinned by `tests/sharded_parity.rs`).
+//! * [`ModelSwap`] / [`SwapPayload`] — the epoch-fenced hot-swap mailbox:
+//!   the online trainer publishes versioned snapshots and every shard
+//!   worker installs them at a drain boundary, so no drain mixes model
+//!   versions and serving never pauses (pinned by
+//!   `tests/hot_swap_parity.rs`).
 //! * [`TagService`] — the request surface both fronts implement, so the
 //!   simulator, benches and examples swap fronts with one line.
 //! * [`simulate_online`] — A/B traffic buckets measuring CTR (Fig. 7),
@@ -46,5 +51,5 @@ pub use serving::{
     ModelServer, PendingReply, Poll, QuestionResponse, Submission, TagClickResponse, TagService,
     RECENT_LATENCY_WINDOW,
 };
-pub use sharded::{RoutingPolicy, ShardConfig, ShardedServer, ShedReason};
+pub use sharded::{ModelSwap, RoutingPolicy, ShardConfig, ShardedServer, ShedReason, SwapPayload};
 pub use simulator::{simulate_online, DayMetrics, SimConfig, SimOutcome};

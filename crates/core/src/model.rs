@@ -156,15 +156,62 @@ impl IntelliTag {
             let mut params = ParamSet::new(cfg.train.lr);
             params.extend(&graph_params);
             params.extend(&seq_params);
-            model.train_sequence(sessions, &mut params, true, &mut rng, metrics);
+            model.train_sequence(sessions, &mut params, true, true, &mut rng, metrics);
         } else {
             model.z_table = model.graph_layers.precompute_all();
-            model.train_sequence(sessions, &mut seq_params, false, &mut rng, metrics);
+            model.train_sequence(sessions, &mut seq_params, false, true, &mut rng, metrics);
         }
 
         // Final offline inference pass: freeze tag embeddings for serving.
         model.z_table = model.graph_layers.precompute_all();
         model
+    }
+
+    /// One online training increment: continues sequence training from the
+    /// *current* parameters on a fresh batch of sessions (harvested from
+    /// the click-event WAL), then refreshes the frozen serving table.
+    ///
+    /// Unlike [`IntelliTag::train`] this does not rebuild or re-pretrain
+    /// the model — the graph structure is unchanged between increments, so
+    /// only the sequential objective (and, in end-to-end mode, the shared
+    /// graph layers behind it) moves. `epochs` bounds the passes over this
+    /// increment's sessions independently of the offline
+    /// `cfg.train.epochs`, and `increment_seed` keys all randomness
+    /// (shuffling, masking, dropout tapes) so the result is a pure
+    /// function of `(parameters, sessions, epochs, increment_seed)` — the
+    /// property the hot-swap parity tests lean on.
+    pub fn train_increment(
+        &mut self,
+        sessions: &[Vec<usize>],
+        epochs: usize,
+        increment_seed: u64,
+        metrics: &MetricsRegistry,
+    ) {
+        if epochs == 0 || sessions.iter().all(|s| s.len() < 2) {
+            return; // nothing to learn from — keep the model bit-stable
+        }
+        // train_sequence reads epochs and the tape seed from `self.cfg`;
+        // swap in the increment's values and restore the offline config
+        // afterwards so `save`/`load` round-trips stay architecture-stable.
+        let saved = self.cfg.train;
+        self.cfg.train.epochs = epochs;
+        self.cfg.train.seed = saved.seed ^ increment_seed ^ 0x6F6E_6C69; // "onli"
+        let mut rng = StdRng::seed_from_u64(self.cfg.train.seed);
+        let mut params = ParamSet::new(self.cfg.train.lr);
+        if self.cfg.end_to_end {
+            params.extend(&self.graph_params);
+        }
+        params.extend(&self.seq_params);
+        // Constant learning rate: the offline linear-decay schedule reaches
+        // zero at the end of a run, and an increment small enough to fit in
+        // one optimizer step would otherwise train at lr 0 and change
+        // nothing. Increments are fine-tuning, not a fresh schedule.
+        self.train_sequence(sessions, &mut params, self.cfg.end_to_end, false, &mut rng, metrics);
+        self.cfg.train = saved;
+        // Re-freeze tag embeddings for serving, exactly like the tail of
+        // offline training (a no-op for the step-by-step variant, where the
+        // graph layers did not move).
+        self.z_table = self.graph_layers.precompute_all();
     }
 
     /// Serializes the trained model's parameters and precomputed tag
@@ -275,6 +322,7 @@ impl IntelliTag {
         sessions: &[Vec<usize>],
         params: &mut ParamSet,
         end_to_end: bool,
+        decay_lr: bool,
         rng: &mut StdRng,
         metrics: &MetricsRegistry,
     ) {
@@ -290,8 +338,11 @@ impl IntelliTag {
             }
         }
         let cfg = &self.cfg.train;
-        params.total_steps =
-            Some((examples.len() * cfg.epochs).div_ceil(cfg.batch_size.max(1)).max(1));
+        params.total_steps = if decay_lr {
+            Some((examples.len() * cfg.epochs).div_ceil(cfg.batch_size.max(1)).max(1))
+        } else {
+            None
+        };
 
         let mut order: Vec<usize> = (0..examples.len()).collect();
         for epoch in 0..cfg.epochs {
@@ -598,6 +649,52 @@ mod tests {
             assert_eq!(scores.len(), 5);
             assert!(scores.iter().all(|s| s.is_finite()), "{}", m.name());
         }
+    }
+
+    #[test]
+    fn train_increment_is_deterministic_and_moves_the_model() {
+        let (g, texts, sessions) = cyclic_world(6);
+        let mut cfg = quick_cfg();
+        cfg.train.epochs = 2;
+        let (day1, day2) = sessions.split_at(sessions.len() / 2);
+        let registry = MetricsRegistry::new();
+
+        let run = || {
+            let mut m = IntelliTag::train(&g, &texts, day1, cfg);
+            m.train_increment(day2, 2, 1, &registry);
+            let mut bytes = Vec::new();
+            m.save(&mut bytes).unwrap();
+            (m, bytes)
+        };
+        let (m_a, bytes_a) = run();
+        let (_m_b, bytes_b) = run();
+        assert_eq!(bytes_a, bytes_b, "increment must be a pure function of its inputs");
+
+        // The increment actually learns: parameters moved off the base
+        // checkpoint, and the restored config still matches the offline one.
+        let mut base = IntelliTag::train(&g, &texts, day1, cfg);
+        let mut base_bytes = Vec::new();
+        base.save(&mut base_bytes).unwrap();
+        assert_ne!(bytes_a, base_bytes, "increment left the model unchanged");
+        assert_eq!(m_a.cfg.train.epochs, cfg.train.epochs);
+        assert_eq!(m_a.cfg.train.seed, cfg.train.seed);
+
+        // Different increment seeds diverge; zero epochs is a strict no-op.
+        let mut other = IntelliTag::train(&g, &texts, day1, cfg);
+        other.train_increment(day2, 2, 2, &registry);
+        let mut other_bytes = Vec::new();
+        other.save(&mut other_bytes).unwrap();
+        assert_ne!(bytes_a, other_bytes);
+        base.train_increment(day2, 0, 1, &registry);
+        let mut noop_bytes = Vec::new();
+        base.save(&mut noop_bytes).unwrap();
+        assert_eq!(noop_bytes, base_bytes);
+
+        // And the incremented model round-trips through save/load like any
+        // offline artifact (the snapshot registry depends on this).
+        let loaded = IntelliTag::load(&g, &texts, cfg, &mut &bytes_a[..]).unwrap();
+        let ctx = [0usize, 1];
+        assert_eq!(m_a.score_all(&ctx), loaded.score_all(&ctx));
     }
 
     #[test]

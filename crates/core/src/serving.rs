@@ -14,8 +14,9 @@ use std::sync::Arc;
 
 use intellitag_baselines::SequenceRecommender;
 use intellitag_obs::{
-    tenant_tier, Counter, Histogram, HistogramSnapshot, MetricsRegistry, SampleRing, SpanTimer,
-    TraceHandle, SLO_LATENCY_METRIC, SLO_TIER_LABEL,
+    tenant_tier, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, SampleRing,
+    SpanTimer, TraceHandle, MODEL_SWAPS_METRIC, MODEL_VERSION_METRIC, SLO_LATENCY_METRIC,
+    SLO_TIER_LABEL,
 };
 use intellitag_search::{Hit, KbWarehouse};
 
@@ -131,6 +132,14 @@ pub trait TagService {
     /// The served policy's (model's) name, as printed in the paper's tables.
     fn policy(&self) -> String;
 
+    /// The version id of the model snapshot currently serving (0 when the
+    /// front was built directly rather than from a published snapshot).
+    /// Fronts that support hot-swapping report the version their replicas
+    /// last applied at a drain boundary.
+    fn model_version(&self) -> u64 {
+        0
+    }
+
     /// [`TagService::handle_question`] with request tracing: fronts that
     /// support per-stage spans record them into `trace`. The default ignores
     /// the trace and delegates, so existing fronts keep working untraced.
@@ -222,6 +231,10 @@ impl<S: TagService> TagService for Arc<S> {
 
     fn policy(&self) -> String {
         (**self).policy()
+    }
+
+    fn model_version(&self) -> u64 {
+        (**self).model_version()
     }
 
     fn handle_question_traced(
@@ -347,6 +360,10 @@ struct ServerMetrics {
     /// indexed by `tenant % 3` to match [`tenant_tier`]. Bound once so the
     /// hot path never formats a labeled name.
     slo_latency: [Arc<Histogram>; 3],
+    /// Snapshot version currently installed (`serving.model_version`).
+    model_version: Arc<Gauge>,
+    /// Hot-swaps applied by this replica (`serving.swaps`).
+    swaps: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -376,6 +393,8 @@ impl ServerMetrics {
             slo_latency: [0u64, 1, 2].map(|t| {
                 registry.histogram_labeled(SLO_LATENCY_METRIC, &[(SLO_TIER_LABEL, tenant_tier(t))])
             }),
+            model_version: registry.gauge(MODEL_VERSION_METRIC),
+            swaps: registry.counter(MODEL_SWAPS_METRIC),
             registry,
         }
     }
@@ -397,6 +416,9 @@ type ScoreLru = LruCache<(usize, Vec<usize>), Vec<f32>>;
 /// metadata, fully instrumented through a shared [`MetricsRegistry`].
 pub struct ModelServer<M: SequenceRecommender> {
     model: M,
+    /// Version of the snapshot `model` was loaded from (0 = built directly,
+    /// never published). Bumped by [`ModelServer::install_model`].
+    model_version: u64,
     kb: KbWarehouse,
     /// Surface text per tag (builds the ES query from clicked tags).
     tag_texts: Vec<String>,
@@ -445,6 +467,7 @@ impl<M: SequenceRecommender> ModelServer<M> {
         assert_eq!(tag_texts.len(), click_counts.len(), "one count per tag");
         ModelServer {
             model,
+            model_version: 0,
             kb,
             tag_texts,
             rq_tags,
@@ -465,7 +488,45 @@ impl<M: SequenceRecommender> ModelServer<M> {
     /// traffic — metrics recorded so far stay in the old registry.
     pub fn with_metrics(mut self, registry: MetricsRegistry) -> Self {
         self.obs = ServerMetrics::bind(registry);
+        self.obs.model_version.set(self.model_version as f64);
         self
+    }
+
+    /// Tags this replica with the version of the snapshot its model was
+    /// loaded from, so `serving.model_version` and the gateway's
+    /// `X-Model-Version` header are truthful from the first request.
+    pub fn with_model_version(mut self, version: u64) -> Self {
+        self.model_version = version;
+        self.obs.model_version.set(version as f64);
+        self
+    }
+
+    /// The version of the snapshot currently serving (0 = unversioned).
+    pub fn model_version(&self) -> u64 {
+        self.model_version
+    }
+
+    /// Installs a freshly loaded model at a drain boundary (the epoch-fenced
+    /// hot-swap path — [`crate::ShardedServer::spawn_swappable`] calls this
+    /// strictly between micro-batch drains).
+    ///
+    /// Besides replacing the scoring model, this invalidates both the
+    /// response cache and the cross-drain score-row LRU: their entries embed
+    /// the *old* model's output, and serving them after the swap would
+    /// silently mix versions — exactly the staleness the epoch fence exists
+    /// to rule out. Post-swap responses are therefore byte-identical to a
+    /// server freshly built from the installed snapshot.
+    pub fn install_model(&mut self, model: M, version: u64) {
+        self.model = model;
+        self.model_version = version;
+        if let Some(cache) = &self.cache {
+            cache.clear();
+        }
+        if let Some(lru) = &self.score_lru {
+            lru.clear();
+        }
+        self.obs.model_version.set(version as f64);
+        self.obs.swaps.inc();
     }
 
     /// Attaches a trained Q&A matcher; question recall is then re-ranked by
@@ -1070,6 +1131,10 @@ impl<M: SequenceRecommender> TagService for ModelServer<M> {
         self.model.name().to_string()
     }
 
+    fn model_version(&self) -> u64 {
+        ModelServer::model_version(self)
+    }
+
     fn handle_question_traced(
         &self,
         tenant: usize,
@@ -1494,6 +1559,52 @@ mod tests {
             rendered.contains("tensor_pool_threads"),
             "tensor.pool_threads gauge missing from scrape:\n{rendered}"
         );
+    }
+
+    #[test]
+    fn install_model_invalidates_caches_and_bumps_version() {
+        // The latent stale-cache bug the hot-swap exposes: both the response
+        // cache and the score-row LRU hold *old-model* output, so a swap
+        // that kept them would answer repeated keys from the previous
+        // version. install_model must clear both.
+        let s = server().with_cache(16).with_score_lru(16);
+        let mut s = s;
+        let pre = s.handle_tag_click(0, &[1]);
+        let _ = s.handle_tag_click(0, &[1]); // warm both caches
+        assert_eq!(counter_value(&s, "serving.cache.hit"), 1);
+        assert_eq!(s.model_version(), 0);
+        assert_eq!(s.metrics().gauge("serving.model_version").get(), 0.0);
+
+        // New model with an inverted popularity order — same key must now
+        // rank differently.
+        let flipped = Popularity::from_counts(&[9, 2, 7, 3, 5, 4]);
+        s.install_model(flipped, 7);
+        assert_eq!(s.model_version(), 7);
+        assert_eq!(s.metrics().gauge("serving.model_version").get(), 7.0);
+        assert_eq!(counter_value(&s, "serving.swaps"), 1);
+        assert_eq!(s.cache_hit_rate(), Some(0.0), "response cache cleared");
+        assert_eq!(s.score_lru_stats(), Some((0, 0)), "score LRU cleared");
+
+        // A fresh server built directly from the new model is the oracle:
+        // the swapped server must answer repeated keys identically to it.
+        let mut fresh = server();
+        fresh.install_model(Popularity::from_counts(&[9, 2, 7, 3, 5, 4]), 7);
+        let post = s.handle_tag_click(0, &[1]);
+        let oracle = fresh.handle_tag_click(0, &[1]);
+        assert!(post.same_content(&oracle), "post-swap response must come from the new model");
+        assert!(
+            !post.same_content(&pre),
+            "probe key must distinguish the versions for this test to bite"
+        );
+    }
+
+    #[test]
+    fn with_model_version_tags_replica_and_gauge() {
+        let registry = MetricsRegistry::new();
+        let s = server().with_metrics(registry.clone()).with_model_version(3);
+        assert_eq!(s.model_version(), 3);
+        assert_eq!(TagService::model_version(&s), 3);
+        assert_eq!(registry.gauge("serving.model_version").get(), 3.0);
     }
 
     #[test]

@@ -30,7 +30,7 @@
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use intellitag_baselines::SequenceRecommender;
@@ -95,6 +95,110 @@ impl Default for ShardConfig {
             routing: RoutingPolicy::TenantHash,
             pool_threads: 0,
         }
+    }
+}
+
+/// A published model snapshot in transit to the shard workers: a monotonic
+/// version id plus the serialized artifact bytes (for the learned models,
+/// the `IntelliTag::save` format; the front treats them as opaque). The
+/// bytes ride an `Arc` so S shards share one buffer instead of S copies.
+#[derive(Debug, Clone)]
+pub struct SwapPayload {
+    /// Monotonic snapshot version (the trainer/registry's published id).
+    pub version: u64,
+    /// Serialized model artifact the per-shard loader rebuilds from.
+    pub bytes: Arc<Vec<u8>>,
+}
+
+/// The hot-swap mailbox between a trainer and a [`ShardedServer`]'s
+/// workers. A publisher (the online trainer, a deploy script, a test)
+/// [`publish`](ModelSwap::publish)es versioned payloads; every worker polls
+/// the mailbox at its drain boundaries and rebuilds its replica from the
+/// newest payload it has not applied yet. Intermediate versions may be
+/// skipped — workers always jump to the latest — but versions never
+/// regress, and because the poll sits *between* drains, no drain is ever
+/// served by two model versions (the epoch fence
+/// `tests/hot_swap_parity.rs` pins).
+///
+/// Clone freely: clones share the mailbox.
+#[derive(Clone, Default)]
+pub struct ModelSwap {
+    inner: Arc<SwapInner>,
+}
+
+#[derive(Default)]
+struct SwapInner {
+    /// Version of the payload in `slot` (0 = nothing published). Read
+    /// lock-free on the per-drain fast path; written under the slot lock.
+    version: AtomicU64,
+    slot: Mutex<Option<SwapPayload>>,
+}
+
+impl ModelSwap {
+    /// An empty mailbox (version 0, nothing to apply).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes a snapshot for the workers to pick up. Returns `false`
+    /// (dropping the payload) unless `payload.version` is strictly newer
+    /// than the currently published one — versions are monotonic, so a
+    /// late or duplicate publish can never roll a replica back.
+    pub fn publish(&self, payload: SwapPayload) -> bool {
+        let mut slot = self.inner.slot.lock().expect("swap slot poisoned");
+        if payload.version <= self.inner.version.load(Ordering::Acquire) {
+            return false;
+        }
+        self.inner.version.store(payload.version, Ordering::Release);
+        *slot = Some(payload);
+        true
+    }
+
+    /// The most recently published version (0 before the first publish).
+    pub fn latest_version(&self) -> u64 {
+        self.inner.version.load(Ordering::Acquire)
+    }
+
+    /// The published payload if it is newer than `seen` — the workers'
+    /// per-drain poll. Lock-free when nothing new is pending (the steady
+    /// state), so idle polling costs one atomic load per drain.
+    fn newer_than(&self, seen: u64) -> Option<SwapPayload> {
+        if self.inner.version.load(Ordering::Acquire) <= seen {
+            return None;
+        }
+        self.inner.slot.lock().expect("swap slot poisoned").clone()
+    }
+}
+
+/// The shard-side loader: rebuilds a (non-`Send`) model from snapshot
+/// payload bytes *inside* the worker thread that will serve it.
+type ModelLoader<M> = Arc<dyn Fn(usize, &SwapPayload) -> M + Send + Sync>;
+
+/// Per-worker swap state: the shared mailbox, the loader that rebuilds a
+/// (non-`Send`) model from payload bytes *inside* the worker thread, and
+/// this worker's high-water mark of applied versions.
+struct WorkerSwap<M> {
+    swap: ModelSwap,
+    loader: ModelLoader<M>,
+    /// Front-wide maximum applied version (what `/healthz` reports).
+    applied: Arc<AtomicU64>,
+    shard: usize,
+    /// Last version this worker applied (or started from).
+    seen: u64,
+}
+
+impl<M: SequenceRecommender> WorkerSwap<M> {
+    /// The epoch fence. Called between drains — after a batch is collected
+    /// but before any of it is served — so every request in a drain is
+    /// answered by exactly one model version. [`ModelServer::install_model`]
+    /// also drops the response cache and score-row LRU, so no post-swap
+    /// request can observe a score computed by the previous version.
+    fn apply_pending(&mut self, server: &mut ModelServer<M>) {
+        let Some(payload) = self.swap.newer_than(self.seen) else { return };
+        let model = (self.loader)(self.shard, &payload);
+        server.install_model(model, payload.version);
+        self.seen = payload.version;
+        self.applied.fetch_max(payload.version, Ordering::AcqRel);
     }
 }
 
@@ -197,6 +301,10 @@ pub struct ShardedServer {
     worker_lost: Arc<Counter>,
     /// Per-front sequence feeding power-of-two-choices candidate sampling.
     route_seq: AtomicU64,
+    /// Highest snapshot version any worker has applied (workers fence swaps
+    /// at their own drain boundaries, so individual replicas may trail this
+    /// for one drain during a rollout).
+    applied_version: Arc<AtomicU64>,
 }
 
 impl ShardedServer {
@@ -211,7 +319,49 @@ impl ShardedServer {
     /// instead of serving into the void).
     pub fn spawn<M, F>(cfg: ShardConfig, registry: MetricsRegistry, factory: F) -> Self
     where
-        M: SequenceRecommender,
+        M: SequenceRecommender + 'static,
+        F: Fn(usize) -> ModelServer<M> + Send + Sync + 'static,
+    {
+        Self::spawn_inner(cfg, registry, factory, None)
+    }
+
+    /// [`ShardedServer::spawn`] with live model hot-swap: on top of the
+    /// per-shard `factory`, every worker polls `swap` at its drain
+    /// boundaries and, when a newer [`SwapPayload`] has been published,
+    /// rebuilds its replica's model via `loader(shard_id, payload)` and
+    /// installs it atomically between drains — the epoch fence. `loader`
+    /// runs inside the worker thread (models are not `Send`), must be
+    /// deterministic in the payload bytes, and is expected to be the
+    /// inverse of however the payload was serialized (e.g.
+    /// `IntelliTag::load` over an `IntelliTag::save` artifact).
+    ///
+    /// Swapping never loses requests: requests already drained are served
+    /// by the old version, later drains by the new one, and the caches the
+    /// replica keeps are invalidated as part of the install.
+    pub fn spawn_swappable<M, F, L>(
+        cfg: ShardConfig,
+        registry: MetricsRegistry,
+        factory: F,
+        swap: ModelSwap,
+        loader: L,
+    ) -> Self
+    where
+        M: SequenceRecommender + 'static,
+        F: Fn(usize) -> ModelServer<M> + Send + Sync + 'static,
+        L: Fn(usize, &SwapPayload) -> M + Send + Sync + 'static,
+    {
+        Self::spawn_inner(cfg, registry, factory, Some((swap, Arc::new(loader) as _)))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn spawn_inner<M, F>(
+        cfg: ShardConfig,
+        registry: MetricsRegistry,
+        factory: F,
+        swap: Option<(ModelSwap, Arc<dyn Fn(usize, &SwapPayload) -> M + Send + Sync>)>,
+    ) -> Self
+    where
+        M: SequenceRecommender + 'static,
         F: Fn(usize) -> ModelServer<M> + Send + Sync + 'static,
     {
         assert!(cfg.shards >= 1, "need at least one shard");
@@ -221,7 +371,8 @@ impl ShardedServer {
             intellitag_tensor::set_pool_threads(cfg.pool_threads);
         }
         let factory = Arc::new(factory);
-        let (ready_tx, ready_rx) = mpsc::channel::<String>();
+        let (ready_tx, ready_rx) = mpsc::channel::<(String, u64)>();
+        let applied_version = Arc::new(AtomicU64::new(0));
         let mut shards = Vec::with_capacity(cfg.shards);
         let mut workers = Vec::with_capacity(cfg.shards);
         for shard_id in 0..cfg.shards {
@@ -247,13 +398,26 @@ impl ShardedServer {
             let (factory, registry, ready_tx) =
                 (Arc::clone(&factory), registry.clone(), ready_tx.clone());
             let batch_max = cfg.batch_max;
+            let worker_swap = swap.as_ref().map(|(s, l)| WorkerSwap {
+                swap: s.clone(),
+                loader: Arc::clone(l),
+                applied: Arc::clone(&applied_version),
+                shard: shard_id,
+                seen: 0,
+            });
             let handle = std::thread::Builder::new()
                 .name(format!("intellitag-shard-{shard_id}"))
                 .spawn(move || {
                     let server = factory(shard_id).with_metrics(registry);
-                    let _ = ready_tx.send(server.policy());
+                    let _ = ready_tx.send((server.policy(), server.model_version()));
                     drop(ready_tx);
-                    worker_loop(server, rx, worker_metrics, batch_max);
+                    let mut worker_swap = worker_swap;
+                    if let Some(ctx) = worker_swap.as_mut() {
+                        // The factory's checkpoint is this worker's floor;
+                        // only strictly newer snapshots swap in.
+                        ctx.seen = server.model_version();
+                    }
+                    worker_loop(server, rx, worker_metrics, batch_max, worker_swap);
                 })
                 .expect("spawn shard worker");
             shards.push(shard);
@@ -262,12 +426,16 @@ impl ShardedServer {
         drop(ready_tx);
         // Wait for every replica to finish building; a factory panic shows
         // up here as a truncated ready stream.
-        let names: Vec<String> = ready_rx.iter().take(cfg.shards).collect();
-        assert_eq!(names.len(), cfg.shards, "a shard worker died during startup");
+        let ready: Vec<(String, u64)> = ready_rx.iter().take(cfg.shards).collect();
+        assert_eq!(ready.len(), cfg.shards, "a shard worker died during startup");
+        // fetch_max, not store: a worker may already have fenced in a newer
+        // snapshot before spawn finished collecting ready messages.
+        let base_version = ready.iter().map(|&(_, v)| v).max().unwrap_or(0);
+        applied_version.fetch_max(base_version, Ordering::AcqRel);
         ShardedServer {
             shards,
             workers,
-            policy: names.into_iter().next().unwrap_or_default(),
+            policy: ready.into_iter().next().map(|(p, _)| p).unwrap_or_default(),
             shed_total: registry.counter("sharded.shed_total"),
             slo_shed: [0u64, 1, 2].map(|t| {
                 registry.counter_labeled(SLO_SHED_METRIC, &[(SLO_TIER_LABEL, tenant_tier(t))])
@@ -276,7 +444,18 @@ impl ShardedServer {
             registry,
             config: cfg,
             route_seq: AtomicU64::new(0),
+            applied_version,
         }
+    }
+
+    /// Highest snapshot version any shard worker has applied (0 until a
+    /// versioned checkpoint is installed). During a rollout individual
+    /// replicas may trail by at most one drain — each worker fences at its
+    /// own drain boundary — so this is the front's "serving at least
+    /// version N" watermark, mirrored by the gateway's `/healthz` field and
+    /// `X-Model-Version` reply header.
+    pub fn model_version(&self) -> u64 {
+        self.applied_version.load(Ordering::Acquire)
     }
 
     /// The tenant's *static* home shard (`tenant % shards`) — where its
@@ -745,6 +924,10 @@ impl TagService for ShardedServer {
     fn policy(&self) -> String {
         self.policy.clone()
     }
+
+    fn model_version(&self) -> u64 {
+        ShardedServer::model_version(self)
+    }
 }
 
 impl Drop for ShardedServer {
@@ -790,10 +973,11 @@ fn close_drain_span(trace: &Option<(TraceHandle, u64)>, shard: u32, rows: u32) {
 /// `std::sync::mpsc` delivers buffered messages after sender drop, which is
 /// what makes shutdown drain instead of abort.
 fn worker_loop<M: SequenceRecommender>(
-    server: ModelServer<M>,
+    mut server: ModelServer<M>,
     rx: Receiver<Job>,
     metrics: WorkerMetrics,
     batch_max: usize,
+    mut swap: Option<WorkerSwap<M>>,
 ) {
     let mut batch = Vec::with_capacity(batch_max);
     while let Ok(first) = rx.recv() {
@@ -803,6 +987,12 @@ fn worker_loop<M: SequenceRecommender>(
                 Ok(job) => batch.push(job),
                 Err(_) => break,
             }
+        }
+        // The epoch fence: a pending snapshot swaps in here — after the
+        // drain is collected, before any of it is served — so every drain
+        // is answered by exactly one model version.
+        if let Some(ctx) = swap.as_mut() {
+            ctx.apply_pending(&mut server);
         }
         let remaining =
             metrics.depth.fetch_sub(batch.len() as i64, Ordering::Relaxed) - batch.len() as i64;
@@ -886,7 +1076,7 @@ mod tests {
     use intellitag_baselines::Popularity;
     use intellitag_search::KbWarehouse;
 
-    fn replica() -> ModelServer<Popularity> {
+    fn server_with<M: SequenceRecommender>(model: M) -> ModelServer<M> {
         let mut kb = KbWarehouse::new();
         kb.add_pair("how to change password", "settings > security", 0);
         kb.add_pair("how to apply for etc card", "apply in the etc menu", 0);
@@ -902,8 +1092,11 @@ mod tests {
         let rq_tags = vec![vec![0, 1], vec![2, 3], vec![4, 5]];
         let tenant_tags = vec![vec![0, 1, 2, 3], vec![4, 5]];
         let clicks = vec![5, 9, 3, 7, 2, 4];
-        let model = Popularity::from_counts(&clicks);
         ModelServer::new(model, kb, tag_texts, rq_tags, tenant_tags, clicks)
+    }
+
+    fn replica() -> ModelServer<Popularity> {
+        server_with(Popularity::from_counts(&[5, 9, 3, 7, 2, 4]))
     }
 
     fn front(cfg: ShardConfig) -> (ShardedServer, MetricsRegistry) {
@@ -1013,7 +1206,7 @@ mod tests {
             batch_rows: registry.histogram_labeled("sharded.batch_rows", &labels),
             processed: registry.counter_labeled("sharded.processed", &labels),
         };
-        worker_loop(server, rx, metrics, batch_max);
+        worker_loop(server, rx, metrics, batch_max, None);
         registry
     }
 
@@ -1434,6 +1627,166 @@ mod tests {
             assert_eq!(front.route(tenant), tenant % 2);
             assert_eq!(front.route(tenant), front.shard_for(tenant));
         }
+    }
+
+    /// [`Popularity`] wrapper stamping every scoring call with this
+    /// replica's `(shard, installed version)` into a shared log — the
+    /// instrument that turns "no drain mixes versions" into an observable:
+    /// each shard's logged version sequence must be monotone.
+    struct VersionedModel {
+        inner: Popularity,
+        version: u64,
+        shard: usize,
+        log: Arc<Mutex<Vec<(usize, u64)>>>,
+    }
+
+    impl SequenceRecommender for VersionedModel {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+
+        fn score_all(&self, context: &[usize]) -> Vec<f32> {
+            self.log.lock().unwrap().push((self.shard, self.version));
+            self.inner.score_all(context)
+        }
+    }
+
+    /// Encodes popularity counts one byte each — the test's stand-in for a
+    /// serialized checkpoint riding a [`SwapPayload`].
+    fn payload(version: u64, counts: &[usize]) -> SwapPayload {
+        SwapPayload { version, bytes: Arc::new(counts.iter().map(|&c| c as u8).collect()) }
+    }
+
+    fn decode_counts(payload: &SwapPayload) -> Vec<usize> {
+        payload.bytes.iter().map(|&b| b as usize).collect()
+    }
+
+    #[test]
+    fn hot_swap_is_epoch_fenced_under_concurrent_load() {
+        let v1 = vec![5usize, 9, 3, 7, 2, 4];
+        let v2 = vec![9usize, 2, 7, 3, 5, 4];
+        let log: Arc<Mutex<Vec<(usize, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let registry = MetricsRegistry::new();
+        let swap = ModelSwap::new();
+        let (factory_log, loader_log) = (Arc::clone(&log), Arc::clone(&log));
+        let v1_factory = v1.clone();
+        let front = ShardedServer::spawn_swappable(
+            ShardConfig { shards: 2, batch_max: 4, queue_capacity: 64, ..Default::default() },
+            registry.clone(),
+            move |shard| {
+                server_with(VersionedModel {
+                    inner: Popularity::from_counts(&v1_factory),
+                    version: 1,
+                    shard,
+                    log: Arc::clone(&factory_log),
+                })
+                .with_cache(32)
+                .with_score_lru(32)
+                .with_model_version(1)
+            },
+            swap.clone(),
+            move |shard, payload| VersionedModel {
+                inner: Popularity::from_counts(&decode_counts(payload)),
+                version: payload.version,
+                shard,
+                log: Arc::clone(&loader_log),
+            },
+        );
+        assert_eq!(front.model_version(), 1);
+
+        // Two client threads hammer repeated keys (so caches actually
+        // serve) while the publisher swaps mid-stream: every reply must be
+        // whole and must match one of the two versions exactly — a blend
+        // (stale cached row + fresh scores) matches neither. Oracles are
+        // built per thread: `ModelServer` is deliberately not `Sync`.
+        std::thread::scope(|s| {
+            let front = &front;
+            for tenant in 0..2usize {
+                let (v1, v2) = (v1.clone(), v2.clone());
+                s.spawn(move || {
+                    let oracle_v1 = server_with(Popularity::from_counts(&v1));
+                    let oracle_v2 = server_with(Popularity::from_counts(&v2));
+                    // Keys leave headroom in the tenant's tag pool so a
+                    // served reply always carries recommendations — an
+                    // empty reply can then only mean a dropped request.
+                    let keys: [&[usize]; 2] =
+                        if tenant == 0 { [&[0], &[1, 0]] } else { [&[4], &[5]] };
+                    for i in 0..120 {
+                        let clicks = keys[i % 2];
+                        let resp = front.handle_tag_click(tenant, clicks);
+                        assert!(!resp.recommended_tags.is_empty(), "request lost during swap");
+                        let matches_v1 =
+                            resp.same_content(&oracle_v1.handle_tag_click(tenant, clicks));
+                        let matches_v2 =
+                            resp.same_content(&oracle_v2.handle_tag_click(tenant, clicks));
+                        assert!(
+                            matches_v1 || matches_v2,
+                            "tenant {tenant} clicks {clicks:?}: reply matches neither version"
+                        );
+                    }
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            assert!(swap.publish(payload(2, &v2)));
+            assert!(!swap.publish(payload(2, &v2)), "duplicate version must be rejected");
+        });
+
+        // One request per shard forces a post-publish drain: the fence runs
+        // before the drain is served, so these replies are already v2 and
+        // repeated keys prove the caches were dropped with the old model.
+        let oracle_v2 = server_with(Popularity::from_counts(&v2));
+        for tenant in 0..2usize {
+            let key: &[usize] = if tenant == 0 { &[0] } else { &[4] };
+            let resp = front.handle_tag_click(tenant, key);
+            assert!(
+                resp.same_content(&oracle_v2.handle_tag_click(tenant, key)),
+                "post-publish drain served the old version"
+            );
+        }
+        assert_eq!(front.model_version(), 2);
+        assert_eq!(TagService::model_version(&front), 2);
+        assert_eq!(registry.counter("serving.swaps").get(), 2, "each shard swaps exactly once");
+        assert_eq!(registry.gauge("serving.model_version").get(), 2.0);
+
+        front.shutdown();
+        // The fence guarantee, observed: per shard, installed versions only
+        // ever move forward (an interleaved drain would show 2,1,2,...).
+        let log = log.lock().unwrap();
+        for shard in 0..2usize {
+            let seq: Vec<u64> = log.iter().filter(|&&(s, _)| s == shard).map(|&(_, v)| v).collect();
+            assert!(!seq.is_empty(), "shard {shard} never scored");
+            assert!(
+                seq.windows(2).all(|w| w[0] <= w[1]),
+                "shard {shard} version sequence regressed: {seq:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pre_published_snapshot_applies_before_the_first_drain_is_served() {
+        let v1 = vec![5usize, 9, 3, 7, 2, 4];
+        let v2 = vec![9usize, 2, 7, 3, 5, 4];
+        let swap = ModelSwap::new();
+        assert!(swap.publish(payload(2, &v2)));
+        assert!(!swap.publish(payload(1, &v1)), "stale publish must be rejected");
+        assert_eq!(swap.latest_version(), 2);
+
+        let registry = MetricsRegistry::new();
+        let v1_factory = v1.clone();
+        let front = ShardedServer::spawn_swappable(
+            ShardConfig { shards: 1, ..Default::default() },
+            registry,
+            move |_shard| server_with(Popularity::from_counts(&v1_factory)).with_model_version(1),
+            swap,
+            |_shard, p| Popularity::from_counts(&decode_counts(p)),
+        );
+        // The worker starts on v1 but fences the pending snapshot in before
+        // serving its first drain — no request is ever answered by v1.
+        let resp = front.handle_tag_click(0, &[0]);
+        let oracle_v2 = server_with(Popularity::from_counts(&v2));
+        assert!(resp.same_content(&oracle_v2.handle_tag_click(0, &[0])));
+        assert_eq!(front.model_version(), 2);
+        front.shutdown();
     }
 
     #[test]

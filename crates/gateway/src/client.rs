@@ -46,6 +46,14 @@ fn echoed_trace_id(resp: &ParsedResponse) -> Option<u64> {
         .and_then(|(_, v)| intellitag_obs::parse_trace_id(v))
 }
 
+/// The serving model version the gateway stamped in `X-Model-Version`.
+fn echoed_model_version(resp: &ParsedResponse) -> Option<u64> {
+    resp.headers
+        .iter()
+        .find(|(k, _)| k == "x-model-version")
+        .and_then(|(_, v)| v.trim().parse().ok())
+}
+
 struct Conn {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
@@ -118,6 +126,20 @@ impl GatewayClient {
         let echoed = echoed_trace_id(&resp);
         let wire = RecommendResponse::from_json(&resp.body).map_err(ClientError::Decode)?;
         Ok((wire, echoed))
+    }
+
+    /// [`Self::click`], also returning the `X-Model-Version` response
+    /// header — the version of the model snapshot that answered this
+    /// request (`Some(0)` until a swap lands, `None` only against
+    /// pre-versioning gateways).
+    pub fn click_versioned(
+        &mut self,
+        req: &RecommendRequest,
+    ) -> Result<(RecommendResponse, Option<u64>), ClientError> {
+        let resp = self.post_json("/v1/click", &req.to_json(), None)?;
+        let version = echoed_model_version(&resp);
+        let wire = RecommendResponse::from_json(&resp.body).map_err(ClientError::Decode)?;
+        Ok((wire, version))
     }
 
     /// `GET /debug/traces`: the gateway's retained request traces as JSON

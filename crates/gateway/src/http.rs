@@ -275,6 +275,10 @@ pub struct Response {
     /// Trace id echoed back as an `X-Trace-Id` header, so clients can
     /// correlate a response with its retained trace in `/debug/traces`.
     pub trace_id: Option<u64>,
+    /// Live model version serving this response, emitted as an
+    /// `X-Model-Version` header on model routes — the per-response view of
+    /// the hot-swap state (`serving.model_version` is the fleet view).
+    pub model_version: Option<u64>,
 }
 
 impl Response {
@@ -286,6 +290,7 @@ impl Response {
             body: body.into_bytes(),
             allow: None,
             trace_id: None,
+            model_version: None,
         }
     }
 
@@ -297,12 +302,19 @@ impl Response {
             body: body.into(),
             allow: None,
             trace_id: None,
+            model_version: None,
         }
     }
 
     /// Attaches the trace id echoed in the `X-Trace-Id` response header.
     pub fn with_trace_id(mut self, id: u64) -> Self {
         self.trace_id = Some(id);
+        self
+    }
+
+    /// Attaches the serving model version, emitted as `X-Model-Version`.
+    pub fn with_model_version(mut self, version: u64) -> Self {
+        self.model_version = Some(version);
         self
     }
 
@@ -326,6 +338,9 @@ impl Response {
         };
         if let Some(id) = self.trace_id {
             allow.push_str(&format!("X-Trace-Id: {id:016x}\r\n"));
+        }
+        if let Some(version) = self.model_version {
+            allow.push_str(&format!("X-Model-Version: {version}\r\n"));
         }
         let head = format!(
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{allow}Connection: {conn}\r\n\r\n",
@@ -559,6 +574,23 @@ mod tests {
         let parsed = read_response(&mut Cursor::new(wire), &HttpLimits::default()).unwrap();
         assert_eq!(parsed.status, 503);
         assert!(!parsed.keep_alive);
+    }
+
+    #[test]
+    fn model_version_header_round_trips() {
+        let resp = Response::json(200, "{}".into()).with_trace_id(7).with_model_version(42);
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, true).unwrap();
+        let parsed = read_response(&mut Cursor::new(wire), &HttpLimits::default()).unwrap();
+        let header =
+            |name: &str| parsed.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str());
+        assert_eq!(header("x-model-version"), Some("42"));
+        assert_eq!(header("x-trace-id"), Some("0000000000000007"));
+        // Responses that never saw a model keep the header off the wire.
+        let mut wire = Vec::new();
+        Response::json(200, "{}".into()).write_to(&mut wire, true).unwrap();
+        let parsed = read_response(&mut Cursor::new(wire), &HttpLimits::default()).unwrap();
+        assert_eq!(parsed.headers.iter().find(|(k, _)| k == "x-model-version"), None);
     }
 
     #[test]

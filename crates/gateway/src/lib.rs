@@ -23,6 +23,11 @@
 //! routing and model stages in one scrape — and `GET /debug/traces`,
 //! the retained end-to-end request traces as JSON lines.
 //!
+//! Model routes also answer with an `X-Model-Version` header (the live
+//! hot-swap version, also in `/healthz`), and an optional [`EventSink`]
+//! observes every served request — the feed the `intellitag-online`
+//! crate's WAL turns into continuous training.
+//!
 //! Every model route is traced: a client-supplied `X-Trace-Id` header (or
 //! a freshly minted id) names the request's trace, the id is echoed back
 //! in the response, and the finished trace — gateway, shard-queue, drain
@@ -63,4 +68,4 @@ pub use codec::{ErrorCode, ErrorFrame, Frame, FrameType, WireError};
 pub use http::{HttpError, HttpLimits, Request, Response};
 pub use json::{JsonValue, RecommendRequest, RecommendResponse};
 pub use pipeline::{Completion, PipelineError, PipelinedClient, ReplyPayload};
-pub use server::{Gateway, GatewayConfig, GatewayHandle};
+pub use server::{EventSink, Gateway, GatewayConfig, GatewayHandle};

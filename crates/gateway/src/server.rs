@@ -80,6 +80,25 @@ impl Default for GatewayConfig {
     }
 }
 
+/// Observer of served model-route requests — the feed into the
+/// continuous-training loop (the `intellitag-online` crate's WAL sink
+/// implements this). The gateway calls it once per *accepted* request —
+/// HTTP requests that parsed, binary frames that were answered inline or
+/// parked on the sharded front — never for rejected, shed or cold-start
+/// traffic, so the event stream matches what the models actually served.
+///
+/// Implementations must be cheap and non-blocking: they run on the serving
+/// threads, between request handling and the response write.
+pub trait EventSink: Send + Sync {
+    /// A served tag-click trail.
+    fn tag_click(&self, tenant: usize, clicks: &[usize]);
+    /// A served free-text question.
+    fn question(&self, tenant: usize, text: &str);
+}
+
+/// The sink as it travels through the serving loops.
+type SharedSink = Option<Arc<dyn EventSink>>;
+
 /// Gateway-side metric handles, all living in the shared registry.
 struct GatewayMetrics {
     registry: MetricsRegistry,
@@ -158,6 +177,23 @@ impl Gateway {
         S: TagService + 'static,
         F: Fn(usize) -> S + Send + Sync + 'static,
     {
+        Self::spawn_with_sink(addr, cfg, registry, factory, None)
+    }
+
+    /// [`Gateway::spawn`] plus an [`EventSink`] that observes every served
+    /// model-route request — the hook the continuous-training WAL hangs
+    /// off. The sink is shared across all workers and both protocols.
+    pub fn spawn_with_sink<S, F>(
+        addr: &str,
+        cfg: GatewayConfig,
+        registry: &MetricsRegistry,
+        factory: F,
+        sink: SharedSink,
+    ) -> io::Result<GatewayHandle>
+    where
+        S: TagService + 'static,
+        F: Fn(usize) -> S + Send + Sync + 'static,
+    {
         assert!(cfg.workers > 0, "gateway needs at least one worker");
         assert!(cfg.pending_connections > 0, "pending_connections must be positive");
         let listener = TcpListener::bind(addr)?;
@@ -179,12 +215,13 @@ impl Gateway {
             let shutdown = Arc::clone(&shutdown);
             let ready_tx = ready_tx.clone();
             let cfg = cfg.clone();
+            let sink = sink.clone();
             workers.push(thread::Builder::new().name(format!("gw-worker-{worker_id}")).spawn(
                 move || {
                     let service = factory(worker_id);
                     let _ = ready_tx.send(worker_id);
                     drop(ready_tx);
-                    worker_loop(service, conn_rx, metrics, shutdown, cfg);
+                    worker_loop(service, conn_rx, metrics, shutdown, cfg, sink);
                 },
             )?);
         }
@@ -305,6 +342,7 @@ fn worker_loop<S: TagService>(
     metrics: Arc<GatewayMetrics>,
     shutdown: Arc<AtomicBool>,
     cfg: GatewayConfig,
+    sink: SharedSink,
 ) {
     loop {
         // Hold the lock only for the dequeue, never while serving.
@@ -315,7 +353,7 @@ fn worker_loop<S: TagService>(
         match stream {
             Ok(stream) => {
                 metrics.pending.add(-1.0);
-                serve_connection(&service, stream, &metrics, &shutdown, &cfg);
+                serve_connection(&service, stream, &metrics, &shutdown, &cfg, &sink);
             }
             // Sender dropped: accept loop is gone and the queue is fully
             // drained — in-flight work is done, exit.
@@ -336,6 +374,7 @@ fn serve_connection<S: TagService>(
     metrics: &GatewayMetrics,
     shutdown: &AtomicBool,
     cfg: &GatewayConfig,
+    sink: &SharedSink,
 ) {
     metrics.conns_active.add(1.0);
     let mut writer = match stream.try_clone() {
@@ -357,7 +396,7 @@ fn serve_connection<S: TagService>(
         }
     };
     if first == codec::MAGIC0 {
-        serve_binary_connection(service, reader, writer, metrics, shutdown, cfg);
+        serve_binary_connection(service, reader, writer, metrics, shutdown, cfg, sink);
         metrics.conns_active.add(-1.0);
         return;
     }
@@ -380,7 +419,7 @@ fn serve_connection<S: TagService>(
             }
         };
         let timer = SpanTimer::start();
-        let (route, response) = handle(service, metrics, &request);
+        let (route, response) = handle(service, metrics, &request, sink);
         // Count before writing: a client that has the response in hand must
         // already see it reflected in a scrape.
         metrics.request(route, response.status, timer.elapsed_us());
@@ -498,6 +537,7 @@ fn serve_binary_connection<S: TagService>(
     metrics: &GatewayMetrics,
     shutdown: &AtomicBool,
     cfg: &GatewayConfig,
+    sink: &SharedSink,
 ) {
     let mut buf: Vec<u8> = Vec::with_capacity(4 * 1024);
     let mut out: Vec<u8> = Vec::with_capacity(4 * 1024);
@@ -580,7 +620,7 @@ fn serve_binary_connection<S: TagService>(
                 }
                 Decoded::Frame(frame, consumed) => {
                     buf.drain(..consumed);
-                    dispatch_frame(service, frame, metrics, &mut out, &mut inflight);
+                    dispatch_frame(service, frame, metrics, &mut out, &mut inflight, sink);
                     if inflight.len() >= cfg.binary_inflight {
                         break;
                     }
@@ -664,6 +704,7 @@ fn dispatch_frame<S: TagService>(
     metrics: &GatewayMetrics,
     out: &mut Vec<u8>,
     inflight: &mut Vec<Inflight>,
+    sink: &SharedSink,
 ) {
     let route = match frame.frame_type {
         FrameType::Recommend => "recommend_bin",
@@ -730,8 +771,25 @@ fn dispatch_frame<S: TagService>(
             },
         },
     };
+    // Log the event for the continuous-training loop once the request is
+    // *accepted* (answered inline or parked on the sharded front) — shed
+    // frames never reached a model and must not train one. Cold starts
+    // carry no signal either: no clicks, no question.
+    let log_event = |sink: &SharedSink| {
+        if let Some(sink) = sink {
+            match frame.frame_type {
+                FrameType::Click => sink.tag_click(req.tenant, &req.clicks),
+                _ => {
+                    if let Some(q) = &req.question {
+                        sink.question(req.tenant, q);
+                    }
+                }
+            }
+        }
+    };
     match outcome {
         Outcome::Done(resp) => {
+            log_event(sink);
             metrics.request(route, 200, timer.elapsed_us());
             let frame = codec::encode_response_frame(corr_id, trace_id, &resp);
             trace.record("gateway", 0, trace.now_us());
@@ -739,6 +797,7 @@ fn dispatch_frame<S: TagService>(
             out.extend_from_slice(&frame);
         }
         Outcome::Parked(reply) => {
+            log_event(sink);
             inflight.push(Inflight { corr_id, trace_id, route, trace, timer, reply });
         }
         Outcome::Shed(reason) => {
@@ -759,21 +818,23 @@ fn handle<S: TagService>(
     service: &S,
     metrics: &GatewayMetrics,
     request: &Request,
+    sink: &SharedSink,
 ) -> (&'static str, Response) {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/recommend") => {
-            ("recommend", traced(metrics, request, |t| recommend(service, request, t)))
+            ("recommend", traced(metrics, request, |t| recommend(service, request, t, sink)))
         }
         ("POST", "/v1/click") => {
-            ("click", traced(metrics, request, |t| click(service, request, t)))
+            ("click", traced(metrics, request, |t| click(service, request, t, sink)))
         }
         ("GET", "/healthz") => (
             "healthz",
             Response::json(
                 200,
                 format!(
-                    "{{\"status\":\"ok\",\"policy\":{}}}",
-                    crate::json::JsonValue::Str(service.policy()).render()
+                    "{{\"status\":\"ok\",\"policy\":{},\"model_version\":{}}}",
+                    crate::json::JsonValue::Str(service.policy()).render(),
+                    service.model_version(),
                 ),
             ),
         ),
@@ -830,15 +891,24 @@ fn bad_request(msg: &str) -> Response {
 
 /// `POST /v1/recommend`: with a `question`, the Q&A dialogue path; without
 /// one, the tenant's cold-start tags (§V-B of the paper).
-fn recommend<S: TagService>(service: &S, request: &Request, trace: &TraceHandle) -> Response {
+fn recommend<S: TagService>(
+    service: &S,
+    request: &Request,
+    trace: &TraceHandle,
+    sink: &SharedSink,
+) -> Response {
     let req = match RecommendRequest::from_json(&request.body) {
         Ok(r) => r,
         Err(e) => return bad_request(&e),
     };
     let wire = match &req.question {
-        Some(question) => RecommendResponse::from_question(
-            &service.handle_question_traced(req.tenant, question, trace),
-        ),
+        Some(question) => {
+            let resp = service.handle_question_traced(req.tenant, question, trace);
+            if let Some(sink) = sink {
+                sink.question(req.tenant, question);
+            }
+            RecommendResponse::from_question(&resp)
+        }
         None => {
             let timer = SpanTimer::start();
             let t0 = trace.now_us();
@@ -847,11 +917,16 @@ fn recommend<S: TagService>(service: &S, request: &Request, trace: &TraceHandle)
             RecommendResponse::from_cold_start(tags, timer.elapsed_us())
         }
     };
-    Response::json(200, wire.to_json())
+    Response::json(200, wire.to_json()).with_model_version(service.model_version())
 }
 
 /// `POST /v1/click`: the TagRec path over the clicked-tag trail.
-fn click<S: TagService>(service: &S, request: &Request, trace: &TraceHandle) -> Response {
+fn click<S: TagService>(
+    service: &S,
+    request: &Request,
+    trace: &TraceHandle,
+    sink: &SharedSink,
+) -> Response {
     let req = match RecommendRequest::from_json(&request.body) {
         Ok(r) => r,
         Err(e) => return bad_request(&e),
@@ -861,5 +936,8 @@ fn click<S: TagService>(service: &S, request: &Request, trace: &TraceHandle) -> 
         &req.clicks,
         trace,
     ));
-    Response::json(200, wire.to_json())
+    if let Some(sink) = sink {
+        sink.tag_click(req.tenant, &req.clicks);
+    }
+    Response::json(200, wire.to_json()).with_model_version(service.model_version())
 }

@@ -102,7 +102,11 @@ fn wire_types_round_trip_random_values() {
     for case in 0..200 {
         let req = RecommendRequest {
             tenant: rng.next() as usize,
-            question: if rng.next().is_multiple_of(2) { Some(random_string(&mut rng, 24)) } else { None },
+            question: if rng.next().is_multiple_of(2) {
+                Some(random_string(&mut rng, 24))
+            } else {
+                None
+            },
             clicks: (0..rng.below(6)).map(|_| rng.next() as usize).collect(),
         };
         let back = RecommendRequest::from_json(req.to_json().as_bytes())
@@ -111,7 +115,11 @@ fn wire_types_round_trip_random_values() {
 
         let resp = RecommendResponse {
             rq: if rng.next().is_multiple_of(2) { Some(rng.next() as usize) } else { None },
-            answer: if rng.next().is_multiple_of(2) { Some(random_string(&mut rng, 24)) } else { None },
+            answer: if rng.next().is_multiple_of(2) {
+                Some(random_string(&mut rng, 24))
+            } else {
+                None
+            },
             recommended_tags: (0..rng.below(6)).map(|_| rng.next() as usize).collect(),
             predicted_questions: (0..rng.below(4)).map(|_| rng.next() as usize).collect(),
             latency_us: rng.next(),

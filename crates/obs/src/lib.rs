@@ -34,12 +34,16 @@
 //! * SLO accounting — per-tenant-tier labeled series
 //!   (`slo.latency_us{tenant_tier="gold"}`) folded into an [`SloReport`]
 //!   with per-tier p50/p99, shed fraction and error-budget burn.
+//! * Continuous-training names — the WAL / trainer / hot-swap series
+//!   ([`MODEL_VERSION_METRIC`], [`WAL_APPENDS_METRIC`], …) shared by the
+//!   serving, gateway and online crates.
 
 #![warn(missing_docs)]
 
 mod export;
 mod histogram;
 mod metric;
+mod online;
 mod registry;
 mod ring;
 mod slo;
@@ -53,6 +57,11 @@ pub use histogram::{
     NUM_BUCKETS, SUB_BUCKETS,
 };
 pub use metric::{Counter, Gauge};
+pub use online::{
+    MODEL_SWAPS_METRIC, MODEL_VERSION_METRIC, SNAPSHOT_VERSION_METRIC, TRAINER_EVENTS_METRIC,
+    TRAINER_INCREMENTS_METRIC, WAL_APPENDS_METRIC, WAL_APPEND_ERRORS_METRIC, WAL_BYTES_METRIC,
+    WAL_FSYNCS_METRIC, WAL_TRUNCATED_BYTES_METRIC,
+};
 pub use registry::{Metric, MetricsRegistry};
 pub use ring::SampleRing;
 pub use slo::{

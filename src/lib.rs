@@ -20,6 +20,7 @@
 //! | [`obs`] | metrics registry, latency histograms, span timing, exporters |
 //! | [`core`] | the IntelliTag TagRec model, model server and A/B simulator |
 //! | [`gateway`] | std-only HTTP/1.1 serving gateway, JSON codec, client |
+//! | [`online`] | continuous training: click WAL, incremental trainer, snapshots, hot-swap |
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,7 @@ pub use intellitag_graph as graph;
 pub use intellitag_mining as mining;
 pub use intellitag_nn as nn;
 pub use intellitag_obs as obs;
+pub use intellitag_online as online;
 pub use intellitag_search as search;
 pub use intellitag_tensor as tensor;
 pub use intellitag_text as text;
@@ -65,17 +67,18 @@ pub mod prelude {
         SrGnn, TrainConfig,
     };
     pub use intellitag_core::{
-        evaluate_offline, simulate_online, IntelliTag, ModelServer, PendingReply, ProtocolConfig,
-        RoutingPolicy, ShardConfig, ShardedServer, ShedReason, SimConfig, Submission, TagRecConfig,
-        TagService,
+        evaluate_offline, simulate_online, IntelliTag, ModelServer, ModelSwap, PendingReply,
+        ProtocolConfig, RoutingPolicy, ShardConfig, ShardedServer, ShedReason, SimConfig,
+        Submission, SwapPayload, TagRecConfig, TagService,
     };
     pub use intellitag_datagen::{
-        labeled_sentences, sequence_examples, split_sessions, UserModel, World, WorldConfig,
+        labeled_sentences, sequence_examples, split_sessions, Session, UserModel, World,
+        WorldConfig,
     };
     pub use intellitag_eval::{RankingAccumulator, RankingReport};
     pub use intellitag_gateway::{
-        Completion, ErrorCode, ErrorFrame, Gateway, GatewayClient, GatewayConfig, GatewayHandle,
-        PipelinedClient, RecommendRequest, RecommendResponse, ReplyPayload,
+        Completion, ErrorCode, ErrorFrame, EventSink, Gateway, GatewayClient, GatewayConfig,
+        GatewayHandle, PipelinedClient, RecommendRequest, RecommendResponse, ReplyPayload,
     };
     pub use intellitag_graph::{HetGraph, Metapath, ALL_METAPATHS};
     pub use intellitag_mining::{
@@ -85,6 +88,10 @@ pub mod prelude {
         format_trace_id, parse_prometheus, parse_trace_id, render_json_lines, render_prometheus,
         tenant_tier, FinishedTrace, Histogram, HistogramSnapshot, MetricsRegistry, SloReport,
         SpanTimer, TraceCollector, TraceConfig, TraceHandle, TraceIdGen,
+    };
+    pub use intellitag_online::{
+        click_sessions, recover, ModelSnapshot, OnlineTrainer, SnapshotRegistry, TrainerConfig,
+        WalEvent, WalSink, WalWriter,
     };
     pub use intellitag_search::KbWarehouse;
     pub use intellitag_tensor::{

@@ -71,3 +71,64 @@ fn t_plus_one_retrain_upload_serve() {
         eval_day1.mrr
     );
 }
+
+#[test]
+fn wal_replay_agrees_with_the_offline_t_plus_one_pipeline() {
+    // The continuous-training loop must be a faithful transport for the
+    // T+1 pipeline: logging a day's click traffic through the WAL, crash-
+    // recovering it, and training on the replayed sessions produces an
+    // artifact byte-identical to the offline trainer fed the same sessions
+    // directly. (Questions ride the same log but feed the Q&A side, not
+    // sequence training — they must not perturb the replayed sessions.)
+    let world = World::generate(WorldConfig::tiny(55));
+    let graph = world.build_graph();
+    let texts: Vec<String> = world.tags.iter().map(|t| t.text()).collect();
+    let split = split_sessions(&world.sessions, 0);
+    let day2: Vec<&Session> = split.train.iter().skip(split.train.len() / 2).collect();
+    let day2_sessions: Vec<Vec<usize>> = day2.iter().map(|s| s.clicks.clone()).collect();
+
+    // Serving logs the day's traffic: one TagClick per session trail,
+    // interleaved with the questions users actually asked.
+    let metrics = MetricsRegistry::new();
+    let dir = std::env::temp_dir().join(format!("itag-t1-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("day2.wal");
+    let _ = std::fs::remove_file(&path);
+    let (mut writer, _) = WalWriter::open(&path, 4, &metrics).unwrap();
+    for s in &day2 {
+        writer.append(&WalEvent::TagClick { tenant: s.tenant, clicks: s.clicks.clone() }).unwrap();
+        if let Some(&rq) = s.consulted.first() {
+            writer
+                .append(&WalEvent::Question { tenant: s.tenant, text: world.rqs[rq].text() })
+                .unwrap();
+        }
+    }
+    drop(writer); // final fsync
+
+    // A crash appends garbage after the last record; recovery must shrug
+    // it off and replay exactly the logged day.
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes.extend_from_slice(&[0x07, 0x99]);
+    std::fs::write(&path, &bytes).unwrap();
+    let recovered = recover(&path).unwrap();
+    assert_eq!(recovered.truncated, 2);
+    let replayed = click_sessions(&recovered.events);
+    assert_eq!(replayed, day2_sessions, "WAL replay must reproduce the day's sessions exactly");
+
+    // Offline and WAL-replayed training agree to the byte.
+    let cfg = TagRecConfig {
+        dim: 16,
+        heads: 2,
+        seq_layers: 1,
+        neighbor_cap: 4,
+        train: TrainConfig { epochs: 1, lr: 5e-3, ..Default::default() },
+        ..Default::default()
+    };
+    let offline = IntelliTag::train(&graph, &texts, &day2_sessions, cfg);
+    let online = IntelliTag::train(&graph, &texts, &replayed, cfg);
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    offline.save(&mut a).unwrap();
+    online.save(&mut b).unwrap();
+    assert_eq!(a, b, "offline and WAL-replayed artifacts must be byte-identical");
+    let _ = std::fs::remove_file(&path);
+}
