@@ -202,6 +202,11 @@ impl IntelliTag {
             params.extend(&self.graph_params);
         }
         params.extend(&self.seq_params);
+        // Adam moments are hidden per-Param state that `save` does not
+        // persist; resetting them makes the increment a pure function of
+        // the parameter *values*, so a trainer resumed from a snapshot
+        // produces bit-identical increments to one that never restarted.
+        params.reset_moments();
         // Constant learning rate: the offline linear-decay schedule reaches
         // zero at the end of a run, and an increment small enough to fit in
         // one optimizer step would otherwise train at lr 0 and change
@@ -443,8 +448,10 @@ impl IntelliTag {
     ///
     /// Bit-exact with [`Self::seq_logits`] per row: all non-attention ops are
     /// row-local, the additive `0.0`/`-inf` mask leaves in-block softmax bits
-    /// untouched, and the zero-skipping matmul preserves the per-block
-    /// accumulation order. Contexts must be non-empty and pre-clipped.
+    /// untouched, and the GEMM engine's fixed ascending-k accumulation
+    /// makes the masked (exactly-zero) probabilities bit-preserving no-ops,
+    /// so each block's accumulation order matches the per-sequence run.
+    /// Contexts must be non-empty and pre-clipped.
     fn seq_logits_batch(&self, contexts: &[&[usize]]) -> Matrix {
         let tape = Tape::new();
         let mask_emb = tape.param(&self.mask_emb);

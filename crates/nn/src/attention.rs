@@ -52,8 +52,11 @@ impl MultiHeadAttention {
     /// this makes a row-stacked batch of independent sequences bit-identical
     /// to running each sequence through [`Self::forward`] on its own: adding
     /// `0.0` leaves finite scores untouched, `exp(-inf)` contributes exactly
-    /// `0.0` to softmax sums, and the zero-skipping matmul keeps the
-    /// probs-times-values accumulation order per block unchanged.
+    /// `0.0` to softmax sums, and the GEMM engine's continuous ascending-k
+    /// accumulation makes each exactly-zero probability a bit-preserving
+    /// no-op in the probs-times-values product (whether the engine routes
+    /// the mostly-zero stacked operand to its packed or its zero-skipping
+    /// kernel — both share the accumulation order).
     pub fn forward_masked(&self, tape: &Tape, x: &Tensor, mask: &Tensor) -> Tensor {
         self.forward_inner(tape, x, Some(mask)).0
     }

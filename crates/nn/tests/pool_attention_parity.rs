@@ -7,7 +7,8 @@
 
 use intellitag_nn::{MultiHeadAttention, TransformerEncoder};
 use intellitag_tensor::{
-    set_par_threshold, set_pool_threads, Matrix, ParamSet, Tape, DEFAULT_PAR_THRESHOLD,
+    set_gemm_axis, set_par_threshold, set_pool_threads, Matrix, ParAxis, ParamSet, Tape,
+    DEFAULT_PAR_THRESHOLD,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -15,18 +16,23 @@ use std::sync::Mutex;
 
 static KNOBS: Mutex<()> = Mutex::new(());
 
+/// Runs `f` for every (pool size, GEMM axis) combination — the attention
+/// stack must emit the same bits whether its matmuls split over row panels,
+/// column panels, or not at all.
 fn across_pool_sizes<T>(mut f: impl FnMut() -> T) -> Vec<T> {
     let _g = KNOBS.lock().unwrap_or_else(|e| e.into_inner());
     set_par_threshold(1);
-    let out = [1usize, 2, 4]
-        .iter()
-        .map(|&threads| {
+    let mut out = Vec::new();
+    for axis in [ParAxis::Auto, ParAxis::Rows, ParAxis::Cols] {
+        set_gemm_axis(axis);
+        for &threads in &[1usize, 2, 4] {
             set_pool_threads(threads);
-            f()
-        })
-        .collect();
+            out.push(f());
+        }
+    }
     set_pool_threads(0);
     set_par_threshold(DEFAULT_PAR_THRESHOLD);
+    set_gemm_axis(ParAxis::Auto);
     out
 }
 
@@ -85,22 +91,29 @@ fn encoder_backward_gradients_are_bit_identical_across_pool_sizes() {
     let _g = KNOBS.lock().unwrap_or_else(|e| e.into_inner());
     set_par_threshold(1);
     let mut per_size: Vec<Vec<Vec<u32>>> = Vec::new();
-    for threads in [1usize, 2, 4] {
-        set_pool_threads(threads);
-        for p in &params {
-            p.zero_grad();
+    for axis in [ParAxis::Auto, ParAxis::Rows, ParAxis::Cols] {
+        set_gemm_axis(axis);
+        for threads in [1usize, 2, 4] {
+            set_pool_threads(threads);
+            for p in &params {
+                p.zero_grad();
+            }
+            let tape = Tape::new();
+            let xt = tape.constant(x.clone());
+            let y = enc.forward(&tape, &xt);
+            let loss = y.mul(&y).mean_all();
+            loss.backward();
+            per_size.push(
+                params
+                    .iter()
+                    .map(|p| p.grad().data().iter().map(|v| v.to_bits()).collect())
+                    .collect(),
+            );
         }
-        let tape = Tape::new();
-        let xt = tape.constant(x.clone());
-        let y = enc.forward(&tape, &xt);
-        let loss = y.mul(&y).mean_all();
-        loss.backward();
-        per_size.push(
-            params.iter().map(|p| p.grad().data().iter().map(|v| v.to_bits()).collect()).collect(),
-        );
     }
     set_pool_threads(0);
     set_par_threshold(DEFAULT_PAR_THRESHOLD);
+    set_gemm_axis(ParAxis::Auto);
     for (i, grads) in per_size.iter().enumerate().skip(1) {
         for (p, (got, want)) in grads.iter().zip(&per_size[0]).enumerate() {
             assert_eq!(

@@ -39,6 +39,10 @@ pub struct ModelSnapshot {
     pub events_consumed: u64,
     /// Training increments run up to this snapshot.
     pub increments: u64,
+    /// WAL byte offset up to which every record is folded into this
+    /// snapshot — the trainer's complete resume token. A restarted
+    /// `OnlineTrainer` seeks here instead of refolding the whole log.
+    pub wal_cursor: u64,
 }
 
 impl ModelSnapshot {
@@ -47,10 +51,11 @@ impl ModelSnapshot {
     /// corruption (a flipped version byte) must fail as loudly as body
     /// corruption.
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
-        let mut header = Vec::with_capacity(24);
+        let mut header = Vec::with_capacity(32);
         write_varint(&mut header, self.version);
         write_varint(&mut header, self.events_consumed);
         write_varint(&mut header, self.increments);
+        write_varint(&mut header, self.wal_cursor);
         write_varint(&mut header, self.bytes.len() as u64);
         let mut crc = 0xFFFF_FFFFu32;
         for chunk in [header.as_slice(), &self.bytes] {
@@ -80,6 +85,7 @@ impl ModelSnapshot {
         let version = varint(&buf, &mut pos)?;
         let events_consumed = varint(&buf, &mut pos)?;
         let increments = varint(&buf, &mut pos)?;
+        let wal_cursor = varint(&buf, &mut pos)?;
         let len = varint(&buf, &mut pos)? as usize;
         let end = pos.checked_add(len).ok_or_else(|| bad("length overflow"))?;
         if buf.len() != end + 4 {
@@ -90,7 +96,13 @@ impl ModelSnapshot {
             return Err(bad("snapshot checksum mismatch"));
         }
         let bytes = buf[pos..end].to_vec();
-        Ok(ModelSnapshot { version, bytes: Arc::new(bytes), events_consumed, increments })
+        Ok(ModelSnapshot {
+            version,
+            bytes: Arc::new(bytes),
+            events_consumed,
+            increments,
+            wal_cursor,
+        })
     }
 
     /// The hot-swap payload for this snapshot — same version, same bytes.
@@ -124,15 +136,33 @@ impl SnapshotRegistry {
         }
     }
 
+    /// Raises the next version to at least `version + 1`, so a registry in
+    /// a restarted process continues the version line of the snapshot the
+    /// trainer resumed from (serving replicas reject republished stale
+    /// versions, so a resumed trainer must never reuse one).
+    pub fn advance_to(&self, version: u64) {
+        let mut inner = self.inner.lock().expect("snapshot registry poisoned");
+        inner.next_version = inner.next_version.max(version + 1);
+    }
+
     /// Registers a new model image under the next version and returns the
     /// snapshot (the caller publishes its payload to the swap mailbox).
-    pub fn publish(&self, bytes: Vec<u8>, events_consumed: u64, increments: u64) -> ModelSnapshot {
+    /// `wal_cursor` is the WAL byte offset the image covers — the resume
+    /// token a restarted trainer seeks to.
+    pub fn publish(
+        &self,
+        bytes: Vec<u8>,
+        events_consumed: u64,
+        increments: u64,
+        wal_cursor: u64,
+    ) -> ModelSnapshot {
         let mut inner = self.inner.lock().expect("snapshot registry poisoned");
         let snap = ModelSnapshot {
             version: inner.next_version,
             bytes: Arc::new(bytes),
             events_consumed,
             increments,
+            wal_cursor,
         };
         inner.next_version += 1;
         inner.history.push_back(snap.clone());
@@ -166,6 +196,7 @@ mod tests {
             bytes: Arc::new(vec![1, 2, 3, 4, 5, 6, 7]),
             events_consumed: 41,
             increments: 6,
+            wal_cursor: 513,
         };
         let mut buf = Vec::new();
         snap.write_to(&mut buf).unwrap();
@@ -173,6 +204,7 @@ mod tests {
         assert_eq!(back.version, 300);
         assert_eq!(back.events_consumed, 41);
         assert_eq!(back.increments, 6);
+        assert_eq!(back.wal_cursor, 513);
         assert_eq!(*back.bytes, *snap.bytes);
 
         // Any flipped byte — header, body or checksum — must be rejected.
@@ -193,22 +225,29 @@ mod tests {
         let metrics = MetricsRegistry::new();
         let reg = SnapshotRegistry::new(2, &metrics);
         assert!(reg.latest().is_none());
-        let a = reg.publish(vec![1], 10, 1);
-        let b = reg.publish(vec![2], 20, 2);
-        let c = reg.publish(vec![3], 30, 3);
+        let a = reg.publish(vec![1], 10, 1, 100);
+        let b = reg.publish(vec![2], 20, 2, 200);
+        let c = reg.publish(vec![3], 30, 3, 300);
         assert_eq!((a.version, b.version, c.version), (1, 2, 3));
         assert_eq!(reg.latest().unwrap().version, 3);
         assert_eq!(metrics.gauge(SNAPSHOT_VERSION_METRIC).get(), 3.0);
         assert!(reg.get(1).is_none(), "evicted by capacity");
         assert_eq!(*reg.get(2).unwrap().bytes, vec![2]);
         assert_eq!(reg.get(3).unwrap().events_consumed, 30);
+        assert_eq!(reg.get(3).unwrap().wal_cursor, 300);
+
+        // A resumed registry continues the version line, never rewinds it.
+        reg.advance_to(10);
+        assert_eq!(reg.publish(vec![4], 40, 4, 400).version, 11);
+        reg.advance_to(5);
+        assert_eq!(reg.publish(vec![5], 50, 5, 500).version, 12);
     }
 
     #[test]
     fn swap_payload_shares_version_and_bytes() {
         let metrics = MetricsRegistry::new();
         let reg = SnapshotRegistry::new(4, &metrics);
-        let snap = reg.publish(vec![9, 9], 5, 1);
+        let snap = reg.publish(vec![9, 9], 5, 1, 64);
         let payload = snap.to_swap_payload();
         assert_eq!(payload.version, snap.version);
         assert!(Arc::ptr_eq(&payload.bytes, &snap.bytes));

@@ -94,6 +94,32 @@ impl OnlineTrainer {
         }
     }
 
+    /// A trainer resuming from a published snapshot after a restart:
+    /// `model` must be the `IntelliTag::load` of `snapshot.bytes`, and the
+    /// trainer seeks straight to the snapshot's WAL cursor instead of
+    /// refolding the whole log. Restoring `increments` keeps the
+    /// deterministic per-increment seed chain intact, so the resumed
+    /// trainer's next snapshot is byte-identical to the one a
+    /// never-restarted trainer would have published; `registry` is advanced
+    /// past the snapshot's version so serving never sees a version reused.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resume_from(
+        model: IntelliTag,
+        snapshot: &ModelSnapshot,
+        wal_path: &Path,
+        cfg: TrainerConfig,
+        registry: Arc<SnapshotRegistry>,
+        swap: Option<ModelSwap>,
+        metrics: &MetricsRegistry,
+    ) -> OnlineTrainer {
+        registry.advance_to(snapshot.version);
+        let mut trainer = OnlineTrainer::new(model, wal_path, cfg, registry, swap, metrics);
+        trainer.cursor = (snapshot.wal_cursor as usize).max(WAL_MAGIC.len());
+        trainer.events_consumed = snapshot.events_consumed;
+        trainer.increments = snapshot.increments;
+        trainer
+    }
+
     /// Events decoded but not yet folded into the model.
     pub fn pending_events(&self) -> usize {
         self.pending.len()
@@ -130,7 +156,10 @@ impl OnlineTrainer {
         self.events_metric.add(batch.len() as u64);
         let mut bytes = Vec::new();
         self.model.save(&mut bytes)?;
-        let snap = self.registry.publish(bytes, self.events_consumed, self.increments);
+        // `pending` is empty here, so the read cursor doubles as the exact
+        // "everything below this offset is in the model" resume token.
+        let snap =
+            self.registry.publish(bytes, self.events_consumed, self.increments, self.cursor as u64);
         if let Some(swap) = &self.swap {
             swap.publish(snap.to_swap_payload());
         }
@@ -279,6 +308,85 @@ mod tests {
         let snap_a = run(model_a);
         let snap_b = run(model_b);
         assert_eq!(*snap_a.bytes, *snap_b.bytes, "same base + same WAL = same snapshot");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn killed_trainer_resumes_at_cursor_and_matches_uninterrupted_run() {
+        let world = World::generate(WorldConfig::tiny(17));
+        let graph = world.build_graph();
+        let texts: Vec<String> = world.tags.iter().map(|t| t.text()).collect();
+        let sessions: Vec<Vec<usize>> = world
+            .sessions
+            .iter()
+            .map(|s| s.clicks.clone())
+            .filter(|c| c.len() >= 2)
+            .take(12)
+            .collect();
+        let trained = IntelliTag::train(&graph, &texts, &sessions, quick_cfg());
+        let mut base = Vec::new();
+        trained.save(&mut base).unwrap();
+        let load =
+            |bytes: &[u8]| IntelliTag::load(&graph, &texts, quick_cfg(), &mut &bytes[..]).unwrap();
+        let cfg = TrainerConfig { batch_events: 3, epochs: 1 };
+        let path = tmp_wal("restart");
+        let metrics = MetricsRegistry::new();
+        let (mut w, _) = WalWriter::open(&path, 1, &metrics).unwrap();
+        for s in sessions.iter().take(3) {
+            w.append(&WalEvent::TagClick { tenant: 0, clicks: s.clone() }).unwrap();
+        }
+
+        // Reference trainer: never restarted, consumes both batches.
+        let reg_a = Arc::new(SnapshotRegistry::new(4, &metrics));
+        let mut trainer_a =
+            OnlineTrainer::new(load(&base), &path, cfg, Arc::clone(&reg_a), None, &metrics);
+        // Victim trainer: consumes the first batch, then is "killed" (its
+        // snapshot survives only as serialized bytes, like on disk).
+        let reg_b = Arc::new(SnapshotRegistry::new(4, &metrics));
+        let mut trainer_b =
+            OnlineTrainer::new(load(&base), &path, cfg, Arc::clone(&reg_b), None, &metrics);
+        let snap_a1 = trainer_a.poll().unwrap().expect("first batch (reference)");
+        let snap_b1 = trainer_b.poll().unwrap().expect("first batch (victim)");
+        assert_eq!(*snap_a1.bytes, *snap_b1.bytes);
+        let mut durable = Vec::new();
+        snap_b1.write_to(&mut durable).unwrap();
+        drop(trainer_b);
+
+        for s in sessions.iter().skip(3).take(3) {
+            w.append(&WalEvent::TagClick { tenant: 0, clicks: s.clone() }).unwrap();
+        }
+        let snap_a2 = trainer_a.poll().unwrap().expect("second batch (reference)");
+
+        // Restart: fresh process state — new registry, new metrics — with
+        // only the durable snapshot and the WAL on disk.
+        let metrics2 = MetricsRegistry::new();
+        let reg2 = Arc::new(SnapshotRegistry::new(4, &metrics2));
+        let recovered = ModelSnapshot::read_from(&mut &durable[..]).unwrap();
+        let mut resumed = OnlineTrainer::resume_from(
+            load(&recovered.bytes),
+            &recovered,
+            &path,
+            cfg,
+            Arc::clone(&reg2),
+            None,
+            &metrics2,
+        );
+        assert_eq!(resumed.events_consumed(), 3, "provenance restored from the snapshot");
+
+        let snap_b2 = resumed.poll().unwrap().expect("resumed trainer sees only the new batch");
+        assert_eq!(snap_b2.version, 2, "version line continues past the resumed snapshot");
+        assert_eq!(snap_b2.events_consumed, 6);
+        assert_eq!(snap_b2.increments, 2);
+        assert_eq!(snap_b2.wal_cursor, snap_a2.wal_cursor);
+        assert_eq!(
+            metrics2.counter(TRAINER_EVENTS_METRIC).get(),
+            3,
+            "resume must fold only events past the cursor, not refold the whole WAL"
+        );
+        assert_eq!(
+            *snap_b2.bytes, *snap_a2.bytes,
+            "restarted trainer's snapshot must be byte-identical to the uninterrupted run"
+        );
         let _ = std::fs::remove_file(&path);
     }
 

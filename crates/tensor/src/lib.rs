@@ -14,9 +14,15 @@
 //!   configuration, §VI-A4).
 //! * [`gradcheck`] — numeric gradient checking used throughout the test
 //!   suites.
+//! * [`kernel`] — the packed, cache-blocked, register-tiled GEMM engine
+//!   every matmul variant (NN/TN/NT) funnels through: one micro-kernel,
+//!   variants expressed as packing-order differences, AVX2+FMA
+//!   multiversioned via `#[target_feature]` with a portable fallback.
 //! * [`pool`] — a std-only persistent worker pool behind the hot kernels.
-//!   Parallelism is row-wise only, so results are bit-identical to the
-//!   serial kernels for every pool size (see [`pool::par_rows`]).
+//!   Work splits over disjoint row chunks ([`pool::par_rows`]) or disjoint
+//!   output tiles ([`pool::par_tiles`], the GEMM column axis); every
+//!   element keeps a fixed serial reduction order, so results are
+//!   bit-identical to the serial kernels for every pool size.
 //!
 //! ## Example
 //!
@@ -48,13 +54,18 @@ mod param;
 mod tape;
 
 pub mod gradcheck;
+pub mod kernel;
 pub mod pool;
 
 pub use io::{read_matrix, write_matrix, Snapshot};
+pub use kernel::{
+    fma_enabled, gemm, gemm_par_threshold, gemm_plan, naive_gemm, set_gemm_axis, ParAxis, Plan,
+    Variant,
+};
 pub use matrix::{dot, softmax_in_place, Matrix};
 pub use param::{Param, ParamSet};
 pub use pool::{
-    par_rows, par_rows_mut, par_threshold, pool_threads, set_par_threshold, set_pool_threads,
-    DEFAULT_PAR_THRESHOLD,
+    par_rows, par_rows_mut, par_threshold, par_tiles, pool_threads, set_par_threshold,
+    set_pool_threads, DEFAULT_PAR_THRESHOLD,
 };
 pub use tape::{Tape, Tensor};

@@ -200,11 +200,14 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
-    /// Uses an i-k-j loop order so the inner loop runs over contiguous rows of
-    /// both the output and `other`, which lets LLVM vectorize it. Output rows
-    /// are computed pool-parallel ([`crate::pool::par_rows_mut`]); each row's
-    /// k-ascending accumulation happens entirely on one thread, so the result
-    /// is bit-identical for every pool size.
+    /// Delegates to the packed microkernel engine ([`crate::kernel::gemm`],
+    /// NN variant): both operands are repacked into cache-resident panels
+    /// and multiplied in 8x8 register tiles, parallel over row or column
+    /// panels as the shape warrants. Every output element is one continuous
+    /// ascending-k accumulation, so the result is bit-identical for every
+    /// pool size and either parallel axis. Mostly-zero `self` operands
+    /// (stacked masked attention probabilities) route to a zero-skipping
+    /// kernel with the same accumulation order.
     ///
     /// # Panics
     /// Panics if `self.cols != other.rows`.
@@ -215,71 +218,56 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = vec![0.0f32; self.rows * other.cols];
-        let n = other.cols;
-        let work = self.rows * self.cols * n;
-        crate::pool::par_rows_mut(&mut out, n.max(1), work, |i0, rows_chunk| {
-            for (d, out_row) in rows_chunk.chunks_exact_mut(n).enumerate() {
-                let a_row = self.row_slice(i0 + d);
-                for (k, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &other.data[k * n..(k + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
-        });
+        crate::kernel::gemm(
+            crate::kernel::Variant::NN,
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out,
+        );
         Matrix { rows: self.rows, cols: other.cols, data: out }
     }
 
     /// Matrix product `self^T * other` without materializing the transpose.
     ///
-    /// Row-parallel over the *output* rows (= columns of `self`): each worker
-    /// owns an `i`-range and iterates `k` ascending with the same
-    /// zero-skip as the serial k-outer kernel, so every output element keeps
-    /// its exact serial accumulation order — bit-identical across pool sizes.
+    /// Same packed engine as [`Matrix::matmul`] (TN variant): the transpose
+    /// is absorbed into the A-panel packing order, after which the identical
+    /// micro-kernel runs — bit-identical across pool sizes and axes.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
         let mut out = vec![0.0f32; self.cols * other.cols];
-        let n = other.cols;
-        let work = self.rows * self.cols * n;
-        crate::pool::par_rows_mut(&mut out, n.max(1), work, |i0, rows_chunk| {
-            for (d, out_row) in rows_chunk.chunks_exact_mut(n).enumerate() {
-                let i = i0 + d;
-                for k in 0..self.rows {
-                    let a = self.data[k * self.cols + i];
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = other.row_slice(k);
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
-        });
+        crate::kernel::gemm(
+            crate::kernel::Variant::TN,
+            self.cols,
+            self.rows,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out,
+        );
         Matrix { rows: self.cols, cols: other.cols, data: out }
     }
 
-    /// Matrix product `self * other^T` without materializing the transpose.
+    /// Matrix product `self * other^T` without materializing the transpose
+    /// (the attention `Q·Kᵀ` shape).
     ///
-    /// Output rows are computed pool-parallel; each element is one serial
-    /// [`dot`], so results are bit-identical across pool sizes.
+    /// Same packed engine as [`Matrix::matmul`] (NT variant): the transpose
+    /// is absorbed into the B-panel packing order — rows of `other` pack as
+    /// logical columns — and the identical micro-kernel runs.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
         let mut out = vec![0.0f32; self.rows * other.rows];
-        let n = other.rows;
-        let work = self.rows * self.cols * n;
-        crate::pool::par_rows_mut(&mut out, n.max(1), work, |i0, rows_chunk| {
-            for (d, out_row) in rows_chunk.chunks_exact_mut(n).enumerate() {
-                let a_row = self.row_slice(i0 + d);
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    *o = dot(a_row, other.row_slice(j));
-                }
-            }
-        });
+        crate::kernel::gemm(
+            crate::kernel::Variant::NT,
+            self.rows,
+            self.cols,
+            other.rows,
+            &self.data,
+            &other.data,
+            &mut out,
+        );
         Matrix { rows: self.rows, cols: other.rows, data: out }
     }
 

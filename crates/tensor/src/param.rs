@@ -118,6 +118,17 @@ impl Param {
         self.inner.borrow_mut().grad.fill_zero();
     }
 
+    /// Resets the Adam moment estimates to zero. Incremental training
+    /// resets moments at the start of every increment so each increment is
+    /// a pure function of the parameter *values* — the state a model
+    /// snapshot actually persists — rather than of hidden optimizer state
+    /// that would diverge after a save/load round trip.
+    pub fn reset_moments(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.m.fill_zero();
+        inner.v.fill_zero();
+    }
+
     /// Number of scalar entries.
     pub fn num_elements(&self) -> usize {
         let (r, c) = self.shape();
@@ -199,6 +210,13 @@ impl ParamSet {
     pub fn zero_grad(&self) {
         for p in &self.params {
             p.zero_grad();
+        }
+    }
+
+    /// Zeroes every parameter's Adam moments (see [`Param::reset_moments`]).
+    pub fn reset_moments(&self) {
+        for p in &self.params {
+            p.reset_moments();
         }
     }
 

@@ -12,14 +12,28 @@
 //!
 //! ## Determinism
 //!
-//! Parallelism is only ever introduced *across* output rows, never within
-//! one. Every output element is accumulated by exactly one thread, iterating
-//! the reduction index in the same ascending order as the serial kernel, so
-//! the floating-point result is **bit-identical** for every pool size
+//! Parallelism is only ever introduced *across* disjoint output regions —
+//! row chunks ([`par_rows`]) or tile ranges ([`par_tiles`], the
+//! column-blocked second axis the GEMM engine uses for short-wide shapes) —
+//! never within one output element. Every output element is accumulated by
+//! exactly one thread, iterating the reduction index in the same ascending
+//! order as the serial kernel, so the floating-point result is
+//! **bit-identical** for every pool size and either parallel axis
 //! (including the serial fallback). That invariant is what lets the serving
 //! layer treat `pool_threads` as a pure performance knob; the parity suites
 //! in `crates/tensor/tests/pool_parity.rs` and `tests/sharded_parity.rs`
 //! pin it.
+//!
+//! ## Dispatch latency
+//!
+//! Workers park on a blocking channel, but a blocking wake costs a few
+//! microseconds — comparable to an entire packed GEMM at serving shapes.
+//! On multi-core hosts both sides therefore spin briefly first: a worker
+//! polls its job channel (and the caller polls the completion channel) for
+//! [`SPIN_ITERS`] iterations before falling back to a blocking `recv`, so
+//! back-to-back kernel dispatches hand over in nanoseconds. Single-core
+//! hosts skip the spin entirely — there, burning the timeslice another
+//! thread needs only adds latency.
 //!
 //! ## Knobs
 //!
@@ -31,7 +45,7 @@
 //!   singleton requests never pay job-dispatch synchronization.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Mutex, OnceLock};
 use std::thread;
 
@@ -39,6 +53,35 @@ use std::thread;
 /// runs serially. Chosen so a singleton request's small GEMMs stay on the
 /// calling thread while batched drains cross it comfortably.
 pub const DEFAULT_PAR_THRESHOLD: usize = 64 * 1024;
+
+/// Spin iterations on a job/completion channel before blocking. At ~10 ns
+/// per empty `try_recv` this is a ~20 µs spin window — long enough to keep
+/// a bench or batched-drain loop's kernel cadence entirely inside the spin
+/// path, short enough that an idle pool parks almost immediately.
+pub const SPIN_ITERS: usize = 2_000;
+
+/// Whether the spin phase is worth it at all: only on hosts with more than
+/// one hardware thread (on a single core a spinning worker steals the
+/// exact timeslice the other side needs to make progress).
+fn spin_enabled() -> bool {
+    static MULTI: OnceLock<bool> = OnceLock::new();
+    *MULTI.get_or_init(|| thread::available_parallelism().map(|n| n.get()).unwrap_or(1) > 1)
+}
+
+/// `try_recv` in a bounded spin loop, then fall back to a blocking `recv`.
+/// Returns `None` when the channel disconnects.
+fn recv_spin<T>(rx: &Receiver<T>) -> Option<T> {
+    if spin_enabled() {
+        for _ in 0..SPIN_ITERS {
+            match rx.try_recv() {
+                Ok(v) => return Some(v),
+                Err(TryRecvError::Disconnected) => return None,
+                Err(TryRecvError::Empty) => std::hint::spin_loop(),
+            }
+        }
+    }
+    rx.recv().ok()
+}
 
 /// Explicit thread-count override; 0 means "auto" (env var, then hardware).
 static THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -119,7 +162,7 @@ impl PoolImpl {
             thread::Builder::new()
                 .name(format!("intellitag-pool-{w}"))
                 .spawn(move || {
-                    while let Ok(p) = rx.recv() {
+                    while let Some(p) = recv_spin(&rx) {
                         let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             IN_POOL_JOB.with(|f| f.set(true));
                             (p.job)(p.lo, p.hi);
@@ -168,7 +211,7 @@ impl PoolImpl {
             fn drop(&mut self) {
                 let mut ok = true;
                 for _ in 0..self.1 {
-                    ok &= self.0.recv().unwrap_or(false);
+                    ok &= recv_spin(self.0).unwrap_or(false);
                 }
                 if !ok && !thread::panicking() {
                     panic!("intellitag pool worker panicked inside a kernel job");
@@ -239,6 +282,26 @@ pub fn par_rows(rows: usize, work: usize, job: impl Fn(usize, usize) + Sync) {
     }
 }
 
+/// Tile-parallel scoped execution: the second parallel axis. Splits the
+/// half-open *tile index* range `[0, tiles)` into contiguous chunks and
+/// calls `job(lo, hi)` once per chunk, concurrently, with the same serial
+/// fallbacks as [`par_rows`] (pool size 1, nested jobs, `work` below
+/// [`par_threshold`], fewer than 2 tiles).
+///
+/// A "tile" is whatever disjoint output region the caller chooses — the
+/// packed GEMM engine maps tile indices to column blocks (`NR`-wide panel
+/// groups) so short-wide shapes with too few rows for [`par_rows`] still
+/// get a parallel dimension. The caller must guarantee tiles are disjoint
+/// output regions; because every output element is still produced by
+/// exactly one thread in the kernel's fixed reduction order, results stay
+/// bit-identical across pool sizes and across the choice of axis.
+pub fn par_tiles(tiles: usize, work: usize, job: impl Fn(usize, usize) + Sync) {
+    // Tile ranges and row ranges partition identically; par_rows' contract
+    // ("contiguous chunks of [0, n), caller runs chunk 0") is exactly what
+    // tiles need, so the two axes share one dispatch path.
+    par_rows(tiles, work, job);
+}
+
 /// Like [`par_rows`], but hands each chunk a mutable slice of its own rows
 /// of `out` (row width `width`), which is the safe-Rust shape most kernels
 /// want: `job(first_row, rows_chunk)` where `rows_chunk` covers rows
@@ -298,8 +361,8 @@ mod tests {
                 with_pool(threads, 1, || {
                     let hits: Vec<AtomicU32> = (0..rows).map(|_| AtomicU32::new(0)).collect();
                     par_rows(rows, usize::MAX, |lo, hi| {
-                        for r in lo..hi {
-                            hits[r].fetch_add(1, Ordering::SeqCst);
+                        for h in &hits[lo..hi] {
+                            h.fetch_add(1, Ordering::SeqCst);
                         }
                     });
                     for (r, h) in hits.iter().enumerate() {

@@ -9,7 +9,9 @@
 //! The knobs are process-global, so every test here serializes through one
 //! mutex and restores the defaults on exit.
 
-use intellitag_tensor::{set_par_threshold, set_pool_threads, Matrix, DEFAULT_PAR_THRESHOLD};
+use intellitag_tensor::{
+    set_gemm_axis, set_par_threshold, set_pool_threads, Matrix, ParAxis, DEFAULT_PAR_THRESHOLD,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Mutex;
@@ -18,9 +20,16 @@ static KNOBS: Mutex<()> = Mutex::new(());
 
 /// Runs `f` once per pool size in {1, 2, 4} with the pooled path forced,
 /// returning the per-size results for comparison.
-fn across_pool_sizes<T>(mut f: impl FnMut() -> T) -> Vec<T> {
+fn across_pool_sizes<T>(f: impl FnMut() -> T) -> Vec<T> {
+    across_pool_sizes_axis(ParAxis::Auto, f)
+}
+
+/// [`across_pool_sizes`] with the GEMM engine's parallel axis forced —
+/// both axes must produce the same bits as serial, by construction.
+fn across_pool_sizes_axis<T>(axis: ParAxis, mut f: impl FnMut() -> T) -> Vec<T> {
     let _g = KNOBS.lock().unwrap_or_else(|e| e.into_inner());
     set_par_threshold(1);
+    set_gemm_axis(axis);
     let out = [1usize, 2, 4]
         .iter()
         .map(|&threads| {
@@ -30,6 +39,7 @@ fn across_pool_sizes<T>(mut f: impl FnMut() -> T) -> Vec<T> {
         .collect();
     set_pool_threads(0);
     set_par_threshold(DEFAULT_PAR_THRESHOLD);
+    set_gemm_axis(ParAxis::Auto);
     out
 }
 
@@ -60,12 +70,13 @@ fn matmul_is_bit_identical_across_pool_sizes() {
 
 #[test]
 fn matmul_with_zero_skip_is_bit_identical_across_pool_sizes() {
-    // The zero-skip branch changes accumulation patterns; make sure the
-    // pooled split preserves them by feeding a sparse left operand.
+    // A large mostly-zero left operand routes to the engine's
+    // zero-skipping sparse kernel; its fixed accumulation order must hold
+    // across pool sizes just like the packed path's.
     let mut rng = StdRng::seed_from_u64(13);
-    let mut a = Matrix::uniform(37, 16, 1.0, &mut rng);
+    let mut a = Matrix::uniform(64, 16, 1.0, &mut rng);
     for (i, v) in a.data_mut().iter_mut().enumerate() {
-        if i % 3 == 0 {
+        if i % 2 == 0 {
             *v = 0.0;
         }
     }
@@ -87,29 +98,52 @@ fn matmul_tn_is_bit_identical_across_pool_sizes() {
 }
 
 #[test]
-fn matmul_tn_row_parallel_rewrite_matches_serial_scatter() {
-    // The row-parallel matmul_tn must also equal the historical k-outer
-    // scatter kernel bit-for-bit (same k-ascending order per element).
+fn matmul_tn_tracks_naive_reference_on_every_pool_size() {
+    // The packed engine may fuse multiply-adds, so it is pinned to the
+    // naive k-ascending reference with a tolerance — while every pool size
+    // must still agree with every other bit-for-bit.
     let mut rng = StdRng::seed_from_u64(19);
     let a = Matrix::uniform(23, 37, 1.0, &mut rng);
     let b = Matrix::uniform(23, 12, 1.0, &mut rng);
-    let mut scatter = vec![0.0f32; 37 * 12];
-    for k in 0..23 {
-        for i in 0..37 {
-            let av = a.get(k, i);
-            if av == 0.0 {
-                continue;
-            }
-            for j in 0..12 {
-                scatter[i * 12 + j] += av * b.get(k, j);
-            }
-        }
-    }
+    let want = intellitag_tensor::naive_gemm(
+        intellitag_tensor::Variant::TN,
+        37,
+        23,
+        12,
+        a.data(),
+        b.data(),
+    );
     let results = across_pool_sizes(|| a.matmul_tn(&b));
-    for m in &results {
-        let bits: Vec<u32> = m.data().iter().map(|v| v.to_bits()).collect();
-        let want: Vec<u32> = scatter.iter().map(|v| v.to_bits()).collect();
-        assert_eq!(bits, want, "pooled matmul_tn diverged from the serial scatter kernel");
+    assert_all_bit_identical(&results, "matmul_tn vs naive");
+    for (i, (&got, &exp)) in results[0].data().iter().zip(&want).enumerate() {
+        assert!(
+            (got - exp).abs() <= 1e-4 * (1.0 + exp.abs()),
+            "matmul_tn diverged from naive reference at {i}: {got} vs {exp}"
+        );
+    }
+}
+
+#[test]
+fn forced_axes_agree_bitwise_with_serial() {
+    // The engine's core guarantee: row-panel, column-panel and serial
+    // execution produce the same bits, for every variant and shape.
+    for &(m, k, n) in SHAPES {
+        let mut rng = StdRng::seed_from_u64(43);
+        let a_nn = Matrix::uniform(m, k, 1.0, &mut rng);
+        let b_nn = Matrix::uniform(k, n, 1.0, &mut rng);
+        let a_tn = Matrix::uniform(k, m, 1.0, &mut rng);
+        let b_nt = Matrix::uniform(n, k, 1.0, &mut rng);
+        for (what, run) in [
+            ("matmul", Box::new(|| a_nn.matmul(&b_nn)) as Box<dyn Fn() -> Matrix>),
+            ("matmul_tn", Box::new(|| a_tn.matmul_tn(&b_nn))),
+            ("matmul_nt", Box::new(|| a_nn.matmul_nt(&b_nt))),
+        ] {
+            let mut all = Vec::new();
+            for axis in [ParAxis::Serial, ParAxis::Rows, ParAxis::Cols, ParAxis::Auto] {
+                all.extend(across_pool_sizes_axis(axis, &run));
+            }
+            assert_all_bit_identical(&all, &format!("{what} {m}x{k}x{n} across axes"));
+        }
     }
 }
 

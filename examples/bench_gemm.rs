@@ -1,18 +1,27 @@
 //! Serial vs pooled GEMM throughput at model-realistic shapes.
 //!
-//! Times the tensor crate's `matmul` / `matmul_nt` kernels with the compute
-//! pool off (`pool_threads = 1`) and on (one thread per hardware core),
-//! verifies the pooled outputs are byte-identical to serial (the pool's
-//! headline guarantee), and reports GFLOP/s per shape.
+//! Times the tensor crate's packed microkernel engine through `matmul` /
+//! `matmul_nt` with the compute pool off (`pool_threads = 1`) and on (one
+//! thread per hardware core), verifies the pooled outputs are byte-identical
+//! to serial (the engine's headline guarantee), compares against the
+//! committed `BENCH_gemm.json` baseline, and reports GFLOP/s per shape.
 //!
 //! Shapes mirror the serving stack: a 17-row context window and a 136-row
 //! micro-batch through a dim-64 projection, the batched scoring GEMM
 //! against a 400-tag candidate pool, the attention `Q·Kᵀ` product, and a
 //! square 256³ reference point.
 //!
-//! The ≥2x pooled-speedup assertion only arms on machines with at least 4
-//! hardware threads — on smaller hosts (including 1-core CI runners) the
-//! bench still runs, still checks parity, and records the speedup it saw.
+//! Timing is median-of-5 (median-of-3 in smoke mode) so one scheduler
+//! hiccup cannot fake a regression or a win. Assertion policy:
+//!
+//! * **Parity always hard-fails**: pooled bits must equal serial bits.
+//! * Speedup assertions arm only on hosts with ≥ 4 hardware threads: every
+//!   shape must then beat 1.0x pooled (the `attn_qkt_136x16` regression
+//!   this engine fixed cannot silently return), and the large shapes
+//!   marked `assert_speedup` must beat 2.0x.
+//! * Baseline deltas (vs the committed `BENCH_gemm.json`) are warn-only:
+//!   CI hosts have wildly different arithmetic throughput, so perf drift
+//!   is reported, never fatal.
 //!
 //! ```sh
 //! cargo run --release --example bench_gemm            # full run
@@ -22,8 +31,9 @@
 
 use std::time::Instant;
 
+use intellitag::gateway::json;
 use intellitag::prelude::*;
-use intellitag::tensor::Matrix;
+use intellitag::tensor::{fma_enabled, gemm_plan, Matrix};
 
 /// Which kernel a shape exercises.
 #[derive(Clone, Copy)]
@@ -40,8 +50,8 @@ struct Shape {
     m: usize,
     k: usize,
     n: usize,
-    /// Whether the ≥2x speedup assertion covers this shape (large shapes
-    /// only; tiny GEMMs are fork/join-bound and excluded by design).
+    /// Whether the ≥2x pooled-speedup assertion covers this shape (large
+    /// shapes only; small GEMMs only have to clear the >1x floor).
     assert_speedup: bool,
 }
 
@@ -110,21 +120,26 @@ fn run_kernel(shape: &Shape, a: &Matrix, b: &Matrix) -> Matrix {
     }
 }
 
-/// GFLOP/s over `iters` repetitions (2·m·k·n flops per GEMM), plus one
-/// representative output for the parity check.
-fn time_kernel(shape: &Shape, a: &Matrix, b: &Matrix, iters: usize) -> (f64, Matrix) {
+/// Median GFLOP/s over `reps` timed runs of `iters` repetitions each
+/// (2·m·k·n flops per GEMM), plus one representative output for the
+/// parity check.
+fn time_kernel(shape: &Shape, a: &Matrix, b: &Matrix, iters: usize, reps: usize) -> (f64, Matrix) {
     let out = run_kernel(shape, a, b); // warm-up + parity sample
-    let t = Instant::now();
-    for _ in 0..iters {
-        std::hint::black_box(run_kernel(
-            std::hint::black_box(shape),
-            std::hint::black_box(a),
-            std::hint::black_box(b),
-        ));
-    }
-    let secs = t.elapsed().as_secs_f64().max(1e-9);
+    let mut samples = Vec::with_capacity(reps);
     let flops = 2.0 * shape.m as f64 * shape.k as f64 * shape.n as f64 * iters as f64;
-    (flops / secs / 1e9, out)
+    for _ in 0..reps {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(run_kernel(
+                std::hint::black_box(shape),
+                std::hint::black_box(a),
+                std::hint::black_box(b),
+            ));
+        }
+        samples.push(flops / t.elapsed().as_secs_f64().max(1e-9) / 1e9);
+    }
+    samples.sort_by(|x, y| x.total_cmp(y));
+    (samples[samples.len() / 2], out)
 }
 
 struct ShapeReport {
@@ -136,15 +151,43 @@ struct ShapeReport {
     asserted: bool,
 }
 
+/// Serial-GFLOP/s baselines from the committed `BENCH_gemm.json`, if one
+/// is present and parseable.
+fn read_baseline() -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string("BENCH_gemm.json") else {
+        return Vec::new();
+    };
+    let Ok(doc) = json::parse(&text) else {
+        eprintln!("warning: BENCH_gemm.json exists but is not valid JSON; skipping comparison");
+        return Vec::new();
+    };
+    let Some(json::JsonValue::Obj(shapes)) = doc.get("shapes") else {
+        return Vec::new();
+    };
+    shapes
+        .iter()
+        .filter_map(|(name, entry)| {
+            let g = match entry.get("serial_gflops") {
+                Some(json::JsonValue::Num(f)) => *f,
+                Some(json::JsonValue::Int(i)) => *i as f64,
+                _ => return None,
+            };
+            Some((name.clone(), g))
+        })
+        .collect()
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let json = std::env::args().any(|a| a == "--json");
+    let json_out = std::env::args().any(|a| a == "--json");
     let hw_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let pooled_threads = hw_threads.min(8);
     let assert_armed = hw_threads >= 4;
+    let baseline = read_baseline();
     println!(
-        "hardware threads: {hw_threads}  pooled run uses {pooled_threads}  \
-         speedup assertion {}",
+        "hardware threads: {hw_threads}  pooled run uses {pooled_threads}  fma: {}  \
+         speedup assertions {}",
+        fma_enabled(),
         if assert_armed { "ARMED (>= 4 threads)" } else { "disarmed (< 4 threads)" }
     );
 
@@ -155,6 +198,7 @@ fn main() {
             let budget = if smoke { 40_000_000 } else { 1_200_000_000 };
             (budget / work).clamp(3, 4_000)
         };
+        let reps = if smoke { 3 } else { 5 };
         let a = fill(shape.m, shape.k, 0xA5A5 ^ shape.m as u64);
         let b = match shape.kernel {
             Kernel::MatMul => fill(shape.k, shape.n, 0x5A5A ^ shape.n as u64),
@@ -162,9 +206,10 @@ fn main() {
         };
 
         set_pool_threads(1);
-        let (serial_gflops, serial_out) = time_kernel(shape, &a, &b, iters);
+        let (serial_gflops, serial_out) = time_kernel(shape, &a, &b, iters, reps);
         set_pool_threads(pooled_threads);
-        let (pooled_gflops, pooled_out) = time_kernel(shape, &a, &b, iters);
+        let plan = gemm_plan(shape.m, shape.k, shape.n);
+        let (pooled_gflops, pooled_out) = time_kernel(shape, &a, &b, iters, reps);
         set_pool_threads(0);
 
         // Parity first: speed means nothing if the bits moved.
@@ -178,15 +223,33 @@ fn main() {
         let speedup = pooled_gflops / serial_gflops;
         let asserted = assert_armed && shape.assert_speedup;
         println!(
-            "  {:<20} {:>4}x{:<4}x{:<4} {:>7.2} -> {:>7.2} GFLOP/s  ({speedup:.2}x{})",
+            "  {:<20} {:>4}x{:<4}x{:<4} {:>7.2} -> {:>7.2} GFLOP/s  ({speedup:.2}x, {plan:?}{})",
             shape.name,
             shape.m,
             shape.k,
             shape.n,
             serial_gflops,
             pooled_gflops,
-            if asserted { ", asserted" } else { "" }
+            if asserted { ", asserted >= 2x" } else { "" }
         );
+        if let Some((_, base)) = baseline.iter().find(|(n, _)| n == shape.name) {
+            let ratio = serial_gflops / base;
+            if ratio < 0.7 {
+                // Warn-only: CI hosts differ too much for perf to be fatal.
+                eprintln!(
+                    "warning: {} serial throughput is {ratio:.2}x the committed baseline \
+                     ({serial_gflops:.2} vs {base:.2} GFLOP/s)",
+                    shape.name
+                );
+            }
+        }
+        if assert_armed {
+            assert!(
+                speedup > 1.0,
+                "{}: pooled GEMM must beat serial at {pooled_threads} threads, got {speedup:.2}x",
+                shape.name
+            );
+        }
         if asserted {
             assert!(
                 speedup >= 2.0,
@@ -204,8 +267,16 @@ fn main() {
         });
     }
     println!("parity: every pooled output bit-identical to serial");
+    if baseline.is_empty() {
+        println!("baseline: none found (BENCH_gemm.json absent or unreadable)");
+    } else {
+        println!(
+            "baseline: compared {} shapes against BENCH_gemm.json (warn-only)",
+            baseline.len()
+        );
+    }
 
-    if json {
+    if json_out {
         let shapes: Vec<String> = reports
             .iter()
             .map(|r| {
@@ -217,11 +288,12 @@ fn main() {
             })
             .collect();
         let body = format!(
-            "{{\n  \"bench\": \"gemm\",\n  \"mode\": \"{}\",\n  \"hw_threads\": {},\n  \"pooled_threads\": {},\n  \"par_threshold\": {},\n  \"speedup_assert_armed\": {},\n  \"shapes\": {{\n{}\n  }}\n}}\n",
+            "{{\n  \"bench\": \"gemm\",\n  \"mode\": \"{}\",\n  \"hw_threads\": {},\n  \"pooled_threads\": {},\n  \"par_threshold\": {},\n  \"fma\": {},\n  \"speedup_assert_armed\": {},\n  \"shapes\": {{\n{}\n  }}\n}}\n",
             if smoke { "smoke" } else { "full" },
             hw_threads,
             pooled_threads,
             par_threshold(),
+            fma_enabled(),
             assert_armed,
             shapes.join(",\n")
         );

@@ -129,7 +129,7 @@ fn hot_swap_under_concurrent_load_loses_nothing_and_reaches_snapshot_parity() {
     assert_ne!(base_bytes, v1_bytes, "the increment must move the model");
 
     let registry = SnapshotRegistry::new(4, &metrics);
-    let snapshot = registry.publish(v1_bytes, increment.len() as u64, 1);
+    let snapshot = registry.publish(v1_bytes, increment.len() as u64, 1, 0);
     assert_eq!(snapshot.version, 1);
 
     // Serving side: a 2-shard swappable front booted on the base model.
@@ -210,7 +210,7 @@ fn snapshot_artifact_survives_disk_and_swaps_into_a_booted_front() {
     model.train_increment(&sessions, 1, 9, &metrics);
 
     let registry = SnapshotRegistry::new(2, &metrics);
-    let snapshot = registry.publish(save(&model), sessions.len() as u64, 1);
+    let snapshot = registry.publish(save(&model), sessions.len() as u64, 1, 0);
     let mut wire = Vec::new();
     snapshot.write_to(&mut wire).unwrap();
     let restored = ModelSnapshot::read_from(&mut &wire[..]).unwrap();
