@@ -118,20 +118,75 @@ where
 /// server's cross-drain score-row cache. Unlike [`ResponseCache`], recency
 /// matters here: hot tenants repeat the same short click prefixes across
 /// consecutive micro-batch drains, and evicting the oldest *insertion*
-/// would throw away exactly those rows. Recency is tracked with a
-/// monotonically increasing touch tick; eviction scans for the minimum
-/// tick, which is O(n) but n is a small fixed capacity on a path that just
-/// skipped a transformer forward.
+/// would throw away exactly those rows.
+///
+/// Recency is an intrusive doubly-linked list threaded through a slot
+/// arena (`nodes` + free list), with the hash map storing slot indices:
+/// `get` unlinks and re-links the touched slot at the head and eviction
+/// pops the tail, so every operation is O(1) — no recency-tick scan, which
+/// matters now that the governor can grow serving load while the LRU sits
+/// on the batched scoring path.
 pub struct LruCache<K, V> {
     inner: Mutex<LruInner<K, V>>,
     capacity: usize,
 }
 
+/// Sentinel slot index for "no neighbour".
+const NIL: usize = usize::MAX;
+
+struct LruNode<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
 struct LruInner<K, V> {
-    map: HashMap<K, (V, u64)>,
-    tick: u64,
+    /// Key -> slot index in `nodes`.
+    map: HashMap<K, usize>,
+    /// Slot arena; freed slots are recycled via `free`.
+    nodes: Vec<LruNode<K, V>>,
+    free: Vec<usize>,
+    /// Most-recently-used slot (NIL when empty).
+    head: usize,
+    /// Least-recently-used slot (NIL when empty) — the eviction end.
+    tail: usize,
     hits: u64,
     misses: u64,
+}
+
+impl<K, V> LruInner<K, V> {
+    /// Detaches `slot` from the recency list (it must be linked).
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n].prev = prev,
+        }
+    }
+
+    /// Links `slot` at the head (most recently used).
+    fn link_front(&mut self, slot: usize) {
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = self.head;
+        match self.head {
+            NIL => self.tail = slot,
+            h => self.nodes[h].prev = slot,
+        }
+        self.head = slot;
+    }
+
+    /// Moves an already-linked `slot` to the head.
+    fn touch(&mut self, slot: usize) {
+        if self.head != slot {
+            self.unlink(slot);
+            self.link_front(slot);
+        }
+    }
 }
 
 impl<K, V> LruCache<K, V>
@@ -148,7 +203,10 @@ where
         LruCache {
             inner: Mutex::new(LruInner {
                 map: HashMap::with_capacity(capacity),
-                tick: 0,
+                nodes: Vec::with_capacity(capacity),
+                free: Vec::new(),
+                head: NIL,
+                tail: NIL,
                 hits: 0,
                 misses: 0,
             }),
@@ -159,14 +217,11 @@ where
     /// Looks up a key, refreshing its recency and counting the hit or miss.
     pub fn get(&self, key: &K) -> Option<V> {
         let mut inner = self.inner.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
-        match inner.map.get_mut(key) {
-            Some((v, last_used)) => {
-                *last_used = tick;
-                let v = v.clone();
+        match inner.map.get(key).copied() {
+            Some(slot) => {
+                inner.touch(slot);
                 inner.hits += 1;
-                Some(v)
+                Some(inner.nodes[slot].value.clone())
             }
             None => {
                 inner.misses += 1;
@@ -179,14 +234,31 @@ where
     /// Re-inserting an existing key refreshes both value and recency.
     pub fn put(&self, key: K, value: V) {
         let mut inner = self.inner.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
-        if inner.map.insert(key, (value, tick)).is_none() && inner.map.len() > self.capacity {
-            if let Some(lru) = inner.map.iter().min_by_key(|(_, (_, t))| *t).map(|(k, _)| k.clone())
-            {
-                inner.map.remove(&lru);
-            }
+        if let Some(slot) = inner.map.get(&key).copied() {
+            inner.nodes[slot].value = value;
+            inner.touch(slot);
+            return;
         }
+        if inner.map.len() >= self.capacity {
+            let lru = inner.tail;
+            debug_assert_ne!(lru, NIL, "full cache must have a tail");
+            inner.unlink(lru);
+            let old_key = inner.nodes[lru].key.clone();
+            inner.map.remove(&old_key);
+            inner.free.push(lru);
+        }
+        let slot = match inner.free.pop() {
+            Some(slot) => {
+                inner.nodes[slot] = LruNode { key: key.clone(), value, prev: NIL, next: NIL };
+                slot
+            }
+            None => {
+                inner.nodes.push(LruNode { key: key.clone(), value, prev: NIL, next: NIL });
+                inner.nodes.len() - 1
+            }
+        };
+        inner.map.insert(key, slot);
+        inner.link_front(slot);
     }
 
     /// Current number of cached entries.
@@ -219,7 +291,10 @@ where
     pub fn clear(&self) {
         let mut inner = self.inner.lock();
         inner.map.clear();
-        inner.tick = 0;
+        inner.nodes.clear();
+        inner.free.clear();
+        inner.head = NIL;
+        inner.tail = NIL;
         inner.hits = 0;
         inner.misses = 0;
     }

@@ -1,0 +1,685 @@
+//! The self-tuning runtime governor: one deterministic control loop per
+//! process, closing the loop from live observability to every throughput
+//! knob the serving spine exposes.
+//!
+//! ## Why
+//!
+//! Every knob used to be a static constant picked by hand: drain
+//! `batch_max`, the tensor pool size, the shed threshold, `par_threshold`.
+//! A config tuned for interactive latency wastes the hardware under bulk
+//! replay, and a throughput config adds batching delay to lone requests.
+//! The governor samples a fixed-cadence [`Observation`] (per-shard queue
+//! depths, drain batch-row counts, `slo.latency_us` tails, tensor-pool
+//! dispatch mix) and steps the knobs so a *single* config serves both
+//! regimes.
+//!
+//! ## Step rules
+//!
+//! Evaluated in a fixed order every tick, at most one step per knob:
+//!
+//! * **`batch_max`** — doubles under backlog (deepest queue ≥ 2× the
+//!   current ceiling: the queue is outrunning the drains) and halves after
+//!   consecutive idle ticks (empty queues and near-singleton drains: the
+//!   ceiling is just unused headroom).
+//! * **`pool_threads`** — halves when queues are deep (every shard has
+//!   runnable drain work; extra kernel threads only oversubscribe the
+//!   cores) and doubles after consecutive empty-queue ticks (lone large
+//!   batches benefit from intra-kernel parallelism).
+//! * **`shed_depth`** — scales off the worst per-tier SLO error-budget
+//!   burn: shrinks to ¾ when the budget is blown (shed early, keep served
+//!   requests inside the tail target) and relaxes back toward the physical
+//!   queue capacity while the burn stays under half.
+//! * **`par_threshold`** — drops to a low floor when the pool is active
+//!   and drains are large (the stacked forward has rows to split), and
+//!   returns to the default when drains shrink or the pool is serial.
+//!
+//! ## Determinism contract
+//!
+//! [`Governor::step`] is a pure function of `(GovernorConfig, observation
+//! sequence)`: observations are fully quantized integers, the state is
+//! plain counters, and no clock, RNG, or float rounding participates.
+//! Every step emits a [`Decision`] whose rendered line names the knob, the
+//! old and new values, and the triggering signal; [`Governor::replay`]
+//! over a recorded trace reproduces the identical decision log byte for
+//! byte (pinned by `tests/governor_determinism.rs`).
+//!
+//! [`GovernorRuntime`] is the impure shell: a sampling thread that feeds
+//! live snapshots to the pure core, applies each decision to the shared
+//! [`RuntimeKnobs`] / tensor-pool globals, mirrors it into `governor.*`
+//! metrics, and appends the line to a [`DecisionLog`] the gateway serves
+//! at `/debug/governor`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use intellitag_obs::{
+    DecisionLog, MetricsRegistry, RuntimeSnapshot, GOVERNOR_KNOB_LABEL, GOVERNOR_KNOB_METRIC,
+    GOVERNOR_STEPS_METRIC, GOVERNOR_TICKS_METRIC,
+};
+
+use crate::sharded::RuntimeKnobs;
+
+/// One quantized observation tick (see [`intellitag_obs::RuntimeSnapshot`]
+/// for the field-by-field meaning and the integer-only rationale).
+pub type Observation = RuntimeSnapshot;
+
+/// Inclusive value bounds a governed knob may never leave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnobBounds {
+    /// Smallest value the governor may set.
+    pub min: usize,
+    /// Largest value the governor may set.
+    pub max: usize,
+}
+
+impl KnobBounds {
+    /// Clamps `v` into `[min, max]`.
+    pub fn clamp(&self, v: usize) -> usize {
+        v.clamp(self.min, self.max)
+    }
+}
+
+/// Full configuration of the control loop: initial knob values, declared
+/// bounds, and the signal thresholds the step rules compare against.
+/// Together with the observation sequence this *fully determines* every
+/// decision — there is no hidden state.
+#[derive(Debug, Clone)]
+pub struct GovernorConfig {
+    /// Bounds for the drain `batch_max` knob.
+    pub batch_bounds: KnobBounds,
+    /// Bounds for the tensor compute-pool size.
+    pub pool_bounds: KnobBounds,
+    /// Bounds for the soft shed threshold.
+    pub shed_bounds: KnobBounds,
+    /// Starting `batch_max` (should match the front's [`crate::ShardConfig`]).
+    pub initial_batch_max: usize,
+    /// Starting pool size.
+    pub initial_pool_threads: usize,
+    /// Starting shed depth.
+    pub initial_shed_depth: usize,
+    /// Starting (and "high") `par_threshold`; the governor returns here
+    /// when drains are small.
+    pub initial_par_threshold: usize,
+    /// The low `par_threshold` used while drains are large and the pool is
+    /// active.
+    pub par_threshold_low: usize,
+    /// Queue depth at/above which shard queues count as *deep* (pool
+    /// shrinks — threads are better spent on drains).
+    pub deep_queue_depth: u64,
+    /// Consecutive idle ticks required before `batch_max` shrinks.
+    pub idle_ticks_to_shrink: u32,
+    /// Consecutive empty-queue ticks required before the pool grows.
+    pub grow_ticks_to_widen: u32,
+    /// Mean drain rows (×100) at/below which drains count as *small*.
+    pub small_drain_rows_x100: u64,
+    /// Mean drain rows (×100) at/above which drains count as *large*.
+    pub large_drain_rows_x100: u64,
+    /// The SLO latency target the budget-burn observation is anchored to.
+    pub target_p99_us: u64,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig {
+            batch_bounds: KnobBounds { min: 1, max: 64 },
+            pool_bounds: KnobBounds { min: 1, max: intellitag_tensor::hardware_threads() },
+            shed_bounds: KnobBounds { min: 8, max: 256 },
+            initial_batch_max: 8,
+            initial_pool_threads: 1,
+            initial_shed_depth: 256,
+            initial_par_threshold: intellitag_tensor::DEFAULT_PAR_THRESHOLD,
+            par_threshold_low: 8 * 1024,
+            deep_queue_depth: 4,
+            idle_ticks_to_shrink: 2,
+            grow_ticks_to_widen: 2,
+            small_drain_rows_x100: 150,
+            large_drain_rows_x100: 400,
+            target_p99_us: 150_000,
+        }
+    }
+}
+
+/// One knob step: what changed, from what to what, and the signal that
+/// triggered it. [`Decision::line`] is the canonical rendering the
+/// determinism contract is stated over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// The observation tick (1-based) this decision fired on.
+    pub tick: u64,
+    /// The stepped knob: `batch_max`, `pool_threads`, `shed_depth`, or
+    /// `par_threshold`.
+    pub knob: &'static str,
+    /// Value before the step.
+    pub old: u64,
+    /// Value after the step (always within the declared bounds).
+    pub new: u64,
+    /// The triggering signal, e.g. `backlog:qmax=17`.
+    pub signal: String,
+}
+
+impl Decision {
+    /// The canonical one-line rendering:
+    /// `tick=N knob=K old=A new=B signal=S`.
+    pub fn line(&self) -> String {
+        format!(
+            "tick={} knob={} old={} new={} signal={}",
+            self.tick, self.knob, self.old, self.new, self.signal
+        )
+    }
+}
+
+/// The pure decision core. Feed it the observation sequence via
+/// [`Governor::step`]; it never touches a clock, the registry, or the live
+/// knobs — applying decisions is [`GovernorRuntime`]'s job.
+#[derive(Debug, Clone)]
+pub struct Governor {
+    cfg: GovernorConfig,
+    batch_max: usize,
+    pool_threads: usize,
+    shed_depth: usize,
+    par_threshold: usize,
+    prev: Option<Observation>,
+    tick: u64,
+    idle_ticks: u32,
+    pool_grow_ticks: u32,
+}
+
+impl Governor {
+    /// A governor at its configured initial knob values (clamped into the
+    /// declared bounds, so the bounds invariant holds from tick zero).
+    pub fn new(cfg: GovernorConfig) -> Self {
+        let batch_max = cfg.batch_bounds.clamp(cfg.initial_batch_max);
+        let pool_threads = cfg.pool_bounds.clamp(cfg.initial_pool_threads);
+        let shed_depth = cfg.shed_bounds.clamp(cfg.initial_shed_depth);
+        let par_threshold = cfg.initial_par_threshold;
+        Governor {
+            cfg,
+            batch_max,
+            pool_threads,
+            shed_depth,
+            par_threshold,
+            prev: None,
+            tick: 0,
+            idle_ticks: 0,
+            pool_grow_ticks: 0,
+        }
+    }
+
+    /// Current `batch_max` target.
+    pub fn batch_max(&self) -> usize {
+        self.batch_max
+    }
+
+    /// Current pool-size target.
+    pub fn pool_threads(&self) -> usize {
+        self.pool_threads
+    }
+
+    /// Current shed-depth target.
+    pub fn shed_depth(&self) -> usize {
+        self.shed_depth
+    }
+
+    /// Current `par_threshold` target.
+    pub fn par_threshold(&self) -> usize {
+        self.par_threshold
+    }
+
+    /// Observation ticks consumed so far.
+    pub fn ticks(&self) -> u64 {
+        self.tick
+    }
+
+    fn decision(&self, knob: &'static str, old: usize, new: usize, signal: String) -> Decision {
+        Decision { tick: self.tick, knob, old: old as u64, new: new as u64, signal }
+    }
+
+    /// Consumes one observation and returns the knob steps it triggers (at
+    /// most one per knob). Pure: identical `(config, observation sequence)`
+    /// pairs produce identical decision sequences.
+    ///
+    /// The first observation only anchors the cumulative counters (rate
+    /// signals need a delta) and never steps anything.
+    pub fn step(&mut self, obs: &Observation) -> Vec<Decision> {
+        self.tick += 1;
+        let Some(prev) = self.prev.replace(*obs) else {
+            return Vec::new();
+        };
+        let drains = obs.batch_count.saturating_sub(prev.batch_count);
+        let rows = obs.batch_rows_sum.saturating_sub(prev.batch_rows_sum);
+        let rows_mean_x100 = (rows * 100).checked_div(drains).unwrap_or(0);
+        let qmax = obs.queue_depth_max;
+        let burn = obs.budget_used_max_x100;
+        let mut out = Vec::new();
+
+        // batch_max: backlog grows it, sustained idle shrinks it.
+        if qmax >= 2 * self.batch_max as u64 && self.batch_max < self.cfg.batch_bounds.max {
+            let new = self.cfg.batch_bounds.clamp(self.batch_max * 2);
+            out.push(self.decision(
+                "batch_max",
+                self.batch_max,
+                new,
+                format!("backlog:qmax={qmax}"),
+            ));
+            self.batch_max = new;
+            self.idle_ticks = 0;
+        } else if qmax == 0 && drains > 0 && rows_mean_x100 <= self.cfg.small_drain_rows_x100 {
+            self.idle_ticks += 1;
+            if self.idle_ticks >= self.cfg.idle_ticks_to_shrink
+                && self.batch_max > self.cfg.batch_bounds.min
+            {
+                let new = self.cfg.batch_bounds.clamp(self.batch_max / 2);
+                out.push(self.decision(
+                    "batch_max",
+                    self.batch_max,
+                    new,
+                    format!("idle:rows_mean_x100={rows_mean_x100}"),
+                ));
+                self.batch_max = new;
+                self.idle_ticks = 0;
+            }
+        } else {
+            self.idle_ticks = 0;
+        }
+
+        // pool_threads: deep queues shrink it, sustained empty queues grow it.
+        if qmax >= self.cfg.deep_queue_depth {
+            self.pool_grow_ticks = 0;
+            if self.pool_threads > self.cfg.pool_bounds.min {
+                let new = self.cfg.pool_bounds.clamp(self.pool_threads / 2);
+                out.push(self.decision(
+                    "pool_threads",
+                    self.pool_threads,
+                    new,
+                    format!("deep_queues:qmax={qmax}"),
+                ));
+                self.pool_threads = new;
+            }
+        } else if qmax == 0 {
+            self.pool_grow_ticks += 1;
+            if self.pool_grow_ticks >= self.cfg.grow_ticks_to_widen
+                && self.pool_threads < self.cfg.pool_bounds.max
+            {
+                let new = self.cfg.pool_bounds.clamp(self.pool_threads * 2);
+                out.push(self.decision(
+                    "pool_threads",
+                    self.pool_threads,
+                    new,
+                    "idle_queues:qmax=0".to_string(),
+                ));
+                self.pool_threads = new;
+                self.pool_grow_ticks = 0;
+            }
+        } else {
+            self.pool_grow_ticks = 0;
+        }
+
+        // shed_depth: scale off the worst per-tier error-budget burn.
+        if burn > 100 && self.shed_depth > self.cfg.shed_bounds.min {
+            let new = self.cfg.shed_bounds.clamp(self.shed_depth * 3 / 4);
+            out.push(self.decision(
+                "shed_depth",
+                self.shed_depth,
+                new,
+                format!("budget_blown:burn_x100={burn}"),
+            ));
+            self.shed_depth = new;
+        } else if burn < 50 && self.shed_depth < self.cfg.shed_bounds.max {
+            let step = (self.cfg.shed_bounds.max / 4).max(1);
+            let new = self.cfg.shed_bounds.clamp(self.shed_depth.saturating_add(step));
+            out.push(self.decision(
+                "shed_depth",
+                self.shed_depth,
+                new,
+                format!("budget_ok:burn_x100={burn}"),
+            ));
+            self.shed_depth = new;
+        }
+
+        // par_threshold: low while the pool is active and drains are large.
+        if self.pool_threads > 1
+            && drains > 0
+            && rows_mean_x100 >= self.cfg.large_drain_rows_x100
+            && self.par_threshold != self.cfg.par_threshold_low
+        {
+            let new = self.cfg.par_threshold_low;
+            out.push(self.decision(
+                "par_threshold",
+                self.par_threshold,
+                new,
+                format!("large_drains:rows_mean_x100={rows_mean_x100}"),
+            ));
+            self.par_threshold = new;
+        } else if self.par_threshold != self.cfg.initial_par_threshold
+            && (self.pool_threads == 1
+                || (drains > 0 && rows_mean_x100 <= self.cfg.small_drain_rows_x100))
+        {
+            let new = self.cfg.initial_par_threshold;
+            out.push(self.decision(
+                "par_threshold",
+                self.par_threshold,
+                new,
+                format!("small_drains:rows_mean_x100={rows_mean_x100}"),
+            ));
+            self.par_threshold = new;
+        }
+
+        out
+    }
+
+    /// Replays a recorded observation trace through a fresh governor and
+    /// returns the rendered decision log — the determinism proof: replaying
+    /// the trace a second time (or on another host) yields byte-identical
+    /// lines.
+    pub fn replay(cfg: GovernorConfig, trace: &[Observation]) -> Vec<String> {
+        let mut gov = Governor::new(cfg);
+        let mut lines = Vec::new();
+        for obs in trace {
+            for d in gov.step(obs) {
+                lines.push(d.line());
+            }
+        }
+        lines
+    }
+}
+
+/// Cap on the retained observation trace — generous for any bench run
+/// (hours at a 10 ms cadence) while bounding a long-lived process.
+const TRACE_CAP: usize = 1 << 16;
+
+/// The live control loop: a sampling thread wrapping the pure [`Governor`].
+///
+/// Each tick it samples an [`Observation`] from the registry (plus the
+/// tensor pool's dispatch counters), records it into a bounded trace,
+/// steps the governor, and applies every decision — `batch_max` /
+/// `shed_depth` onto the front's [`RuntimeKnobs`], pool size and
+/// `par_threshold` onto the tensor-crate globals. Every decision also
+/// increments `governor.steps{knob=..}`, updates `governor.knob{knob=..}`,
+/// and appends its line to the shared [`DecisionLog`].
+///
+/// Dropping the runtime (or calling [`GovernorRuntime::stop`]) stops the
+/// loop; the knobs keep their last governed values.
+pub struct GovernorRuntime {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    log: DecisionLog,
+    trace: Arc<Mutex<Vec<Observation>>>,
+}
+
+impl GovernorRuntime {
+    /// Spawns the control loop at a fixed `interval` cadence. The
+    /// configured initial knob values are applied immediately (so the
+    /// governed process starts from a known point), then every tick steps
+    /// from live observations. `log` is shared — hand a clone to the
+    /// gateway for `/debug/governor`.
+    pub fn spawn(
+        cfg: GovernorConfig,
+        registry: MetricsRegistry,
+        knobs: Arc<RuntimeKnobs>,
+        log: DecisionLog,
+        interval: Duration,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let trace: Arc<Mutex<Vec<Observation>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut gov = Governor::new(cfg.clone());
+        apply_knob(&knobs, "batch_max", gov.batch_max() as u64);
+        apply_knob(&knobs, "pool_threads", gov.pool_threads() as u64);
+        apply_knob(&knobs, "shed_depth", gov.shed_depth() as u64);
+        apply_knob(&knobs, "par_threshold", gov.par_threshold() as u64);
+        let (stop_t, trace_t, log_t) = (Arc::clone(&stop), Arc::clone(&trace), log.clone());
+        let handle = std::thread::Builder::new()
+            .name("intellitag-governor".into())
+            .spawn(move || {
+                let ticks = registry.counter(GOVERNOR_TICKS_METRIC);
+                while !stop_t.load(Ordering::Acquire) {
+                    let mut obs = Observation::sample(&registry, cfg.target_p99_us);
+                    let (par, ser) = intellitag_tensor::pool_dispatch_stats();
+                    obs.pool_parallel = par as u64;
+                    obs.pool_serial = ser as u64;
+                    {
+                        let mut t = trace_t.lock().unwrap_or_else(|e| e.into_inner());
+                        if t.len() < TRACE_CAP {
+                            t.push(obs);
+                        }
+                    }
+                    ticks.inc();
+                    for d in gov.step(&obs) {
+                        apply_knob(&knobs, d.knob, d.new);
+                        registry
+                            .counter_labeled(
+                                GOVERNOR_STEPS_METRIC,
+                                &[(GOVERNOR_KNOB_LABEL, d.knob)],
+                            )
+                            .inc();
+                        registry
+                            .gauge_labeled(GOVERNOR_KNOB_METRIC, &[(GOVERNOR_KNOB_LABEL, d.knob)])
+                            .set(d.new as f64);
+                        log_t.push(d.line());
+                    }
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn governor thread");
+        GovernorRuntime { stop, handle: Some(handle), log, trace }
+    }
+
+    /// The shared decision log (clone to serve it elsewhere).
+    pub fn decision_log(&self) -> &DecisionLog {
+        &self.log
+    }
+
+    /// Lifetime decision count (survives log truncation).
+    pub fn decision_count(&self) -> u64 {
+        self.log.pushed()
+    }
+
+    /// The recorded observation trace so far (bounded at an internal cap).
+    /// Replaying it through [`Governor::replay`] with the same config
+    /// reproduces the decision log exactly.
+    pub fn observations(&self) -> Vec<Observation> {
+        self.trace.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Stops the loop and joins the sampling thread. Knobs keep their last
+    /// governed values.
+    pub fn stop(mut self) {
+        self.join();
+    }
+
+    fn join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for GovernorRuntime {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+/// Routes one decision's new value onto the live knob it names.
+fn apply_knob(knobs: &RuntimeKnobs, knob: &str, value: u64) {
+    match knob {
+        "batch_max" => knobs.set_batch_max(value as usize),
+        "shed_depth" => knobs.set_shed_depth(value as usize),
+        "pool_threads" => intellitag_tensor::set_pool_threads(value as usize),
+        "par_threshold" => intellitag_tensor::set_par_threshold(value as usize),
+        other => unreachable!("unknown governed knob {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GovernorConfig {
+        GovernorConfig {
+            pool_bounds: KnobBounds { min: 1, max: 8 },
+            shed_bounds: KnobBounds { min: 8, max: 64 },
+            initial_shed_depth: 64,
+            ..GovernorConfig::default()
+        }
+    }
+
+    fn obs(tick: u64, qmax: u64, drains_per_tick: u64, rows_per_drain: u64) -> Observation {
+        Observation {
+            queue_depth_max: qmax,
+            queue_depth_sum: qmax,
+            shards: 2,
+            batch_count: tick * drains_per_tick,
+            batch_rows_sum: tick * drains_per_tick * rows_per_drain,
+            ..Observation::default()
+        }
+    }
+
+    #[test]
+    fn first_observation_never_steps() {
+        let mut gov = Governor::new(cfg());
+        assert!(gov.step(&obs(1, 100, 1, 1)).is_empty(), "warm-up tick must not step");
+        assert_eq!(gov.ticks(), 1);
+    }
+
+    #[test]
+    fn backlog_grows_batch_and_deep_queues_shrink_pool() {
+        let mut gov = Governor::new(GovernorConfig { initial_pool_threads: 4, ..cfg() });
+        let _ = gov.step(&obs(1, 0, 1, 1));
+        // Deep backlog: qmax far beyond 2x batch_max.
+        let decisions = gov.step(&obs(2, 32, 4, 8));
+        let knobs: Vec<&str> = decisions.iter().map(|d| d.knob).collect();
+        assert!(knobs.contains(&"batch_max"), "backlog must grow batch_max: {decisions:?}");
+        assert!(knobs.contains(&"pool_threads"), "deep queues must shrink pool: {decisions:?}");
+        assert_eq!(gov.batch_max(), 16);
+        assert_eq!(gov.pool_threads(), 2);
+        let batch = decisions.iter().find(|d| d.knob == "batch_max").unwrap();
+        assert_eq!(batch.line(), "tick=2 knob=batch_max old=8 new=16 signal=backlog:qmax=32");
+    }
+
+    #[test]
+    fn sustained_idle_shrinks_batch_and_grows_pool() {
+        let mut gov = Governor::new(cfg());
+        let mut saw_batch_shrink = false;
+        let mut saw_pool_grow = false;
+        for t in 1..=6 {
+            for d in gov.step(&obs(t, 0, 2, 1)) {
+                match d.knob {
+                    "batch_max" => {
+                        saw_batch_shrink = true;
+                        assert!(d.new < d.old);
+                    }
+                    "pool_threads" => {
+                        saw_pool_grow = true;
+                        assert!(d.new > d.old);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(saw_batch_shrink, "idle ticks must shrink batch_max");
+        assert!(saw_pool_grow, "idle queues must grow the pool");
+        assert!(gov.batch_max() < 8);
+        assert!(gov.pool_threads() > 1);
+    }
+
+    #[test]
+    fn budget_burn_scales_shed_depth_both_ways() {
+        let mut gov = Governor::new(cfg());
+        let mut o = obs(1, 2, 1, 2);
+        let _ = gov.step(&o);
+        o = obs(2, 2, 1, 2);
+        o.budget_used_max_x100 = 400; // 4x the budget: shrink
+        let d = gov.step(&o);
+        let shed = d.iter().find(|d| d.knob == "shed_depth").expect("shed step");
+        assert_eq!(shed.new, 48);
+        assert!(shed.signal.starts_with("budget_blown:"), "{}", shed.signal);
+        o = obs(3, 2, 1, 2);
+        o.budget_used_max_x100 = 0; // healthy: relax back
+        let d = gov.step(&o);
+        let shed = d.iter().find(|d| d.knob == "shed_depth").expect("shed relax");
+        assert!(shed.new > 48);
+        assert!(shed.signal.starts_with("budget_ok:"), "{}", shed.signal);
+    }
+
+    #[test]
+    fn par_threshold_follows_drain_size_and_pool_state() {
+        let mut gov = Governor::new(GovernorConfig {
+            initial_pool_threads: 4,
+            deep_queue_depth: 100,
+            ..cfg()
+        });
+        let _ = gov.step(&obs(1, 1, 1, 8));
+        // Large drains with an active pool: drop to the low threshold.
+        let d = gov.step(&obs(2, 1, 1, 8));
+        let pt = d.iter().find(|d| d.knob == "par_threshold").expect("par step");
+        assert_eq!(pt.new as usize, gov.cfg.par_threshold_low);
+        // Small drains: return to the default.
+        let mut gov2 = gov.clone();
+        let d = gov2.step(&obs(3, 1, 1, 1));
+        let pt = d.iter().find(|d| d.knob == "par_threshold").expect("par revert");
+        assert_eq!(pt.new as usize, gov2.cfg.initial_par_threshold);
+    }
+
+    #[test]
+    fn replay_reproduces_step_lines() {
+        let trace: Vec<Observation> = (1..=20)
+            .map(|t| {
+                let mut o = obs(t, if t % 3 == 0 { 20 } else { 0 }, 2, (t % 5) + 1);
+                o.budget_used_max_x100 = if t % 4 == 0 { 300 } else { 10 };
+                o
+            })
+            .collect();
+        let mut gov = Governor::new(cfg());
+        let mut live_lines = Vec::new();
+        for o in &trace {
+            for d in gov.step(o) {
+                live_lines.push(d.line());
+            }
+        }
+        assert!(!live_lines.is_empty(), "trace must trigger decisions");
+        assert_eq!(Governor::replay(cfg(), &trace), live_lines);
+        assert_eq!(Governor::replay(cfg(), &trace), live_lines, "second replay diverged");
+    }
+
+    #[test]
+    fn runtime_applies_decisions_to_live_knobs() {
+        let registry = MetricsRegistry::new();
+        let knobs = Arc::new(RuntimeKnobs::new(8, 256));
+        // A standing backlog the sampler will observe every tick.
+        registry.gauge_labeled("sharded.queue_depth", &[("shard", "0")]).set(64.0);
+        let rows = registry.histogram_labeled("sharded.batch_rows", &[("shard", "0")]);
+        let log = DecisionLog::new(64);
+        let rt = GovernorRuntime::spawn(
+            GovernorConfig { initial_pool_threads: 1, ..cfg() },
+            registry.clone(),
+            Arc::clone(&knobs),
+            log,
+            Duration::from_millis(1),
+        );
+        // Feed fresh drains so the rate signals move, then wait for steps.
+        for i in 0..200 {
+            rows.record(4);
+            if knobs.batch_max() > 8 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+            assert!(i < 199, "governor never grew batch_max under standing backlog");
+        }
+        assert!(rt.decision_count() >= 1);
+        let obs_trace = rt.observations();
+        assert!(!obs_trace.is_empty());
+        rt.stop();
+        assert!(knobs.batch_max() > 8, "backlog must have grown the live batch_max");
+        assert!(
+            registry
+                .counter_labeled(GOVERNOR_STEPS_METRIC, &[(GOVERNOR_KNOB_LABEL, "batch_max")])
+                .get()
+                >= 1
+        );
+        let g = registry.gauge_labeled(GOVERNOR_KNOB_METRIC, &[(GOVERNOR_KNOB_LABEL, "batch_max")]);
+        assert_eq!(g.get(), knobs.batch_max() as f64);
+    }
+}

@@ -34,6 +34,7 @@
 mod cache;
 mod config;
 mod experiment;
+mod governor;
 mod graph_layers;
 mod model;
 mod qa_matcher;
@@ -44,6 +45,7 @@ mod simulator;
 pub use cache::{LruCache, ResponseCache};
 pub use config::{TagRecConfig, TrainConfig};
 pub use experiment::{evaluate_offline, ProtocolConfig};
+pub use governor::{Decision, Governor, GovernorConfig, GovernorRuntime, KnobBounds, Observation};
 pub use graph_layers::GraphLayers;
 pub use model::IntelliTag;
 pub use qa_matcher::{QaMatcher, QaMatcherConfig};
@@ -51,5 +53,7 @@ pub use serving::{
     ModelServer, PendingReply, Poll, QuestionResponse, Submission, TagClickResponse, TagService,
     RECENT_LATENCY_WINDOW,
 };
-pub use sharded::{ModelSwap, RoutingPolicy, ShardConfig, ShardedServer, ShedReason, SwapPayload};
+pub use sharded::{
+    ModelSwap, RoutingPolicy, RuntimeKnobs, ShardConfig, ShardedServer, ShedReason, SwapPayload,
+};
 pub use simulator::{simulate_online, DayMetrics, SimConfig, SimOutcome};

@@ -352,6 +352,10 @@ struct ServerMetrics {
     /// (`serving.score_lru.{hits,misses}`).
     score_lru_hit: Arc<Counter>,
     score_lru_miss: Arc<Counter>,
+    /// Live hit ratio in `[0, 1]` (`serving.score_lru.hit_ratio`) — the
+    /// cache-health gauge the governor and humans read without having to
+    /// divide counters themselves.
+    score_lru_hit_ratio: Arc<Gauge>,
     cold_start: Arc<Counter>,
     err_bad_tenant: Arc<Counter>,
     err_bad_tag: Arc<Counter>,
@@ -386,6 +390,7 @@ impl ServerMetrics {
             cache_miss: registry.counter("serving.cache.miss"),
             score_lru_hit: registry.counter("serving.score_lru.hits"),
             score_lru_miss: registry.counter("serving.score_lru.misses"),
+            score_lru_hit_ratio: registry.gauge("serving.score_lru.hit_ratio"),
             cold_start: registry.counter("serving.cold_start_fallback"),
             err_bad_tenant: registry.counter("serving.error.bad_tenant"),
             err_bad_tag: registry.counter("serving.error.bad_tag"),
@@ -401,6 +406,19 @@ impl ServerMetrics {
 
     fn tenant_requests(&self, tenant: usize) -> Arc<Counter> {
         self.registry.counter(&format!("serving.requests.tenant_{tenant}"))
+    }
+
+    /// Ticks one score-LRU lookup and refreshes the hit-ratio gauge from
+    /// the lifetime counters (shared-registry safe: with several replicas
+    /// the gauge converges on the aggregate ratio).
+    fn record_score_lru(&self, hit: bool) {
+        if hit {
+            self.score_lru_hit.inc();
+        } else {
+            self.score_lru_miss.inc();
+        }
+        let (h, m) = (self.score_lru_hit.get(), self.score_lru_miss.get());
+        self.score_lru_hit_ratio.set(h as f64 / (h + m) as f64);
     }
 
     /// The SLO latency series for a tenant's tier.
@@ -847,10 +865,10 @@ impl<M: SequenceRecommender> ModelServer<M> {
         };
         let key = (tenant, clicks.to_vec());
         if let Some(row) = lru.get(&key) {
-            self.obs.score_lru_hit.inc();
+            self.obs.record_score_lru(true);
             return row;
         }
-        self.obs.score_lru_miss.inc();
+        self.obs.record_score_lru(false);
         let row = self.model.score_candidates(clicks, pool);
         lru.put(key, row.clone());
         row
@@ -1017,10 +1035,10 @@ impl<M: SequenceRecommender> ModelServer<M> {
             if let Some(lru) = &self.score_lru {
                 for (row, key) in uniq.iter().enumerate() {
                     if let Some(scores) = lru.get(key) {
-                        self.obs.score_lru_hit.inc();
+                        self.obs.record_score_lru(true);
                         uniq_scores[row] = Some(scores);
                     } else {
-                        self.obs.score_lru_miss.inc();
+                        self.obs.record_score_lru(false);
                     }
                 }
             }
@@ -1434,6 +1452,7 @@ mod tests {
         assert_eq!(s.score_lru_stats(), Some((3, 3)));
         assert_eq!(s.metrics().counter("serving.score_lru.hits").get(), 3);
         assert_eq!(s.metrics().counter("serving.score_lru.misses").get(), 3);
+        assert_eq!(s.metrics().gauge("serving.score_lru.hit_ratio").get(), 0.5);
 
         // Cached rows must not change the answers.
         for (i, (a, b)) in first.iter().zip(&second).enumerate() {

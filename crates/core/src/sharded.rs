@@ -28,7 +28,7 @@
 //! `sharded.shed` counters, while the inner servers' `serving.*` metrics
 //! aggregate across shards in the same registry.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -78,9 +78,10 @@ pub struct ShardConfig {
     /// Tensor compute-pool threads *per process* (`0` = leave the global
     /// setting alone — env override or `available_parallelism`). The pool is
     /// process-global, so all shards share it: a front running S shards with
-    /// a P-thread pool can have up to `S × P` runnable threads. Size so that
-    /// `shards × pool_threads ≤ cores`, or keep the default serial pool
-    /// (`pool_threads = 1`) when the shard count already covers the cores.
+    /// a P-thread pool can have up to `S × P` runnable threads. There is no
+    /// manual sizing rule to follow — the runtime governor
+    /// (`crate::governor`) watches live queue depths and resizes the pool
+    /// for the current regime; this field only picks the starting point.
     /// Pool size never changes answers (kernels are bit-identical across
     /// pool sizes), so this is a pure latency/throughput knob.
     pub pool_threads: usize,
@@ -95,6 +96,68 @@ impl Default for ShardConfig {
             routing: RoutingPolicy::TenantHash,
             pool_threads: 0,
         }
+    }
+}
+
+/// The front's *runtime-adjustable* throughput knobs, shared between the
+/// client side (`try_send` admission), every shard worker (per-drain
+/// `batch_max` load), and the governor that steps them. Construction-time
+/// [`ShardConfig`] values seed these; everything after that is atomic, so
+/// the governor can retune a live front without pausing a single drain.
+///
+/// Both knobs are pure performance knobs: every drain still serves its
+/// whole batch with one model version and the batched path is bit-exact
+/// versus serial, so stepping them never changes answers — only how work
+/// is grouped and when overload sheds begin.
+#[derive(Debug)]
+pub struct RuntimeKnobs {
+    /// Live micro-batch ceiling; workers load this at each drain top.
+    batch_max: AtomicUsize,
+    /// Soft admission limit: `try_`/`submit_` calls shed once a shard's
+    /// live depth exceeds this, *before* the physical queue is full.
+    shed_depth: AtomicUsize,
+    /// Physical per-shard queue capacity — the immutable upper bound for
+    /// both knobs (mpsc queues cannot be regrown in place).
+    queue_capacity: usize,
+}
+
+impl RuntimeKnobs {
+    /// Seeds the knobs from construction-time values. `shed_depth` starts
+    /// at `queue_capacity` (no soft shedding until the governor says so).
+    pub fn new(batch_max: usize, queue_capacity: usize) -> Self {
+        assert!(batch_max >= 1, "batch_max must be at least 1");
+        assert!(queue_capacity >= 1, "queue_capacity must be at least 1");
+        RuntimeKnobs {
+            batch_max: AtomicUsize::new(batch_max.min(queue_capacity)),
+            shed_depth: AtomicUsize::new(queue_capacity),
+            queue_capacity,
+        }
+    }
+
+    /// Current micro-batch ceiling.
+    pub fn batch_max(&self) -> usize {
+        self.batch_max.load(Ordering::Relaxed)
+    }
+
+    /// Sets the micro-batch ceiling, clamped to `[1, queue_capacity]`.
+    /// Takes effect at each worker's next drain.
+    pub fn set_batch_max(&self, n: usize) {
+        self.batch_max.store(n.clamp(1, self.queue_capacity), Ordering::Relaxed);
+    }
+
+    /// Current soft admission limit for the shedding request paths.
+    pub fn shed_depth(&self) -> usize {
+        self.shed_depth.load(Ordering::Relaxed)
+    }
+
+    /// Sets the soft admission limit, clamped to `[1, queue_capacity]`.
+    pub fn set_shed_depth(&self, n: usize) {
+        self.shed_depth.store(n.clamp(1, self.queue_capacity), Ordering::Relaxed);
+    }
+
+    /// The immutable physical queue capacity both knobs are bounded by.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
     }
 }
 
@@ -305,6 +368,8 @@ pub struct ShardedServer {
     /// at their own drain boundaries, so individual replicas may trail this
     /// for one drain during a rollout).
     applied_version: Arc<AtomicU64>,
+    /// Live knobs shared with every worker (and the governor, if any).
+    knobs: Arc<RuntimeKnobs>,
 }
 
 impl ShardedServer {
@@ -373,6 +438,7 @@ impl ShardedServer {
         let factory = Arc::new(factory);
         let (ready_tx, ready_rx) = mpsc::channel::<(String, u64)>();
         let applied_version = Arc::new(AtomicU64::new(0));
+        let knobs = Arc::new(RuntimeKnobs::new(cfg.batch_max, cfg.queue_capacity));
         let mut shards = Vec::with_capacity(cfg.shards);
         let mut workers = Vec::with_capacity(cfg.shards);
         for shard_id in 0..cfg.shards {
@@ -397,7 +463,7 @@ impl ShardedServer {
             };
             let (factory, registry, ready_tx) =
                 (Arc::clone(&factory), registry.clone(), ready_tx.clone());
-            let batch_max = cfg.batch_max;
+            let worker_knobs = Arc::clone(&knobs);
             let worker_swap = swap.as_ref().map(|(s, l)| WorkerSwap {
                 swap: s.clone(),
                 loader: Arc::clone(l),
@@ -417,7 +483,7 @@ impl ShardedServer {
                         // only strictly newer snapshots swap in.
                         ctx.seen = server.model_version();
                     }
-                    worker_loop(server, rx, worker_metrics, batch_max, worker_swap);
+                    worker_loop(server, rx, worker_metrics, worker_knobs, worker_swap);
                 })
                 .expect("spawn shard worker");
             shards.push(shard);
@@ -445,7 +511,15 @@ impl ShardedServer {
             config: cfg,
             route_seq: AtomicU64::new(0),
             applied_version,
+            knobs,
         }
+    }
+
+    /// The front's live runtime knobs — hand a clone to the governor (or
+    /// poke them directly in tests). Stepping them mid-flight is safe and
+    /// never changes answers.
+    pub fn knobs(&self) -> Arc<RuntimeKnobs> {
+        Arc::clone(&self.knobs)
     }
 
     /// Highest snapshot version any shard worker has applied (0 until a
@@ -539,10 +613,19 @@ impl ShardedServer {
         true
     }
 
-    /// Sends a job without blocking; sheds on a full queue.
+    /// Sends a job without blocking; sheds when the shard's live depth
+    /// exceeds the governed soft limit ([`RuntimeKnobs::shed_depth`]) or
+    /// the physical queue is full. Blocking sends ignore the soft limit —
+    /// they apply backpressure instead of shedding, by contract.
     fn try_send(&self, shard: usize, job: Job) -> Result<(), ShedReason> {
         let shard = &self.shards[shard];
         let depth = shard.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        if depth > self.knobs.shed_depth() as i64 {
+            shard.depth.fetch_sub(1, Ordering::Relaxed);
+            shard.shed.inc();
+            self.shed_total.inc();
+            return Err(ShedReason::Overloaded);
+        }
         match shard.tx.try_send(job) {
             Ok(()) => {
                 shard.depth_gauge.set(depth as f64);
@@ -976,11 +1059,15 @@ fn worker_loop<M: SequenceRecommender>(
     mut server: ModelServer<M>,
     rx: Receiver<Job>,
     metrics: WorkerMetrics,
-    batch_max: usize,
+    knobs: Arc<RuntimeKnobs>,
     mut swap: Option<WorkerSwap<M>>,
 ) {
-    let mut batch = Vec::with_capacity(batch_max);
+    let mut batch = Vec::with_capacity(knobs.batch_max());
     while let Ok(first) = rx.recv() {
+        // The live batch ceiling is re-read at every drain top, so a
+        // governor step lands at the next drain boundary — the same fence
+        // discipline model hot-swaps use.
+        let batch_max = knobs.batch_max();
         batch.push(first);
         while batch.len() < batch_max {
             match rx.try_recv() {
@@ -1206,7 +1293,7 @@ mod tests {
             batch_rows: registry.histogram_labeled("sharded.batch_rows", &labels),
             processed: registry.counter_labeled("sharded.processed", &labels),
         };
-        worker_loop(server, rx, metrics, batch_max, None);
+        worker_loop(server, rx, metrics, Arc::new(RuntimeKnobs::new(batch_max, 64)), None);
         registry
     }
 

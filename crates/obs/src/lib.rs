@@ -46,6 +46,7 @@ mod metric;
 mod online;
 mod registry;
 mod ring;
+mod runtime;
 mod slo;
 mod trace;
 
@@ -60,10 +61,15 @@ pub use metric::{Counter, Gauge};
 pub use online::{
     MODEL_SWAPS_METRIC, MODEL_VERSION_METRIC, SNAPSHOT_VERSION_METRIC, TRAINER_EVENTS_METRIC,
     TRAINER_INCREMENTS_METRIC, WAL_APPENDS_METRIC, WAL_APPEND_ERRORS_METRIC, WAL_BYTES_METRIC,
-    WAL_FSYNCS_METRIC, WAL_TRUNCATED_BYTES_METRIC,
+    WAL_COMPACTED_SEGMENTS_METRIC, WAL_FSYNCS_METRIC, WAL_ROTATIONS_METRIC, WAL_SEGMENTS_METRIC,
+    WAL_TRUNCATED_BYTES_METRIC,
 };
 pub use registry::{Metric, MetricsRegistry};
 pub use ring::SampleRing;
+pub use runtime::{
+    DecisionLog, RuntimeSnapshot, GOVERNOR_KNOB_LABEL, GOVERNOR_KNOB_METRIC, GOVERNOR_STEPS_METRIC,
+    GOVERNOR_TICKS_METRIC,
+};
 pub use slo::{
     tenant_tier, SloReport, TierSlo, SLO_LATENCY_METRIC, SLO_SHED_METRIC, SLO_TIER_LABEL,
 };

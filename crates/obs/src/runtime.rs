@@ -1,0 +1,299 @@
+//! Runtime-governor observation support: the quantized snapshot the
+//! control loop samples each tick, plus the bounded decision log it
+//! publishes for `/debug/governor`.
+//!
+//! ## Determinism contract
+//!
+//! The governor's decisions must be a pure function of the observed
+//! sequence, so everything in [`RuntimeSnapshot`] is an **integer**:
+//! cumulative counters, maxima, and `_x100` fixed-point quantities.
+//! There are no floats to round differently across hosts and no
+//! wall-clock timestamps — replaying a recorded snapshot sequence through
+//! the same governor reproduces the identical decision log byte for byte.
+//!
+//! Counters here are *cumulative* (lifetime totals as of the sample);
+//! the governor differences consecutive snapshots itself, which keeps
+//! sampling trivially cheap and makes the trace self-contained.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::registry::{Metric, MetricsRegistry};
+use crate::slo::{SloReport, SLO_LATENCY_METRIC};
+
+/// Labeled counter family for governor knob steps:
+/// `governor.steps{knob="batch_max"}`.
+pub const GOVERNOR_STEPS_METRIC: &str = "governor.steps";
+/// Labeled gauge family mirroring each knob's current value:
+/// `governor.knob{knob="pool_threads"}`.
+pub const GOVERNOR_KNOB_METRIC: &str = "governor.knob";
+/// Counter of observation ticks the governor has consumed.
+pub const GOVERNOR_TICKS_METRIC: &str = "governor.ticks";
+/// Label key naming the stepped knob on `governor.*` series.
+pub const GOVERNOR_KNOB_LABEL: &str = "knob";
+
+/// One fixed-cadence observation of the serving runtime, fully quantized
+/// (see the module docs for why every field is an integer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuntimeSnapshot {
+    /// Deepest per-shard queue at sample time (`sharded.queue_depth` max).
+    pub queue_depth_max: u64,
+    /// Sum of per-shard queue depths at sample time.
+    pub queue_depth_sum: u64,
+    /// Number of `sharded.queue_depth` series seen (the shard count).
+    pub shards: u64,
+    /// Cumulative requests drained (`sharded.processed` summed).
+    pub processed_total: u64,
+    /// Cumulative requests shed (`sharded.shed_total`).
+    pub shed_total: u64,
+    /// Cumulative drains (merged `sharded.batch_rows` sample count).
+    pub batch_count: u64,
+    /// Cumulative rows across all drains (merged `sharded.batch_rows` sum).
+    pub batch_rows_sum: u64,
+    /// Largest single drain observed so far (merged `sharded.batch_rows` max).
+    pub batch_rows_max: u64,
+    /// Cumulative completed requests in the SLO series (`slo.latency_us`).
+    pub latency_count: u64,
+    /// p99 of the merged `slo.latency_us` histogram, microseconds.
+    pub latency_p99_us: u64,
+    /// Worst per-tier SLO error-budget burn, fixed-point ×100
+    /// (100 = the full 1% budget is being consumed).
+    pub budget_used_max_x100: u64,
+    /// Cumulative tensor-pool dispatches that fanned out in parallel.
+    /// Not registry-derived — the sampler fills this from
+    /// `intellitag_tensor::pool_dispatch_stats()`.
+    pub pool_parallel: u64,
+    /// Cumulative tensor-pool dispatches that fell back to serial.
+    pub pool_serial: u64,
+}
+
+impl RuntimeSnapshot {
+    /// Samples the registry-derived fields (`pool_parallel`/`pool_serial`
+    /// stay zero — the caller owns those; the obs crate cannot see the
+    /// tensor pool). `target_p99_us` anchors the SLO budget-burn field.
+    pub fn sample(registry: &MetricsRegistry, target_p99_us: u64) -> Self {
+        let mut snap = RuntimeSnapshot::default();
+        for name in registry.names() {
+            if is_series(&name, "sharded.queue_depth") {
+                if let Some(Metric::Gauge(g)) = registry.get(&name) {
+                    let depth = g.get().max(0.0) as u64;
+                    snap.queue_depth_max = snap.queue_depth_max.max(depth);
+                    snap.queue_depth_sum += depth;
+                    snap.shards += 1;
+                }
+            } else if is_series(&name, "sharded.processed") {
+                if let Some(Metric::Counter(c)) = registry.get(&name) {
+                    snap.processed_total += c.get();
+                }
+            } else if name == "sharded.shed_total" {
+                if let Some(Metric::Counter(c)) = registry.get(&name) {
+                    snap.shed_total = c.get();
+                }
+            }
+        }
+        let rows = registry.merged_histogram("sharded.batch_rows");
+        snap.batch_count = rows.count;
+        snap.batch_rows_sum = rows.sum;
+        snap.batch_rows_max = rows.max;
+        let lat = registry.merged_histogram(SLO_LATENCY_METRIC);
+        snap.latency_count = lat.count;
+        if lat.count > 0 {
+            snap.latency_p99_us = lat.quantile(0.99);
+        }
+        let slo = SloReport::from_registry(registry, target_p99_us);
+        for tier in &slo.tiers {
+            let x100 = (tier.budget_used * 100.0).round().max(0.0) as u64;
+            snap.budget_used_max_x100 = snap.budget_used_max_x100.max(x100);
+        }
+        snap
+    }
+
+    /// One-line JSON rendering (stable field order) for debug endpoints
+    /// and recorded traces.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"queue_depth_max\":{},\"queue_depth_sum\":{},\"shards\":{},\
+             \"processed_total\":{},\"shed_total\":{},\"batch_count\":{},\
+             \"batch_rows_sum\":{},\"batch_rows_max\":{},\"latency_count\":{},\
+             \"latency_p99_us\":{},\"budget_used_max_x100\":{},\
+             \"pool_parallel\":{},\"pool_serial\":{}}}",
+            self.queue_depth_max,
+            self.queue_depth_sum,
+            self.shards,
+            self.processed_total,
+            self.shed_total,
+            self.batch_count,
+            self.batch_rows_sum,
+            self.batch_rows_max,
+            self.latency_count,
+            self.latency_p99_us,
+            self.budget_used_max_x100,
+            self.pool_parallel,
+            self.pool_serial,
+        )
+    }
+}
+
+/// `base` itself or a canonical labeled variant `base{...}`.
+fn is_series(name: &str, base: &str) -> bool {
+    name == base || name.strip_prefix(base).is_some_and(|rest| rest.starts_with('{'))
+}
+
+/// A bounded, cloneable log of governor decision lines, shared between the
+/// control loop (writer) and the gateway's `/debug/governor` endpoint
+/// (reader). Oldest lines fall off once `cap` is reached; `pushed()` keeps
+/// the lifetime total so readers can tell when truncation happened.
+#[derive(Clone)]
+pub struct DecisionLog {
+    inner: Arc<Mutex<DecisionLogInner>>,
+    cap: usize,
+}
+
+struct DecisionLogInner {
+    lines: VecDeque<String>,
+    pushed: u64,
+}
+
+impl DecisionLog {
+    /// Creates a log retaining at most `cap` most-recent lines.
+    ///
+    /// # Panics
+    /// Panics when `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "decision log capacity must be positive");
+        DecisionLog {
+            inner: Arc::new(Mutex::new(DecisionLogInner { lines: VecDeque::new(), pushed: 0 })),
+            cap,
+        }
+    }
+
+    /// Appends one decision line, evicting the oldest when full.
+    pub fn push(&self, line: String) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.lines.len() == self.cap {
+            inner.lines.pop_front();
+        }
+        inner.lines.push_back(line);
+        inner.pushed += 1;
+    }
+
+    /// The retained lines, oldest first.
+    pub fn lines(&self) -> Vec<String> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.lines.iter().cloned().collect()
+    }
+
+    /// Lifetime number of lines pushed (≥ `lines().len()`).
+    pub fn pushed(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).pushed
+    }
+
+    /// Retained lines joined with `\n` (trailing newline when non-empty).
+    pub fn render_text(&self) -> String {
+        let lines = self.lines();
+        if lines.is_empty() {
+            String::new()
+        } else {
+            let mut out = lines.join("\n");
+            out.push('\n');
+            out
+        }
+    }
+}
+
+impl std::fmt::Debug for DecisionLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("DecisionLog")
+            .field("cap", &self.cap)
+            .field("retained", &inner.lines.len())
+            .field("pushed", &inner.pushed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::{SLO_SHED_METRIC, SLO_TIER_LABEL};
+
+    #[test]
+    fn snapshot_folds_sharded_series() {
+        let r = MetricsRegistry::new();
+        r.gauge_labeled("sharded.queue_depth", &[("shard", "0")]).set(3.0);
+        r.gauge_labeled("sharded.queue_depth", &[("shard", "1")]).set(7.0);
+        r.counter_labeled("sharded.processed", &[("shard", "0")]).add(40);
+        r.counter_labeled("sharded.processed", &[("shard", "1")]).add(2);
+        r.counter("sharded.shed_total").add(5);
+        let rows = r.histogram_labeled("sharded.batch_rows", &[("shard", "0")]);
+        rows.record(4);
+        rows.record(12);
+        let snap = RuntimeSnapshot::sample(&r, 150_000);
+        assert_eq!(snap.queue_depth_max, 7);
+        assert_eq!(snap.queue_depth_sum, 10);
+        assert_eq!(snap.shards, 2);
+        assert_eq!(snap.processed_total, 42);
+        assert_eq!(snap.shed_total, 5);
+        assert_eq!(snap.batch_count, 2);
+        assert_eq!(snap.batch_rows_sum, 16);
+        assert_eq!(snap.batch_rows_max, 12);
+        assert_eq!(snap.pool_parallel, 0);
+        assert_eq!(snap.pool_serial, 0);
+    }
+
+    #[test]
+    fn snapshot_reads_slo_budget_burn() {
+        let r = MetricsRegistry::new();
+        let gold = r.histogram_labeled(SLO_LATENCY_METRIC, &[(SLO_TIER_LABEL, "gold")]);
+        for _ in 0..90 {
+            gold.record(1_000);
+        }
+        r.counter_labeled(SLO_SHED_METRIC, &[(SLO_TIER_LABEL, "gold")]).add(10);
+        // 10 shed of 100 offered = 10x the 1% budget = 1000 in x100 units.
+        let snap = RuntimeSnapshot::sample(&r, 10_000);
+        assert_eq!(snap.latency_count, 90);
+        assert!(snap.latency_p99_us > 0);
+        assert!(
+            (950..=1050).contains(&snap.budget_used_max_x100),
+            "burn {}",
+            snap.budget_used_max_x100
+        );
+    }
+
+    #[test]
+    fn snapshot_ignores_unrelated_prefix_series() {
+        let r = MetricsRegistry::new();
+        // Prefix collision: must not be counted as a queue-depth shard.
+        r.gauge("sharded.queue_depth_limit").set(99.0);
+        let snap = RuntimeSnapshot::sample(&r, 150_000);
+        assert_eq!(snap.shards, 0);
+        assert_eq!(snap.queue_depth_max, 0);
+    }
+
+    #[test]
+    fn snapshot_json_is_stable() {
+        let snap = RuntimeSnapshot { queue_depth_max: 1, shards: 2, ..Default::default() };
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"queue_depth_max\":1,"), "{json}");
+        assert!(json.contains("\"shards\":2"), "{json}");
+        assert!(json.ends_with("\"pool_serial\":0}"), "{json}");
+    }
+
+    #[test]
+    fn decision_log_bounds_and_counts() {
+        let log = DecisionLog::new(2);
+        assert_eq!(log.render_text(), "");
+        log.push("a".into());
+        log.push("b".into());
+        log.push("c".into());
+        assert_eq!(log.lines(), vec!["b".to_string(), "c".to_string()]);
+        assert_eq!(log.pushed(), 3);
+        assert_eq!(log.render_text(), "b\nc\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn decision_log_zero_cap_rejected() {
+        let _ = DecisionLog::new(0);
+    }
+}

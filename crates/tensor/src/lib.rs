@@ -65,7 +65,7 @@ pub use kernel::{
 pub use matrix::{dot, softmax_in_place, Matrix};
 pub use param::{Param, ParamSet};
 pub use pool::{
-    par_rows, par_rows_mut, par_threshold, par_tiles, pool_threads, set_par_threshold,
-    set_pool_threads, DEFAULT_PAR_THRESHOLD,
+    hardware_threads, par_rows, par_rows_mut, par_threshold, par_tiles, pool_dispatch_stats,
+    pool_threads, set_par_threshold, set_pool_threads, DEFAULT_PAR_THRESHOLD,
 };
 pub use tape::{Tape, Tensor};

@@ -89,6 +89,30 @@ static THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// Serial-fallback threshold, in work-estimate units.
 static PAR_THRESHOLD: AtomicUsize = AtomicUsize::new(DEFAULT_PAR_THRESHOLD);
 
+/// Lifetime count of [`par_rows`]/[`par_tiles`] dispatches that fanned out
+/// to the pool. Relaxed — it feeds an observability snapshot, not control
+/// flow inside the kernel.
+static DISPATCH_PARALLEL: AtomicUsize = AtomicUsize::new(0);
+
+/// Lifetime count of dispatches that took the serial fallback (pool size 1,
+/// below [`par_threshold`], nested job, or fewer than 2 rows).
+static DISPATCH_SERIAL: AtomicUsize = AtomicUsize::new(0);
+
+/// `(parallel, serial)` lifetime dispatch counts. The ratio is the pool's
+/// *utilization signal*: a governor that shrank the pool to 1 thread will
+/// see the parallel count stop moving, and one that lowered
+/// [`par_threshold`] sees serial flips convert to parallel ones.
+pub fn pool_dispatch_stats() -> (usize, usize) {
+    (DISPATCH_PARALLEL.load(Ordering::Relaxed), DISPATCH_SERIAL.load(Ordering::Relaxed))
+}
+
+/// The host's hardware thread count (cached), the natural upper bound for
+/// [`set_pool_threads`]. Falls back to 1 when the platform cannot say.
+pub fn hardware_threads() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
 /// Live pools keyed by thread count. Pools are cheap (a few parked threads)
 /// and tests toggle sizes repeatedly, so old sizes are kept warm rather
 /// than torn down on every [`set_pool_threads`] call.
@@ -266,6 +290,7 @@ pub fn par_rows(rows: usize, work: usize, job: impl Fn(usize, usize) + Sync) {
     }
     let nested = IN_POOL_JOB.with(|f| f.get());
     if rows < 2 || nested || work < par_threshold() {
+        DISPATCH_SERIAL.fetch_add(1, Ordering::Relaxed);
         job(0, rows);
         return;
     }
@@ -273,12 +298,17 @@ pub fn par_rows(rows: usize, work: usize, job: impl Fn(usize, usize) + Sync) {
         Some(pool) => {
             let chunks = (pool.workers.len() + 1).min(rows);
             if chunks < 2 {
+                DISPATCH_SERIAL.fetch_add(1, Ordering::Relaxed);
                 job(0, rows);
             } else {
+                DISPATCH_PARALLEL.fetch_add(1, Ordering::Relaxed);
                 pool.run(rows, chunks, &job);
             }
         }
-        None => job(0, rows),
+        None => {
+            DISPATCH_SERIAL.fetch_add(1, Ordering::Relaxed);
+            job(0, rows);
+        }
     }
 }
 

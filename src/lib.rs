@@ -67,9 +67,10 @@ pub mod prelude {
         SrGnn, TrainConfig,
     };
     pub use intellitag_core::{
-        evaluate_offline, simulate_online, IntelliTag, ModelServer, ModelSwap, PendingReply,
-        ProtocolConfig, RoutingPolicy, ShardConfig, ShardedServer, ShedReason, SimConfig,
-        Submission, SwapPayload, TagRecConfig, TagService,
+        evaluate_offline, simulate_online, Governor, GovernorConfig, GovernorRuntime, IntelliTag,
+        ModelServer, ModelSwap, PendingReply, ProtocolConfig, RoutingPolicy, RuntimeKnobs,
+        ShardConfig, ShardedServer, ShedReason, SimConfig, Submission, SwapPayload, TagRecConfig,
+        TagService,
     };
     pub use intellitag_datagen::{
         labeled_sentences, sequence_examples, split_sessions, Session, UserModel, World,
@@ -86,8 +87,9 @@ pub mod prelude {
     };
     pub use intellitag_obs::{
         format_trace_id, parse_prometheus, parse_trace_id, render_json_lines, render_prometheus,
-        tenant_tier, FinishedTrace, Histogram, HistogramSnapshot, MetricsRegistry, SloReport,
-        SpanTimer, TraceCollector, TraceConfig, TraceHandle, TraceIdGen,
+        tenant_tier, DecisionLog, FinishedTrace, Histogram, HistogramSnapshot, MetricsRegistry,
+        RuntimeSnapshot, SloReport, SpanTimer, TraceCollector, TraceConfig, TraceHandle,
+        TraceIdGen,
     };
     pub use intellitag_online::{
         click_sessions, recover, ModelSnapshot, OnlineTrainer, SnapshotRegistry, TrainerConfig,
